@@ -1,0 +1,86 @@
+package dynacc_test
+
+import (
+	"testing"
+
+	"dynacc/internal/bench"
+	"dynacc/internal/core"
+	"dynacc/internal/magma"
+	"dynacc/internal/netmodel"
+)
+
+// One benchmark per experiment of the paper's evaluation section. Each
+// iteration regenerates the complete figure (quick grids keep -bench
+// runs tractable; cmd/acbench produces the full-resolution tables). The
+// reported wall time is the cost of simulating the experiment, not the
+// experiment's own virtual time — the latter is what the figure reports.
+
+func benchFigure(b *testing.B, gen bench.Generator) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		f := gen(bench.Options{Quick: true})
+		if len(f.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5: host-to-device bandwidth of the
+// naive and pipeline copy protocols against the MPI PingPong bound.
+func BenchmarkFig5HostToDeviceBandwidth(b *testing.B) { benchFigure(b, bench.Fig5) }
+
+// BenchmarkFig6 regenerates Figure 6: device-to-host bandwidth.
+func BenchmarkFig6DeviceToHostBandwidth(b *testing.B) { benchFigure(b, bench.Fig6) }
+
+// BenchmarkFig7 regenerates Figure 7: node-attached vs network-attached
+// host-to-device comparison.
+func BenchmarkFig7LocalVsRemoteH2D(b *testing.B) { benchFigure(b, bench.Fig7) }
+
+// BenchmarkFig8 regenerates Figure 8: the device-to-host comparison.
+func BenchmarkFig8LocalVsRemoteD2H(b *testing.B) { benchFigure(b, bench.Fig8) }
+
+// BenchmarkFig9 regenerates Figure 9: MAGMA QR on a local GPU vs 1-3
+// network-attached GPUs.
+func BenchmarkFig9MagmaQR(b *testing.B) { benchFigure(b, bench.Fig9) }
+
+// BenchmarkFig10 regenerates Figure 10: MAGMA Cholesky.
+func BenchmarkFig10MagmaCholesky(b *testing.B) { benchFigure(b, bench.Fig10) }
+
+// BenchmarkFig11 regenerates Figure 11: the MP2C application study.
+func BenchmarkFig11MP2C(b *testing.B) { benchFigure(b, bench.Fig11) }
+
+// BenchmarkExtA regenerates the pool-utilization extension experiment.
+func BenchmarkExtAPoolUtilization(b *testing.B) { benchFigure(b, bench.ExtA) }
+
+// BenchmarkExtB regenerates the protocol/lookahead ablations.
+func BenchmarkExtBAblations(b *testing.B) { benchFigure(b, bench.ExtB) }
+
+// Micro-benchmarks of individual simulated operations, useful when
+// tuning the simulator itself.
+
+func BenchmarkSimPipelineCopy16MiB(b *testing.B) {
+	opts := core.Options{H2D: core.PaperAdaptive(), D2H: core.PaperNaive()}
+	for i := 0; i < b.N; i++ {
+		bench.MeasureRemoteCopy(16*netmodel.MiB, true, opts)
+	}
+}
+
+func BenchmarkSimNaiveCopy16MiB(b *testing.B) {
+	opts := core.Options{H2D: core.PaperNaive(), D2H: core.PaperNaive()}
+	for i := 0; i < b.N; i++ {
+		bench.MeasureRemoteCopy(16*netmodel.MiB, true, opts)
+	}
+}
+
+func BenchmarkSimPingPong1MiB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.MeasurePingPong(netmodel.MiB)
+	}
+}
+
+func BenchmarkSimQRThreeGPUsN2048(b *testing.B) {
+	cfg := magma.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		bench.RunFactorizationQR(3, 2048, cfg)
+	}
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestResolve(t *testing.T) {
+	all, err := resolve("all")
+	if err != nil || len(all) < 10 {
+		t.Fatalf("all = %v, %v", all, err)
+	}
+	for arg, want := range map[string]string{
+		"5":     "fig5",
+		"fig10": "fig10",
+		"extB":  "extB",
+		"EXTC":  "extC",
+		"extd":  "extD",
+	} {
+		ids, err := resolve(arg)
+		if err != nil || len(ids) != 1 || ids[0] != want {
+			t.Errorf("resolve(%q) = %v, %v; want %s", arg, ids, err, want)
+		}
+	}
+	if _, err := resolve("fig99"); err == nil {
+		t.Error("bogus figure accepted")
+	}
+}

@@ -1,0 +1,95 @@
+// Command acsim runs the resource-management studies of the dynamic
+// accelerator-cluster architecture.
+//
+// Pool mode (default) drives a synthetic job mix through the accelerator
+// resource manager and reports utilization, queueing delay and makespan
+// — the paper's "economy" claim (Section III) made measurable:
+//
+//	acsim -cn 6 -ac 4 -policy backfill -seed 7
+//
+// Batch mode replays a generated batch workload on both architectures at
+// equal hardware (the paper's Section V-B production story):
+//
+//	acsim -mode batch -cn 8 -ac 4 -jobs 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynacc/internal/arm"
+	"dynacc/internal/batch"
+	"dynacc/internal/bench"
+)
+
+func main() {
+	mode := flag.String("mode", "pool", "study: pool (ARM utilization) or batch (static vs dynamic)")
+	cns := flag.Int("cn", 6, "compute nodes")
+	acs := flag.Int("ac", 4, "accelerators in the pool")
+	policyName := flag.String("policy", "fifo", "ARM queueing policy: fifo or backfill")
+	seed := flag.Int64("seed", 42, "workload seed")
+	jobs := flag.Int("jobs", 40, "batch mode: job count")
+	flag.Parse()
+
+	if *cns <= 0 || *acs <= 0 {
+		fmt.Fprintln(os.Stderr, "acsim: -cn and -ac must be positive")
+		os.Exit(2)
+	}
+	switch *mode {
+	case "pool":
+		runPoolStudy(*cns, *acs, *policyName, *seed)
+	case "batch":
+		runBatchStudy(*cns, *acs, *seed, *jobs)
+	default:
+		fmt.Fprintf(os.Stderr, "acsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func runPoolStudy(cns, acs int, policyName string, seed int64) {
+	var policy arm.Policy
+	switch policyName {
+	case "fifo":
+		policy = arm.FIFO
+	case "backfill":
+		policy = arm.Backfill
+	default:
+		fmt.Fprintf(os.Stderr, "acsim: unknown policy %q\n", policyName)
+		os.Exit(2)
+	}
+	res := bench.RunPool(cns, acs, policy, seed)
+	fmt.Printf("compute nodes:     %d\n", cns)
+	fmt.Printf("accelerator pool:  %d (%s)\n", acs, policy)
+	fmt.Printf("pool utilization:  %.1f%%\n", res.Utilization*100)
+	fmt.Printf("mean acquire wait: %.1f ms\n", res.MeanWaitMs)
+	fmt.Printf("makespan:          %.3f s (virtual)\n", res.MakespanS)
+}
+
+func runBatchStudy(cns, acs int, seed int64, jobs int) {
+	mix := batch.DefaultMix(seed)
+	mix.Jobs = jobs
+	mix.MaxTotalACs = acs
+	workload := batch.Generate(mix)
+	static, err := batch.Run(batch.Config{
+		Mode: batch.Static, ComputeNodes: cns, Accelerators: acs, GPUsPerNode: 1, Backfill: true,
+	}, workload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acsim: static: %v\n", err)
+		os.Exit(1)
+	}
+	dynamic, err := batch.Run(batch.Config{
+		Mode: batch.Dynamic, ComputeNodes: cns, Accelerators: acs, Backfill: true,
+	}, workload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acsim: dynamic: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload: %d jobs on %d nodes, %d accelerators (seed %d)\n", jobs, cns, acs, seed)
+	fmt.Printf("%-22s %12s %12s\n", "", "static", "dynamic")
+	fmt.Printf("%-22s %11.3fs %11.3fs\n", "makespan", static.Makespan.Seconds(), dynamic.Makespan.Seconds())
+	fmt.Printf("%-22s %11.1fms %11.1fms\n", "mean wait", static.MeanWaitMs, dynamic.MeanWaitMs)
+	fmt.Printf("%-22s %11.1fms %11.1fms\n", "mean turnaround", static.MeanTurnaroundMs, dynamic.MeanTurnaroundMs)
+	fmt.Printf("%-22s %11.1f%% %11.1f%%\n", "node utilization", static.NodeUtilization*100, dynamic.NodeUtilization*100)
+	fmt.Printf("%-22s %11.1f%% %11.1f%%\n", "AC utilization", static.ACUtilization*100, dynamic.ACUtilization*100)
+}

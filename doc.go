@@ -1,0 +1,27 @@
+// Package dynacc is a full reproduction, in pure Go, of the system
+// described in "A Dynamic Accelerator-Cluster Architecture" (Rinke,
+// Becker, Lippert, Prabhakaran, Westphal, Wolf — ICPP 2012): a cluster
+// architecture in which GPUs are not bolted to individual compute nodes
+// but form a network-attached pool, assigned to nodes on demand by an
+// accelerator resource manager and driven through a CUDA-like
+// computation API forwarded over an MPI-based protocol with pipelined,
+// GPUDirect-style memory copies.
+//
+// Since the original system needs CUDA GPUs, QDR InfiniBand and MPI, the
+// reproduction runs the entire stack inside a deterministic discrete-
+// event simulation: internal/sim is the simulation kernel, internal/
+// minimpi an MPI-flavoured message layer with a calibrated InfiniBand
+// cost model, internal/gpu a virtual Tesla-C1060-class device, and
+// internal/core the paper's middleware itself (front-end API, back-end
+// daemon, copy protocols). internal/arm implements the resource manager,
+// internal/magma and internal/mp2c the paper's two application studies,
+// and internal/bench regenerates every figure of the evaluation
+// (Figures 5-11). See DESIGN.md for the full inventory and EXPERIMENTS.md
+// for the paper-versus-measured record.
+//
+// The benchmarks in bench_test.go wrap the figure generators; run
+//
+//	go test -bench=. -benchmem
+//
+// or use cmd/acbench for the complete tables.
+package dynacc

@@ -1,0 +1,112 @@
+// Dynamic assignment: the paper's Figure 3(b) execution model, plus the
+// fault-tolerance claim of Section III. Three compute nodes with phases
+// of differing accelerator demand share a pool of three network-attached
+// GPUs: they acquire at runtime, block while the pool is drained, release
+// early when a phase ends, and keep running when an accelerator breaks.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"dynacc/internal/arm"
+	"dynacc/internal/cluster"
+	"dynacc/internal/sim"
+)
+
+func main() {
+	cl, err := cluster.New(cluster.Config{
+		ComputeNodes: 3,
+		Accelerators: 3,
+		Policy:       arm.Backfill,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	say := func(p *sim.Proc, rank int, format string, args ...any) {
+		fmt.Printf("[t=%8v] node %d: %s\n", sim.Duration(p.Now()), rank, fmt.Sprintf(format, args...))
+	}
+
+	// usePhase acquires k accelerators, does `work` of virtual compute on
+	// them, and releases them — one demand phase of a job.
+	usePhase := func(p *sim.Proc, node *cluster.Node, k int, work sim.Duration) {
+		handles, err := node.ARM.Acquire(p, k, true)
+		if err != nil {
+			if errors.Is(err, arm.ErrImpossible) {
+				say(p, node.Rank, "phase needs %d accelerators but the pool shrank — degrading to 1", k)
+				handles, err = node.ARM.Acquire(p, 1, true)
+			}
+			if err != nil {
+				log.Fatalf("node %d: %v", node.Rank, err)
+			}
+		}
+		ids := make([]int, len(handles))
+		for i, h := range handles {
+			ids[i] = h.ID
+		}
+		say(p, node.Rank, "acquired accelerators %v", ids)
+		// Touch every accelerator so the assignment is exercised
+		// end-to-end, then model the compute phase.
+		for _, h := range handles {
+			ac := node.Attach(h)
+			ptr, err := ac.MemAlloc(p, 1<<20)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := ac.MemcpyH2D(p, ptr, 0, nil, 1<<20); err != nil {
+				log.Fatal(err)
+			}
+			if err := ac.MemFree(p, ptr); err != nil {
+				log.Fatal(err)
+			}
+		}
+		p.Wait(work)
+		if err := node.ARM.Release(p, handles); err != nil {
+			log.Fatal(err)
+		}
+		say(p, node.Rank, "released %v", ids)
+	}
+
+	cl.Spawn(0, func(p *sim.Proc, node *cluster.Node) {
+		// Node 0: a greedy job — all three accelerators, then none.
+		usePhase(p, node, 3, 40*sim.Millisecond)
+		p.Wait(30 * sim.Millisecond) // accelerator-free phase
+		usePhase(p, node, 2, 20*sim.Millisecond)
+	})
+	cl.Spawn(1, func(p *sim.Proc, node *cluster.Node) {
+		// Node 1: modest, repeated single-GPU phases; blocks while node 0
+		// hogs the pool.
+		p.Wait(5 * sim.Millisecond)
+		for i := 0; i < 3; i++ {
+			usePhase(p, node, 1, 15*sim.Millisecond)
+			p.Wait(5 * sim.Millisecond)
+		}
+	})
+	cl.Spawn(2, func(p *sim.Proc, node *cluster.Node) {
+		// Node 2: an administrator breaks accelerator 2 mid-run; the
+		// cluster keeps operating with a smaller pool (fault tolerance:
+		// broken accelerators never take compute nodes down).
+		p.Wait(60 * sim.Millisecond)
+		if err := node.ARM.Fail(p, 2); err != nil {
+			log.Fatal(err)
+		}
+		say(p, node.Rank, "accelerator 2 marked FAILED — pool shrinks, nodes keep running")
+		usePhase(p, node, 2, 25*sim.Millisecond)
+		if err := node.ARM.Repair(p, 2); err != nil {
+			log.Fatal(err)
+		}
+		say(p, node.Rank, "accelerator 2 repaired and returned to the pool")
+		st, err := node.ARM.Stats(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		say(p, node.Rank, "final pool: %d free, %d failed, %d acquisitions served, %.1f%% mean utilization",
+			st.Free, st.Failed, st.Acquires, st.Utilization(p.Now().Sub(0))*100)
+	})
+
+	if _, err := cl.Run(); err != nil {
+		log.Fatal(err)
+	}
+}

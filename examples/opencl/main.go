@@ -1,0 +1,130 @@
+// OpenCL front-end: the paper stresses that its middleware "is
+// extensible to any accelerator programming interface and therefore not
+// restricted to CUDA by design". This example drives the very same
+// network-attached accelerator daemons through an OpenCL-style API —
+// contexts, buffers, in-order command queues, events — computing a SAXPY
+// on a pool GPU and overlapping two queues.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynacc/internal/clfe"
+	"dynacc/internal/cluster"
+	"dynacc/internal/gpu"
+	"dynacc/internal/minimpi"
+	"dynacc/internal/sim"
+)
+
+func main() {
+	reg := gpu.NewRegistry()
+	reg.Register(gpu.FuncKernel{
+		KernelName: "saxpy",
+		CostFn: func(l gpu.Launch, m gpu.Model) sim.Duration {
+			n := l.Arg(3).Int
+			return sim.Duration(float64(3*8*n) / m.MemBandwidth * 1e9)
+		},
+		ExecFn: func(l gpu.Launch, dev *gpu.Device) error {
+			x, y := l.Arg(0).Ptr, l.Arg(1).Ptr
+			alpha := l.Arg(2).F64
+			n := int(l.Arg(3).Int)
+			xv, err := dev.ReadFloat64s(x, 0, n)
+			if err != nil {
+				return err
+			}
+			yv, err := dev.ReadFloat64s(y, 0, n)
+			if err != nil {
+				return err
+			}
+			for i := range yv {
+				yv[i] += alpha * xv[i]
+			}
+			return dev.WriteFloat64s(y, 0, yv)
+		},
+	})
+
+	cl, err := cluster.New(cluster.Config{
+		ComputeNodes: 1, Accelerators: 1, Registry: reg, Execute: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl.Spawn(0, func(p *sim.Proc, node *cluster.Node) {
+		handles, err := node.ARM.Acquire(p, 1, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer node.ARM.Release(p, handles)
+
+		ctx := clfe.NewContext(node.Attach(handles[0]))
+		const n = 1 << 15
+		x, err := ctx.CreateBuffer(p, 8*n) // clCreateBuffer
+		if err != nil {
+			log.Fatal(err)
+		}
+		y, err := ctx.CreateBuffer(p, 8*n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer x.Release(p)
+		defer y.Release(p)
+
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i)
+			ys[i] = 1
+		}
+		q := ctx.CreateQueue(0) // clCreateCommandQueue (in-order)
+		if _, err := q.EnqueueWriteBuffer(x, 0, minimpi.F64Bytes(xs), 8*n); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := q.EnqueueWriteBuffer(y, 0, minimpi.F64Bytes(ys), 8*n); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := q.EnqueueNDRangeKernel("saxpy",
+			gpu.Dim3{X: n}, gpu.Dim3{X: 256}, x, y, 2.0, n); err != nil {
+			log.Fatal(err)
+		}
+		out := make([]byte, 8*n)
+		if _, err := q.EnqueueReadBuffer(y, 0, out, 8*n); err != nil {
+			log.Fatal(err)
+		}
+		start := p.Now()
+		if err := q.Finish(p); err != nil { // clFinish settles the queue
+			log.Fatal(err)
+		}
+		fmt.Printf("saxpy on a network-attached GPU via the OpenCL-style API: queue drained in %v\n",
+			p.Now().Sub(start))
+		vals := minimpi.BytesF64(out)
+		for i := range vals {
+			if vals[i] != 2*float64(i)+1 {
+				log.Fatalf("y[%d] = %v, want %v", i, vals[i], 2*float64(i)+1)
+			}
+		}
+		fmt.Printf("verified %d elements of y = 2x + y\n", n)
+
+		// Two queues overlap on the same accelerator, like OpenCL queues
+		// on separate streams.
+		q1, q2 := ctx.CreateQueue(1), ctx.CreateQueue(2)
+		start = p.Now()
+		if _, err := q1.EnqueueFillBuffer(x, 0, 0, 8*n); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := q2.EnqueueWriteBuffer(y, 0, minimpi.F64Bytes(ys), 8*n); err != nil {
+			log.Fatal(err)
+		}
+		if err := q1.Finish(p); err != nil {
+			log.Fatal(err)
+		}
+		if err := q2.Finish(p); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("two command queues overlapped: both done in %v\n", p.Now().Sub(start))
+	})
+	if _, err := cl.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("same daemons, same protocol — different programming model")
+}

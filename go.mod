@@ -1,0 +1,3 @@
+module dynacc
+
+go 1.22

@@ -1,0 +1,213 @@
+package accel
+
+import (
+	"bytes"
+	"testing"
+
+	"dynacc/internal/core"
+	"dynacc/internal/gpu"
+	"dynacc/internal/minimpi"
+	"dynacc/internal/netmodel"
+	"dynacc/internal/sim"
+)
+
+// localSetup builds an execute-mode device wrapped as a LocalDevice
+// inside a running host process.
+func localSetup(t *testing.T, fn func(p *sim.Proc, ld *LocalDevice, raw *gpu.Device)) {
+	t.Helper()
+	s := sim.New()
+	model := gpu.TeslaC1060()
+	model.MemBytes = 16 << 20
+	reg := gpu.NewRegistry()
+	reg.Register(gpu.FuncKernel{
+		KernelName: "sleep100us",
+		CostFn:     func(gpu.Launch, gpu.Model) sim.Duration { return 100 * sim.Microsecond },
+	})
+	dev, err := gpu.NewDevice(s, gpu.Config{Model: model, Registry: reg, Execute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Spawn("host", func(p *sim.Proc) {
+		ld := Local(p, dev)
+		defer ld.Close()
+		fn(p, ld, dev)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalDeviceCopyRoundTrip(t *testing.T) {
+	localSetup(t, func(p *sim.Proc, ld *LocalDevice, _ *gpu.Device) {
+		ptr, err := ld.MemAlloc(p, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := bytes.Repeat([]byte{0x5C}, 4096)
+		if err := ld.CopyH2DAsync(ptr, 0, src, 4096, 0).Wait(p); err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]byte, 4096)
+		if err := ld.CopyD2HAsync(dst, ptr, 0, 4096, 0).Wait(p); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(src, dst) {
+			t.Error("round trip corrupted data")
+		}
+		if err := ld.MemFree(p, ptr); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestLocalDeviceStridedCopy(t *testing.T) {
+	localSetup(t, func(p *sim.Proc, ld *LocalDevice, raw *gpu.Device) {
+		// 3 columns of 8 bytes, 32 bytes apart.
+		ptr, _ := ld.MemAlloc(p, 256)
+		packed := []byte("col0....col1....col2....")
+		if err := ld.CopyH2D2DAsync(ptr, 0, 8, 3, 32, packed, 0).Wait(p); err != nil {
+			t.Fatal(err)
+		}
+		// Verify placement directly on the device.
+		for c := 0; c < 3; c++ {
+			got, err := raw.Bytes(ptr, c*32, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(packed[c*8:(c+1)*8]) {
+				t.Errorf("column %d: %q", c, got)
+			}
+		}
+		back := make([]byte, 24)
+		if err := ld.CopyD2H2DAsync(back, ptr, 0, 8, 3, 32, 0).Wait(p); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, packed) {
+			t.Errorf("gather = %q", back)
+		}
+	})
+}
+
+func TestLocalDeviceStreamOrderingAndOverlap(t *testing.T) {
+	localSetup(t, func(p *sim.Proc, ld *LocalDevice, _ *gpu.Device) {
+		ptr, _ := ld.MemAlloc(p, 1<<20)
+		// Same stream: kernel then copy serialize.
+		start := p.Now()
+		k := ld.LaunchAsync("sleep100us", gpu.Launch{}, 0)
+		c := ld.CopyH2DAsync(ptr, 0, nil, 1<<20, 0)
+		if err := k.Wait(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Wait(p); err != nil {
+			t.Fatal(err)
+		}
+		serial := p.Now().Sub(start)
+		// Different streams: they overlap.
+		start = p.Now()
+		k = ld.LaunchAsync("sleep100us", gpu.Launch{}, 0)
+		c = ld.CopyH2DAsync(ptr, 0, nil, 1<<20, 1)
+		k.Wait(p)
+		c.Wait(p)
+		overlap := p.Now().Sub(start)
+		if overlap >= serial {
+			t.Errorf("cross-stream (%v) not faster than same-stream (%v)", overlap, serial)
+		}
+	})
+}
+
+func TestLocalDeviceSyncDrainsStreams(t *testing.T) {
+	localSetup(t, func(p *sim.Proc, ld *LocalDevice, _ *gpu.Device) {
+		pends := []Pending{
+			ld.LaunchAsync("sleep100us", gpu.Launch{}, 0),
+			ld.LaunchAsync("sleep100us", gpu.Launch{}, 1),
+			ld.LaunchAsync("sleep100us", gpu.Launch{}, 2),
+		}
+		if err := ld.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+		for i, pd := range pends {
+			if err := pd.Wait(p); err != nil {
+				t.Errorf("op %d: %v", i, err)
+			}
+		}
+	})
+}
+
+func TestLocalDeviceErrorSurfacesThroughPending(t *testing.T) {
+	localSetup(t, func(p *sim.Proc, ld *LocalDevice, _ *gpu.Device) {
+		err := ld.CopyH2DAsync(gpu.Ptr(424242), 0, nil, 64, 0).Wait(p)
+		if err == nil {
+			t.Error("copy to invalid pointer returned no error")
+		}
+		err = ld.LaunchAsync("no-such-kernel", gpu.Launch{}, 0).Wait(p)
+		if err == nil {
+			t.Error("unknown kernel returned no error")
+		}
+	})
+}
+
+// Remote adapter: both adapters must behave identically through the
+// interface (same data, same errors).
+func TestRemoteAdapterMatchesLocalSemantics(t *testing.T) {
+	s := sim.New()
+	w, err := minimpi.NewWorld(s, 2, netmodel.QDRInfiniBand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := gpu.TeslaC1060()
+	model.MemBytes = 16 << 20
+	dev, err := gpu.NewDevice(s, gpu.Config{Model: model, Registry: gpu.NewRegistry(), Execute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon := core.NewDaemon(w.Comm(1), dev, core.DefaultDaemonConfig())
+	s.Spawn("daemon", daemon.Run)
+	s.Spawn("cn", func(p *sim.Proc) {
+		client, err := core.NewClient(w.Comm(0), core.DefaultOptions())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ac := client.Attach(1)
+		var d Device = Remote(ac)
+		ptr, err := d.MemAlloc(p, 1024)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		payload := bytes.Repeat([]byte{7}, 512)
+		if err := d.CopyH2DAsync(ptr, 256, payload, 512, 0).Wait(p); err != nil {
+			t.Error(err)
+		}
+		back := make([]byte, 512)
+		if err := d.CopyD2HAsync(back, ptr, 256, 512, 0).Wait(p); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(back, payload) {
+			t.Error("remote round trip corrupted data")
+		}
+		// Strided through the remote protocol.
+		if err := d.CopyH2D2DAsync(ptr, 0, 8, 4, 64, payload[:32], 0).Wait(p); err != nil {
+			t.Error(err)
+		}
+		got := make([]byte, 32)
+		if err := d.CopyD2H2DAsync(got, ptr, 0, 8, 4, 64, 0).Wait(p); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(got, payload[:32]) {
+			t.Error("remote strided round trip corrupted data")
+		}
+		if err := d.Sync(p); err != nil {
+			t.Error(err)
+		}
+		if err := d.MemFree(p, ptr); err != nil {
+			t.Error(err)
+		}
+		if err := ac.Shutdown(p); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

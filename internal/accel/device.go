@@ -1,0 +1,229 @@
+// Package accel abstracts "a GPU I can issue asynchronous work to" for
+// application code: the Device interface is satisfied both by node-local
+// GPUs (the paper's "CUDA local" baseline, adapted with Local) and by
+// network-attached accelerators through the dynacc middleware (Remote).
+// The paper's application studies — the MAGMA-style factorizations and
+// the MP2C miniapp — are written once against this interface and
+// benchmarked on either attachment.
+package accel
+
+import (
+	"fmt"
+	"sort"
+
+	"dynacc/internal/core"
+	"dynacc/internal/gpu"
+	"dynacc/internal/sim"
+)
+
+// Pending is an in-flight asynchronous device operation.
+type Pending interface {
+	Wait(p *sim.Proc) error
+}
+
+// Device is the GPU surface the hybrid algorithms need. Offsets and sizes
+// are in bytes. Operations issued on the same stream execute in order;
+// different streams may overlap.
+type Device interface {
+	MemAlloc(p *sim.Proc, n int) (gpu.Ptr, error)
+	MemFree(p *sim.Proc, ptr gpu.Ptr) error
+	CopyH2DAsync(dst gpu.Ptr, off int, src []byte, n int, stream uint8) Pending
+	CopyD2HAsync(dst []byte, src gpu.Ptr, off, n int, stream uint8) Pending
+	// The 2D variants move a strided device window (cudaMemcpy2D style):
+	// cols columns of colBytes bytes, pitch bytes apart on the device,
+	// packed contiguously on the host.
+	CopyH2D2DAsync(dst gpu.Ptr, off, colBytes, cols, pitch int, src []byte, stream uint8) Pending
+	CopyD2H2DAsync(dst []byte, src gpu.Ptr, off, colBytes, cols, pitch int, stream uint8) Pending
+	LaunchAsync(kernel string, l gpu.Launch, stream uint8) Pending
+	Sync(p *sim.Proc) error
+}
+
+// PeerCopier is an optional Device capability: moving data directly
+// between two accelerators without staging it through the compute node —
+// the paper's AC-to-AC transfer advantage (Section III). The source is a
+// strided window (cols columns of colBytes bytes, pitch bytes apart); the
+// destination receives the packed bytes contiguously. CopyToPeer reports
+// false when the destination is not a peer it can reach directly.
+type PeerCopier interface {
+	CopyToPeer(p *sim.Proc, srcPtr gpu.Ptr, srcOff, colBytes, cols, pitch int, dst Device, dstPtr gpu.Ptr, dstOff int) (bool, error)
+}
+
+// ---- Remote adapter: network-attached accelerator via the middleware ----
+
+type remoteDevice struct{ a *core.Accel }
+
+// Remote wraps a middleware accelerator handle as a magma Device.
+func Remote(a *core.Accel) Device { return remoteDevice{a: a} }
+
+func (r remoteDevice) MemAlloc(p *sim.Proc, n int) (gpu.Ptr, error) { return r.a.MemAlloc(p, n) }
+func (r remoteDevice) MemFree(p *sim.Proc, ptr gpu.Ptr) error       { return r.a.MemFree(p, ptr) }
+func (r remoteDevice) Sync(p *sim.Proc) error                       { return r.a.Sync(p) }
+
+func (r remoteDevice) CopyH2DAsync(dst gpu.Ptr, off int, src []byte, n int, stream uint8) Pending {
+	return r.a.MemcpyH2DAsync(dst, off, src, n, stream)
+}
+
+func (r remoteDevice) CopyD2HAsync(dst []byte, src gpu.Ptr, off, n int, stream uint8) Pending {
+	return r.a.MemcpyD2HAsync(dst, src, off, n, stream)
+}
+
+func (r remoteDevice) CopyH2D2DAsync(dst gpu.Ptr, off, colBytes, cols, pitch int, src []byte, stream uint8) Pending {
+	return r.a.MemcpyH2D2DAsync(dst, off, colBytes, cols, pitch, src, stream)
+}
+
+func (r remoteDevice) CopyD2H2DAsync(dst []byte, src gpu.Ptr, off, colBytes, cols, pitch int, stream uint8) Pending {
+	return r.a.MemcpyD2H2DAsync(dst, src, off, colBytes, cols, pitch, stream)
+}
+
+func (r remoteDevice) LaunchAsync(kernel string, l gpu.Launch, stream uint8) Pending {
+	k := r.a.KernelCreate(kernel).SetArgs(l.Args...)
+	return k.RunAsync(l.Grid, l.Block, stream)
+}
+
+// CopyToPeer implements PeerCopier for two accelerators attached through
+// the same front-end: the daemons stream the payload directly to each
+// other (OpD2DSend/OpD2DRecv), bypassing the compute node.
+func (r remoteDevice) CopyToPeer(p *sim.Proc, srcPtr gpu.Ptr, srcOff, colBytes, cols, pitch int, dst Device, dstPtr gpu.Ptr, dstOff int) (bool, error) {
+	peer, ok := dst.(remoteDevice)
+	if !ok || peer.a.Client() != r.a.Client() {
+		return false, nil
+	}
+	return true, r.a.Client().DirectCopy2D(p, r.a, srcPtr, srcOff, colBytes, cols, pitch, peer.a, dstPtr, dstOff)
+}
+
+// ---- Local adapter: node-attached GPU (paper's "CUDA local") ----
+
+// LocalDevice gives a raw gpu.Device CUDA-like stream semantics: per-
+// stream worker processes execute queued operations in order, so copies
+// and kernels on different streams overlap exactly as they do through the
+// middleware daemon.
+type LocalDevice struct {
+	dev     *gpu.Device
+	sim     *sim.Simulation
+	streams map[uint8]*sim.Mailbox
+	host    *sim.Proc
+}
+
+// Local wraps a node-attached gpu.Device as a magma Device. The host
+// process is used to spawn stream workers; call Close when done so the
+// workers terminate.
+func Local(host *sim.Proc, dev *gpu.Device) *LocalDevice {
+	return &LocalDevice{dev: dev, sim: host.Sim(), streams: make(map[uint8]*sim.Mailbox), host: host}
+}
+
+type localOp struct {
+	run  func(p *sim.Proc) error
+	pend *localPending
+	stop bool
+}
+
+type localPending struct {
+	done *sim.Event
+	err  error
+}
+
+func (lp *localPending) Wait(p *sim.Proc) error {
+	lp.done.Await(p)
+	return lp.err
+}
+
+func (l *LocalDevice) stream(id uint8) *sim.Mailbox {
+	if mbox, ok := l.streams[id]; ok {
+		return mbox
+	}
+	mbox := sim.NewMailbox(l.sim, fmt.Sprintf("%s.lstream%d", l.dev.Name(), id))
+	l.streams[id] = mbox
+	l.host.Spawn(fmt.Sprintf("%s-lstream%d", l.dev.Name(), id), func(p *sim.Proc) {
+		for {
+			op := mbox.Recv(p).(localOp)
+			if op.stop {
+				return
+			}
+			op.pend.err = op.run(p)
+			op.pend.done.Trigger()
+		}
+	})
+	return mbox
+}
+
+func (l *LocalDevice) enqueue(stream uint8, run func(p *sim.Proc) error) Pending {
+	pend := &localPending{done: sim.NewEvent(l.sim)}
+	l.stream(stream).Send(localOp{run: run, pend: pend})
+	return pend
+}
+
+func (l *LocalDevice) MemAlloc(p *sim.Proc, n int) (gpu.Ptr, error) { return l.dev.MemAlloc(p, n) }
+func (l *LocalDevice) MemFree(p *sim.Proc, ptr gpu.Ptr) error       { return l.dev.MemFree(p, ptr) }
+
+func (l *LocalDevice) CopyH2DAsync(dst gpu.Ptr, off int, src []byte, n int, stream uint8) Pending {
+	return l.enqueue(stream, func(p *sim.Proc) error {
+		// Local transfers use pinned host buffers (the DMA path).
+		return l.dev.CopyH2D(p, dst, off, src, n, true)
+	})
+}
+
+func (l *LocalDevice) CopyD2HAsync(dst []byte, src gpu.Ptr, off, n int, stream uint8) Pending {
+	return l.enqueue(stream, func(p *sim.Proc) error {
+		return l.dev.CopyD2H(p, dst, src, off, n, true)
+	})
+}
+
+func (l *LocalDevice) CopyH2D2DAsync(dst gpu.Ptr, off, colBytes, cols, pitch int, src []byte, stream uint8) Pending {
+	return l.enqueue(stream, func(p *sim.Proc) error {
+		l.dev.CopyEngineTransfer(p, colBytes*cols, true, true)
+		return l.dev.ScatterColumns(dst, off, colBytes, cols, pitch, src)
+	})
+}
+
+func (l *LocalDevice) CopyD2H2DAsync(dst []byte, src gpu.Ptr, off, colBytes, cols, pitch int, stream uint8) Pending {
+	return l.enqueue(stream, func(p *sim.Proc) error {
+		l.dev.CopyEngineTransfer(p, colBytes*cols, false, true)
+		data, err := l.dev.GatherColumns(src, off, colBytes, cols, pitch)
+		if err != nil {
+			return err
+		}
+		if dst != nil && data != nil {
+			copy(dst, data)
+		}
+		return nil
+	})
+}
+
+func (l *LocalDevice) LaunchAsync(kernel string, launch gpu.Launch, stream uint8) Pending {
+	return l.enqueue(stream, func(p *sim.Proc) error {
+		return l.dev.LaunchKernel(p, kernel, launch)
+	})
+}
+
+// Sync drains all streams.
+func (l *LocalDevice) Sync(p *sim.Proc) error {
+	var pends []Pending
+	for _, id := range sortedStreamIDs(l.streams) {
+		pends = append(pends, l.enqueue(id, func(*sim.Proc) error { return nil }))
+	}
+	var first error
+	for _, pd := range pends {
+		if err := pd.Wait(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close stops the stream workers (call when done with the device).
+func (l *LocalDevice) Close() {
+	for _, id := range sortedStreamIDs(l.streams) {
+		l.streams[id].Send(localOp{stop: true})
+	}
+}
+
+// sortedStreamIDs keeps stream iteration deterministic (simulation
+// reproducibility depends on event creation order).
+func sortedStreamIDs(m map[uint8]*sim.Mailbox) []uint8 {
+	ids := make([]uint8, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,435 @@
+// Package arm implements the paper's Accelerator Resource Manager: the
+// service that tracks which network-attached accelerators are free or in
+// use and assigns them exclusively to compute nodes on request.
+//
+// The ARM runs as one rank of a minimpi world and is driven entirely by
+// messages, as in the paper's architecture (Figure 3): compute nodes use
+// the resource-management API (the Client type) to acquire accelerators
+// before or during a job and release them afterwards; every assignment is
+// exclusive and is represented by a Handle the computation API uses to
+// address the accelerator's back-end daemon.
+//
+// Both assignment strategies of the paper are supported: static (acquire
+// before the compute phase, hold for the job lifetime) and dynamic
+// (acquire and release at runtime, with optional blocking until
+// accelerators free up). The paper defers the dynamic strategy to future
+// work; here it is fully implemented, including FIFO and backfill
+// queueing policies and accelerator failure handling (the paper's fault
+// tolerance claim: a broken accelerator never takes a compute node down).
+package arm
+
+import (
+	"errors"
+	"fmt"
+
+	"dynacc/internal/minimpi"
+	"dynacc/internal/sim"
+	"dynacc/internal/wire"
+)
+
+// Handle is an exclusive assignment of one accelerator: its pool id and
+// the world rank its back-end daemon listens on.
+type Handle struct {
+	ID   int
+	Rank int
+}
+
+// Control-plane tags. TagRequest carries client→ARM requests; replies use
+// tagReplyBase plus the client's request sequence number, so delayed
+// (blocking) replies never collide.
+const (
+	TagRequest   minimpi.Tag = 1 << 20
+	tagReplyBase minimpi.Tag = TagRequest + 1
+)
+
+// Request op codes.
+const (
+	opAcquire uint8 = iota + 1
+	opRelease
+	opStats
+	opFail
+	opRepair
+	opShutdown
+)
+
+// Reply status codes.
+const (
+	statusOK uint8 = iota
+	statusUnavailable
+	statusImpossible
+	statusBadRequest
+)
+
+// Errors returned by the client API.
+var (
+	// ErrUnavailable: a non-blocking acquire found too few free
+	// accelerators.
+	ErrUnavailable = errors.New("arm: not enough free accelerators")
+	// ErrImpossible: the request exceeds the number of operational
+	// accelerators and can never be satisfied.
+	ErrImpossible = errors.New("arm: request exceeds operational pool size")
+	// ErrBadRequest: malformed or inconsistent request (e.g. releasing a
+	// handle the caller does not own).
+	ErrBadRequest = errors.New("arm: bad request")
+)
+
+// Policy selects how queued (blocking) acquires are granted.
+type Policy int
+
+// Queueing policies.
+const (
+	// FIFO grants strictly in arrival order; a large request at the head
+	// blocks later smaller ones.
+	FIFO Policy = iota
+	// Backfill lets a later request proceed when the head request cannot
+	// yet be satisfied but the later one can (improves utilization at the
+	// cost of possible head starvation).
+	Backfill
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case Backfill:
+		return "backfill"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// PoolStats is a snapshot of the ARM's bookkeeping.
+type PoolStats struct {
+	Total    int
+	Free     int
+	Assigned int
+	Failed   int
+	Queued   int
+	// Acquires and Releases count completed operations.
+	Acquires int
+	Releases int
+	// BusySeconds integrates assigned-accelerator time: one accelerator
+	// assigned for one virtual second contributes 1.0.
+	BusySeconds float64
+	// WaitSeconds integrates time acquire requests spent queued.
+	WaitSeconds float64
+}
+
+// Utilization returns the mean fraction of the pool assigned over the
+// elapsed virtual time.
+func (ps PoolStats) Utilization(elapsed sim.Duration) float64 {
+	if elapsed <= 0 || ps.Total == 0 {
+		return 0
+	}
+	return ps.BusySeconds / (elapsed.Seconds() * float64(ps.Total))
+}
+
+type acState int
+
+const (
+	acFree acState = iota
+	acAssigned
+	acFailed
+)
+
+type accel struct {
+	id    int
+	rank  int
+	state acState
+	owner int // world rank of owner while assigned
+}
+
+type pendingAcquire struct {
+	src      int // communicator rank of requester
+	reqID    uint64
+	n        int
+	enqueued sim.Time
+}
+
+// Server is the ARM service state machine.
+type Server struct {
+	comm   *minimpi.Comm
+	policy Policy
+
+	accels []*accel // pool order = grant order (lowest id first)
+	byID   map[int]*accel
+	queue  []*pendingAcquire
+
+	// accounting
+	lastChange   sim.Time
+	assignedNow  int
+	busySeconds  float64
+	waitSeconds  float64
+	acquireCount int
+	releaseCount int
+}
+
+// NewServer creates an ARM serving the given accelerator inventory on the
+// communicator. Inventory ids must be unique.
+func NewServer(comm *minimpi.Comm, inventory []Handle, policy Policy) (*Server, error) {
+	s := &Server{comm: comm, policy: policy, byID: make(map[int]*accel)}
+	for _, h := range inventory {
+		if _, dup := s.byID[h.ID]; dup {
+			return nil, fmt.Errorf("arm: duplicate accelerator id %d", h.ID)
+		}
+		a := &accel{id: h.ID, rank: h.Rank, state: acFree}
+		s.accels = append(s.accels, a)
+		s.byID[h.ID] = a
+	}
+	return s, nil
+}
+
+// Run serves requests until a shutdown request arrives. It is typically
+// spawned as the ARM rank's process.
+func (s *Server) Run(p *sim.Proc) {
+	s.lastChange = p.Now()
+	for {
+		data, st := s.comm.Recv(p, minimpi.AnySource, TagRequest)
+		if !s.handle(p, st.Source, data) {
+			return
+		}
+	}
+}
+
+// handle processes one request; it reports false on shutdown.
+func (s *Server) handle(p *sim.Proc, src int, data []byte) bool {
+	r := wire.NewReader(data)
+	op := r.U8()
+	reqID := r.U64()
+	switch op {
+	case opAcquire:
+		n := r.Int()
+		blocking := r.U8() == 1
+		if r.Err() != nil || n <= 0 {
+			s.reply(src, reqID, statusBadRequest, nil)
+			return true
+		}
+		s.acquire(p, &pendingAcquire{src: src, reqID: reqID, n: n, enqueued: p.Now()}, blocking)
+	case opRelease:
+		count := r.Int()
+		ids := make([]int, 0, count)
+		for i := 0; i < count; i++ {
+			ids = append(ids, r.Int())
+		}
+		if r.Err() != nil {
+			s.reply(src, reqID, statusBadRequest, nil)
+			return true
+		}
+		s.release(p, src, reqID, ids)
+	case opStats:
+		s.reply(src, reqID, statusOK, s.encodeStats(p.Now()))
+	case opFail:
+		s.setState(p, r.Int(), acFailed, src, reqID)
+	case opRepair:
+		s.setState(p, r.Int(), acFree, src, reqID)
+	case opShutdown:
+		s.reply(src, reqID, statusOK, nil)
+		return false
+	default:
+		s.reply(src, reqID, statusBadRequest, nil)
+	}
+	return true
+}
+
+func (s *Server) reply(dst int, reqID uint64, status uint8, body []byte) {
+	w := wire.NewWriter(1 + len(body))
+	w.U8(status)
+	if body != nil {
+		w.Blob(body)
+	} else {
+		w.Blob(nil)
+	}
+	s.comm.Isend(dst, tagReplyBase+minimpi.Tag(reqID), w.Bytes())
+}
+
+// operational counts non-failed accelerators.
+func (s *Server) operational() int {
+	n := 0
+	for _, a := range s.accels {
+		if a.state != acFailed {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Server) freeCount() int {
+	n := 0
+	for _, a := range s.accels {
+		if a.state == acFree {
+			n++
+		}
+	}
+	return n
+}
+
+// accrue charges the busy-time integral up to now.
+func (s *Server) accrue(now sim.Time) {
+	dt := now.Sub(s.lastChange).Seconds()
+	if dt > 0 {
+		s.busySeconds += dt * float64(s.assignedNow)
+	}
+	s.lastChange = now
+}
+
+func (s *Server) acquire(p *sim.Proc, req *pendingAcquire, blocking bool) {
+	if req.n > s.operational() {
+		s.reply(req.src, req.reqID, statusImpossible, nil)
+		return
+	}
+	if s.freeCount() >= req.n && (s.policy == Backfill || len(s.queue) == 0) {
+		s.grant(p, req)
+		return
+	}
+	if !blocking {
+		s.reply(req.src, req.reqID, statusUnavailable, nil)
+		return
+	}
+	s.queue = append(s.queue, req)
+}
+
+// grant assigns req.n free accelerators (lowest id first) and replies
+// with their handles.
+func (s *Server) grant(p *sim.Proc, req *pendingAcquire) {
+	s.accrue(p.Now())
+	w := wire.NewWriter(8 + 16*req.n)
+	w.Int(req.n)
+	granted := 0
+	for _, a := range s.accels {
+		if granted == req.n {
+			break
+		}
+		if a.state != acFree {
+			continue
+		}
+		a.state = acAssigned
+		a.owner = req.src
+		w.Int(a.id).Int(a.rank)
+		granted++
+	}
+	if granted != req.n {
+		panic(fmt.Sprintf("arm: grant invariant broken: %d of %d", granted, req.n))
+	}
+	s.assignedNow += req.n
+	s.acquireCount++
+	s.waitSeconds += p.Now().Sub(req.enqueued).Seconds()
+	s.reply(req.src, req.reqID, statusOK, w.Bytes())
+}
+
+func (s *Server) release(p *sim.Proc, src int, reqID uint64, ids []int) {
+	// Validate ownership first so a bad release changes nothing.
+	for _, id := range ids {
+		a, ok := s.byID[id]
+		if !ok || (a.state == acAssigned && a.owner != src) || a.state == acFree {
+			s.reply(src, reqID, statusBadRequest, nil)
+			return
+		}
+	}
+	s.accrue(p.Now())
+	for _, id := range ids {
+		a := s.byID[id]
+		if a.state == acAssigned {
+			a.state = acFree
+			a.owner = 0
+			s.assignedNow--
+		}
+		// Releasing a failed accelerator leaves it failed.
+	}
+	s.releaseCount++
+	s.reply(src, reqID, statusOK, nil)
+	s.drainQueue(p)
+}
+
+// drainQueue grants queued requests according to the policy and rejects
+// requests that became impossible.
+func (s *Server) drainQueue(p *sim.Proc) {
+	for {
+		progressed := false
+		kept := s.queue[:0]
+		for i, req := range s.queue {
+			switch {
+			case req.n > s.operational():
+				s.reply(req.src, req.reqID, statusImpossible, nil)
+				progressed = true
+			case s.freeCount() >= req.n:
+				s.grant(p, req)
+				progressed = true
+			default:
+				kept = append(kept, req)
+				if s.policy == FIFO {
+					// Strict FIFO: nothing behind an unsatisfiable head.
+					kept = append(kept, s.queue[i+1:]...)
+					s.queue = kept
+					return
+				}
+			}
+		}
+		s.queue = kept
+		if !progressed {
+			return
+		}
+	}
+}
+
+// setState handles fail/repair administrative requests.
+func (s *Server) setState(p *sim.Proc, id int, state acState, src int, reqID uint64) {
+	a, ok := s.byID[id]
+	if !ok {
+		s.reply(src, reqID, statusBadRequest, nil)
+		return
+	}
+	s.accrue(p.Now())
+	if a.state == acAssigned && state == acFailed {
+		// The paper's fault-tolerance property: the compute node survives;
+		// it discovers the failure on next use or at release.
+		s.assignedNow--
+	}
+	if a.state == acFailed && state == acFree {
+		a.owner = 0
+	}
+	a.state = state
+	s.reply(src, reqID, statusOK, nil)
+	s.drainQueue(p)
+}
+
+func (s *Server) encodeStats(now sim.Time) []byte {
+	s.accrue(now)
+	st := PoolStats{
+		Total:       len(s.accels),
+		Queued:      len(s.queue),
+		Acquires:    s.acquireCount,
+		Releases:    s.releaseCount,
+		BusySeconds: s.busySeconds,
+		WaitSeconds: s.waitSeconds,
+	}
+	for _, a := range s.accels {
+		switch a.state {
+		case acFree:
+			st.Free++
+		case acAssigned:
+			st.Assigned++
+		case acFailed:
+			st.Failed++
+		}
+	}
+	w := wire.NewWriter(64)
+	w.Int(st.Total).Int(st.Free).Int(st.Assigned).Int(st.Failed).Int(st.Queued)
+	w.Int(st.Acquires).Int(st.Releases).F64(st.BusySeconds).F64(st.WaitSeconds)
+	return w.Bytes()
+}
+
+func decodeStats(body []byte) (PoolStats, error) {
+	r := wire.NewReader(body)
+	st := PoolStats{
+		Total:    r.Int(),
+		Free:     r.Int(),
+		Assigned: r.Int(),
+		Failed:   r.Int(),
+		Queued:   r.Int(),
+		Acquires: r.Int(),
+		Releases: r.Int(),
+	}
+	st.BusySeconds = r.F64()
+	st.WaitSeconds = r.F64()
+	return st, r.Err()
+}

@@ -1,0 +1,145 @@
+package arm
+
+import (
+	"fmt"
+
+	"dynacc/internal/minimpi"
+	"dynacc/internal/sim"
+	"dynacc/internal/wire"
+)
+
+// Client is the resource-management API a compute-node process uses to
+// talk to the ARM (the paper's extra API complementing the computation
+// API). A Client is bound to one communicator rank; it is not safe to
+// share one Client between concurrently blocking processes.
+type Client struct {
+	comm    *minimpi.Comm
+	armRank int
+	nextReq uint64
+}
+
+// NewClient creates a resource-management client addressing the ARM at
+// armRank on comm.
+func NewClient(comm *minimpi.Comm, armRank int) *Client {
+	return &Client{comm: comm, armRank: armRank}
+}
+
+// call performs one request/reply round trip.
+func (c *Client) call(p *sim.Proc, op uint8, args func(w *wire.Writer)) (uint8, []byte, error) {
+	c.nextReq++
+	reqID := c.nextReq
+	w := wire.NewWriter(32)
+	w.U8(op).U64(reqID)
+	if args != nil {
+		args(w)
+	}
+	resp := c.comm.Irecv(c.armRank, tagReplyBase+minimpi.Tag(reqID))
+	c.comm.Send(p, c.armRank, TagRequest, w.Bytes())
+	data, _ := resp.Wait(p)
+	r := wire.NewReader(data)
+	status := r.U8()
+	payload := r.Blob()
+	if err := r.Err(); err != nil {
+		return 0, nil, fmt.Errorf("arm: malformed reply: %w", err)
+	}
+	return status, payload, nil
+}
+
+func statusErr(status uint8) error {
+	switch status {
+	case statusOK:
+		return nil
+	case statusUnavailable:
+		return ErrUnavailable
+	case statusImpossible:
+		return ErrImpossible
+	default:
+		return ErrBadRequest
+	}
+}
+
+// Acquire requests n exclusive accelerators. With blocking=false it fails
+// immediately with ErrUnavailable when fewer than n are free; with
+// blocking=true it waits until the ARM can grant the request. A request
+// larger than the operational pool fails with ErrImpossible in both
+// modes.
+func (c *Client) Acquire(p *sim.Proc, n int, blocking bool) ([]Handle, error) {
+	status, payload, err := c.call(p, opAcquire, func(w *wire.Writer) {
+		b := uint8(0)
+		if blocking {
+			b = 1
+		}
+		w.Int(n).U8(b)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(status); err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(payload)
+	count := r.Int()
+	handles := make([]Handle, 0, count)
+	for i := 0; i < count; i++ {
+		handles = append(handles, Handle{ID: r.Int(), Rank: r.Int()})
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("arm: malformed acquire reply: %w", err)
+	}
+	return handles, nil
+}
+
+// Release returns previously acquired accelerators to the pool.
+func (c *Client) Release(p *sim.Proc, handles []Handle) error {
+	status, _, err := c.call(p, opRelease, func(w *wire.Writer) {
+		w.Int(len(handles))
+		for _, h := range handles {
+			w.Int(h.ID)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return statusErr(status)
+}
+
+// Stats fetches the ARM's pool snapshot.
+func (c *Client) Stats(p *sim.Proc) (PoolStats, error) {
+	status, payload, err := c.call(p, opStats, nil)
+	if err != nil {
+		return PoolStats{}, err
+	}
+	if err := statusErr(status); err != nil {
+		return PoolStats{}, err
+	}
+	return decodeStats(payload)
+}
+
+// Fail marks an accelerator broken (administrative; in a deployment this
+// comes from a health monitor). Queued requests that become impossible
+// are rejected.
+func (c *Client) Fail(p *sim.Proc, id int) error {
+	status, _, err := c.call(p, opFail, func(w *wire.Writer) { w.Int(id) })
+	if err != nil {
+		return err
+	}
+	return statusErr(status)
+}
+
+// Repair returns a failed accelerator to the free pool.
+func (c *Client) Repair(p *sim.Proc, id int) error {
+	status, _, err := c.call(p, opRepair, func(w *wire.Writer) { w.Int(id) })
+	if err != nil {
+		return err
+	}
+	return statusErr(status)
+}
+
+// Shutdown stops the ARM server loop (used at simulation teardown).
+func (c *Client) Shutdown(p *sim.Proc) error {
+	status, _, err := c.call(p, opShutdown, nil)
+	if err != nil {
+		return err
+	}
+	return statusErr(status)
+}

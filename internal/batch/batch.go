@@ -1,0 +1,355 @@
+// Package batch implements the production-environment story of the
+// paper's Section V-B: users submit jobs that request compute nodes plus
+// a number of accelerators per node, and a job starts once both are
+// available. It exists to quantify the paper's economy argument by
+// replaying the same workload on the two architectures:
+//
+//   - Static: accelerators are bolted to a subset of the nodes
+//     (GPUsPerNode each). GPU jobs can only run on GPU nodes; a job
+//     wanting more GPUs per node than a node owns must either spread
+//     over more GPU nodes (if an MPI version exists — the paper's
+//     "premature parallelism", with an efficiency penalty) or run
+//     starved on the GPUs it has. CPU-only jobs prefer plain nodes but
+//     will occupy GPU nodes, stranding their accelerators.
+//   - Dynamic: nodes draw accelerators from a shared pool (the paper's
+//     architecture); any node can host any job, and a job holds exactly
+//     the accelerators it needs.
+//
+// The scheduler is FIFO with optional backfill: a queued job may start
+// ahead of the head job when resources for it are free (simple,
+// reservation-less backfill).
+package batch
+
+import (
+	"fmt"
+	"sort"
+
+	"dynacc/internal/sim"
+)
+
+// Mode selects the architecture being scheduled.
+type Mode int
+
+// Modes.
+const (
+	// Dynamic draws accelerators from a shared pool.
+	Dynamic Mode = iota
+	// Static bolts accelerators to a subset of the nodes.
+	Static
+)
+
+func (m Mode) String() string {
+	if m == Static {
+		return "static"
+	}
+	return "dynamic"
+}
+
+// Job is one batch submission.
+type Job struct {
+	Name string
+	// Arrival is the submission time.
+	Arrival sim.Duration
+	// Nodes is the compute-node count the application is written for.
+	Nodes int
+	// ACsPerNode is the accelerators each node needs (0 = CPU-only job).
+	ACsPerNode int
+	// Scalable reports whether an MPI version exists that can spread the
+	// job over more nodes. The paper's motivation is exactly the codes
+	// for which it does not: on a static cluster they are stuck with the
+	// GPUs their node owns.
+	Scalable bool
+	// Work is the job's execution time on its natural configuration
+	// (Nodes nodes with ACsPerNode accelerators each).
+	Work sim.Duration
+}
+
+// Config describes the machine and policy.
+type Config struct {
+	Mode Mode
+	// ComputeNodes in the cluster.
+	ComputeNodes int
+	// Accelerators: pool size (Dynamic) or total bolted to nodes
+	// (Static).
+	Accelerators int
+	// GPUsPerNode is the static per-node accelerator count (default 1);
+	// Accelerators/GPUsPerNode nodes carry GPUs, the rest are plain.
+	GPUsPerNode int
+	// Backfill lets queued jobs overtake a blocked head job.
+	Backfill bool
+	// ScaleEfficiency is the parallel efficiency when the static
+	// architecture forces a scalable job onto more nodes than its
+	// natural count (default 0.85).
+	ScaleEfficiency float64
+}
+
+// JobStats records one job's outcome.
+type JobStats struct {
+	Job        Job
+	Start, End sim.Time
+	// UsedNodes is the node count actually granted (static mode may
+	// inflate it for spread jobs).
+	UsedNodes int
+	// UsedACs is the total accelerators held while running — including,
+	// on the static architecture, GPUs stranded under CPU-only jobs.
+	UsedACs int
+}
+
+// Wait is the queueing delay.
+func (js JobStats) Wait() sim.Duration { return js.Start.Sub(0) - js.Job.Arrival }
+
+// Result summarizes a schedule.
+type Result struct {
+	Jobs     []JobStats
+	Makespan sim.Duration
+	// MeanWaitMs and MeanTurnaroundMs average over jobs.
+	MeanWaitMs       float64
+	MeanTurnaroundMs float64
+	// NodeUtilization is the busy-node fraction; ACUtilization counts
+	// only accelerators actually used by GPU jobs (stranded GPUs under
+	// CPU jobs are idle).
+	NodeUtilization float64
+	ACUtilization   float64
+}
+
+// queued is a job shaped for this architecture.
+type queued struct {
+	job  Job
+	work sim.Duration
+	// needGPUNodes/needPlainNodes partition the static footprint; the
+	// dynamic footprint is needNodes + needACs.
+	needNodes    int
+	needACs      int // dynamic: pool ACs; static: ACs actually computed on
+	needGPUNodes int // static only
+}
+
+// Run replays the workload and returns the schedule outcome. Jobs are
+// served in arrival order.
+func Run(cfg Config, jobs []Job) (Result, error) {
+	if cfg.ComputeNodes <= 0 {
+		return Result{}, fmt.Errorf("batch: need compute nodes, got %d", cfg.ComputeNodes)
+	}
+	if cfg.Accelerators < 0 {
+		return Result{}, fmt.Errorf("batch: negative accelerator count")
+	}
+	perNode := cfg.GPUsPerNode
+	if perNode <= 0 {
+		perNode = 1
+	}
+	gpuNodes := 0
+	if cfg.Mode == Static {
+		if cfg.Accelerators%perNode != 0 {
+			return Result{}, fmt.Errorf("batch: static accelerators (%d) not divisible by GPUsPerNode (%d)",
+				cfg.Accelerators, perNode)
+		}
+		gpuNodes = cfg.Accelerators / perNode
+		if gpuNodes > cfg.ComputeNodes {
+			return Result{}, fmt.Errorf("batch: %d GPU nodes exceed %d compute nodes", gpuNodes, cfg.ComputeNodes)
+		}
+	}
+	eff := cfg.ScaleEfficiency
+	if eff <= 0 || eff > 1 {
+		eff = 0.85
+	}
+
+	// shape computes the footprint of a job on this architecture.
+	shape := func(j Job) (*queued, error) {
+		q := &queued{job: j, work: j.Work, needNodes: j.Nodes, needACs: j.Nodes * j.ACsPerNode}
+		if cfg.Mode == Dynamic {
+			if q.needNodes > cfg.ComputeNodes {
+				return nil, fmt.Errorf("batch: job %q needs %d nodes, cluster has %d", j.Name, q.needNodes, cfg.ComputeNodes)
+			}
+			if q.needACs > cfg.Accelerators {
+				return nil, fmt.Errorf("batch: job %q needs %d accelerators, pool has %d", j.Name, q.needACs, cfg.Accelerators)
+			}
+			return q, nil
+		}
+		// Static architecture.
+		if j.ACsPerNode == 0 {
+			if q.needNodes > cfg.ComputeNodes {
+				return nil, fmt.Errorf("batch: job %q needs %d nodes, cluster has %d", j.Name, q.needNodes, cfg.ComputeNodes)
+			}
+			return q, nil
+		}
+		if gpuNodes == 0 {
+			return nil, fmt.Errorf("batch: job %q needs GPUs but static nodes have none", j.Name)
+		}
+		q.needGPUNodes = j.Nodes
+		switch {
+		case j.ACsPerNode <= perNode:
+			// Fits the nodes as written; the nodes' full GPU complement is
+			// blocked either way.
+			q.needACs = j.Nodes * j.ACsPerNode
+		case j.Scalable:
+			// Premature MPI: spread over enough GPU nodes, with an
+			// efficiency penalty on the extra ranks.
+			total := j.Nodes * j.ACsPerNode
+			q.needGPUNodes = (total + perNode - 1) / perNode
+			q.needNodes = q.needGPUNodes
+			q.work = sim.Duration(float64(j.Work) * float64(j.Nodes) / (float64(q.needGPUNodes) * eff))
+			if q.work < j.Work/4 {
+				q.work = j.Work / 4
+			}
+			q.needACs = total
+		default:
+			// No MPI version: starved on the GPUs its nodes own.
+			q.needACs = j.Nodes * perNode
+			q.work = sim.Duration(float64(j.Work) * float64(j.ACsPerNode) / float64(perNode))
+		}
+		if q.needGPUNodes > gpuNodes {
+			return nil, fmt.Errorf("batch: job %q needs %d GPU nodes, cluster has %d", j.Name, q.needGPUNodes, gpuNodes)
+		}
+		return q, nil
+	}
+
+	s := sim.New()
+	freePlain := cfg.ComputeNodes - gpuNodes
+	freeGPU := gpuNodes
+	freeACs := cfg.Accelerators // dynamic pool
+	if cfg.Mode == Static {
+		freePlain = cfg.ComputeNodes - gpuNodes
+	} else {
+		freePlain = cfg.ComputeNodes
+		freeGPU = 0
+	}
+
+	type grant struct {
+		q          *queued
+		plain, gpu int // nodes taken per class (static) / plain==all (dynamic)
+		acs        int
+		start      sim.Time
+	}
+	fits := func(q *queued) bool {
+		if cfg.Mode == Dynamic {
+			return q.needNodes <= freePlain && q.needACs <= freeACs
+		}
+		if q.job.ACsPerNode > 0 {
+			return q.needGPUNodes <= freeGPU
+		}
+		return q.needNodes <= freePlain+freeGPU
+	}
+	allocate := func(q *queued, now sim.Time) *grant {
+		g := &grant{q: q, start: now, acs: q.needACs}
+		if cfg.Mode == Dynamic {
+			g.plain = q.needNodes
+			freePlain -= g.plain
+			freeACs -= q.needACs
+			return g
+		}
+		if q.job.ACsPerNode > 0 {
+			g.gpu = q.needGPUNodes
+			freeGPU -= g.gpu
+			return g
+		}
+		// CPU-only: prefer plain nodes, strand GPU nodes only if needed.
+		g.plain = q.needNodes
+		if g.plain > freePlain {
+			g.gpu = g.plain - freePlain
+			g.plain = freePlain
+		}
+		freePlain -= g.plain
+		freeGPU -= g.gpu
+		return g
+	}
+
+	var queue []*queued
+	stats := make([]JobStats, 0, len(jobs))
+	var busyNodeSeconds, busyACSeconds float64
+	var shapeErr error
+
+	var tryStart func(p *sim.Proc)
+	startJob := func(p *sim.Proc, q *queued) {
+		g := allocate(q, p.Now())
+		p.Spawn("job-"+q.job.Name, func(jp *sim.Proc) {
+			jp.Wait(q.work)
+			freePlain += g.plain
+			freeGPU += g.gpu
+			if cfg.Mode == Dynamic {
+				freeACs += g.acs
+			}
+			busyNodeSeconds += q.work.Seconds() * float64(g.plain+g.gpu)
+			usedACs := g.acs
+			pinned := 0
+			if cfg.Mode == Static {
+				pinned = g.gpu * perNode
+				if q.job.ACsPerNode == 0 {
+					usedACs = pinned // stranded, not computing
+				}
+			}
+			if q.job.ACsPerNode > 0 {
+				busyACSeconds += q.work.Seconds() * float64(g.acs)
+			}
+			stats = append(stats, JobStats{
+				Job: q.job, Start: g.start, End: jp.Now(),
+				UsedNodes: g.plain + g.gpu, UsedACs: usedACs,
+			})
+			tryStart(jp)
+		})
+	}
+	tryStart = func(p *sim.Proc) {
+		if cfg.Backfill {
+			for {
+				progressed := false
+				kept := queue[:0]
+				for _, q := range queue {
+					if fits(q) {
+						startJob(p, q)
+						progressed = true
+					} else {
+						kept = append(kept, q)
+					}
+				}
+				queue = kept
+				if !progressed {
+					return
+				}
+			}
+		}
+		for len(queue) > 0 && fits(queue[0]) {
+			q := queue[0]
+			queue = queue[1:]
+			startJob(p, q)
+		}
+	}
+
+	ordered := append([]Job(nil), jobs...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+	s.Spawn("submitter", func(p *sim.Proc) {
+		for _, j := range ordered {
+			if d := j.Arrival - sim.Duration(p.Now()); d > 0 {
+				p.Wait(d)
+			}
+			q, err := shape(j)
+			if err != nil {
+				if shapeErr == nil {
+					shapeErr = err
+				}
+				continue
+			}
+			queue = append(queue, q)
+			tryStart(p)
+		}
+	})
+	if err := s.Run(); err != nil {
+		return Result{}, err
+	}
+	if shapeErr != nil {
+		return Result{}, shapeErr
+	}
+
+	res := Result{Jobs: stats, Makespan: sim.Duration(s.Now())}
+	if len(stats) > 0 && res.Makespan > 0 {
+		var wait, turn float64
+		for _, js := range stats {
+			wait += js.Wait().Seconds()
+			turn += js.End.Sub(0).Seconds() - js.Job.Arrival.Seconds()
+		}
+		res.MeanWaitMs = wait / float64(len(stats)) * 1e3
+		res.MeanTurnaroundMs = turn / float64(len(stats)) * 1e3
+		res.NodeUtilization = busyNodeSeconds / (res.Makespan.Seconds() * float64(cfg.ComputeNodes))
+		if cfg.Accelerators > 0 {
+			res.ACUtilization = busyACSeconds / (res.Makespan.Seconds() * float64(cfg.Accelerators))
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,75 @@
+package batch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dynacc/internal/sim"
+)
+
+// MixConfig parameterizes the synthetic workload generator.
+type MixConfig struct {
+	Jobs int
+	// MaxNodes bounds the natural node count of a job.
+	MaxNodes int
+	// MaxACsPerNode bounds the per-node accelerator demand; demand is
+	// drawn uniformly from [0, MaxACsPerNode], so a share of jobs is
+	// CPU-only — the regime the paper says the dynamic architecture is
+	// made for ("some but not all applications need accelerators").
+	MaxACsPerNode int
+	// ScalableFraction is the share of GPU jobs that have an MPI version
+	// and can spread over extra nodes on the static architecture.
+	ScalableFraction float64
+	// MaxTotalACs caps Nodes*ACsPerNode so the workload stays feasible on
+	// the static architecture it is compared against (a static cluster
+	// cannot give a job more GPUs than its nodes carry). Zero means no
+	// cap.
+	MaxTotalACs int
+	// MeanWork is the average job execution time.
+	MeanWork sim.Duration
+	// MeanInterarrival spaces the submissions.
+	MeanInterarrival sim.Duration
+	Seed             int64
+}
+
+// DefaultMix returns the workload used by the extension experiment: a
+// mix of CPU-only, single-GPU and GPU-hungry jobs.
+func DefaultMix(seed int64) MixConfig {
+	return MixConfig{
+		Jobs:             40,
+		MaxNodes:         3,
+		MaxACsPerNode:    3,
+		ScalableFraction: 0.4,
+		MaxTotalACs:      6,
+		MeanWork:         80 * sim.Millisecond,
+		MeanInterarrival: 12 * sim.Millisecond,
+		Seed:             seed,
+	}
+}
+
+// Generate produces a reproducible job list.
+func Generate(cfg MixConfig) []Job {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	jobs := make([]Job, 0, cfg.Jobs)
+	var arrival sim.Duration
+	for i := 0; i < cfg.Jobs; i++ {
+		arrival += sim.Duration(rng.ExpFloat64() * float64(cfg.MeanInterarrival))
+		work := sim.Duration(float64(cfg.MeanWork) * (0.25 + 1.5*rng.Float64()))
+		nodes := 1 + rng.Intn(cfg.MaxNodes)
+		acs := rng.Intn(cfg.MaxACsPerNode + 1)
+		if cfg.MaxTotalACs > 0 {
+			for nodes*acs > cfg.MaxTotalACs {
+				acs--
+			}
+		}
+		jobs = append(jobs, Job{
+			Name:       fmt.Sprintf("job%02d", i),
+			Arrival:    arrival,
+			Nodes:      nodes,
+			ACsPerNode: acs,
+			Scalable:   rng.Float64() < cfg.ScalableFraction,
+			Work:       work,
+		})
+	}
+	return jobs
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"dynacc/internal/core"
+	"dynacc/internal/magma"
+	"dynacc/internal/netmodel"
+)
+
+// ExtD is the fabric-sensitivity extension: the paper's remote-GPU
+// results on four interconnect generations. It quantifies two of the
+// paper's arguments at once — that MPI over a fast fabric is what makes
+// network-attached accelerators viable (related work dismisses
+// rCUDA-style TCP transports; GigE here stands in for those), and that
+// the architecture's penalty keeps shrinking as fabrics approach PCIe
+// rates (FDR).
+func ExtD(o Options) *Figure {
+	fabrics := []struct {
+		label  string
+		params netmodel.Params
+	}{
+		{"GigE-TCP", netmodel.GigabitEthernet()},
+		{"DDR-IB", netmodel.DDRInfiniBand()},
+		{"QDR-IB", netmodel.QDRInfiniBand()},
+		{"FDR-IB", netmodel.FDRInfiniBand()},
+	}
+	qrN := 4032
+	particles := 1000000
+	steps := 60
+	if o.Quick {
+		qrN = 2048
+		particles = 300000
+		steps = 30
+	}
+	f := &Figure{
+		ID:     "extD",
+		Title:  "Fabric sensitivity: remote-GPU performance across interconnect generations",
+		XLabel: "fabric",
+		YLabel: "pipe-peak [MiB/s], QR-1GPU [GF], MP2C slowdown [%]",
+		Notes: []string{
+			"GigE stands in for the TCP transports of rCUDA/MGP (paper Section II);",
+			"the QDR column is the paper's testbed; FDR shows the penalty vanishing",
+			"as fabrics approach PCIe rates",
+		},
+	}
+	localQR := magma.QRFlops(qrN, qrN) / runFactorizationNet(factorQR, 0, qrN, magma.DefaultConfig(), nil).Seconds() / 1e9
+	peak := Series{Label: "pipe-peak-MiBps"}
+	qr := Series{Label: "QR-1GPU-GF"}
+	qrRel := Series{Label: "QR-vs-local"}
+	mp := Series{Label: "MP2C-slowdown-%"}
+	tLocalMP := runMP2CNet(2, particles, false, steps, nil)
+	for i, fab := range fabrics {
+		f.X = append(f.X, float64(i))
+		net := fab.params
+		t := measureRemoteCopyNet(64*netmodel.MiB, true, h2dOpts(core.PaperAdaptive()), net)
+		peak.Y = append(peak.Y, mibPerSec(64*netmodel.MiB, t))
+		tq := runFactorizationNet(factorQR, 1, qrN, magma.DefaultConfig(), &net)
+		gf := magma.QRFlops(qrN, qrN) / tq.Seconds() / 1e9
+		qr.Y = append(qr.Y, gf)
+		qrRel.Y = append(qrRel.Y, gf/localQR)
+		tr := runMP2CNet(2, particles, true, steps, &net)
+		mp.Y = append(mp.Y, (float64(tr)/float64(tLocalMP)-1)*100)
+		f.Notes = append(f.Notes, fab.label+" is x="+trimFloat(float64(i)))
+	}
+	f.Series = append(f.Series, peak, qr, qrRel, mp)
+	return f
+}

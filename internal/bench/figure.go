@@ -1,0 +1,168 @@
+// Package bench is the experiment harness: one driver per figure of the
+// paper's evaluation (Figures 5-11), plus the extension experiments
+// described in DESIGN.md. Each driver builds fresh simulated clusters,
+// runs the workload in model mode (virtual time, no payload bytes), and
+// returns a Figure holding the same series the paper plots, ready to
+// print as an aligned table or CSV.
+//
+// Absolute numbers come from the calibrated device and network models;
+// the quantity that matters — and that the tests in this package pin
+// down — is the paper's shape: who wins, by what factor, and where the
+// crossovers fall.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one curve of a figure.
+type Series struct {
+	Label string
+	Y     []float64
+}
+
+// Figure is a reproduced table/plot: shared X values and one Y series
+// per configuration.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	// Notes carries paper-vs-measured remarks for EXPERIMENTS.md.
+	Notes []string
+}
+
+// Col returns the series with the given label.
+func (f *Figure) Col(label string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// At returns series value of the given label at x (exact match).
+func (f *Figure) At(label string, x float64) (float64, bool) {
+	s := f.Col(label)
+	if s == nil {
+		return 0, false
+	}
+	for i, xv := range f.X {
+		if xv == x && i < len(s.Y) {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Table renders the figure as an aligned text table.
+func (f *Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "# y: %s\n", f.YLabel)
+	widths := make([]int, len(f.Series)+1)
+	header := make([]string, len(f.Series)+1)
+	header[0] = f.XLabel
+	for i, s := range f.Series {
+		header[i+1] = s.Label
+	}
+	rows := [][]string{header}
+	for i, x := range f.X {
+		row := make([]string, len(f.Series)+1)
+		row[0] = trimFloat(x)
+		for j, s := range f.Series {
+			if i < len(s.Y) {
+				row[j+1] = fmt.Sprintf("%.1f", s.Y[i])
+			} else {
+				row[j+1] = "-"
+			}
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for j, cell := range row {
+			if len(cell) > widths[j] {
+				widths[j] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for j, cell := range row {
+			fmt.Fprintf(&b, "%*s", widths[j]+2, cell)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values with a header row.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString(f.XLabel)
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(s.Label)
+	}
+	b.WriteByte('\n')
+	for i, x := range f.X {
+		b.WriteString(trimFloat(x))
+		for _, s := range f.Series {
+			b.WriteByte(',')
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "%.3f", s.Y[i])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// Options tunes figure generation.
+type Options struct {
+	// Quick shrinks the sweep grids for fast harness tests; the full
+	// grids match the paper's axes.
+	Quick bool
+}
+
+// Generator produces one experiment's figure.
+type Generator func(Options) *Figure
+
+// Figures maps experiment ids to their generators: the paper's Figures
+// 5-11 plus the extension experiments A (pool utilization), B
+// (protocol/lookahead ablations), C (batch-level static-vs-dynamic),
+// D (fabric sensitivity) and E (LU factorization).
+func Figures() map[string]Generator {
+	return map[string]Generator{
+		"fig5":  Fig5,
+		"fig6":  Fig6,
+		"fig7":  Fig7,
+		"fig8":  Fig8,
+		"fig9":  Fig9,
+		"fig10": Fig10,
+		"fig11": Fig11,
+		"extA":  ExtA,
+		"extB":  ExtB,
+		"extC":  ExtC,
+		"extD":  ExtD,
+		"extE":  ExtE,
+	}
+}
+
+// FigureOrder lists the experiments in presentation order.
+func FigureOrder() []string {
+	return []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "extA", "extB", "extC", "extD", "extE"}
+}

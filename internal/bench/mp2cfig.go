@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+
+	"dynacc/internal/accel"
+	"dynacc/internal/cluster"
+	"dynacc/internal/gpu"
+	"dynacc/internal/mp2c"
+	"dynacc/internal/netmodel"
+	"dynacc/internal/sim"
+)
+
+// runMP2C executes the miniapp on `ranks` compute nodes, each with one
+// GPU (local or network-attached), and returns the wall time of the
+// 300-step run.
+func runMP2C(ranks int, particles int, remote bool, steps int) sim.Duration {
+	return runMP2CNet(ranks, particles, remote, steps, nil)
+}
+
+// runMP2CNet additionally selects the interconnect (nil = QDR IB).
+func runMP2CNet(ranks int, particles int, remote bool, steps int, net *netmodel.Params) sim.Duration {
+	reg := gpu.NewRegistry()
+	mp2c.RegisterKernels(reg)
+	nAC, localGPUs := 0, 1
+	if remote {
+		nAC, localGPUs = ranks, 0
+	}
+	cl, err := cluster.New(cluster.Config{
+		ComputeNodes: ranks,
+		Accelerators: nAC,
+		Registry:     reg,
+		LocalGPUs:    localGPUs,
+		Net:          net,
+	})
+	if err != nil {
+		panic(err)
+	}
+	var elapsed sim.Duration
+	cl.SpawnAll(func(p *sim.Proc, node *cluster.Node) {
+		cfg := mp2c.Defaults(particles)
+		if steps > 0 {
+			cfg.Steps = steps
+		}
+		var dev accel.Device
+		if remote {
+			handles, err := node.ARM.Acquire(p, 1, true)
+			if err != nil {
+				panic(err)
+			}
+			defer node.ARM.Release(p, handles)
+			dev = accel.Remote(node.Attach(handles[0]))
+		} else {
+			ld := accel.Local(p, node.Local[0])
+			defer ld.Close()
+			dev = ld
+		}
+		s, err := mp2c.NewSim(node.App, dev, cfg)
+		if err != nil {
+			panic(err)
+		}
+		if err := s.Setup(p); err != nil {
+			panic(err)
+		}
+		defer s.Teardown(p)
+		node.App.Barrier(p)
+		start := p.Now()
+		if _, err := s.Run(p); err != nil {
+			panic(err)
+		}
+		node.App.Barrier(p)
+		if node.Rank == 0 {
+			elapsed = p.Now().Sub(start)
+		}
+	})
+	if _, err := cl.Run(); err != nil {
+		panic(err)
+	}
+	return elapsed
+}
+
+// Fig11 reproduces Figure 11: MP2C wall time (in minutes) for three
+// particle counts, node-local GPUs vs the dynamic cluster architecture
+// (one dedicated network-attached GPU per rank, two ranks).
+func Fig11(o Options) *Figure {
+	counts := []int{5120000, 7290000, 10000000}
+	steps := 0 // paper's 300
+	if o.Quick {
+		counts = []int{512000, 1000000}
+		steps = 60
+	}
+	f := &Figure{
+		ID:     "fig11",
+		Title:  "MP2C molecular dynamics, 2 ranks, SRD on GPU every 5th of 300 steps",
+		XLabel: "particles",
+		YLabel: "Time [min]",
+		Notes: []string{
+			"paper: the dynamic architecture prolongs execution by at most ~4%",
+		},
+	}
+	for _, c := range counts {
+		f.X = append(f.X, float64(c))
+	}
+	local := Series{Label: "CUDA-local"}
+	dyn := Series{Label: "dynamic-cluster"}
+	for _, c := range counts {
+		tl := runMP2C(2, c, false, steps)
+		td := runMP2C(2, c, true, steps)
+		local.Y = append(local.Y, tl.Seconds()/60)
+		dyn.Y = append(dyn.Y, td.Seconds()/60)
+		f.Notes = append(f.Notes,
+			fmt.Sprintf("%d particles: slowdown %.2f%%", c, (float64(td)/float64(tl)-1)*100))
+	}
+	f.Series = append(f.Series, local, dyn)
+	return f
+}

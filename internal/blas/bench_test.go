@@ -1,0 +1,46 @@
+package blas
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGemm(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMat(rng, n, n, n)
+	bb := randMat(rng, n, n, n)
+	c := randMat(rng, n, n, n)
+	b.SetBytes(int64(8 * n * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dgemm(NoTrans, NoTrans, n, n, n, 1, a, n, bb, n, 0, c, n)
+	}
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlop/s")
+}
+
+func BenchmarkDgemm64(b *testing.B)  { benchGemm(b, 64) }
+func BenchmarkDgemm128(b *testing.B) { benchGemm(b, 128) }
+func BenchmarkDgemm256(b *testing.B) { benchGemm(b, 256) }
+
+func BenchmarkDtrsm128(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 128
+	a := makeTriangular(rng, Lower, NonUnit, n, n)
+	rhs := randMat(rng, n, n, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dtrsm(Left, Lower, NoTrans, NonUnit, n, n, 1, a, n, rhs, n)
+	}
+}
+
+func BenchmarkDsyrk128(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n, k := 128, 64
+	a := randMat(rng, n, k, n)
+	c := randMat(rng, n, n, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dsyrk(Lower, NoTrans, n, k, 1, a, n, 0, c, n)
+	}
+}

@@ -1,0 +1,329 @@
+// Package blas implements the double-precision BLAS subset the repository
+// needs: level-1 vector kernels, level-2 matrix-vector kernels, and the
+// level-3 kernels (GEMM, TRSM, TRMM, SYRK) that LAPACK-style factorization
+// and the MAGMA-style hybrid routines are built from.
+//
+// Matrices are column-major with an explicit leading dimension, exactly
+// like Fortran BLAS: element (i,j) of an m×n matrix stored in a with
+// leading dimension lda >= m lives at a[i+j*lda]. All routines follow the
+// reference-BLAS semantics, including alpha/beta scaling and the beta==0
+// "C need not be initialized" rule.
+package blas
+
+import "math"
+
+// Transpose selects op(X) = X or Xᵀ.
+type Transpose bool
+
+// Transpose values.
+const (
+	NoTrans Transpose = false
+	Trans   Transpose = true
+)
+
+// Side selects whether the triangular matrix appears on the left or right.
+type Side uint8
+
+// Side values.
+const (
+	Left Side = iota
+	Right
+)
+
+// UpLo selects the triangle of a symmetric/triangular matrix.
+type UpLo uint8
+
+// UpLo values.
+const (
+	Upper UpLo = iota
+	Lower
+)
+
+// Diag declares whether a triangular matrix has a unit diagonal.
+type Diag uint8
+
+// Diag values.
+const (
+	NonUnit Diag = iota
+	Unit
+)
+
+// ---------- Level 1 ----------
+
+// Daxpy computes y += alpha*x over n elements with strides incX, incY.
+func Daxpy(n int, alpha float64, x []float64, incX int, y []float64, incY int) {
+	if n <= 0 || alpha == 0 {
+		return
+	}
+	if incX == 1 && incY == 1 {
+		for i := 0; i < n; i++ {
+			y[i] += alpha * x[i]
+		}
+		return
+	}
+	ix, iy := 0, 0
+	for i := 0; i < n; i++ {
+		y[iy] += alpha * x[ix]
+		ix += incX
+		iy += incY
+	}
+}
+
+// Dscal computes x *= alpha over n elements with stride incX.
+func Dscal(n int, alpha float64, x []float64, incX int) {
+	if n <= 0 {
+		return
+	}
+	for i, ix := 0, 0; i < n; i, ix = i+1, ix+incX {
+		x[ix] *= alpha
+	}
+}
+
+// Ddot returns xᵀy over n elements.
+func Ddot(n int, x []float64, incX int, y []float64, incY int) float64 {
+	var s float64
+	for i, ix, iy := 0, 0, 0; i < n; i, ix, iy = i+1, ix+incX, iy+incY {
+		s += x[ix] * y[iy]
+	}
+	return s
+}
+
+// Dnrm2 returns the Euclidean norm of x, guarding against overflow the
+// way reference BLAS does (scaled sum of squares).
+func Dnrm2(n int, x []float64, incX int) float64 {
+	if n < 1 {
+		return 0
+	}
+	if n == 1 {
+		return math.Abs(x[0])
+	}
+	scale, ssq := 0.0, 1.0
+	for i, ix := 0, 0; i < n; i, ix = i+1, ix+incX {
+		if x[ix] == 0 {
+			continue
+		}
+		ax := math.Abs(x[ix])
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Idamax returns the index of the element of maximum absolute value, or
+// -1 for n <= 0.
+func Idamax(n int, x []float64, incX int) int {
+	if n <= 0 {
+		return -1
+	}
+	best, bestIdx := math.Abs(x[0]), 0
+	for i, ix := 1, incX; i < n; i, ix = i+1, ix+incX {
+		if a := math.Abs(x[ix]); a > best {
+			best, bestIdx = a, i
+		}
+	}
+	return bestIdx
+}
+
+// Dswap exchanges two vectors.
+func Dswap(n int, x []float64, incX int, y []float64, incY int) {
+	for i, ix, iy := 0, 0, 0; i < n; i, ix, iy = i+1, ix+incX, iy+incY {
+		x[ix], y[iy] = y[iy], x[ix]
+	}
+}
+
+// Dcopy copies x into y.
+func Dcopy(n int, x []float64, incX int, y []float64, incY int) {
+	for i, ix, iy := 0, 0, 0; i < n; i, ix, iy = i+1, ix+incX, iy+incY {
+		y[iy] = x[ix]
+	}
+}
+
+// ---------- Level 2 ----------
+
+// Dgemv computes y = alpha*op(A)*x + beta*y for an m×n matrix A.
+func Dgemv(trans Transpose, m, n int, alpha float64, a []float64, lda int, x []float64, incX int, beta float64, y []float64, incY int) {
+	lenY := m
+	if trans == Trans {
+		lenY = n
+	}
+	if beta != 1 {
+		for i, iy := 0, 0; i < lenY; i, iy = i+1, iy+incY {
+			if beta == 0 {
+				y[iy] = 0
+			} else {
+				y[iy] *= beta
+			}
+		}
+	}
+	if alpha == 0 || m == 0 || n == 0 {
+		return
+	}
+	if trans == NoTrans {
+		// y += alpha * A x, column sweep.
+		for j, jx := 0, 0; j < n; j, jx = j+1, jx+incX {
+			ajx := alpha * x[jx]
+			if ajx == 0 {
+				continue
+			}
+			col := a[j*lda : j*lda+m]
+			for i, iy := 0, 0; i < m; i, iy = i+1, iy+incY {
+				y[iy] += ajx * col[i]
+			}
+		}
+		return
+	}
+	for j, jy := 0, 0; j < n; j, jy = j+1, jy+incY {
+		col := a[j*lda : j*lda+m]
+		var s float64
+		for i, ix := 0, 0; i < m; i, ix = i+1, ix+incX {
+			s += col[i] * x[ix]
+		}
+		y[jy] += alpha * s
+	}
+}
+
+// Dger computes A += alpha * x yᵀ for an m×n matrix A.
+func Dger(m, n int, alpha float64, x []float64, incX int, y []float64, incY int, a []float64, lda int) {
+	if alpha == 0 {
+		return
+	}
+	for j, jy := 0, 0; j < n; j, jy = j+1, jy+incY {
+		ay := alpha * y[jy]
+		if ay == 0 {
+			continue
+		}
+		col := a[j*lda : j*lda+m]
+		for i, ix := 0, 0; i < m; i, ix = i+1, ix+incX {
+			col[i] += ay * x[ix]
+		}
+	}
+}
+
+// Dtrmv computes x = op(A)*x for an n×n triangular matrix A.
+func Dtrmv(uplo UpLo, trans Transpose, diag Diag, n int, a []float64, lda int, x []float64, incX int) {
+	if n == 0 {
+		return
+	}
+	unit := diag == Unit
+	if trans == NoTrans {
+		if uplo == Upper {
+			for i := 0; i < n; i++ {
+				var s float64
+				if !unit {
+					s = a[i+i*lda] * x[i*incX]
+				} else {
+					s = x[i*incX]
+				}
+				for j := i + 1; j < n; j++ {
+					s += a[i+j*lda] * x[j*incX]
+				}
+				x[i*incX] = s
+			}
+		} else {
+			for i := n - 1; i >= 0; i-- {
+				var s float64
+				if !unit {
+					s = a[i+i*lda] * x[i*incX]
+				} else {
+					s = x[i*incX]
+				}
+				for j := 0; j < i; j++ {
+					s += a[i+j*lda] * x[j*incX]
+				}
+				x[i*incX] = s
+			}
+		}
+		return
+	}
+	if uplo == Upper {
+		for i := n - 1; i >= 0; i-- {
+			var s float64
+			if !unit {
+				s = a[i+i*lda] * x[i*incX]
+			} else {
+				s = x[i*incX]
+			}
+			for j := 0; j < i; j++ {
+				s += a[j+i*lda] * x[j*incX]
+			}
+			x[i*incX] = s
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			var s float64
+			if !unit {
+				s = a[i+i*lda] * x[i*incX]
+			} else {
+				s = x[i*incX]
+			}
+			for j := i + 1; j < n; j++ {
+				s += a[j+i*lda] * x[j*incX]
+			}
+			x[i*incX] = s
+		}
+	}
+}
+
+// Dtrsv solves op(A) x = b in place for an n×n triangular A.
+func Dtrsv(uplo UpLo, trans Transpose, diag Diag, n int, a []float64, lda int, x []float64, incX int) {
+	if n == 0 {
+		return
+	}
+	unit := diag == Unit
+	if trans == NoTrans {
+		if uplo == Lower {
+			for i := 0; i < n; i++ {
+				s := x[i*incX]
+				for j := 0; j < i; j++ {
+					s -= a[i+j*lda] * x[j*incX]
+				}
+				if !unit {
+					s /= a[i+i*lda]
+				}
+				x[i*incX] = s
+			}
+		} else {
+			for i := n - 1; i >= 0; i-- {
+				s := x[i*incX]
+				for j := i + 1; j < n; j++ {
+					s -= a[i+j*lda] * x[j*incX]
+				}
+				if !unit {
+					s /= a[i+i*lda]
+				}
+				x[i*incX] = s
+			}
+		}
+		return
+	}
+	// opposite sweep for the transposed system
+	if uplo == Lower {
+		for i := n - 1; i >= 0; i-- {
+			s := x[i*incX]
+			for j := i + 1; j < n; j++ {
+				s -= a[j+i*lda] * x[j*incX]
+			}
+			if !unit {
+				s /= a[i+i*lda]
+			}
+			x[i*incX] = s
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s := x[i*incX]
+			for j := 0; j < i; j++ {
+				s -= a[j+i*lda] * x[j*incX]
+			}
+			if !unit {
+				s /= a[i+i*lda]
+			}
+			x[i*incX] = s
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package blas
+
+// Dgemm computes C = alpha*op(A)*op(B) + beta*C, with op(A) m×k, op(B)
+// k×n, and C m×n. The inner loops are ordered for column-major locality
+// (jki with a column accumulator), which keeps pure-Go performance usable
+// for the execute-mode tests.
+func Dgemm(transA, transB Transpose, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	if m == 0 || n == 0 {
+		return
+	}
+	// Scale C first.
+	for j := 0; j < n; j++ {
+		col := c[j*ldc : j*ldc+m]
+		if beta == 0 {
+			for i := range col {
+				col[i] = 0
+			}
+		} else if beta != 1 {
+			for i := range col {
+				col[i] *= beta
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	switch {
+	case transA == NoTrans && transB == NoTrans:
+		// C[:,j] += alpha * A[:,l] * B[l,j]
+		for j := 0; j < n; j++ {
+			ccol := c[j*ldc : j*ldc+m]
+			for l := 0; l < k; l++ {
+				blj := alpha * b[l+j*ldb]
+				if blj == 0 {
+					continue
+				}
+				acol := a[l*lda : l*lda+m]
+				for i := range ccol {
+					ccol[i] += blj * acol[i]
+				}
+			}
+		}
+	case transA == Trans && transB == NoTrans:
+		// C[i,j] += alpha * dot(A[:,i], B[:,j])
+		for j := 0; j < n; j++ {
+			ccol := c[j*ldc : j*ldc+m]
+			bcol := b[j*ldb : j*ldb+k]
+			for i := 0; i < m; i++ {
+				acol := a[i*lda : i*lda+k]
+				var s float64
+				for l := 0; l < k; l++ {
+					s += acol[l] * bcol[l]
+				}
+				ccol[i] += alpha * s
+			}
+		}
+	case transA == NoTrans && transB == Trans:
+		// C[:,j] += alpha * A[:,l] * B[j,l]
+		for j := 0; j < n; j++ {
+			ccol := c[j*ldc : j*ldc+m]
+			for l := 0; l < k; l++ {
+				bjl := alpha * b[j+l*ldb]
+				if bjl == 0 {
+					continue
+				}
+				acol := a[l*lda : l*lda+m]
+				for i := range ccol {
+					ccol[i] += bjl * acol[i]
+				}
+			}
+		}
+	default: // both transposed
+		for j := 0; j < n; j++ {
+			ccol := c[j*ldc : j*ldc+m]
+			for i := 0; i < m; i++ {
+				acol := a[i*lda : i*lda+k]
+				var s float64
+				for l := 0; l < k; l++ {
+					s += acol[l] * b[j+l*ldb]
+				}
+				ccol[i] += alpha * s
+			}
+		}
+	}
+}
+
+// Dsyrk computes the symmetric rank-k update C = alpha*op(A)*op(A)ᵀ +
+// beta*C, touching only the uplo triangle of the n×n matrix C. With
+// trans == NoTrans, A is n×k; with Trans, A is k×n.
+func Dsyrk(uplo UpLo, trans Transpose, n, k int, alpha float64, a []float64, lda int, beta float64, c []float64, ldc int) {
+	if n == 0 {
+		return
+	}
+	inTriangle := func(i, j int) bool {
+		if uplo == Upper {
+			return i <= j
+		}
+		return i >= j
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if !inTriangle(i, j) {
+				continue
+			}
+			if beta == 0 {
+				c[i+j*ldc] = 0
+			} else if beta != 1 {
+				c[i+j*ldc] *= beta
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	if trans == NoTrans {
+		// C[i,j] += alpha * dot(A[i,:], A[j,:])
+		for j := 0; j < n; j++ {
+			for l := 0; l < k; l++ {
+				ajl := alpha * a[j+l*lda]
+				if ajl == 0 {
+					continue
+				}
+				acol := a[l*lda:]
+				if uplo == Upper {
+					ccol := c[j*ldc:]
+					for i := 0; i <= j; i++ {
+						ccol[i] += ajl * acol[i]
+					}
+				} else {
+					ccol := c[j*ldc:]
+					for i := j; i < n; i++ {
+						ccol[i] += ajl * acol[i]
+					}
+				}
+			}
+		}
+		return
+	}
+	// trans == Trans: C[i,j] += alpha * dot(A[:,i], A[:,j])
+	for j := 0; j < n; j++ {
+		lo, hi := 0, j+1
+		if uplo == Lower {
+			lo, hi = j, n
+		}
+		acolj := a[j*lda : j*lda+k]
+		for i := lo; i < hi; i++ {
+			acoli := a[i*lda : i*lda+k]
+			var s float64
+			for l := 0; l < k; l++ {
+				s += acoli[l] * acolj[l]
+			}
+			c[i+j*ldc] += alpha * s
+		}
+	}
+}
+
+// Dtrsm solves op(A)*X = alpha*B (side == Left) or X*op(A) = alpha*B
+// (side == Right) for X, overwriting the m×n matrix B. A is triangular of
+// order m (Left) or n (Right).
+func Dtrsm(side Side, uplo UpLo, transA Transpose, diag Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if alpha != 1 {
+		for j := 0; j < n; j++ {
+			col := b[j*ldb : j*ldb+m]
+			for i := range col {
+				col[i] *= alpha
+			}
+		}
+	}
+	if side == Left {
+		// Solve op(A) X = B column by column.
+		for j := 0; j < n; j++ {
+			Dtrsv(uplo, transA, diag, m, a, lda, b[j*ldb:j*ldb+m], 1)
+		}
+		return
+	}
+	// side == Right: X op(A) = B. Treat rows of B; equivalently solve
+	// op(A)ᵀ Xᵀ = Bᵀ, i.e. a column sweep over A with axpy updates.
+	unit := diag == Unit
+	if transA == NoTrans {
+		if uplo == Upper {
+			// forward sweep over columns of X
+			for j := 0; j < n; j++ {
+				for l := 0; l < j; l++ {
+					alj := a[l+j*lda]
+					if alj != 0 {
+						Daxpy(m, -alj, b[l*ldb:l*ldb+m], 1, b[j*ldb:j*ldb+m], 1)
+					}
+				}
+				if !unit {
+					Dscal(m, 1/a[j+j*lda], b[j*ldb:j*ldb+m], 1)
+				}
+			}
+		} else {
+			for j := n - 1; j >= 0; j-- {
+				for l := j + 1; l < n; l++ {
+					alj := a[l+j*lda]
+					if alj != 0 {
+						Daxpy(m, -alj, b[l*ldb:l*ldb+m], 1, b[j*ldb:j*ldb+m], 1)
+					}
+				}
+				if !unit {
+					Dscal(m, 1/a[j+j*lda], b[j*ldb:j*ldb+m], 1)
+				}
+			}
+		}
+		return
+	}
+	// side == Right, transA == Trans: X Aᵀ = B.
+	if uplo == Upper {
+		for j := n - 1; j >= 0; j-- {
+			if !unit {
+				Dscal(m, 1/a[j+j*lda], b[j*ldb:j*ldb+m], 1)
+			}
+			for l := 0; l < j; l++ {
+				ajl := a[l+j*lda]
+				if ajl != 0 {
+					Daxpy(m, -ajl, b[j*ldb:j*ldb+m], 1, b[l*ldb:l*ldb+m], 1)
+				}
+			}
+		}
+	} else {
+		for j := 0; j < n; j++ {
+			if !unit {
+				Dscal(m, 1/a[j+j*lda], b[j*ldb:j*ldb+m], 1)
+			}
+			for l := j + 1; l < n; l++ {
+				ajl := a[l+j*lda]
+				if ajl != 0 {
+					Daxpy(m, -ajl, b[j*ldb:j*ldb+m], 1, b[l*ldb:l*ldb+m], 1)
+				}
+			}
+		}
+	}
+}
+
+// Dtrmm computes B = alpha*op(A)*B (side == Left) or B = alpha*B*op(A)
+// (side == Right) for triangular A, overwriting the m×n matrix B.
+func Dtrmm(side Side, uplo UpLo, transA Transpose, diag Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if side == Left {
+		for j := 0; j < n; j++ {
+			Dtrmv(uplo, transA, diag, m, a, lda, b[j*ldb:j*ldb+m], 1)
+		}
+	} else {
+		// B = B * op(A): process columns in an order that avoids
+		// overwriting inputs still needed.
+		unit := diag == Unit
+		if (uplo == Upper) == (transA == NoTrans) {
+			// effective upper: column j depends on columns l <= j.
+			for j := n - 1; j >= 0; j-- {
+				var djj float64 = 1
+				if !unit {
+					djj = a[j+j*lda]
+				}
+				Dscal(m, djj, b[j*ldb:j*ldb+m], 1)
+				for l := 0; l < j; l++ {
+					var alj float64
+					if transA == NoTrans {
+						alj = a[l+j*lda]
+					} else {
+						alj = a[j+l*lda]
+					}
+					if alj != 0 {
+						Daxpy(m, alj, b[l*ldb:l*ldb+m], 1, b[j*ldb:j*ldb+m], 1)
+					}
+				}
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				var djj float64 = 1
+				if !unit {
+					djj = a[j+j*lda]
+				}
+				Dscal(m, djj, b[j*ldb:j*ldb+m], 1)
+				for l := j + 1; l < n; l++ {
+					var alj float64
+					if transA == NoTrans {
+						alj = a[l+j*lda]
+					} else {
+						alj = a[j+l*lda]
+					}
+					if alj != 0 {
+						Daxpy(m, alj, b[l*ldb:l*ldb+m], 1, b[j*ldb:j*ldb+m], 1)
+					}
+				}
+			}
+		}
+	}
+	if alpha != 1 {
+		for j := 0; j < n; j++ {
+			Dscal(m, alpha, b[j*ldb:j*ldb+m], 1)
+		}
+	}
+}

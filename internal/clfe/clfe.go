@@ -1,0 +1,207 @@
+// Package clfe is an OpenCL-flavoured front-end over the dynacc
+// middleware. The paper emphasizes that its software stack "is
+// extensible to any accelerator programming interface and therefore not
+// restricted to CUDA by design" (Section IV); this package demonstrates
+// that claim: the same back-end daemons and copy protocols serve an
+// OpenCL-style surface — contexts, buffers, in-order command queues with
+// events — without any protocol change.
+//
+// The mapping is direct: a Context wraps one assigned accelerator, a
+// Buffer is a device allocation, a CommandQueue is a middleware stream
+// (in-order execution, queues overlap each other), and Enqueue* calls
+// return Events that Finish or Event.Wait settle.
+package clfe
+
+import (
+	"fmt"
+
+	"dynacc/internal/core"
+	"dynacc/internal/gpu"
+	"dynacc/internal/sim"
+)
+
+// Context owns the buffers and queues of one accelerator.
+type Context struct {
+	ac *core.Accel
+}
+
+// NewContext wraps an assigned accelerator (clCreateContext).
+func NewContext(ac *core.Accel) *Context {
+	return &Context{ac: ac}
+}
+
+// Accel exposes the underlying middleware handle.
+func (c *Context) Accel() *core.Accel { return c.ac }
+
+// Buffer is a device memory object (cl_mem).
+type Buffer struct {
+	ctx      *Context
+	ptr      gpu.Ptr
+	size     int
+	released bool
+}
+
+// CreateBuffer allocates size bytes on the device (clCreateBuffer).
+func (c *Context) CreateBuffer(p *sim.Proc, size int) (*Buffer, error) {
+	ptr, err := c.ac.MemAlloc(p, size)
+	if err != nil {
+		return nil, err
+	}
+	return &Buffer{ctx: c, ptr: ptr, size: size}, nil
+}
+
+// Size returns the buffer capacity in bytes.
+func (b *Buffer) Size() int { return b.size }
+
+// Release frees the device memory (clReleaseMemObject). Double release
+// is an error, as in OpenCL.
+func (b *Buffer) Release(p *sim.Proc) error {
+	if b.released {
+		return fmt.Errorf("clfe: buffer already released")
+	}
+	b.released = true
+	return b.ctx.ac.MemFree(p, b.ptr)
+}
+
+// Event tracks one enqueued command (cl_event).
+type Event struct {
+	pd *core.Pending
+}
+
+// Wait blocks until the command completes (clWaitForEvents).
+func (e *Event) Wait(p *sim.Proc) error { return e.pd.Wait(p) }
+
+// CommandQueue is an in-order queue bound to one middleware stream
+// (clCreateCommandQueue). Distinct queues execute concurrently on the
+// accelerator, exactly like OpenCL queues on separate streams.
+type CommandQueue struct {
+	ctx    *Context
+	stream uint8
+	events []*Event
+}
+
+// CreateQueue creates an in-order command queue on the given stream id.
+func (c *Context) CreateQueue(stream uint8) *CommandQueue {
+	return &CommandQueue{ctx: c, stream: stream}
+}
+
+func (q *CommandQueue) track(pd *core.Pending) *Event {
+	e := &Event{pd: pd}
+	q.events = append(q.events, e)
+	return e
+}
+
+// EnqueueWriteBuffer copies host data into the buffer at offset
+// (clEnqueueWriteBuffer, non-blocking). data may be nil in model mode
+// with the size given by n.
+func (q *CommandQueue) EnqueueWriteBuffer(b *Buffer, offset int, data []byte, n int) (*Event, error) {
+	if err := q.checkRange(b, offset, n); err != nil {
+		return nil, err
+	}
+	return q.track(q.ctx.ac.MemcpyH2DAsync(b.ptr, offset, data, n, q.stream)), nil
+}
+
+// EnqueueFillBuffer fills the buffer range with a byte pattern
+// (clEnqueueFillBuffer with a 1-byte pattern).
+func (q *CommandQueue) EnqueueFillBuffer(b *Buffer, value byte, offset, n int) (*Event, error) {
+	if err := q.checkRange(b, offset, n); err != nil {
+		return nil, err
+	}
+	return q.track(q.ctx.ac.MemsetAsync(b.ptr, offset, n, value, q.stream)), nil
+}
+
+// EnqueueReadBuffer copies the buffer range into dst
+// (clEnqueueReadBuffer, non-blocking).
+func (q *CommandQueue) EnqueueReadBuffer(b *Buffer, offset int, dst []byte, n int) (*Event, error) {
+	if err := q.checkRange(b, offset, n); err != nil {
+		return nil, err
+	}
+	return q.track(q.ctx.ac.MemcpyD2HAsync(dst, b.ptr, offset, n, q.stream)), nil
+}
+
+func (q *CommandQueue) checkRange(b *Buffer, offset, n int) error {
+	if b.released {
+		return fmt.Errorf("clfe: buffer already released")
+	}
+	if b.ctx != q.ctx {
+		return fmt.Errorf("clfe: buffer belongs to a different context")
+	}
+	if offset < 0 || n < 0 || offset+n > b.size {
+		return fmt.Errorf("clfe: range [%d,%d) outside buffer of %d bytes", offset, offset+n, b.size)
+	}
+	return nil
+}
+
+// KernelArg builds kernel arguments; buffers pass their device pointer.
+func KernelArg(v any) (gpu.Value, error) {
+	switch x := v.(type) {
+	case *Buffer:
+		if x.released {
+			return gpu.Value{}, fmt.Errorf("clfe: kernel argument uses a released buffer")
+		}
+		return gpu.PtrArg(x.ptr), nil
+	case int:
+		return gpu.IntArg(int64(x)), nil
+	case int64:
+		return gpu.IntArg(x), nil
+	case float64:
+		return gpu.FloatArg(x), nil
+	default:
+		return gpu.Value{}, fmt.Errorf("clfe: unsupported kernel argument type %T", v)
+	}
+}
+
+// EnqueueNDRangeKernel launches a named kernel with a global/local work
+// size (clEnqueueNDRangeKernel, non-blocking). The global size is
+// rounded up to whole work groups, as OpenCL requires it divisible.
+func (q *CommandQueue) EnqueueNDRangeKernel(name string, global, local gpu.Dim3, args ...any) (*Event, error) {
+	if local.X < 1 {
+		return nil, fmt.Errorf("clfe: local work size must be at least 1, got %+v", local)
+	}
+	vals := make([]gpu.Value, 0, len(args))
+	for _, a := range args {
+		v, err := KernelArg(a)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+	}
+	grid := gpu.Dim3{
+		X: ceil(global.X, max1(local.X)),
+		Y: ceil(global.Y, max1(local.Y)),
+		Z: ceil(global.Z, max1(local.Z)),
+	}
+	k := q.ctx.ac.KernelCreate(name).SetArgs(vals...)
+	return q.track(k.RunAsync(grid, local, q.stream)), nil
+}
+
+// Flush is a no-op (commands are submitted eagerly), kept for API
+// parity.
+func (q *CommandQueue) Flush() {}
+
+// Finish blocks until every command enqueued on this queue has completed
+// and returns the first error (clFinish).
+func (q *CommandQueue) Finish(p *sim.Proc) error {
+	var first error
+	for _, e := range q.events {
+		if err := e.Wait(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	q.events = q.events[:0]
+	return first
+}
+
+func ceil(a, b int) int {
+	if a <= 0 {
+		return 1
+	}
+	return (a + b - 1) / b
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

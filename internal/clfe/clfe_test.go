@@ -1,0 +1,222 @@
+package clfe
+
+import (
+	"bytes"
+	"testing"
+
+	"dynacc/internal/cluster"
+	"dynacc/internal/gpu"
+	"dynacc/internal/minimpi"
+	"dynacc/internal/sim"
+)
+
+// withContext runs fn with an OpenCL-style context over one
+// network-attached accelerator in execute mode.
+func withContext(t *testing.T, fn func(p *sim.Proc, ctx *Context)) {
+	t.Helper()
+	reg := gpu.NewRegistry()
+	reg.Register(gpu.FuncKernel{
+		KernelName: "square",
+		CostFn: func(l gpu.Launch, m gpu.Model) sim.Duration {
+			return sim.Duration(float64(2*8*l.Arg(1).Int) / m.MemBandwidth * 1e9)
+		},
+		ExecFn: func(l gpu.Launch, dev *gpu.Device) error {
+			ptr := l.Arg(0).Ptr
+			n := int(l.Arg(1).Int)
+			vals, err := dev.ReadFloat64s(ptr, 0, n)
+			if err != nil {
+				return err
+			}
+			for i := range vals {
+				vals[i] *= vals[i]
+			}
+			return dev.WriteFloat64s(ptr, 0, vals)
+		},
+	})
+	reg.Register(gpu.FuncKernel{
+		KernelName: "slowkernel",
+		CostFn:     func(gpu.Launch, gpu.Model) sim.Duration { return sim.Millisecond },
+	})
+	cl, err := cluster.New(cluster.Config{ComputeNodes: 1, Accelerators: 1, Registry: reg, Execute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Spawn(0, func(p *sim.Proc, node *cluster.Node) {
+		handles, err := node.ARM.Acquire(p, 1, false)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer node.ARM.Release(p, handles)
+		fn(p, NewContext(node.Attach(handles[0])))
+	})
+	if _, err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteKernelReadPipeline(t *testing.T) {
+	withContext(t, func(p *sim.Proc, ctx *Context) {
+		const n = 512
+		buf, err := ctx.CreateBuffer(p, 8*n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(i)
+		}
+		q := ctx.CreateQueue(0)
+		if _, err := q.EnqueueWriteBuffer(buf, 0, minimpi.F64Bytes(vals), 8*n); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.EnqueueNDRangeKernel("square", gpu.Dim3{X: n}, gpu.Dim3{X: 64}, buf, n); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, 8*n)
+		if _, err := q.EnqueueReadBuffer(buf, 0, out, 8*n); err != nil {
+			t.Fatal(err)
+		}
+		// The in-order queue guarantees write -> kernel -> read ordering;
+		// one Finish settles everything.
+		if err := q.Finish(p); err != nil {
+			t.Fatal(err)
+		}
+		got := minimpi.BytesF64(out)
+		for i := range got {
+			if got[i] != float64(i)*float64(i) {
+				t.Fatalf("out[%d] = %v, want %v", i, got[i], float64(i)*float64(i))
+			}
+		}
+		if err := buf.Release(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestQueuesOverlapLikeStreams(t *testing.T) {
+	withContext(t, func(p *sim.Proc, ctx *Context) {
+		buf, err := ctx.CreateBuffer(p, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer buf.Release(p)
+		q0 := ctx.CreateQueue(0)
+		q1 := ctx.CreateQueue(1)
+		start := p.Now()
+		if _, err := q0.EnqueueNDRangeKernel("slowkernel", gpu.Dim3{X: 1}, gpu.Dim3{X: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q1.EnqueueWriteBuffer(buf, 0, nil, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		if err := q0.Finish(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := q1.Finish(p); err != nil {
+			t.Fatal(err)
+		}
+		if elapsed := p.Now().Sub(start); elapsed > 1600*sim.Microsecond {
+			t.Errorf("queues did not overlap: %v", elapsed)
+		}
+	})
+}
+
+func TestEventWaitSettlesSingleCommand(t *testing.T) {
+	withContext(t, func(p *sim.Proc, ctx *Context) {
+		buf, _ := ctx.CreateBuffer(p, 4096)
+		defer buf.Release(p)
+		q := ctx.CreateQueue(0)
+		payload := bytes.Repeat([]byte{9}, 4096)
+		ev, err := q.EnqueueWriteBuffer(buf, 0, payload, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ev.Wait(p); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, 4096)
+		ev, err = q.EnqueueReadBuffer(buf, 0, out, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ev.Wait(p); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, payload) {
+			t.Error("payload mismatch")
+		}
+	})
+}
+
+func TestBufferErrorPaths(t *testing.T) {
+	withContext(t, func(p *sim.Proc, ctx *Context) {
+		buf, _ := ctx.CreateBuffer(p, 128)
+		q := ctx.CreateQueue(0)
+		if _, err := q.EnqueueWriteBuffer(buf, 100, nil, 64); err == nil {
+			t.Error("out-of-range write accepted")
+		}
+		if _, err := q.EnqueueReadBuffer(buf, -1, nil, 4); err == nil {
+			t.Error("negative offset accepted")
+		}
+		if err := buf.Release(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := buf.Release(p); err == nil {
+			t.Error("double release accepted")
+		}
+		if _, err := q.EnqueueWriteBuffer(buf, 0, nil, 4); err == nil {
+			t.Error("write to released buffer accepted")
+		}
+		if _, err := q.EnqueueNDRangeKernel("square", gpu.Dim3{X: 1}, gpu.Dim3{X: 1}, buf, 1); err == nil {
+			t.Error("kernel arg with released buffer accepted")
+		}
+		if _, err := q.EnqueueNDRangeKernel("square", gpu.Dim3{X: 1}, gpu.Dim3{}, 1); err == nil {
+			t.Error("empty local size accepted")
+		}
+		if _, err := q.EnqueueNDRangeKernel("square", gpu.Dim3{X: 1}, gpu.Dim3{X: 1}, "bogus"); err == nil {
+			t.Error("unsupported arg type accepted")
+		}
+	})
+}
+
+func TestKernelArgKinds(t *testing.T) {
+	v, err := KernelArg(7)
+	if err != nil || v.Kind != gpu.KindInt || v.Int != 7 {
+		t.Errorf("int arg: %+v %v", v, err)
+	}
+	v, err = KernelArg(int64(-2))
+	if err != nil || v.Int != -2 {
+		t.Errorf("int64 arg: %+v %v", v, err)
+	}
+	v, err = KernelArg(1.5)
+	if err != nil || v.Kind != gpu.KindFloat || v.F64 != 1.5 {
+		t.Errorf("float arg: %+v %v", v, err)
+	}
+}
+
+func TestEnqueueFillBuffer(t *testing.T) {
+	withContext(t, func(p *sim.Proc, ctx *Context) {
+		buf, _ := ctx.CreateBuffer(p, 256)
+		defer buf.Release(p)
+		q := ctx.CreateQueue(0)
+		if _, err := q.EnqueueFillBuffer(buf, 0x7A, 0, 256); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, 256)
+		if _, err := q.EnqueueReadBuffer(buf, 0, out, 256); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Finish(p); err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range out {
+			if b != 0x7A {
+				t.Fatalf("byte %d = %#x", i, b)
+			}
+		}
+		if _, err := q.EnqueueFillBuffer(buf, 0, 200, 100); err == nil {
+			t.Error("out-of-range fill accepted")
+		}
+	})
+}

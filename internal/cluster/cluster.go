@@ -1,0 +1,300 @@
+// Package cluster assembles complete dynamic accelerator-cluster systems
+// for simulation: compute nodes, accelerator nodes (each an energy-
+// efficient CPU + RAM + NIC + GPU, paper Figure 2), the accelerator
+// resource manager, and the shared interconnect (paper Figure 1).
+//
+// World-rank layout: ranks [0, ComputeNodes) are compute nodes, ranks
+// [ComputeNodes, ComputeNodes+Accelerators) are accelerator daemons, and
+// the last rank is the ARM. Applications get a compute-node-only
+// communicator so their collectives never involve infrastructure ranks.
+//
+// For the paper's baselines the builder can also attach node-local GPUs
+// directly to compute nodes ("CUDA local"), bypassing the network
+// entirely.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"dynacc/internal/arm"
+	"dynacc/internal/core"
+	"dynacc/internal/gpu"
+	"dynacc/internal/minimpi"
+	"dynacc/internal/netmodel"
+	"dynacc/internal/sim"
+)
+
+// Config describes a cluster to build.
+type Config struct {
+	// ComputeNodes and Accelerators size the machine.
+	ComputeNodes int
+	Accelerators int
+
+	// Net is the interconnect model; defaults to QDR InfiniBand.
+	Net *netmodel.Params
+
+	// GPUModel is the accelerator device model; defaults to Tesla C1060.
+	GPUModel *gpu.Model
+
+	// Registry resolves kernel names on every device (local and remote).
+	Registry *gpu.Registry
+
+	// Execute selects execute mode (real data) on all devices.
+	Execute bool
+
+	// Options configures the front-ends' copy protocols; defaults to the
+	// paper's tuned protocols.
+	Options *core.Options
+
+	// Daemon tunes the back-end daemons.
+	Daemon *core.DaemonConfig
+
+	// Policy is the ARM queueing policy.
+	Policy arm.Policy
+
+	// LocalGPUs attaches this many node-local GPUs to every compute node
+	// (the static-architecture baseline).
+	LocalGPUs int
+}
+
+// Node is the per-compute-node context handed to node main functions.
+type Node struct {
+	// Rank is the node's index among compute nodes; App is the
+	// compute-node-only communicator (rank == App.Rank()).
+	Rank int
+	// World is the node's endpoint on the full world communicator
+	// (compute nodes + daemons + ARM).
+	World *minimpi.Comm
+	// App spans only the compute nodes.
+	App *minimpi.Comm
+	// ARM is the resource-management API client. Handles still held when
+	// the node's main returns are reset and released automatically at
+	// teardown, the paper's "accelerators are automatically released once
+	// the compute job is finished".
+	ARM *NodeARM
+	// FE is the computation-API front-end; attach acquired handles with
+	// FE.Attach(handle.Rank).
+	FE *core.Client
+	// Local holds the node-local GPUs (empty unless Config.LocalGPUs).
+	Local []*gpu.Device
+}
+
+// NodeARM wraps the resource-management client with acquisition
+// bookkeeping so the cluster can enforce end-of-job release.
+type NodeARM struct {
+	*arm.Client
+	held map[int]arm.Handle
+}
+
+// Acquire requests n exclusive accelerators (see arm.Client.Acquire) and
+// records them for end-of-job cleanup.
+func (na *NodeARM) Acquire(p *sim.Proc, n int, blocking bool) ([]arm.Handle, error) {
+	handles, err := na.Client.Acquire(p, n, blocking)
+	for _, h := range handles {
+		na.held[h.ID] = h
+	}
+	return handles, err
+}
+
+// Release returns accelerators to the pool (see arm.Client.Release).
+func (na *NodeARM) Release(p *sim.Proc, handles []arm.Handle) error {
+	err := na.Client.Release(p, handles)
+	if err == nil {
+		for _, h := range handles {
+			delete(na.held, h.ID)
+		}
+	}
+	return err
+}
+
+// Held lists the handles this node still holds.
+func (na *NodeARM) Held() []arm.Handle {
+	ids := make([]int, 0, len(na.held))
+	for id := range na.held {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]arm.Handle, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, na.held[id])
+	}
+	return out
+}
+
+// Attach wraps an ARM handle with this node's front-end.
+func (n *Node) Attach(h arm.Handle) *core.Accel { return n.FE.Attach(h.Rank) }
+
+// Cluster is a built system, ready to run node main functions.
+type Cluster struct {
+	Sim     *sim.Simulation
+	World   *minimpi.World
+	Daemons []*core.Daemon
+	cfg     Config
+
+	appGroup *minimpi.Group
+	armRank  int
+	nodes    []*Node
+	mains    []*sim.Proc
+}
+
+// New builds (but does not run) a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.ComputeNodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one compute node, got %d", cfg.ComputeNodes)
+	}
+	if cfg.Accelerators < 0 {
+		return nil, fmt.Errorf("cluster: negative accelerator count")
+	}
+	net := netmodel.QDRInfiniBand()
+	if cfg.Net != nil {
+		net = *cfg.Net
+	}
+	model := gpu.TeslaC1060()
+	if cfg.GPUModel != nil {
+		model = *cfg.GPUModel
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = gpu.NewRegistry()
+	}
+	opts := core.DefaultOptions()
+	if cfg.Options != nil {
+		opts = *cfg.Options
+	}
+	dcfg := core.DefaultDaemonConfig()
+	if cfg.Daemon != nil {
+		dcfg = *cfg.Daemon
+	}
+
+	s := sim.New()
+	nRanks := cfg.ComputeNodes + cfg.Accelerators + 1
+	w, err := minimpi.NewWorld(s, nRanks, net)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{Sim: s, World: w, cfg: cfg, armRank: nRanks - 1}
+
+	cnRanks := make([]int, cfg.ComputeNodes)
+	for i := range cnRanks {
+		cnRanks[i] = i
+	}
+	cl.appGroup, err = w.NewGroup(cnRanks)
+	if err != nil {
+		return nil, err
+	}
+
+	// Accelerator nodes: device + daemon per rank.
+	var inventory []arm.Handle
+	for i := 0; i < cfg.Accelerators; i++ {
+		rank := cfg.ComputeNodes + i
+		dev, err := gpu.NewDevice(s, gpu.Config{
+			Name:     fmt.Sprintf("ac%d", i),
+			Model:    model,
+			Registry: reg,
+			Execute:  cfg.Execute,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d := core.NewDaemon(w.Comm(rank), dev, dcfg)
+		cl.Daemons = append(cl.Daemons, d)
+		s.Spawn(fmt.Sprintf("daemon-ac%d", i), d.Run)
+		inventory = append(inventory, arm.Handle{ID: i, Rank: rank})
+	}
+
+	// The ARM.
+	srv, err := arm.NewServer(w.Comm(cl.armRank), inventory, cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	s.Spawn("arm", srv.Run)
+
+	// Compute nodes.
+	for i := 0; i < cfg.ComputeNodes; i++ {
+		worldComm := w.Comm(i)
+		fe, err := core.NewClient(worldComm, opts)
+		if err != nil {
+			return nil, err
+		}
+		node := &Node{
+			Rank:  i,
+			World: worldComm,
+			App:   cl.appGroup.Comm(i),
+			ARM:   &NodeARM{Client: arm.NewClient(worldComm, cl.armRank), held: make(map[int]arm.Handle)},
+			FE:    fe,
+		}
+		for g := 0; g < cfg.LocalGPUs; g++ {
+			dev, err := gpu.NewDevice(s, gpu.Config{
+				Name:     fmt.Sprintf("cn%d-gpu%d", i, g),
+				Model:    model,
+				Registry: reg,
+				Execute:  cfg.Execute,
+			})
+			if err != nil {
+				return nil, err
+			}
+			node.Local = append(node.Local, dev)
+		}
+		cl.nodes = append(cl.nodes, node)
+	}
+	return cl, nil
+}
+
+// Node returns the context of compute node i (for inspection in tests).
+func (cl *Cluster) Node(i int) *Node { return cl.nodes[i] }
+
+// Spawn registers main as compute node i's process. Call once per node
+// before Run.
+func (cl *Cluster) Spawn(i int, main func(p *sim.Proc, n *Node)) {
+	node := cl.nodes[i]
+	proc := cl.Sim.Spawn(fmt.Sprintf("cn%d", i), func(p *sim.Proc) { main(p, node) })
+	cl.mains = append(cl.mains, proc)
+}
+
+// SpawnAll registers the same main on every compute node (SPMD style).
+func (cl *Cluster) SpawnAll(main func(p *sim.Proc, n *Node)) {
+	for i := range cl.nodes {
+		cl.Spawn(i, main)
+	}
+}
+
+// Run executes the simulation: node mains run to completion, then the
+// infrastructure (daemons, ARM) is shut down. It returns the first
+// simulation error and the final virtual time.
+func (cl *Cluster) Run() (sim.Time, error) {
+	cl.Sim.Spawn("teardown", func(p *sim.Proc) {
+		for _, m := range cl.mains {
+			m.Done().Await(p)
+		}
+		// Auto-release: any accelerator still held when a job's main
+		// returned is wiped and returned to the pool.
+		for _, n := range cl.nodes {
+			leftovers := n.ARM.Held()
+			if len(leftovers) == 0 {
+				continue
+			}
+			for _, h := range leftovers {
+				if err := n.FE.Attach(h.Rank).Reset(p); err != nil {
+					panic(fmt.Sprintf("cluster: auto-release reset: %v", err))
+				}
+			}
+			if err := n.ARM.Release(p, leftovers); err != nil {
+				panic(fmt.Sprintf("cluster: auto-release: %v", err))
+			}
+		}
+		node := cl.nodes[0]
+		for _, d := range cl.Daemons {
+			// Shutdown through the regular protocol, from CN 0's front-end.
+			ac := node.FE.Attach(d.Rank())
+			if err := ac.Shutdown(p); err != nil {
+				panic(fmt.Sprintf("cluster: daemon shutdown: %v", err))
+			}
+		}
+		if err := node.ARM.Shutdown(p); err != nil {
+			panic(fmt.Sprintf("cluster: arm shutdown: %v", err))
+		}
+	})
+	err := cl.Sim.Run()
+	return cl.Sim.Now(), err
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"dynacc/internal/sim"
+)
+
+// AccelReport summarizes one accelerator node's activity.
+type AccelReport struct {
+	ID          int
+	GPUBusy     float64 // fraction of elapsed time the device was busy
+	BytesIn     int64
+	BytesOut    int64
+	Launches    int64
+	Requests    int64
+	StagingPeak int64
+	NetTxBusy   float64
+	NetRxBusy   float64
+}
+
+// NodeReport summarizes one compute node's network activity.
+type NodeReport struct {
+	Rank          int
+	TxBusy        float64
+	RxBusy        float64
+	BytesSent     int64
+	BytesReceived int64
+}
+
+// Report is a cluster-wide activity snapshot, typically taken after Run.
+type Report struct {
+	Elapsed sim.Duration
+	Accels  []AccelReport
+	Nodes   []NodeReport
+}
+
+// Report aggregates device, daemon and NIC counters into a utilization
+// snapshot over the elapsed virtual time.
+func (cl *Cluster) Report() Report {
+	elapsed := sim.Duration(cl.Sim.Now())
+	r := Report{Elapsed: elapsed}
+	frac := func(d sim.Duration) float64 {
+		if elapsed <= 0 {
+			return 0
+		}
+		return d.Seconds() / elapsed.Seconds()
+	}
+	for i, d := range cl.Daemons {
+		st := d.Device().Stats()
+		ds := d.Stats()
+		traffic := cl.World.Traffic(d.Rank())
+		r.Accels = append(r.Accels, AccelReport{
+			ID:          i,
+			GPUBusy:     frac(st.Busy),
+			BytesIn:     st.BytesIn,
+			BytesOut:    st.BytesOut,
+			Launches:    st.Launches,
+			Requests:    ds.Requests,
+			StagingPeak: ds.StagingPeak,
+			NetTxBusy:   frac(traffic.TxBusy),
+			NetRxBusy:   frac(traffic.RxBusy),
+		})
+	}
+	for _, n := range cl.nodes {
+		traffic := cl.World.Traffic(n.Rank) // compute nodes are world ranks 0..CN-1
+		r.Nodes = append(r.Nodes, NodeReport{
+			Rank:          n.Rank,
+			TxBusy:        frac(traffic.TxBusy),
+			RxBusy:        frac(traffic.RxBusy),
+			BytesSent:     traffic.BytesSent,
+			BytesReceived: traffic.BytesReceived,
+		})
+	}
+	return r
+}
+
+// String renders the report as an aligned text block.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster activity over %v\n", r.Elapsed)
+	if len(r.Accels) > 0 {
+		fmt.Fprintf(&b, "%-6s %8s %10s %10s %8s %8s %8s %8s\n",
+			"accel", "gpu-busy", "bytes-in", "bytes-out", "launch", "reqs", "net-tx", "net-rx")
+		for _, a := range r.Accels {
+			fmt.Fprintf(&b, "ac%-4d %7.1f%% %10d %10d %8d %8d %7.1f%% %7.1f%%\n",
+				a.ID, a.GPUBusy*100, a.BytesIn, a.BytesOut, a.Launches, a.Requests,
+				a.NetTxBusy*100, a.NetRxBusy*100)
+		}
+	}
+	if len(r.Nodes) > 0 {
+		fmt.Fprintf(&b, "%-6s %8s %8s %12s %12s\n", "node", "net-tx", "net-rx", "bytes-sent", "bytes-recv")
+		for _, n := range r.Nodes {
+			fmt.Fprintf(&b, "cn%-4d %7.1f%% %7.1f%% %12d %12d\n",
+				n.Rank, n.TxBusy*100, n.RxBusy*100, n.BytesSent, n.BytesReceived)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"dynacc/internal/sim"
+)
+
+func TestReportCountsActivity(t *testing.T) {
+	cl, err := New(Config{ComputeNodes: 2, Accelerators: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4 << 20
+	cl.Spawn(0, func(p *sim.Proc, node *Node) {
+		h, err := node.ARM.Acquire(p, 1, false)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer node.ARM.Release(p, h)
+		ac := node.Attach(h[0])
+		ptr, err := ac.MemAlloc(p, n)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := ac.MemcpyH2D(p, ptr, 0, nil, n); err != nil {
+			t.Error(err)
+		}
+		if err := ac.MemcpyD2H(p, nil, ptr, 0, n/2); err != nil {
+			t.Error(err)
+		}
+	})
+	cl.Spawn(1, func(p *sim.Proc, node *Node) {})
+	if _, err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r := cl.Report()
+	if r.Elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	if len(r.Accels) != 1 || len(r.Nodes) != 2 {
+		t.Fatalf("report shape: %d accels, %d nodes", len(r.Accels), len(r.Nodes))
+	}
+	a := r.Accels[0]
+	if a.BytesIn != n || a.BytesOut != n/2 {
+		t.Errorf("device bytes = %d in, %d out", a.BytesIn, a.BytesOut)
+	}
+	if a.GPUBusy <= 0 || a.GPUBusy > 1 {
+		t.Errorf("GPU busy = %v", a.GPUBusy)
+	}
+	if a.Requests == 0 {
+		t.Error("no requests recorded")
+	}
+	// Node 0 moved the payloads; node 1 idled.
+	if r.Nodes[0].BytesSent <= r.Nodes[1].BytesSent {
+		t.Errorf("node byte accounting: %d vs %d", r.Nodes[0].BytesSent, r.Nodes[1].BytesSent)
+	}
+	text := r.String()
+	for _, want := range []string{"cluster activity", "ac0", "cn0", "gpu-busy"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report text missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"dynacc/internal/gpu"
+	"dynacc/internal/minimpi"
+	"dynacc/internal/netmodel"
+	"dynacc/internal/sim"
+)
+
+// BenchmarkSimulated16MiBPipeline measures the wall-time cost of
+// simulating one pipelined 16 MiB host-to-device copy end to end
+// (request, 128 block messages, DMA overlap, response).
+func BenchmarkSimulated16MiBPipeline(b *testing.B) {
+	s := sim.New()
+	w, err := minimpi.NewWorld(s, 2, netmodel.QDRInfiniBand())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := gpu.NewDevice(s, gpu.Config{Model: gpu.TeslaC1060()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	daemon := NewDaemon(w.Comm(1), dev, DefaultDaemonConfig())
+	s.Spawn("daemon", daemon.Run)
+	s.Spawn("cn", func(p *sim.Proc) {
+		client, err := NewClient(w.Comm(0), DefaultOptions())
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		ac := client.Attach(1)
+		ptr, err := ac.MemAlloc(p, 16<<20)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			if err := ac.MemcpyH2D(p, ptr, 0, nil, 16<<20); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		ac.Shutdown(p)
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

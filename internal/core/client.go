@@ -1,0 +1,465 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dynacc/internal/gpu"
+	"dynacc/internal/minimpi"
+	"dynacc/internal/sim"
+)
+
+// ErrTimeout reports that an accelerator stopped answering within the
+// configured request timeout — the client-side half of the paper's fault
+// tolerance story (a broken accelerator must not take the compute node
+// down with it).
+var ErrTimeout = errors.New("core: request timed out; accelerator unreachable")
+
+// Options configures a front-end's copy protocols.
+type Options struct {
+	// H2D and D2H select the memory-copy protocol per direction. The
+	// defaults are the paper's tuned choices: adaptive 128 KiB/512 KiB
+	// blocks for host-to-device and a 128 KiB pipeline for
+	// device-to-host.
+	H2D CopyConfig
+	D2H CopyConfig
+	// Timeout bounds every request round trip; zero waits forever. With a
+	// timeout set, calls against a dead accelerator fail with ErrTimeout
+	// instead of blocking the compute node.
+	Timeout sim.Duration
+}
+
+// DefaultOptions returns the paper's best-performing configuration.
+func DefaultOptions() Options {
+	return Options{
+		H2D: PaperAdaptive(),
+		D2H: PaperPipeline(128 * 1024),
+	}
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if err := o.H2D.Validate(); err != nil {
+		return err
+	}
+	return o.D2H.Validate()
+}
+
+// Client is the front-end of the computation API: it lives in a
+// compute-node process and forwards ac* calls to accelerator daemons.
+type Client struct {
+	comm    *minimpi.Comm
+	opts    Options
+	nextReq uint64
+}
+
+// NewClient creates a front-end on the given communicator.
+func NewClient(comm *minimpi.Comm, opts Options) (*Client, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Client{comm: comm, opts: opts}, nil
+}
+
+// Options returns the client's protocol configuration.
+func (c *Client) Options() Options { return c.opts }
+
+// Attach binds an accelerator handle (the communicator rank its daemon
+// listens on) and returns the per-accelerator API object. The handle is
+// what the ARM's Acquire returned.
+func (c *Client) Attach(daemonRank int) *Accel {
+	return &Accel{c: c, rank: daemonRank}
+}
+
+// Accel is the paper's accelerator handle: every computation-API call
+// names it explicitly (acMemAlloc(args, ac_handle), ...).
+type Accel struct {
+	c    *Client
+	rank int
+}
+
+// Rank returns the communicator rank of the accelerator's daemon.
+func (a *Accel) Rank() int { return a.rank }
+
+// Client returns the front-end this handle belongs to.
+func (a *Accel) Client() *Client { return a.c }
+
+// Pending is an in-flight asynchronous operation.
+type Pending struct {
+	done *sim.Event
+	err  error
+}
+
+// Wait blocks until the operation completes and returns its error.
+func (pd *Pending) Wait(p *sim.Proc) error {
+	pd.done.Await(p)
+	return pd.err
+}
+
+// Done exposes the completion event for WaitAny-style composition.
+func (pd *Pending) Done() *sim.Event { return pd.done }
+
+// sendReq serializes and ships a request header, returning the pending
+// response receive.
+func (a *Accel) sendReq(q *request) *minimpi.Request {
+	a.c.nextReq++
+	q.reqID = a.c.nextReq
+	resp := a.c.comm.Irecv(a.rank, respTag(q.reqID))
+	a.c.comm.Isend(a.rank, TagRequest, encodeRequest(q))
+	return resp
+}
+
+// awaitReq waits for a request with the accelerator's timeout policy.
+func (a *Accel) awaitReq(p *sim.Proc, req *minimpi.Request) ([]byte, minimpi.Status, error) {
+	if t := a.c.opts.Timeout; t > 0 {
+		data, st, ok := req.WaitTimeout(p, t)
+		if !ok {
+			return nil, minimpi.Status{}, ErrTimeout
+		}
+		return data, st, nil
+	}
+	data, st := req.Wait(p)
+	return data, st, nil
+}
+
+func (a *Accel) waitResp(p *sim.Proc, resp *minimpi.Request) (*response, error) {
+	data, _, err := a.awaitReq(p, resp)
+	if err != nil {
+		return nil, err
+	}
+	return decodeResponse(data)
+}
+
+func (a *Accel) statusOnly(p *sim.Proc, resp *minimpi.Request) error {
+	rsp, err := a.waitResp(p, resp)
+	if err != nil {
+		return err
+	}
+	return rsp.err()
+}
+
+// MemAlloc allocates n bytes on the accelerator (acMemAlloc).
+func (a *Accel) MemAlloc(p *sim.Proc, n int) (gpu.Ptr, error) {
+	resp := a.sendReq(&request{op: OpMemAlloc, size: n})
+	rsp, err := a.waitResp(p, resp)
+	if err != nil {
+		return 0, err
+	}
+	if err := rsp.err(); err != nil {
+		return 0, err
+	}
+	return rsp.ptr, nil
+}
+
+// MemFree releases device memory (acMemFree).
+func (a *Accel) MemFree(p *sim.Proc, ptr gpu.Ptr) error {
+	return a.statusOnly(p, a.sendReq(&request{op: OpMemFree, ptr: ptr}))
+}
+
+// MemcpyH2D copies n bytes of host memory into device memory at dst+off
+// (acMemCpy, host→device). src may be nil in model mode: the transfer
+// then carries only its size. The call uses the client's H2D protocol and
+// completes when the daemon acknowledges the full payload.
+func (a *Accel) MemcpyH2D(p *sim.Proc, dst gpu.Ptr, off int, src []byte, n int) error {
+	pd := a.MemcpyH2DAsync(dst, off, src, n, 0)
+	return pd.Wait(p)
+}
+
+// MemcpyH2DAsync starts a host-to-device copy on the given stream and
+// returns immediately; the payload is streamed by a helper process.
+func (a *Accel) MemcpyH2DAsync(dst gpu.Ptr, off int, src []byte, n int, stream uint8) *Pending {
+	return a.MemcpyH2D2DAsync(dst, off, n, 1, n, src, stream)
+}
+
+// MemcpyH2D2D copies a strided device window (the cudaMemcpy2D
+// analogue): cols columns of colBytes bytes land pitch bytes apart at
+// dst+off. src is the packed host data (colBytes*cols bytes, or nil in
+// model mode).
+func (a *Accel) MemcpyH2D2D(p *sim.Proc, dst gpu.Ptr, off, colBytes, cols, pitch int, src []byte) error {
+	return a.MemcpyH2D2DAsync(dst, off, colBytes, cols, pitch, src, 0).Wait(p)
+}
+
+// MemcpyH2D2DAsync is the asynchronous strided host-to-device copy.
+func (a *Accel) MemcpyH2D2DAsync(dst gpu.Ptr, off, colBytes, cols, pitch int, src []byte, stream uint8) *Pending {
+	pd := &Pending{done: sim.NewEvent(a.sim())}
+	n := colBytes * cols
+	if src != nil && len(src) != n {
+		pd.err = fmt.Errorf("core: MemcpyH2D: src has %d bytes, geometry says %d", len(src), n)
+		pd.done.Trigger()
+		return pd
+	}
+	if colBytes < 0 || cols <= 0 || pitch < colBytes {
+		pd.err = fmt.Errorf("core: MemcpyH2D: invalid geometry colBytes=%d cols=%d pitch=%d", colBytes, cols, pitch)
+		pd.done.Trigger()
+		return pd
+	}
+	block, depth := a.c.opts.H2D.resolve(n)
+	q := &request{op: OpMemcpyH2D, stream: stream, ptr: dst, off: off, size: n,
+		cols: cols, pitch: pitch, block: block, depth: depth}
+	resp := a.sendReq(q)
+	tag := dataTag(q.reqID)
+	a.sim().Spawn("h2d-sender", func(hp *sim.Proc) {
+		nb := numBlocks(n, block)
+		sends := make([]*minimpi.Request, 0, nb)
+		for i := 0; i < nb; i++ {
+			lo := i * block
+			hi := lo + block
+			if hi > n {
+				hi = n
+			}
+			if src != nil {
+				sends = append(sends, a.c.comm.Isend(a.rank, tag, src[lo:hi]))
+			} else {
+				sends = append(sends, a.c.comm.IsendSized(a.rank, tag, hi-lo))
+			}
+		}
+		for i, sreq := range sends {
+			if _, _, err := a.awaitReq(hp, sreq); err != nil {
+				// Abandon the rest of the payload (the peer is considered
+				// dead); canceling releases the in-flight transfers.
+				for _, rest := range sends[i:] {
+					rest.Cancel()
+				}
+				pd.err = err
+				pd.done.Trigger()
+				return
+			}
+		}
+		pd.err = a.statusOnly(hp, resp)
+		pd.done.Trigger()
+	})
+	return pd
+}
+
+// MemcpyD2H copies n bytes of device memory at src+off into dst
+// (acMemCpy, device→host). dst may be nil in model mode.
+func (a *Accel) MemcpyD2H(p *sim.Proc, dst []byte, src gpu.Ptr, off, n int) error {
+	return a.MemcpyD2HAsync(dst, src, off, n, 0).Wait(p)
+}
+
+// MemcpyD2HAsync starts a device-to-host copy on the given stream; the
+// blocks are drained into dst by a helper process.
+func (a *Accel) MemcpyD2HAsync(dst []byte, src gpu.Ptr, off, n int, stream uint8) *Pending {
+	return a.MemcpyD2H2DAsync(dst, src, off, n, 1, n, stream)
+}
+
+// MemcpyD2H2D copies a strided device window into packed host memory, the
+// inverse of MemcpyH2D2D.
+func (a *Accel) MemcpyD2H2D(p *sim.Proc, dst []byte, src gpu.Ptr, off, colBytes, cols, pitch int) error {
+	return a.MemcpyD2H2DAsync(dst, src, off, colBytes, cols, pitch, 0).Wait(p)
+}
+
+// MemcpyD2H2DAsync is the asynchronous strided device-to-host copy.
+func (a *Accel) MemcpyD2H2DAsync(dst []byte, src gpu.Ptr, off, colBytes, cols, pitch int, stream uint8) *Pending {
+	pd := &Pending{done: sim.NewEvent(a.sim())}
+	n := colBytes * cols
+	if dst != nil && len(dst) != n {
+		pd.err = fmt.Errorf("core: MemcpyD2H: dst has %d bytes, geometry says %d", len(dst), n)
+		pd.done.Trigger()
+		return pd
+	}
+	if colBytes < 0 || cols <= 0 || pitch < colBytes {
+		pd.err = fmt.Errorf("core: MemcpyD2H: invalid geometry colBytes=%d cols=%d pitch=%d", colBytes, cols, pitch)
+		pd.done.Trigger()
+		return pd
+	}
+	block, depth := a.c.opts.D2H.resolve(n)
+	q := &request{op: OpMemcpyD2H, stream: stream, ptr: src, off: off, size: n,
+		cols: cols, pitch: pitch, block: block, depth: depth}
+	resp := a.sendReq(q)
+	tag := dataTag(q.reqID)
+	a.sim().Spawn("d2h-receiver", func(hp *sim.Proc) {
+		nb := numBlocks(n, block)
+		for i := 0; i < nb; i++ {
+			data, _, err := a.awaitReq(hp, a.c.comm.Irecv(a.rank, tag))
+			if err != nil {
+				pd.err = err
+				pd.done.Trigger()
+				return
+			}
+			if dst != nil && data != nil {
+				copy(dst[i*block:], data)
+			}
+		}
+		pd.err = a.statusOnly(hp, resp)
+		pd.done.Trigger()
+	})
+	return pd
+}
+
+// Memset fills n bytes of device memory at dst+off with value
+// (acMemSet / cuMemsetD8).
+func (a *Accel) Memset(p *sim.Proc, dst gpu.Ptr, off, n int, value byte) error {
+	return a.MemsetAsync(dst, off, n, value, 0).Wait(p)
+}
+
+// MemsetAsync queues the fill on a stream.
+func (a *Accel) MemsetAsync(dst gpu.Ptr, off, n int, value byte, stream uint8) *Pending {
+	pd := &Pending{done: sim.NewEvent(a.sim())}
+	if n < 0 {
+		pd.err = fmt.Errorf("core: Memset: negative size %d", n)
+		pd.done.Trigger()
+		return pd
+	}
+	q := &request{op: OpMemset, stream: stream, ptr: dst, off: off, size: n, value: value}
+	resp := a.sendReq(q)
+	a.armTimeout(pd)
+	resp.Done().OnTrigger(func() {
+		if pd.done.Triggered() {
+			return
+		}
+		rsp, err := waitRespNow(resp)
+		if err != nil {
+			pd.err = err
+		} else {
+			pd.err = rsp.err()
+		}
+		pd.done.Trigger()
+	})
+	return pd
+}
+
+// Kernel is a client-side kernel object, created per the paper's
+// three-step launch: acKernelCreate, acKernelSetArgs, acKernelRun.
+type Kernel struct {
+	a    *Accel
+	name string
+	args []gpu.Value
+}
+
+// KernelCreate names a kernel on this accelerator (acKernelCreate). The
+// name is resolved by the daemon at launch time.
+func (a *Accel) KernelCreate(name string) *Kernel {
+	return &Kernel{a: a, name: name}
+}
+
+// SetArgs replaces the kernel's argument list (acKernelSetArgs).
+func (k *Kernel) SetArgs(args ...gpu.Value) *Kernel {
+	k.args = append(k.args[:0], args...)
+	return k
+}
+
+// Run launches the kernel with the given configuration and blocks until
+// it has executed on the accelerator (acKernelRun).
+func (k *Kernel) Run(p *sim.Proc, grid, block gpu.Dim3) error {
+	return k.RunAsync(grid, block, 0).Wait(p)
+}
+
+// RunAsync launches the kernel on a stream and returns immediately; the
+// returned Pending completes when the daemon reports the kernel finished.
+func (k *Kernel) RunAsync(grid, block gpu.Dim3, stream uint8) *Pending {
+	pd := &Pending{done: sim.NewEvent(k.a.sim())}
+	q := &request{
+		op:     OpKernelRun,
+		stream: stream,
+		kernel: k.name,
+		launch: gpu.Launch{Grid: grid, Block: block, Args: append([]gpu.Value(nil), k.args...)},
+	}
+	resp := k.a.sendReq(q)
+	k.a.armTimeout(pd)
+	resp.Done().OnTrigger(func() {
+		if pd.done.Triggered() {
+			return // already timed out
+		}
+		rsp, err := waitRespNow(resp)
+		if err != nil {
+			pd.err = err
+		} else {
+			pd.err = rsp.err()
+		}
+		pd.done.Trigger()
+	})
+	return pd
+}
+
+// armTimeout fails the pending operation with ErrTimeout when the
+// client's request timeout elapses first.
+func (a *Accel) armTimeout(pd *Pending) {
+	t := a.c.opts.Timeout
+	if t <= 0 {
+		return
+	}
+	a.sim().After(t, func() {
+		if !pd.done.Triggered() {
+			pd.err = ErrTimeout
+			pd.done.Trigger()
+		}
+	})
+}
+
+// waitRespNow decodes an already-completed response request.
+func waitRespNow(resp *minimpi.Request) (*response, error) {
+	data, _ := resp.Result()
+	return decodeResponse(data)
+}
+
+// Sync blocks until every outstanding request on every stream of this
+// accelerator has completed (cuCtxSynchronize analogue).
+func (a *Accel) Sync(p *sim.Proc) error {
+	return a.statusOnly(p, a.sendReq(&request{op: OpSync}))
+}
+
+// Info queries the accelerator's device description.
+func (a *Accel) Info(p *sim.Proc) (DeviceInfo, error) {
+	rsp, err := a.waitResp(p, a.sendReq(&request{op: OpDeviceInfo}))
+	if err != nil {
+		return DeviceInfo{}, err
+	}
+	if err := rsp.err(); err != nil {
+		return DeviceInfo{}, err
+	}
+	return decodeDeviceInfo(rsp.payload)
+}
+
+// Reset frees every allocation on the accelerator, giving the next
+// exclusive holder a clean device. Call it before releasing the handle
+// back to the ARM.
+func (a *Accel) Reset(p *sim.Proc) error {
+	return a.statusOnly(p, a.sendReq(&request{op: OpReset}))
+}
+
+// Shutdown stops the accelerator's daemon (simulation teardown).
+func (a *Accel) Shutdown(p *sim.Proc) error {
+	return a.statusOnly(p, a.sendReq(&request{op: OpShutdown}))
+}
+
+// DirectCopy moves n bytes from src's device memory to dst's device
+// memory accelerator-to-accelerator, without staging through the compute
+// node — the capability the paper highlights that plain CUDA/OpenCL
+// clusters lack. Both daemons run the pipeline protocol against each
+// other; the call returns when both sides confirm.
+func (c *Client) DirectCopy(p *sim.Proc, src *Accel, srcPtr gpu.Ptr, srcOff int, dst *Accel, dstPtr gpu.Ptr, dstOff, n int) error {
+	return c.DirectCopy2D(p, src, srcPtr, srcOff, n, 1, n, dst, dstPtr, dstOff)
+}
+
+// DirectCopy2D is DirectCopy for a strided source window (cols columns
+// of colBytes bytes, pitch bytes apart at src); the destination receives
+// the packed bytes contiguously. The payload still flows daemon to
+// daemon only.
+func (c *Client) DirectCopy2D(p *sim.Proc, src *Accel, srcPtr gpu.Ptr, srcOff, colBytes, cols, pitch int, dst *Accel, dstPtr gpu.Ptr, dstOff int) error {
+	if src.c != c || dst.c != c {
+		return fmt.Errorf("core: DirectCopy: accelerators belong to a different client")
+	}
+	if colBytes < 0 || cols <= 0 || pitch < colBytes {
+		return fmt.Errorf("core: DirectCopy: invalid geometry colBytes=%d cols=%d pitch=%d", colBytes, cols, pitch)
+	}
+	n := colBytes * cols
+	block, depth := c.opts.D2H.resolve(n)
+	c.nextReq++
+	xferID := c.nextReq
+	sendQ := &request{op: OpD2DSend, ptr: srcPtr, off: srcOff, size: n, cols: cols, pitch: pitch,
+		block: block, depth: depth, peer: dst.rank, xferID: xferID}
+	recvQ := &request{op: OpD2DRecv, ptr: dstPtr, off: dstOff, size: n, cols: 1, pitch: n,
+		block: block, depth: depth, peer: src.rank, xferID: xferID}
+	// Post the receiver side first so its daemon is ready for the stream.
+	recvResp := dst.sendReq(recvQ)
+	sendResp := src.sendReq(sendQ)
+	errRecv := dst.statusOnly(p, recvResp)
+	errSend := src.statusOnly(p, sendResp)
+	if errSend != nil {
+		return errSend
+	}
+	return errRecv
+}
+
+func (a *Accel) sim() *sim.Simulation { return a.c.comm.World().Sim() }

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dynacc/internal/gpu"
+	"dynacc/internal/minimpi"
+	"dynacc/internal/sim"
+)
+
+// DaemonConfig tunes the back-end daemon.
+type DaemonConfig struct {
+	// PostCost is the daemon-CPU time spent per pipeline block on
+	// bookkeeping (posting the next receive, progressing MPI). Together
+	// with the device's async-copy setup cost it is the per-block overhead
+	// that makes very small blocks unprofitable for large payloads (paper
+	// Section V-A).
+	PostCost sim.Duration
+}
+
+// DefaultDaemonConfig returns the configuration used on the paper's
+// testbed emulation.
+func DefaultDaemonConfig() DaemonConfig {
+	return DaemonConfig{PostCost: 1 * sim.Microsecond}
+}
+
+// DaemonStats reports cumulative daemon activity.
+type DaemonStats struct {
+	Requests int64
+	// StagingPeak is the largest staging-memory footprint of any single
+	// copy: the whole payload for the naive protocol, depth*block for the
+	// pipeline (the paper's bounded-memory argument).
+	StagingPeak int64
+	BlocksIn    int64
+	BlocksOut   int64
+}
+
+// Daemon is the back-end running on an accelerator node: it receives
+// requests from front-ends and executes them on the local virtual GPU via
+// the driver API (paper Figure 4, right side).
+type Daemon struct {
+	comm  *minimpi.Comm
+	dev   *gpu.Device
+	cfg   DaemonConfig
+	sim   *sim.Simulation
+	stats DaemonStats
+
+	streams map[uint8]*sim.Mailbox
+	mainP   *sim.Proc
+}
+
+// NewDaemon creates a daemon serving the device on the given communicator
+// rank.
+func NewDaemon(comm *minimpi.Comm, dev *gpu.Device, cfg DaemonConfig) *Daemon {
+	return &Daemon{
+		comm:    comm,
+		dev:     dev,
+		cfg:     cfg,
+		sim:     comm.World().Sim(),
+		streams: make(map[uint8]*sim.Mailbox),
+	}
+}
+
+// Stats returns cumulative counters.
+func (d *Daemon) Stats() DaemonStats { return d.stats }
+
+// Rank returns the communicator rank the daemon serves on.
+func (d *Daemon) Rank() int { return d.comm.Rank() }
+
+// Device returns the device this daemon drives.
+func (d *Daemon) Device() *gpu.Device { return d.dev }
+
+// workItem travels from the dispatch loop to a stream worker.
+type workItem struct {
+	src  int
+	q    *request
+	sync *syncGroup
+}
+
+// syncGroup implements the cross-stream barrier behind OpSync and
+// OpShutdown: each stream worker "arrives" when it drains to the marker;
+// the last arrival completes the group.
+type syncGroup struct {
+	remaining int
+	done      *sim.Event
+	poison    bool // workers exit after arriving (shutdown)
+}
+
+func (g *syncGroup) arrive() {
+	g.remaining--
+	if g.remaining <= 0 {
+		g.done.Trigger()
+	}
+}
+
+// Run serves requests until a shutdown request arrives. Spawn it as the
+// accelerator rank's process.
+func (d *Daemon) Run(p *sim.Proc) {
+	d.mainP = p
+	for {
+		data, st := d.comm.Recv(p, minimpi.AnySource, TagRequest)
+		q, err := decodeRequest(data)
+		if err != nil {
+			// Best effort: reqID decodes before any payload error.
+			if q != nil {
+				d.respond(st.Source, q.reqID, err, 0)
+			}
+			continue
+		}
+		d.stats.Requests++
+		switch q.op {
+		case OpShutdown:
+			g := d.barrier(true)
+			g.done.Await(p)
+			d.respond(st.Source, q.reqID, nil, 0)
+			return
+		case OpSync:
+			src, reqID := st.Source, q.reqID
+			g := d.barrier(false)
+			g.done.OnTrigger(func() { d.respond(src, reqID, nil, 0) })
+		case OpDeviceInfo:
+			di := DeviceInfo{
+				ModelName: d.dev.Model().Name,
+				MemBytes:  d.dev.Model().MemBytes,
+				MemUsed:   d.dev.MemUsed(),
+				Execute:   d.dev.ExecuteMode(),
+				Kernels:   d.dev.Registry().Names(),
+			}
+			rsp := &response{status: statusOK, payload: encodeDeviceInfo(di)}
+			d.comm.Isend(st.Source, respTag(q.reqID), encodeResponse(rsp))
+		default:
+			d.stream(q.stream).Send(workItem{src: st.Source, q: q})
+		}
+	}
+}
+
+// barrier posts a sync marker to every live stream and returns the group;
+// with no live streams the group completes immediately.
+func (d *Daemon) barrier(poison bool) *syncGroup {
+	g := &syncGroup{remaining: len(d.streams), done: sim.NewEvent(d.sim), poison: poison}
+	if g.remaining == 0 {
+		g.done.Trigger()
+		return g
+	}
+	// Sorted iteration keeps event creation order — and therefore the
+	// whole simulation — deterministic.
+	ids := make([]uint8, 0, len(d.streams))
+	for id := range d.streams {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		d.streams[id].Send(workItem{sync: g})
+	}
+	return g
+}
+
+// stream returns the mailbox of a stream, starting its worker on first
+// use.
+func (d *Daemon) stream(id uint8) *sim.Mailbox {
+	if mbox, ok := d.streams[id]; ok {
+		return mbox
+	}
+	mbox := sim.NewMailbox(d.sim, fmt.Sprintf("%s.stream%d", d.dev.Name(), id))
+	d.streams[id] = mbox
+	d.mainP.Spawn(fmt.Sprintf("%s-stream%d", d.dev.Name(), id), func(p *sim.Proc) {
+		for {
+			item := mbox.Recv(p).(workItem)
+			if item.sync != nil {
+				item.sync.arrive()
+				if item.sync.poison {
+					return
+				}
+				continue
+			}
+			d.execute(p, item.src, item.q)
+		}
+	})
+	return mbox
+}
+
+// respond sends a status-only response.
+func (d *Daemon) respond(src int, reqID uint64, err error, ptr gpu.Ptr) {
+	rsp := &response{status: statusOK, ptr: ptr}
+	if err != nil {
+		rsp.status = statusError
+		rsp.errmsg = err.Error()
+	}
+	d.comm.Isend(src, respTag(reqID), encodeResponse(rsp))
+}
+
+// execute runs one request inside a stream worker.
+func (d *Daemon) execute(p *sim.Proc, src int, q *request) {
+	switch q.op {
+	case OpMemAlloc:
+		ptr, err := d.dev.MemAlloc(p, q.size)
+		d.respond(src, q.reqID, err, ptr)
+	case OpMemFree:
+		d.respond(src, q.reqID, d.dev.MemFree(p, q.ptr), 0)
+	case OpKernelRun:
+		d.respond(src, q.reqID, d.dev.LaunchKernel(p, q.kernel, q.launch), 0)
+	case OpMemset:
+		d.respond(src, q.reqID, d.dev.Memset(p, q.ptr, q.off, q.size, q.value), 0)
+	case OpReset:
+		d.dev.Reset(p)
+		d.respond(src, q.reqID, nil, 0)
+	case OpMemcpyH2D:
+		d.recvToDevice(p, src, q, src, dataTag(q.reqID))
+	case OpMemcpyD2H:
+		d.sendFromDevice(p, src, q, src, dataTag(q.reqID))
+	case OpD2DRecv:
+		d.recvToDevice(p, src, q, q.peer, d2dTag(q.xferID))
+	case OpD2DSend:
+		d.sendFromDevice(p, src, q, q.peer, d2dTag(q.xferID))
+	default:
+		d.respond(src, q.reqID, fmt.Errorf("op %d not executable on a stream", q.op), 0)
+	}
+}
+
+func (d *Daemon) noteStaging(block, depth, nb int) {
+	if nb < depth {
+		depth = nb
+	}
+	if footprint := int64(block) * int64(depth); footprint > d.stats.StagingPeak {
+		d.stats.StagingPeak = footprint
+	}
+}
+
+// geometry normalizes a copy request's strided-window description.
+func (q *request) geometry() (colBytes, cols, pitch int) {
+	cols = q.cols
+	if cols <= 0 {
+		cols = 1
+	}
+	colBytes = q.size / cols
+	pitch = q.pitch
+	if pitch <= 0 {
+		pitch = colBytes
+	}
+	return colBytes, cols, pitch
+}
+
+// recvToDevice implements the receiving half of the copy protocols: data
+// blocks arrive from dataSrc (the front-end for H2D, a peer daemon for
+// direct AC-to-AC transfers) into a bounded pool of pinned staging
+// buffers, and each block is DMA-copied to the GPU while later blocks are
+// still on the wire. The payload describes a strided device window
+// (cudaMemcpy2D style); timing flows through the per-block DMAs and the
+// bytes are placed once the payload is complete.
+func (d *Daemon) recvToDevice(p *sim.Proc, respDst int, q *request, dataSrc int, tag minimpi.Tag) {
+	nb := numBlocks(q.size, q.block)
+	if nb == 0 {
+		d.respond(respDst, q.reqID, nil, 0)
+		return
+	}
+	colBytes, cols, pitch := q.geometry()
+	rangeErr := d.dev.ValidRange(q.ptr, q.off, (cols-1)*pitch+colBytes)
+	d.noteStaging(q.block, q.depth, nb)
+	bufs := sim.NewResource(d.sim, "staging", q.depth)
+	reqs := make([]*minimpi.Request, nb)
+	posted := make([]*sim.Event, nb)
+	for i := range posted {
+		posted[i] = sim.NewEvent(d.sim)
+	}
+	// The poster keeps `depth` receives outstanding: a receive is posted
+	// as soon as a staging buffer frees up, which is what grants the
+	// sender's rendezvous clearance (flow control comes for free).
+	p.Spawn("pipeline-poster", func(pp *sim.Proc) {
+		for i := 0; i < nb; i++ {
+			bufs.Acquire(pp, 1)
+			reqs[i] = d.comm.Irecv(dataSrc, tag)
+			posted[i].Trigger()
+		}
+	})
+	var assembled []byte
+	dmaDone := make([]*sim.Event, nb)
+	for i := 0; i < nb; i++ {
+		posted[i].Await(p)
+		data, st := reqs[i].Wait(p)
+		d.stats.BlocksIn++
+		if data != nil && rangeErr == nil {
+			if assembled == nil {
+				assembled = make([]byte, 0, q.size)
+			}
+			assembled = append(assembled, data...)
+		}
+		// Per-block CPU work: progress the receive, post the async DMA.
+		p.Wait(d.cfg.PostCost + d.dev.AsyncSetupCost())
+		ev := sim.NewEvent(d.sim)
+		dmaDone[i] = ev
+		sz := st.Size
+		p.Spawn("pipeline-dma", func(dp *sim.Proc) {
+			// GPUDirect: the staging buffer is registered with both the
+			// NIC and the GPU, so this is a pinned DMA.
+			d.dev.CopyEngineTransfer(dp, sz, true, true)
+			bufs.Release(1)
+			ev.Trigger()
+		})
+	}
+	for _, ev := range dmaDone {
+		ev.Await(p)
+	}
+	firstErr := rangeErr
+	if firstErr == nil && assembled != nil {
+		if err := d.dev.ScatterColumns(q.ptr, q.off, colBytes, cols, pitch, assembled); err != nil {
+			firstErr = err
+		}
+	}
+	d.respond(respDst, q.reqID, firstErr, 0)
+}
+
+// sendFromDevice implements the sending half: blocks are DMA-copied from
+// the GPU into staging buffers and sent to dataDst while the next block's
+// DMA proceeds.
+func (d *Daemon) sendFromDevice(p *sim.Proc, respDst int, q *request, dataDst int, tag minimpi.Tag) {
+	nb := numBlocks(q.size, q.block)
+	if nb == 0 {
+		d.respond(respDst, q.reqID, nil, 0)
+		return
+	}
+	colBytes, cols, pitch := q.geometry()
+	d.noteStaging(q.block, q.depth, nb)
+	// Validate the device range and gather the (execute-mode) bytes once:
+	// when the range is bad, the protocol still ships nb empty blocks so
+	// the receiver stays in lockstep, and the error travels in the
+	// response. Timing flows through the per-block DMA+send pipeline.
+	firstErr := d.dev.ValidRange(q.ptr, q.off, (cols-1)*pitch+colBytes)
+	var gathered []byte
+	if firstErr == nil {
+		var err error
+		if gathered, err = d.dev.GatherColumns(q.ptr, q.off, colBytes, cols, pitch); err != nil {
+			firstErr = err
+		}
+	}
+	rangeErr := firstErr
+	bufs := sim.NewResource(d.sim, "staging", q.depth)
+	done := make([]*sim.Event, nb)
+	for i := 0; i < nb; i++ {
+		bufs.Acquire(p, 1)
+		p.Wait(d.cfg.PostCost + d.dev.AsyncSetupCost())
+		ev := sim.NewEvent(d.sim)
+		done[i] = ev
+		lo := i * q.block
+		hi := lo + q.block
+		if hi > q.size {
+			hi = q.size
+		}
+		sz := hi - lo
+		p.Spawn("pipeline-d2h", func(dp *sim.Proc) {
+			var sendReq *minimpi.Request
+			switch {
+			case rangeErr != nil:
+				sendReq = d.comm.IsendSized(dataDst, tag, 0)
+			case gathered != nil:
+				d.dev.CopyEngineTransfer(dp, sz, false, true)
+				sendReq = d.comm.Isend(dataDst, tag, gathered[lo:hi])
+			default:
+				d.dev.CopyEngineTransfer(dp, sz, false, true)
+				sendReq = d.comm.IsendSized(dataDst, tag, sz)
+			}
+			sendReq.Wait(dp)
+			d.stats.BlocksOut++
+			bufs.Release(1)
+			ev.Trigger()
+		})
+	}
+	for _, ev := range done {
+		ev.Await(p)
+	}
+	d.respond(respDst, q.reqID, firstErr, 0)
+}

@@ -1,0 +1,403 @@
+// Package core implements the paper's dynamic accelerator-cluster
+// middleware: the front-end computation API a compute node links against
+// (the ac* calls of Listing 2) and the back-end daemon that executes the
+// requests on an accelerator's GPU (paper Figure 4).
+//
+// Every API call is a request/response exchange over minimpi — the
+// paper's "two MPI messages per request". Bulk payloads of the memory
+// copy operations additionally travel as a stream of block messages
+// governed by a copy protocol:
+//
+//   - Naive: the whole payload is one message, fully staged in the
+//     accelerator node's main memory before a single DMA moves it to the
+//     GPU (and symmetrically for device-to-host).
+//   - Pipeline: the payload is split into fixed-size blocks; while block
+//     i+1 is still in flight on the network, block i is already being
+//     DMA-copied from the shared pinned staging buffers into GPU memory —
+//     the GPUDirect-style overlap of the paper's Section IV.
+//   - Adaptive: pipeline with a size-dependent block size (the paper's
+//     best configuration: 128 KiB blocks below ~9 MiB, 512 KiB above).
+//
+// Requests carry a stream identifier; requests on the same stream execute
+// in order on the accelerator while different streams may overlap (copies
+// overlap kernels), mirroring CUDA stream semantics that MAGMA-style
+// lookahead codes rely on.
+package core
+
+import (
+	"fmt"
+
+	"dynacc/internal/gpu"
+	"dynacc/internal/minimpi"
+	"dynacc/internal/wire"
+)
+
+// Message tags used between a front-end and its accelerators' daemons.
+// They live below arm.TagRequest (1<<20) so both protocols share a
+// communicator safely. Response and data tags are offset by the request
+// sequence number modulo tagWindow, which keeps concurrent requests apart
+// without unbounded tag growth.
+const (
+	// TagRequest carries request headers to a daemon.
+	TagRequest minimpi.Tag = 10
+	// tag bases for responses, copy-block streams and direct AC-to-AC
+	// transfers.
+	tagRespBase minimpi.Tag = 1 << 16
+	tagDataBase minimpi.Tag = 2 << 16
+	tagD2DBase  minimpi.Tag = 3 << 16
+	tagWindow               = 1 << 15
+)
+
+func respTag(reqID uint64) minimpi.Tag { return tagRespBase + minimpi.Tag(reqID%tagWindow) }
+func dataTag(reqID uint64) minimpi.Tag { return tagDataBase + minimpi.Tag(reqID%tagWindow) }
+func d2dTag(xferID uint64) minimpi.Tag { return tagD2DBase + minimpi.Tag(xferID%tagWindow) }
+
+// Op codes of the request protocol.
+const (
+	OpMemAlloc uint8 = iota + 1
+	OpMemFree
+	OpMemcpyH2D
+	OpMemcpyD2H
+	OpKernelRun
+	OpSync
+	OpDeviceInfo
+	OpD2DSend
+	OpD2DRecv
+	OpMemset
+	OpReset
+	OpShutdown
+)
+
+// Response status codes.
+const (
+	statusOK uint8 = iota
+	statusError
+)
+
+// ProtocolKind selects the memory-copy protocol.
+type ProtocolKind uint8
+
+// Copy protocol kinds.
+const (
+	// Naive stages the complete payload in accelerator main memory before
+	// the single host↔device copy (paper Figure 5 "naive").
+	Naive ProtocolKind = iota + 1
+	// Pipeline splits the payload into fixed-size blocks and overlaps
+	// network transfer with host↔device DMA.
+	Pipeline
+	// Adaptive is Pipeline with a block size chosen from the payload size.
+	Adaptive
+)
+
+func (k ProtocolKind) String() string {
+	switch k {
+	case Naive:
+		return "naive"
+	case Pipeline:
+		return "pipeline"
+	case Adaptive:
+		return "adaptive"
+	default:
+		return fmt.Sprintf("protocol(%d)", uint8(k))
+	}
+}
+
+// CopyConfig describes how acMemCpy payloads move.
+type CopyConfig struct {
+	Kind ProtocolKind
+	// Block is the pipeline block size in bytes.
+	Block int
+	// SmallBlock/LargeBlock/Threshold configure Adaptive: payloads below
+	// Threshold use SmallBlock, others LargeBlock.
+	SmallBlock, LargeBlock, Threshold int
+	// Depth is the number of pinned staging buffers at the daemon
+	// (bounded memory: Depth*block bytes). Zero means DefaultDepth.
+	Depth int
+}
+
+// DefaultDepth is the staging-buffer count used when CopyConfig.Depth is
+// zero: enough to keep the network and the DMA engine busy concurrently.
+const DefaultDepth = 4
+
+// PaperAdaptive returns the paper's tuned host-to-device configuration:
+// 128 KiB blocks for payloads under 9 MiB and 512 KiB blocks above
+// ("pipeline-128-512K" in Figure 5).
+func PaperAdaptive() CopyConfig {
+	return CopyConfig{
+		Kind:       Adaptive,
+		SmallBlock: 128 * 1024,
+		LargeBlock: 512 * 1024,
+		Threshold:  9 * 1024 * 1024,
+	}
+}
+
+// PaperPipeline returns a fixed-block pipeline configuration.
+func PaperPipeline(block int) CopyConfig {
+	return CopyConfig{Kind: Pipeline, Block: block}
+}
+
+// PaperNaive returns the naive configuration.
+func PaperNaive() CopyConfig { return CopyConfig{Kind: Naive} }
+
+// Validate reports whether the configuration is usable.
+func (c CopyConfig) Validate() error {
+	if c.Depth < 0 {
+		return fmt.Errorf("core: negative pipeline depth %d", c.Depth)
+	}
+	switch c.Kind {
+	case Naive:
+		return nil
+	case Pipeline:
+		if c.Block <= 0 {
+			return fmt.Errorf("core: pipeline block size must be positive, got %d", c.Block)
+		}
+	case Adaptive:
+		if c.SmallBlock <= 0 || c.LargeBlock <= 0 || c.Threshold < 0 {
+			return fmt.Errorf("core: adaptive config %+v invalid", c)
+		}
+	default:
+		return fmt.Errorf("core: unknown copy protocol %d", c.Kind)
+	}
+	return nil
+}
+
+// resolve returns the concrete (blockSize, depth) for a payload of n
+// bytes. Naive is a single block of the payload size with one buffer.
+func (c CopyConfig) resolve(n int) (block, depth int) {
+	depth = c.Depth
+	if depth == 0 {
+		depth = DefaultDepth
+	}
+	switch c.Kind {
+	case Naive:
+		return n, 1
+	case Adaptive:
+		if n < c.Threshold {
+			block = c.SmallBlock
+		} else {
+			block = c.LargeBlock
+		}
+	default:
+		block = c.Block
+	}
+	if block > n {
+		block = n
+	}
+	return block, depth
+}
+
+// numBlocks returns the block count of an n-byte payload at the given
+// block size.
+func numBlocks(n, block int) int {
+	if n == 0 {
+		return 0
+	}
+	return (n + block - 1) / block
+}
+
+// request is a decoded request header.
+type request struct {
+	op     uint8
+	reqID  uint64
+	stream uint8
+
+	// memory ops; size is the total payload in bytes. A copy is a strided
+	// window of cols columns of size/cols bytes each, pitch bytes apart on
+	// the device (cols == 1 means contiguous).
+	ptr   gpu.Ptr
+	off   int
+	size  int
+	cols  int
+	pitch int
+	block int
+	depth int
+
+	// kernel ops
+	kernel string
+	launch gpu.Launch
+
+	// D2D ops
+	peer   int // world rank of the partner daemon
+	xferID uint64
+
+	// memset
+	value uint8
+}
+
+// encodeRequest serializes a request header.
+func encodeRequest(q *request) []byte {
+	w := wire.NewWriter(64)
+	w.U8(q.op).U64(q.reqID).U8(q.stream)
+	switch q.op {
+	case OpMemAlloc:
+		w.Int(q.size)
+	case OpMemFree:
+		w.U64(uint64(q.ptr))
+	case OpMemcpyH2D, OpMemcpyD2H:
+		w.U64(uint64(q.ptr)).Int(q.off).Int(q.size).Int(q.cols).Int(q.pitch).Int(q.block).Int(q.depth)
+	case OpKernelRun:
+		w.Str(q.kernel)
+		for _, d := range []gpu.Dim3{q.launch.Grid, q.launch.Block} {
+			w.Int(d.X).Int(d.Y).Int(d.Z)
+		}
+		w.Int(len(q.launch.Args))
+		for _, a := range q.launch.Args {
+			w.U8(uint8(a.Kind))
+			switch a.Kind {
+			case gpu.KindPtr:
+				w.U64(uint64(a.Ptr))
+			case gpu.KindInt:
+				w.I64(a.Int)
+			case gpu.KindFloat:
+				w.F64(a.F64)
+			}
+		}
+	case OpD2DSend, OpD2DRecv:
+		w.Int(q.peer).U64(q.xferID).U64(uint64(q.ptr)).Int(q.off).Int(q.size).Int(q.cols).Int(q.pitch).Int(q.block).Int(q.depth)
+	case OpMemset:
+		w.U64(uint64(q.ptr)).Int(q.off).Int(q.size).U8(q.value)
+	case OpSync, OpDeviceInfo, OpReset, OpShutdown:
+		// header only
+	}
+	return w.Bytes()
+}
+
+// decodeRequest parses a request header.
+func decodeRequest(data []byte) (*request, error) {
+	r := wire.NewReader(data)
+	q := &request{op: r.U8(), reqID: r.U64(), stream: r.U8()}
+	switch q.op {
+	case OpMemAlloc:
+		q.size = r.Int()
+	case OpMemFree:
+		q.ptr = gpu.Ptr(r.U64())
+	case OpMemcpyH2D, OpMemcpyD2H:
+		q.ptr = gpu.Ptr(r.U64())
+		q.off = r.Int()
+		q.size = r.Int()
+		q.cols = r.Int()
+		q.pitch = r.Int()
+		q.block = r.Int()
+		q.depth = r.Int()
+	case OpKernelRun:
+		q.kernel = r.Str()
+		dims := make([]int, 6)
+		for i := range dims {
+			dims[i] = r.Int()
+		}
+		q.launch.Grid = gpu.Dim3{X: dims[0], Y: dims[1], Z: dims[2]}
+		q.launch.Block = gpu.Dim3{X: dims[3], Y: dims[4], Z: dims[5]}
+		nargs := r.Int()
+		if nargs < 0 || nargs > 1<<16 {
+			return nil, fmt.Errorf("core: implausible kernel arg count %d", nargs)
+		}
+		for i := 0; i < nargs; i++ {
+			kind := gpu.ValueKind(r.U8())
+			var v gpu.Value
+			switch kind {
+			case gpu.KindPtr:
+				v = gpu.PtrArg(gpu.Ptr(r.U64()))
+			case gpu.KindInt:
+				v = gpu.IntArg(r.I64())
+			case gpu.KindFloat:
+				v = gpu.FloatArg(r.F64())
+			default:
+				return nil, fmt.Errorf("core: unknown kernel arg kind %d", kind)
+			}
+			q.launch.Args = append(q.launch.Args, v)
+		}
+	case OpD2DSend, OpD2DRecv:
+		q.peer = r.Int()
+		q.xferID = r.U64()
+		q.ptr = gpu.Ptr(r.U64())
+		q.off = r.Int()
+		q.size = r.Int()
+		q.cols = r.Int()
+		q.pitch = r.Int()
+		q.block = r.Int()
+		q.depth = r.Int()
+	case OpMemset:
+		q.ptr = gpu.Ptr(r.U64())
+		q.off = r.Int()
+		q.size = r.Int()
+		q.value = r.U8()
+	case OpSync, OpDeviceInfo, OpReset, OpShutdown:
+	default:
+		return nil, fmt.Errorf("core: unknown op %d", q.op)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("core: malformed request: %w", err)
+	}
+	return q, nil
+}
+
+// response is a decoded response.
+type response struct {
+	status  uint8
+	errmsg  string
+	ptr     gpu.Ptr // OpMemAlloc
+	payload []byte  // OpDeviceInfo
+}
+
+func encodeResponse(rsp *response) []byte {
+	w := wire.NewWriter(32)
+	w.U8(rsp.status).Str(rsp.errmsg).U64(uint64(rsp.ptr)).Blob(rsp.payload)
+	return w.Bytes()
+}
+
+func decodeResponse(data []byte) (*response, error) {
+	r := wire.NewReader(data)
+	rsp := &response{status: r.U8(), errmsg: r.Str(), ptr: gpu.Ptr(r.U64())}
+	rsp.payload = append([]byte(nil), r.Blob()...)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("core: malformed response: %w", err)
+	}
+	return rsp, nil
+}
+
+// remoteError is an error reported by a daemon.
+type remoteError struct{ msg string }
+
+func (e *remoteError) Error() string { return "core: accelerator error: " + e.msg }
+
+func (rsp *response) err() error {
+	if rsp.status == statusOK {
+		return nil
+	}
+	return &remoteError{msg: rsp.errmsg}
+}
+
+// DeviceInfo describes an attached accelerator, as reported by its
+// daemon.
+type DeviceInfo struct {
+	ModelName string
+	MemBytes  int64
+	MemUsed   int64
+	Execute   bool
+	Kernels   []string
+}
+
+func encodeDeviceInfo(di DeviceInfo) []byte {
+	w := wire.NewWriter(64)
+	w.Str(di.ModelName).I64(di.MemBytes).I64(di.MemUsed)
+	b := uint8(0)
+	if di.Execute {
+		b = 1
+	}
+	w.U8(b)
+	w.Int(len(di.Kernels))
+	for _, k := range di.Kernels {
+		w.Str(k)
+	}
+	return w.Bytes()
+}
+
+func decodeDeviceInfo(data []byte) (DeviceInfo, error) {
+	r := wire.NewReader(data)
+	di := DeviceInfo{ModelName: r.Str(), MemBytes: r.I64(), MemUsed: r.I64(), Execute: r.U8() == 1}
+	n := r.Int()
+	for i := 0; i < n && r.Err() == nil; i++ {
+		di.Kernels = append(di.Kernels, r.Str())
+	}
+	return di, r.Err()
+}

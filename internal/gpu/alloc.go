@@ -1,0 +1,155 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ptr is a device-memory address. The zero Ptr is the null pointer.
+type Ptr uint64
+
+// IsNull reports whether p is the null device pointer.
+func (p Ptr) IsNull() bool { return p == 0 }
+
+// allocAlign is the allocation granularity, matching CUDA's 256-byte
+// alignment guarantee.
+const allocAlign = 256
+
+// region is a contiguous span of device memory.
+type region struct {
+	off  uint64
+	size uint64
+}
+
+// allocator is a first-fit device-memory allocator with free-list
+// coalescing. Address 0 is reserved so that Ptr(0) means null.
+type allocator struct {
+	total uint64
+	used  uint64
+	free  []region       // sorted by offset, pairwise non-adjacent
+	live  map[Ptr]uint64 // allocation -> size
+	data  map[Ptr][]byte // execute mode: backing store per allocation
+	exec  bool
+}
+
+func newAllocator(total int64, exec bool) *allocator {
+	a := &allocator{
+		total: uint64(total),
+		free:  []region{{off: allocAlign, size: uint64(total) - allocAlign}},
+		live:  make(map[Ptr]uint64),
+		exec:  exec,
+	}
+	if exec {
+		a.data = make(map[Ptr][]byte)
+	}
+	return a
+}
+
+// errOOM mirrors CUDA_ERROR_OUT_OF_MEMORY.
+type oomError struct{ want, free uint64 }
+
+func (e *oomError) Error() string {
+	return fmt.Sprintf("gpu: out of device memory: want %d bytes, %d free", e.want, e.free)
+}
+
+// IsOOM reports whether err is a device out-of-memory failure.
+func IsOOM(err error) bool {
+	_, ok := err.(*oomError)
+	return ok
+}
+
+func roundUp(n uint64) uint64 {
+	return (n + allocAlign - 1) &^ (allocAlign - 1)
+}
+
+// alloc reserves n bytes (n > 0) and returns the device pointer.
+func (a *allocator) alloc(n int) (Ptr, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("gpu: allocation size must be positive, got %d", n)
+	}
+	want := roundUp(uint64(n))
+	for i, r := range a.free {
+		if r.size < want {
+			continue
+		}
+		p := Ptr(r.off)
+		if r.size == want {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		} else {
+			a.free[i] = region{off: r.off + want, size: r.size - want}
+		}
+		a.live[p] = want
+		a.used += want
+		if a.exec {
+			a.data[p] = make([]byte, n)
+		}
+		return p, nil
+	}
+	return 0, &oomError{want: want, free: a.total - allocAlign - a.used}
+}
+
+// freePtr releases an allocation made by alloc.
+func (a *allocator) freePtr(p Ptr) error {
+	size, ok := a.live[p]
+	if !ok {
+		return fmt.Errorf("gpu: free of invalid device pointer %#x", uint64(p))
+	}
+	delete(a.live, p)
+	if a.exec {
+		delete(a.data, p)
+	}
+	a.used -= size
+	// Insert into the sorted free list and coalesce with neighbours.
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].off > uint64(p) })
+	a.free = append(a.free, region{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = region{off: uint64(p), size: size}
+	a.coalesce(i)
+	return nil
+}
+
+func (a *allocator) coalesce(i int) {
+	// Merge with successor first, then predecessor.
+	if i+1 < len(a.free) && a.free[i].off+a.free[i].size == a.free[i+1].off {
+		a.free[i].size += a.free[i+1].size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].off+a.free[i-1].size == a.free[i].off {
+		a.free[i-1].size += a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// slice resolves (p+off, n) to the backing bytes of the containing
+// allocation. Execute mode only; bounds are checked against the
+// allocation like a device segfault check.
+func (a *allocator) slice(p Ptr, off, n int) ([]byte, error) {
+	if !a.exec {
+		return nil, fmt.Errorf("gpu: data access in model mode")
+	}
+	buf, ok := a.data[p]
+	if !ok {
+		return nil, fmt.Errorf("gpu: invalid device pointer %#x", uint64(p))
+	}
+	if off < 0 || n < 0 || off+n > len(buf) {
+		return nil, fmt.Errorf("gpu: device access [%d,%d) out of allocation of %d bytes", off, off+n, len(buf))
+	}
+	return buf[off : off+n], nil
+}
+
+// reset releases every live allocation, returning the allocator to its
+// initial state.
+func (a *allocator) reset() {
+	a.free = []region{{off: allocAlign, size: a.total - allocAlign}}
+	a.used = 0
+	a.live = make(map[Ptr]uint64)
+	if a.exec {
+		a.data = make(map[Ptr][]byte)
+	}
+}
+
+// sizeOf returns the rounded size of a live allocation.
+func (a *allocator) sizeOf(p Ptr) (uint64, bool) {
+	s, ok := a.live[p]
+	return s, ok
+}

@@ -1,0 +1,56 @@
+package gpu
+
+import (
+	"testing"
+
+	"dynacc/internal/sim"
+)
+
+// BenchmarkAllocFree measures allocator throughput under churn.
+func BenchmarkAllocFree(b *testing.B) {
+	a := newAllocator(1<<30, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p1, err := a.alloc(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p2, err := a.alloc(64 * 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.freePtr(p1); err != nil {
+			b.Fatal(err)
+		}
+		if err := a.freePtr(p2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatedCopies measures the simulator cost of timed device
+// copies.
+func BenchmarkSimulatedCopies(b *testing.B) {
+	s := sim.New()
+	d, err := NewDevice(s, Config{Model: TeslaC1060()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Spawn("host", func(p *sim.Proc) {
+		ptr, err := d.MemAlloc(p, 1<<20)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			if err := d.CopyH2D(p, ptr, 0, nil, 1<<20, true); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

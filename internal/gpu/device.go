@@ -1,0 +1,419 @@
+package gpu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dynacc/internal/sim"
+)
+
+// Device is one virtual accelerator. All methods must be called from
+// simulation processes; operations charge virtual time and contend on the
+// device's engines.
+type Device struct {
+	sim      *sim.Simulation
+	name     string
+	model    Model
+	registry *Registry
+	alloc    *allocator
+
+	// dma is the single copy engine: pinned (DMA) transfers serialize on
+	// it. Pageable transfers run on the host CPU (PIO) and do not occupy
+	// it.
+	dma *sim.Resource
+	// compute is the kernel execution engine; the C1060 generation runs
+	// one kernel at a time.
+	compute *sim.Resource
+
+	execute bool
+
+	// stats
+	bytesIn, bytesOut int64
+	launches          int64
+	busy              sim.Duration
+}
+
+// Config configures a new Device.
+type Config struct {
+	// Name identifies the device in diagnostics.
+	Name string
+	// Model is the performance model; required.
+	Model Model
+	// Registry resolves kernel names; required for LaunchKernel.
+	Registry *Registry
+	// Execute selects execute mode (real data) over model mode.
+	Execute bool
+}
+
+// NewDevice creates a device.
+func NewDevice(s *sim.Simulation, cfg Config) (*Device, error) {
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	name := cfg.Name
+	if name == "" {
+		name = cfg.Model.Name
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Device{
+		sim:      s,
+		name:     name,
+		model:    cfg.Model,
+		registry: reg,
+		alloc:    newAllocator(cfg.Model.MemBytes, cfg.Execute),
+		dma:      sim.NewResource(s, name+".dma", 1),
+		compute:  sim.NewResource(s, name+".compute", 1),
+		execute:  cfg.Execute,
+	}, nil
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Model returns the device performance model.
+func (d *Device) Model() Model { return d.model }
+
+// ExecuteMode reports whether the device stores real data.
+func (d *Device) ExecuteMode() bool { return d.execute }
+
+// Registry returns the kernel registry the device resolves names in.
+func (d *Device) Registry() *Registry { return d.registry }
+
+// MemAlloc allocates n bytes of device memory.
+func (d *Device) MemAlloc(p *sim.Proc, n int) (Ptr, error) {
+	p.Wait(d.model.MallocOverhead)
+	return d.alloc.alloc(n)
+}
+
+// MemFree releases an allocation.
+func (d *Device) MemFree(p *sim.Proc, ptr Ptr) error {
+	p.Wait(d.model.MallocOverhead)
+	return d.alloc.freePtr(ptr)
+}
+
+// MemUsed reports the bytes currently allocated (rounded to allocation
+// granularity).
+func (d *Device) MemUsed() int64 { return int64(d.alloc.used) }
+
+// Reset frees every live allocation (cuCtxDestroy-style): the middleware
+// runs it between exclusive assignments so a new holder always gets a
+// clean device.
+func (d *Device) Reset(p *sim.Proc) {
+	p.Wait(d.model.MallocOverhead)
+	d.alloc.reset()
+}
+
+// copyModel selects the cost model for a transfer.
+func (d *Device) copyModel(toDevice, pinned bool) CopyModel {
+	switch {
+	case toDevice && pinned:
+		return d.model.H2DPinned
+	case toDevice:
+		return d.model.H2DPageable
+	case pinned:
+		return d.model.D2HPinned
+	default:
+		return d.model.D2HPageable
+	}
+}
+
+// CopyH2D copies len(src) bytes from host memory into device memory at
+// dst+off. Pinned transfers occupy the DMA engine; pageable transfers run
+// on the calling CPU. In model mode src may be nil with the size given by
+// n; if src is non-nil it must be n bytes long.
+func (d *Device) CopyH2D(p *sim.Proc, dst Ptr, off int, src []byte, n int, pinned bool) error {
+	if src != nil && len(src) != n {
+		return fmt.Errorf("gpu: CopyH2D: src has %d bytes, size argument says %d", len(src), n)
+	}
+	if err := d.checkRange(dst, off, n); err != nil {
+		return err
+	}
+	cm := d.copyModel(true, pinned)
+	t := cm.Time(n)
+	if pinned {
+		d.dma.Acquire(p, 1)
+		p.Wait(t)
+		d.dma.Release(1)
+	} else {
+		p.Wait(t)
+	}
+	d.busy += t
+	d.bytesIn += int64(n)
+	if d.execute && src != nil {
+		buf, err := d.alloc.slice(dst, off, n)
+		if err != nil {
+			return err
+		}
+		copy(buf, src)
+	}
+	return nil
+}
+
+// CopyD2H copies n bytes from device memory at src+off into dst (or
+// discards them in model mode when dst is nil).
+func (d *Device) CopyD2H(p *sim.Proc, dst []byte, src Ptr, off, n int, pinned bool) error {
+	if dst != nil && len(dst) != n {
+		return fmt.Errorf("gpu: CopyD2H: dst has %d bytes, size argument says %d", len(dst), n)
+	}
+	if err := d.checkRange(src, off, n); err != nil {
+		return err
+	}
+	cm := d.copyModel(false, pinned)
+	t := cm.Time(n)
+	if pinned {
+		d.dma.Acquire(p, 1)
+		p.Wait(t)
+		d.dma.Release(1)
+	} else {
+		p.Wait(t)
+	}
+	d.busy += t
+	d.bytesOut += int64(n)
+	if d.execute && dst != nil {
+		buf, err := d.alloc.slice(src, off, n)
+		if err != nil {
+			return err
+		}
+		copy(dst, buf)
+	}
+	return nil
+}
+
+// Memset fills n bytes of device memory at ptr+off with value
+// (cuMemsetD8): a memory-bandwidth-bound device-side operation.
+func (d *Device) Memset(p *sim.Proc, ptr Ptr, off, n int, value byte) error {
+	if err := d.checkRange(ptr, off, n); err != nil {
+		return err
+	}
+	p.Wait(sim.Duration(float64(n)/d.model.MemBandwidth*1e9) + d.model.LaunchOverhead)
+	if d.execute {
+		buf, err := d.alloc.slice(ptr, off, n)
+		if err != nil {
+			return err
+		}
+		for i := range buf {
+			buf[i] = value
+		}
+	}
+	return nil
+}
+
+// CopyD2D copies n bytes between two device allocations through device
+// memory (no PCIe transfer; cost is 2n over the memory bandwidth).
+func (d *Device) CopyD2D(p *sim.Proc, dst Ptr, dstOff int, src Ptr, srcOff, n int) error {
+	if err := d.checkRange(dst, dstOff, n); err != nil {
+		return err
+	}
+	if err := d.checkRange(src, srcOff, n); err != nil {
+		return err
+	}
+	p.Wait(sim.Duration(2 * float64(n) / d.model.MemBandwidth * 1e9))
+	if d.execute {
+		db, err := d.alloc.slice(dst, dstOff, n)
+		if err != nil {
+			return err
+		}
+		sb, err := d.alloc.slice(src, srcOff, n)
+		if err != nil {
+			return err
+		}
+		copy(db, sb)
+	}
+	return nil
+}
+
+// AsyncSetupCost is the host cost of posting one asynchronous copy; the
+// middleware's pipeline pays it per block.
+func (d *Device) AsyncSetupCost() sim.Duration { return d.model.AsyncSetup }
+
+// CopyEngineTransfer charges the virtual time of an n-byte host↔device
+// transfer without moving data: pinned transfers occupy the DMA engine,
+// pageable ones the calling CPU. The middleware uses it to time pipeline
+// blocks whose bytes are placed separately (ScatterColumns/GatherColumns).
+func (d *Device) CopyEngineTransfer(p *sim.Proc, n int, toDevice, pinned bool) {
+	cm := d.copyModel(toDevice, pinned)
+	t := cm.Time(n)
+	if pinned {
+		d.dma.Acquire(p, 1)
+		p.Wait(t)
+		d.dma.Release(1)
+	} else {
+		p.Wait(t)
+	}
+	d.busy += t
+	if toDevice {
+		d.bytesIn += int64(n)
+	} else {
+		d.bytesOut += int64(n)
+	}
+}
+
+// ValidRange checks that [ptr+off, ptr+off+n) lies inside a live
+// allocation, without charging any virtual time.
+func (d *Device) ValidRange(ptr Ptr, off, n int) error { return d.checkRange(ptr, off, n) }
+
+// checkRange validates a (ptr, off, n) access against the allocation map.
+func (d *Device) checkRange(ptr Ptr, off, n int) error {
+	if n < 0 || off < 0 {
+		return fmt.Errorf("gpu: negative range [%d,%d)", off, off+n)
+	}
+	size, ok := d.alloc.sizeOf(ptr)
+	if !ok {
+		return fmt.Errorf("gpu: invalid device pointer %#x", uint64(ptr))
+	}
+	if uint64(off+n) > size {
+		return fmt.Errorf("gpu: access [%d,%d) beyond allocation of %d bytes", off, off+n, size)
+	}
+	return nil
+}
+
+// LaunchKernel resolves name in the registry, charges the launch overhead
+// plus the kernel cost on the compute engine, and (in execute mode) runs
+// the kernel body. A panicking kernel (bad arguments, out-of-range
+// access through the typed accessors) is reported as a launch error, the
+// way a CUDA kernel fault surfaces, instead of taking the daemon down.
+func (d *Device) LaunchKernel(p *sim.Proc, name string, l Launch) (err error) {
+	k, ok := d.registry.Lookup(name)
+	if !ok {
+		return fmt.Errorf("gpu: unknown kernel %q", name)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("gpu: kernel %q faulted: %v", name, r)
+		}
+	}()
+	cost := d.model.LaunchOverhead + k.Cost(l, d.model)
+	d.compute.Acquire(p, 1)
+	p.Wait(cost)
+	d.compute.Release(1)
+	d.busy += cost
+	d.launches++
+	if d.execute {
+		if err := k.Execute(l, d); err != nil {
+			return fmt.Errorf("gpu: kernel %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Stats reports cumulative device activity.
+type Stats struct {
+	BytesIn  int64
+	BytesOut int64
+	Launches int64
+	Busy     sim.Duration
+}
+
+// Stats returns cumulative activity counters.
+func (d *Device) Stats() Stats {
+	return Stats{BytesIn: d.bytesIn, BytesOut: d.bytesOut, Launches: d.launches, Busy: d.busy}
+}
+
+// ScatterColumns writes a packed buffer of cols columns (colBytes bytes
+// each) into device memory as a strided window: column c lands at
+// ptr+off+c*pitchBytes. No virtual time is charged — strided copies are
+// timed through their block pipeline; this call only places the bytes in
+// execute mode (it is a no-op for nil data).
+func (d *Device) ScatterColumns(ptr Ptr, off, colBytes, cols, pitchBytes int, data []byte) error {
+	if colBytes < 0 || cols < 0 || pitchBytes < colBytes {
+		return fmt.Errorf("gpu: scatter: invalid geometry colBytes=%d cols=%d pitch=%d", colBytes, cols, pitchBytes)
+	}
+	if cols > 0 {
+		if err := d.checkRange(ptr, off, (cols-1)*pitchBytes+colBytes); err != nil {
+			return err
+		}
+	}
+	if !d.execute || data == nil {
+		return nil
+	}
+	if len(data) != colBytes*cols {
+		return fmt.Errorf("gpu: scatter: %d bytes for %d columns of %d", len(data), cols, colBytes)
+	}
+	for c := 0; c < cols; c++ {
+		buf, err := d.alloc.slice(ptr, off+c*pitchBytes, colBytes)
+		if err != nil {
+			return err
+		}
+		copy(buf, data[c*colBytes:(c+1)*colBytes])
+	}
+	return nil
+}
+
+// GatherColumns reads a strided window into a packed buffer, the inverse
+// of ScatterColumns. In model mode it returns nil after validating the
+// range.
+func (d *Device) GatherColumns(ptr Ptr, off, colBytes, cols, pitchBytes int) ([]byte, error) {
+	if colBytes < 0 || cols < 0 || pitchBytes < colBytes {
+		return nil, fmt.Errorf("gpu: gather: invalid geometry colBytes=%d cols=%d pitch=%d", colBytes, cols, pitchBytes)
+	}
+	if cols > 0 {
+		if err := d.checkRange(ptr, off, (cols-1)*pitchBytes+colBytes); err != nil {
+			return nil, err
+		}
+	}
+	if !d.execute {
+		return nil, nil
+	}
+	out := make([]byte, colBytes*cols)
+	for c := 0; c < cols; c++ {
+		buf, err := d.alloc.slice(ptr, off+c*pitchBytes, colBytes)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[c*colBytes:], buf)
+	}
+	return out, nil
+}
+
+// Execute-mode data accessors, used by kernel implementations and tests.
+
+// Bytes returns the backing bytes of [ptr+off, ptr+off+n). Execute mode
+// only.
+func (d *Device) Bytes(ptr Ptr, off, n int) ([]byte, error) {
+	return d.alloc.slice(ptr, off, n)
+}
+
+// ReadFloat64s decodes device memory at byte offset off as n float64
+// values into a fresh slice. Kernels follow a read–compute–WriteFloat64s
+// pattern. Execute mode only.
+func (d *Device) ReadFloat64s(ptr Ptr, off, n int) ([]float64, error) {
+	raw, err := d.alloc.slice(ptr, off, 8*n)
+	if err != nil {
+		return nil, err
+	}
+	return bytesToF64(raw), nil
+}
+
+// WriteFloat64s stores vals into device memory at byte offset off.
+// Execute mode only; charges no virtual time (kernel costs cover it).
+func (d *Device) WriteFloat64s(ptr Ptr, off int, vals []float64) error {
+	raw, err := d.alloc.slice(ptr, off, 8*len(vals))
+	if err != nil {
+		return err
+	}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	}
+	return nil
+}
+
+// bytesToF64 decodes a byte slice into float64s.
+func bytesToF64(raw []byte) []float64 {
+	out := make([]float64, len(raw)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}
+
+// StoreFloat64s writes vals back over the raw bytes previously obtained
+// via Bytes; helper for kernels operating on float64 data.
+func StoreFloat64s(raw []byte, vals []float64) {
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	}
+}

@@ -1,0 +1,33 @@
+package lapack
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkDgeqrf256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 256
+	a := randMat(rng, n, n)
+	tau := make([]float64, n)
+	work := append([]float64(nil), a...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, a)
+		Dgeqrf(n, n, work, n, tau, 32)
+	}
+}
+
+func BenchmarkDpotrf256(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 256
+	a := spd(rng, n)
+	work := append([]float64(nil), a...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, a)
+		if err := Dpotrf(n, work, n, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

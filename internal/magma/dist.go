@@ -1,0 +1,200 @@
+package magma
+
+import (
+	"fmt"
+
+	"dynacc/internal/gpu"
+	"dynacc/internal/sim"
+)
+
+// Dist is an m×n column-major matrix distributed 1-D block-cyclically
+// over a set of GPUs: column block b (nb columns wide) lives on GPU
+// b % G at local block position b / G. Device storage is contiguous per
+// GPU with leading dimension m, so a whole block is one contiguous
+// transfer. Only the globally last block may be narrower than nb.
+type Dist struct {
+	M, N, NB int
+	Devs     []Device
+	ptrs     []gpu.Ptr
+	widths   []int // local columns per GPU
+	exec     bool
+}
+
+// NewDist allocates device storage for an m×n matrix with block width nb
+// over the devices. exec declares whether real data will flow (the
+// caller's host buffers are non-nil).
+func NewDist(p *sim.Proc, devs []Device, m, n, nb int, exec bool) (*Dist, error) {
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("magma: no devices")
+	}
+	if m <= 0 || n <= 0 || nb <= 0 {
+		return nil, fmt.Errorf("magma: invalid dimensions m=%d n=%d nb=%d", m, n, nb)
+	}
+	d := &Dist{M: m, N: n, NB: nb, Devs: devs, exec: exec}
+	G := len(devs)
+	nblocks := (n + nb - 1) / nb
+	d.widths = make([]int, G)
+	for b := 0; b < nblocks; b++ {
+		d.widths[b%G] += d.blockWidth(b)
+	}
+	for g, dev := range devs {
+		if d.widths[g] == 0 {
+			d.ptrs = append(d.ptrs, 0)
+			continue
+		}
+		ptr, err := dev.MemAlloc(p, 8*m*d.widths[g])
+		if err != nil {
+			d.Free(p)
+			return nil, fmt.Errorf("magma: allocating %d local columns on GPU %d: %w", d.widths[g], g, err)
+		}
+		d.ptrs = append(d.ptrs, ptr)
+	}
+	return d, nil
+}
+
+// Free releases the device storage.
+func (d *Dist) Free(p *sim.Proc) {
+	for g, ptr := range d.ptrs {
+		if !ptr.IsNull() {
+			_ = d.Devs[g].MemFree(p, ptr)
+		}
+	}
+	d.ptrs = nil
+}
+
+// Blocks returns the number of column blocks.
+func (d *Dist) Blocks() int { return (d.N + d.NB - 1) / d.NB }
+
+// blockWidth returns the column count of block b.
+func (d *Dist) blockWidth(b int) int {
+	w := d.N - b*d.NB
+	if w > d.NB {
+		w = d.NB
+	}
+	return w
+}
+
+// Owner returns the GPU index owning block b.
+func (d *Dist) Owner(b int) int { return b % len(d.Devs) }
+
+// localCol returns the local starting column of block b on its owner.
+func (d *Dist) localCol(b int) int { return (b / len(d.Devs)) * d.NB }
+
+// elemOff returns the element offset of (row, block-local column 0+c) of
+// block b within its owner's allocation.
+func (d *Dist) elemOff(b, row, c int) int { return (d.localCol(b)+c)*d.M + row }
+
+// devPtr returns the owning device and allocation of block b.
+func (d *Dist) devPtr(b int) (Device, gpu.Ptr) { return d.Devs[d.Owner(b)], d.ptrs[d.Owner(b)] }
+
+// Upload distributes hostA (column-major, leading dimension m) to the
+// devices; hostA may be nil in model mode. One contiguous transfer per
+// block, all issued asynchronously and awaited together.
+func (d *Dist) Upload(p *sim.Proc, hostA []float64) error {
+	var pends []Pending
+	for b := 0; b < d.Blocks(); b++ {
+		dev, ptr := d.devPtr(b)
+		w := d.blockWidth(b)
+		nbytes := 8 * d.M * w
+		var src []byte
+		if hostA != nil {
+			src = f64bytes(hostA[b*d.NB*d.M : b*d.NB*d.M+d.M*w])
+		}
+		pends = append(pends, dev.CopyH2DAsync(ptr, 8*d.elemOff(b, 0, 0), src, nbytes, 0))
+	}
+	return waitAllPending(p, pends)
+}
+
+// Download gathers the distributed matrix back into hostA (nil in model
+// mode).
+func (d *Dist) Download(p *sim.Proc, hostA []float64) error {
+	var pends []Pending
+	for b := 0; b < d.Blocks(); b++ {
+		dev, ptr := d.devPtr(b)
+		w := d.blockWidth(b)
+		nbytes := 8 * d.M * w
+		var dst []byte
+		if hostA != nil {
+			dst = f64bytes(hostA[b*d.NB*d.M : b*d.NB*d.M+d.M*w])
+		}
+		pd := dev.CopyD2HAsync(dst, ptr, 8*d.elemOff(b, 0, 0), nbytes, 0)
+		if hostA != nil {
+			b := b
+			dstF := hostA[b*d.NB*d.M : b*d.NB*d.M+d.M*w]
+			pends = append(pends, pendFunc{pd: pd, after: func() { copyBack(dstF, dst) }})
+		} else {
+			pends = append(pends, pd)
+		}
+	}
+	return waitAllPending(p, pends)
+}
+
+// downloadCols fetches rows [row0, row0+rows) of block b's columns
+// [c0, c0+cols) into host (leading dimension rows) as one strided
+// transfer (the cudaMemcpy2D the real MAGMA issues).
+func (d *Dist) downloadCols(p *sim.Proc, b, row0, rows, c0, cols int, host []float64, stream uint8) []Pending {
+	dev, ptr := d.devPtr(b)
+	var dst []byte
+	if host != nil {
+		dst = make([]byte, 8*rows*cols)
+	}
+	pd := dev.CopyD2H2DAsync(dst, ptr, 8*d.elemOff(b, row0, c0), 8*rows, cols, 8*d.M, stream)
+	if host == nil {
+		return []Pending{pd}
+	}
+	h := host[:rows*cols]
+	return []Pending{pendFunc{pd: pd, after: func() { copyBack(h, dst) }}}
+}
+
+// uploadCols pushes host (leading dimension rows) into rows
+// [row0, row0+rows) of block b's columns [c0, c0+cols) as one strided
+// transfer.
+func (d *Dist) uploadCols(b, row0, rows, c0, cols int, host []float64, stream uint8) []Pending {
+	dev, ptr := d.devPtr(b)
+	var src []byte
+	if host != nil {
+		src = f64bytes(host[:rows*cols])
+	}
+	return []Pending{dev.CopyH2D2DAsync(ptr, 8*d.elemOff(b, row0, c0), 8*rows, cols, 8*d.M, src, stream)}
+}
+
+// pendFunc runs a fix-up after an async op completes (decoding a raw
+// byte destination back into the caller's float64 buffer).
+type pendFunc struct {
+	pd    Pending
+	after func()
+}
+
+func (pf pendFunc) Wait(p *sim.Proc) error {
+	err := pf.pd.Wait(p)
+	if err == nil && pf.after != nil {
+		pf.after()
+	}
+	return err
+}
+
+func waitAllPending(p *sim.Proc, pends []Pending) error {
+	var first error
+	for _, pd := range pends {
+		if err := pd.Wait(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// f64bytes encodes float64s as the little-endian byte payload the copy
+// layer carries. copyBack decodes a destination buffer in place.
+func f64bytes(vals []float64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		putF64(buf[8*i:], v)
+	}
+	return buf
+}
+
+func copyBack(dst []float64, raw []byte) {
+	for i := range dst {
+		dst[i] = getF64(raw[8*i:])
+	}
+}

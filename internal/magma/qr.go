@@ -1,0 +1,196 @@
+package magma
+
+import (
+	"fmt"
+
+	"dynacc/internal/gpu"
+	"dynacc/internal/lapack"
+	"dynacc/internal/sim"
+)
+
+// Dgeqrf computes the blocked QR factorization of the distributed m×n
+// matrix (m >= n) in place, following magma_dgeqrf2_mgpu: each panel is
+// downloaded to the host, factored on the CPU, broadcast back to every
+// GPU, and applied to the trailing matrix on the GPUs; with lookahead the
+// next panel is updated and downloaded first so the CPU factors it while
+// the wide update is still running.
+//
+// In execute mode (the Dist was built with exec=true) tau must hold n
+// entries and receives the reflector scales; the factors end up in the
+// distributed matrix exactly as LAPACK Dgeqrf lays them out. In model
+// mode tau is nil and only virtual time is spent.
+func Dgeqrf(p *sim.Proc, d *Dist, tau []float64, cfg Config) error {
+	cfg = cfg.withDefaults()
+	m, n, nb := d.M, d.N, d.NB
+	if m < n {
+		return fmt.Errorf("magma: Dgeqrf requires m >= n, got %dx%d", m, n)
+	}
+	if d.exec && len(tau) < n {
+		return fmt.Errorf("magma: tau needs %d entries, got %d", n, len(tau))
+	}
+	G := len(d.Devs)
+	npanels := d.Blocks()
+
+	// Workspaces: V (panel broadcast target) and T per GPU.
+	dV := make([]gpu.Ptr, G)
+	dT := make([]gpu.Ptr, G)
+	for g, dev := range d.Devs {
+		var err error
+		if dV[g], err = dev.MemAlloc(p, 8*m*nb); err != nil {
+			return err
+		}
+		if dT[g], err = dev.MemAlloc(p, 8*nb*nb); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		for g, dev := range d.Devs {
+			_ = dev.MemFree(p, dV[g])
+			_ = dev.MemFree(p, dT[g])
+		}
+	}()
+
+	var panel, nextPanel, tmat []float64
+	if d.exec {
+		panel = make([]float64, m*nb)
+		nextPanel = make([]float64, m*nb)
+		tmat = make([]float64, nb*nb)
+	}
+
+	// All asynchronous operations are collected so their errors surface
+	// after the final device sync.
+	var issued []Pending
+	track := func(pends ...Pending) { issued = append(issued, pends...) }
+
+	// Prologue: fetch panel 0.
+	if err := waitAllPending(p, d.downloadCols(p, 0, 0, m, 0, d.blockWidth(0), hostPanel(panel, m*d.blockWidth(0)), 0)); err != nil {
+		return err
+	}
+
+	for pj := 0; pj < npanels; pj++ {
+		j := pj * nb
+		jb := d.blockWidth(pj)
+		mj := m - j
+		owner := d.Owner(pj)
+
+		// Host panel factorization (real math in execute mode) plus the
+		// modelled CPU time: geqr2 (~2·mj·jb²) and larft (~mj·jb²).
+		if d.exec {
+			lapack.Dgeqrf(mj, jb, panel, mj, tau[j:], 32)
+			lapack.Dlarft(mj, jb, panel, mj, tau[j:], tmat, jb)
+		}
+		p.Wait(CPUPanelTime(3*float64(mj)*float64(jb)*float64(jb), cfg.CPUGFlops))
+
+		// Broadcast: factored panel back into the owner's matrix, V to the
+		// other GPUs' workspaces, T everywhere. MAGMA 1.1's dsetmatrix is
+		// synchronous, so by default the host waits for the broadcast.
+		tBytes := hostBytes(tmat, jb*jb)
+		var bcast []Pending
+		for g, dev := range d.Devs {
+			if g == owner {
+				bcast = append(bcast, d.uploadCols(pj, j, mj, 0, jb, hostPanel(panel, mj*jb), 0)...)
+			} else {
+				bcast = append(bcast, dev.CopyH2DAsync(dV[g], 0, hostBytes(panel, mj*jb), 8*mj*jb, 0))
+			}
+			bcast = append(bcast, dev.CopyH2DAsync(dT[g], 0, tBytes, 8*jb*jb, 0))
+		}
+		if cfg.AsyncBroadcast {
+			track(bcast...)
+		} else if err := waitAllPending(p, bcast); err != nil {
+			return err
+		}
+
+		vLaunch := func(g int, cols, cOff int) gpu.Launch {
+			if g == owner {
+				return larfbArgs(mj, cols, jb, d.ptrs[owner], d.elemOff(pj, j, 0), m,
+					dT[g], 0, jb, d.ptrs[g], cOff, m)
+			}
+			return larfbArgs(mj, cols, jb, dV[g], 0, mj,
+				dT[g], 0, jb, d.ptrs[g], cOff, m)
+		}
+
+		next := pj + 1
+		var nextPends []Pending
+		if next < npanels {
+			// Lookahead: update just the next panel's block on its owner,
+			// then queue its download behind that update.
+			owner2 := d.Owner(next)
+			jbn := d.blockWidth(next)
+			track(d.Devs[owner2].LaunchAsync(KernelLarfb,
+				vLaunch(owner2, jbn, d.elemOff(next, j, 0)), 0))
+			nextPends = d.downloadCols(p, next, j+jb, m-j-jb, 0, jbn,
+				hostPanel(nextPanel, (m-j-jb)*jbn), 0)
+		}
+
+		// Wide update: each GPU applies the block reflector to its
+		// remaining trailing columns (excluding the lookahead block).
+		for g, dev := range d.Devs {
+			startBlk := firstOwnedBlock(g, pj+1, G)
+			if next < npanels && g == d.Owner(next) && startBlk == next {
+				startBlk = next + G
+			}
+			if startBlk >= d.Blocks() {
+				continue
+			}
+			startCol := d.localCol(startBlk)
+			width := d.widths[g] - startCol
+			if width <= 0 {
+				continue
+			}
+			track(dev.LaunchAsync(KernelLarfb, vLaunch(g, width, startCol*m+j), 0))
+		}
+
+		if next < npanels {
+			if !cfg.Lookahead {
+				// Ablation: serialize the wide update before touching the
+				// next panel.
+				for _, dev := range d.Devs {
+					if err := dev.Sync(p); err != nil {
+						return err
+					}
+				}
+			}
+			if err := waitAllPending(p, nextPends); err != nil {
+				return err
+			}
+			panel, nextPanel = nextPanel, panel
+		}
+	}
+
+	for _, dev := range d.Devs {
+		if err := dev.Sync(p); err != nil {
+			return err
+		}
+	}
+	return waitAllPending(p, issued)
+}
+
+// firstOwnedBlock returns the smallest block index >= from owned by GPU g
+// under round-robin ownership over G GPUs.
+func firstOwnedBlock(g, from, G int) int {
+	if from <= g {
+		return g
+	}
+	r := (from - g) % G
+	if r == 0 {
+		return from
+	}
+	return from + G - r
+}
+
+// hostPanel returns the leading want elements of buf, or nil in model
+// mode.
+func hostPanel(buf []float64, want int) []float64 {
+	if buf == nil {
+		return nil
+	}
+	return buf[:want]
+}
+
+// hostBytes encodes the leading want elements, or nil in model mode.
+func hostBytes(buf []float64, want int) []byte {
+	if buf == nil {
+		return nil
+	}
+	return f64bytes(buf[:want])
+}

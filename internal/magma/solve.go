@@ -1,0 +1,94 @@
+package magma
+
+import (
+	"fmt"
+
+	"dynacc/internal/blas"
+	"dynacc/internal/lapack"
+	"dynacc/internal/sim"
+)
+
+// The solve drivers complete the hybrid factorizations into end-to-end
+// solvers: the O(n³) factorization runs on the distributed devices, the
+// O(n²) application to the right-hand sides on the host, as MAGMA's
+// *_gpu solvers do. All drivers require execute mode (they move real
+// data).
+
+// Dgels solves the least-squares problem min ||A·x − b||₂ for the
+// distributed m×n matrix (m >= n): hybrid QR on the devices, then Qᵀ·b
+// and the triangular solve on the host. The solutions overwrite the
+// leading n rows of b (m×nrhs, leading dimension m). The distributed
+// matrix holds the QR factors afterwards.
+func Dgels(p *sim.Proc, d *Dist, b []float64, nrhs int, cfg Config) error {
+	if !d.exec {
+		return fmt.Errorf("magma: Dgels needs execute mode")
+	}
+	m, n := d.M, d.N
+	if len(b) < m*nrhs {
+		return fmt.Errorf("magma: Dgels: b has %d entries, need %d", len(b), m*nrhs)
+	}
+	tau := make([]float64, n)
+	if err := Dgeqrf(p, d, tau, cfg); err != nil {
+		return err
+	}
+	host := make([]float64, m*n)
+	if err := d.Download(p, host); err != nil {
+		return err
+	}
+	lapack.Dormqr(blas.Trans, m, nrhs, n, host, m, tau, b, m, 0)
+	for j := 0; j < n; j++ {
+		if host[j+j*m] == 0 {
+			return fmt.Errorf("magma: Dgels: R is singular at column %d", j)
+		}
+	}
+	blas.Dtrsm(blas.Left, blas.Upper, blas.NoTrans, blas.NonUnit, n, nrhs, 1, host, m, b, m)
+	return nil
+}
+
+// Dposv solves A·X = B for the distributed symmetric positive definite
+// n×n matrix: hybrid Cholesky on the devices, triangular solves on the
+// host. The solutions overwrite b (n×nrhs, leading dimension n).
+func Dposv(p *sim.Proc, d *Dist, b []float64, nrhs int, cfg Config) error {
+	if !d.exec {
+		return fmt.Errorf("magma: Dposv needs execute mode")
+	}
+	n := d.N
+	if len(b) < n*nrhs {
+		return fmt.Errorf("magma: Dposv: b has %d entries, need %d", len(b), n*nrhs)
+	}
+	if err := Dpotrf(p, d, cfg); err != nil {
+		return err
+	}
+	host := make([]float64, n*n)
+	if err := d.Download(p, host); err != nil {
+		return err
+	}
+	lapack.Dpotrs(n, nrhs, host, n, b, n)
+	return nil
+}
+
+// Dgesv solves A·X = B for the distributed general n×n matrix: hybrid
+// LU with partial pivoting on the devices, pivoted triangular solves on
+// the host. The solutions overwrite b (n×nrhs, leading dimension n).
+func Dgesv(p *sim.Proc, d *Dist, b []float64, nrhs int, cfg Config) error {
+	if !d.exec {
+		return fmt.Errorf("magma: Dgesv needs execute mode")
+	}
+	n := d.N
+	if d.M != n {
+		return fmt.Errorf("magma: Dgesv requires a square matrix, got %dx%d", d.M, d.N)
+	}
+	if len(b) < n*nrhs {
+		return fmt.Errorf("magma: Dgesv: b has %d entries, need %d", len(b), n*nrhs)
+	}
+	ipiv := make([]int, n)
+	if err := Dgetrf(p, d, ipiv, cfg); err != nil {
+		return err
+	}
+	host := make([]float64, n*n)
+	if err := d.Download(p, host); err != nil {
+		return err
+	}
+	lapack.Dgetrs(n, nrhs, host, n, ipiv, b, n)
+	return nil
+}

@@ -1,0 +1,63 @@
+package minimpi
+
+import (
+	"testing"
+
+	"dynacc/internal/netmodel"
+	"dynacc/internal/sim"
+)
+
+// BenchmarkSimPingPong measures the simulator cost of one message round
+// trip (wall time per simulated exchange, not virtual time).
+func BenchmarkSimPingPong(b *testing.B) {
+	s := sim.New()
+	w, err := NewWorld(s, 2, netmodel.QDRInfiniBand())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Spawn("r0", func(p *sim.Proc) {
+		c := w.Comm(0)
+		for i := 0; i < b.N; i++ {
+			c.SendSized(p, 1, 0, 4096)
+			c.Recv(p, 1, 0)
+		}
+	})
+	s.Spawn("r1", func(p *sim.Proc) {
+		c := w.Comm(1)
+		for i := 0; i < b.N; i++ {
+			c.Recv(p, 0, 0)
+			c.SendSized(p, 0, 0, 4096)
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSimBcast8 measures a binomial broadcast across 8 ranks.
+func BenchmarkSimBcast8(b *testing.B) {
+	s := sim.New()
+	w, err := NewWorld(s, 8, netmodel.QDRInfiniBand())
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 4096)
+	for r := 0; r < 8; r++ {
+		r := r
+		s.Spawn("rank", func(p *sim.Proc) {
+			c := w.Comm(r)
+			for i := 0; i < b.N; i++ {
+				var in []byte
+				if r == 0 {
+					in = payload
+				}
+				c.Bcast(p, 0, in)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,305 @@
+package minimpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"dynacc/internal/sim"
+)
+
+// Reserved internal tags for collectives. Collective calls on a
+// communicator must be made by all ranks in the same order (as in MPI);
+// non-overtaking matching then keeps successive collectives separate even
+// though they reuse tags.
+const (
+	tagBarrier Tag = -2 - iota
+	tagBcast
+	tagReduce
+	tagGather
+	tagScatter
+	tagAllgather
+	tagSplit
+	tagAlltoall
+)
+
+// Barrier blocks until every rank of the communicator has entered it.
+// It uses the dissemination algorithm: ceil(log2 n) rounds of paired
+// exchanges.
+func (c *Comm) Barrier(p *sim.Proc) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	for dist := 1; dist < n; dist *= 2 {
+		to := (c.rank + dist) % n
+		from := (c.rank - dist + n) % n
+		sreq := c.isendAnyTag(to, tagBarrier, nil, 1)
+		rreq := c.irecvAnyTag(from, tagBarrier)
+		sreq.Wait(p)
+		rreq.Wait(p)
+	}
+}
+
+// Bcast distributes root's buffer to every rank over a binomial tree and
+// returns the received copy (the root returns data unchanged). Callers on
+// non-root ranks pass nil.
+func (c *Comm) Bcast(p *sim.Proc, root int, data []byte) []byte {
+	c.checkRank(root, "Bcast")
+	n := c.Size()
+	if n == 1 {
+		return data
+	}
+	// Rotate ranks so the root is virtual rank 0, then run the classic
+	// binomial tree: receive from the parent at the lowest set bit, then
+	// forward to children at every smaller bit position.
+	vrank := (c.rank - root + n) % n
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			parent := (vrank - mask + root) % n
+			data, _ = c.irecvAnyTag(parent, tagBcast).Wait(p)
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vrank+mask < n {
+			child := (vrank + mask + root) % n
+			c.isendAnyTag(child, tagBcast, data, len(data)).Wait(p)
+		}
+	}
+	return data
+}
+
+// ReduceOp combines src into dst element-wise; both are payload byte
+// slices of equal length.
+type ReduceOp func(dst, src []byte)
+
+// Reduce combines every rank's equally-sized contribution at the root
+// using op, over a binomial tree, and returns the result at the root (nil
+// elsewhere). The contribution slice is not modified.
+func (c *Comm) Reduce(p *sim.Proc, root int, contrib []byte, op ReduceOp) []byte {
+	c.checkRank(root, "Reduce")
+	n := c.Size()
+	acc := append([]byte(nil), contrib...)
+	if n == 1 {
+		return acc
+	}
+	vrank := (c.rank - root + n) % n
+	for bit := 1; bit < n; bit *= 2 {
+		if vrank&bit != 0 {
+			// Send accumulated value to the subtree parent and stop.
+			parent := ((vrank &^ bit) + root) % n
+			c.isendAnyTag(parent, tagReduce, acc, len(acc)).Wait(p)
+			return nil
+		}
+		child := vrank | bit
+		if child < n {
+			data, st := c.irecvAnyTag((child+root)%n, tagReduce).Wait(p)
+			if st.Size != len(acc) {
+				panic(fmt.Sprintf("minimpi: Reduce: rank %d got %d bytes, want %d", c.rank, st.Size, len(acc)))
+			}
+			op(acc, data)
+		}
+	}
+	return acc
+}
+
+// Allreduce is Reduce followed by Bcast; every rank returns the combined
+// value.
+func (c *Comm) Allreduce(p *sim.Proc, contrib []byte, op ReduceOp) []byte {
+	res := c.Reduce(p, 0, contrib, op)
+	return c.Bcast(p, 0, res)
+}
+
+// Gather collects every rank's contribution at the root; the root returns
+// the slices indexed by rank, others return nil. Contributions may have
+// different sizes.
+func (c *Comm) Gather(p *sim.Proc, root int, contrib []byte) [][]byte {
+	c.checkRank(root, "Gather")
+	if c.rank != root {
+		c.isendAnyTag(root, tagGather, contrib, len(contrib)).Wait(p)
+		return nil
+	}
+	out := make([][]byte, c.Size())
+	out[root] = append([]byte(nil), contrib...)
+	reqs := make([]*Request, 0, c.Size()-1)
+	order := make([]int, 0, c.Size()-1)
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		reqs = append(reqs, c.irecvAnyTag(r, tagGather))
+		order = append(order, r)
+	}
+	for i, req := range reqs {
+		data, _ := req.Wait(p)
+		out[order[i]] = data
+	}
+	return out
+}
+
+// Allgather collects every rank's contribution everywhere: Gather at rank
+// 0 followed by a broadcast of the concatenation.
+func (c *Comm) Allgather(p *sim.Proc, contrib []byte) [][]byte {
+	parts := c.Gather(p, 0, contrib)
+	var blob []byte
+	if c.rank == 0 {
+		blob = packSlices(parts)
+	}
+	blob = c.Bcast(p, 0, blob)
+	return unpackSlices(blob)
+}
+
+// Scatter distributes parts[i] from the root to rank i and returns the
+// local part. Non-root callers pass nil.
+func (c *Comm) Scatter(p *sim.Proc, root int, parts [][]byte) []byte {
+	c.checkRank(root, "Scatter")
+	if c.rank == root {
+		if len(parts) != c.Size() {
+			panic(fmt.Sprintf("minimpi: Scatter: %d parts for %d ranks", len(parts), c.Size()))
+		}
+		var reqs []*Request
+		for r, part := range parts {
+			if r == root {
+				continue
+			}
+			reqs = append(reqs, c.isendAnyTag(r, tagScatter, part, len(part)))
+		}
+		WaitAll(p, reqs...)
+		return append([]byte(nil), parts[root]...)
+	}
+	data, _ := c.irecvAnyTag(root, tagScatter).Wait(p)
+	return data
+}
+
+// packSlices/unpackSlices frame a [][]byte as one buffer for broadcast.
+func packSlices(parts [][]byte) []byte {
+	size := 4
+	for _, p := range parts {
+		size += 4 + len(p)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(parts)))
+	for _, p := range parts {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p)))
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+func unpackSlices(buf []byte) [][]byte {
+	n := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	out := make([][]byte, n)
+	for i := range out {
+		ln := binary.LittleEndian.Uint32(buf)
+		buf = buf[4:]
+		out[i] = append([]byte(nil), buf[:ln]...)
+		buf = buf[ln:]
+	}
+	return out
+}
+
+// Float64 payload helpers for reduce-style collectives.
+
+// F64Bytes encodes a float64 slice as a payload.
+func F64Bytes(vals []float64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// BytesF64 decodes a payload into float64 values.
+func BytesF64(buf []byte) []float64 {
+	out := make([]float64, len(buf)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out
+}
+
+// SumF64 is a ReduceOp adding float64 payloads element-wise.
+func SumF64(dst, src []byte) {
+	for i := 0; i+8 <= len(dst); i += 8 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:])) +
+			math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+		binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(v))
+	}
+}
+
+// MaxF64 is a ReduceOp taking the element-wise maximum of float64
+// payloads.
+func MaxF64(dst, src []byte) {
+	for i := 0; i+8 <= len(dst); i += 8 {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+		binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(math.Max(a, b)))
+	}
+}
+
+// Split partitions the communicator: ranks passing the same color form a
+// new communicator, ordered by (key, old rank). Every rank must call
+// Split; the call synchronizes like a collective. A negative color
+// returns nil (the rank opts out), mirroring MPI_UNDEFINED.
+func (c *Comm) Split(p *sim.Proc, color, key int) *Comm {
+	// Exchange (color, key) so every rank can compute every group.
+	mine := make([]byte, 12)
+	binary.LittleEndian.PutUint32(mine[0:], uint32(int32(color)))
+	binary.LittleEndian.PutUint32(mine[4:], uint32(int32(key)))
+	binary.LittleEndian.PutUint32(mine[8:], uint32(c.rank))
+	all := c.Allgather(p, mine)
+
+	gen := c.splitGen
+	c.splitGen++
+	if color < 0 {
+		return nil
+	}
+	type member struct{ color, key, rank int }
+	var members []member
+	for _, b := range all {
+		m := member{
+			color: int(int32(binary.LittleEndian.Uint32(b[0:]))),
+			key:   int(int32(binary.LittleEndian.Uint32(b[4:]))),
+			rank:  int(int32(binary.LittleEndian.Uint32(b[8:]))),
+		}
+		if m.color == color {
+			members = append(members, m)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].rank < members[j].rank
+	})
+	group := make([]int, len(members))
+	myNew := -1
+	for i, m := range members {
+		group[i] = c.group[m.rank]
+		if m.rank == c.rank {
+			myNew = i
+		}
+	}
+	// All members arrive at the same context through the world's memo
+	// table; the cooperative scheduler makes the lazy allocation safe.
+	w := c.world
+	k := splitKey{parentCtx: c.ctx, gen: gen, color: color}
+	ctx, ok := w.splitCtx[k]
+	if !ok {
+		ctx = w.nextCtx
+		w.nextCtx++
+		w.splitCtx[k] = ctx
+	}
+	return &Comm{world: w, ctx: ctx, rank: myNew, group: group}
+}
+
+// Dup creates a communicator with the same group but an isolated matching
+// context. Like Split, all ranks must call it.
+func (c *Comm) Dup(p *sim.Proc) *Comm {
+	return c.Split(p, 0, c.rank)
+}

@@ -1,0 +1,224 @@
+package minimpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dynacc/internal/sim"
+)
+
+func TestSendrecvRingExchange(t *testing.T) {
+	const n = 4
+	runWorld(t, n, fastNet(), func(p *sim.Proc, c *Comm) {
+		right := (c.Rank() + 1) % n
+		left := (c.Rank() - 1 + n) % n
+		out := []byte{byte(c.Rank())}
+		in, st := c.Sendrecv(p, right, 5, out, left, 5)
+		if len(in) != 1 || in[0] != byte(left) {
+			t.Errorf("rank %d received %v, want from %d", c.Rank(), in, left)
+		}
+		if st.Source != left {
+			t.Errorf("status source = %d", st.Source)
+		}
+	})
+}
+
+func TestSendrecvSelfPairNoDeadlock(t *testing.T) {
+	// Two ranks exchanging simultaneously with blocking semantics must
+	// not deadlock — the whole point of Sendrecv.
+	runWorld(t, 2, fastNet(), func(p *sim.Proc, c *Comm) {
+		peer := 1 - c.Rank()
+		big := bytes.Repeat([]byte{byte(c.Rank())}, 64*1024) // rendezvous-sized
+		in, _ := c.Sendrecv(p, peer, 0, big, peer, 0)
+		if len(in) != 64*1024 || in[0] != byte(peer) {
+			t.Errorf("rank %d got %d bytes from %d", c.Rank(), len(in), in[0])
+		}
+	})
+}
+
+func TestAlltoallDeliversEverything(t *testing.T) {
+	const n = 5
+	runWorld(t, n, fastNet(), func(p *sim.Proc, c *Comm) {
+		parts := make([][]byte, n)
+		for r := 0; r < n; r++ {
+			parts[r] = []byte(fmt.Sprintf("%d->%d", c.Rank(), r))
+		}
+		got := c.Alltoall(p, parts)
+		for r := 0; r < n; r++ {
+			want := fmt.Sprintf("%d->%d", r, c.Rank())
+			if string(got[r]) != want {
+				t.Errorf("rank %d slot %d = %q, want %q", c.Rank(), r, got[r], want)
+			}
+		}
+	})
+}
+
+func TestAlltoallWrongPartCountPanics(t *testing.T) {
+	s := sim.New()
+	w, _ := NewWorld(s, 2, fastNet())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	w.Comm(0).Alltoall(nil, make([][]byte, 3))
+}
+
+func TestTrafficCounters(t *testing.T) {
+	s := sim.New()
+	w, err := NewWorld(s, 2, fastNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1 << 20
+	s.Spawn("sender", func(p *sim.Proc) {
+		w.Comm(0).SendSized(p, 1, 0, n)
+	})
+	s.Spawn("receiver", func(p *sim.Proc) {
+		w.Comm(1).Recv(p, 0, 0)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tx := w.Traffic(0)
+	rx := w.Traffic(1)
+	if tx.MsgsSent != 1 || tx.BytesSent != n {
+		t.Errorf("sender stats = %+v", tx)
+	}
+	if rx.MsgsReceived != 1 || rx.BytesReceived != n {
+		t.Errorf("receiver stats = %+v", rx)
+	}
+	if tx.TxBusy <= 0 || rx.RxBusy <= 0 {
+		t.Errorf("busy times: tx %v rx %v", tx.TxBusy, rx.RxBusy)
+	}
+	// Utilization over the elapsed run must be in (0, 1].
+	utx, _ := tx.Utilization(sim.Duration(s.Now()))
+	if utx <= 0 || utx > 1 {
+		t.Errorf("tx utilization = %v", utx)
+	}
+	if _, rxu := rx.Utilization(0); rxu != 0 {
+		t.Errorf("zero-elapsed utilization = %v", rxu)
+	}
+}
+
+func TestTrafficPanicsOnBadRank(t *testing.T) {
+	s := sim.New()
+	w, _ := NewWorld(s, 2, fastNet())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	w.Traffic(5)
+}
+
+func TestCancelAbandonsRendezvousSend(t *testing.T) {
+	s := sim.New()
+	w, err := NewWorld(s, 2, fastNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Spawn("sender", func(p *sim.Proc) {
+		c := w.Comm(0)
+		// Rendezvous-sized send with no receiver: would block forever.
+		req := c.IsendSized(1, 0, 1<<20)
+		p.Wait(10 * sim.Microsecond)
+		if req.Completed() {
+			t.Error("send completed with no receiver")
+		}
+		req.Cancel()
+		req.Wait(p) // must return now
+		if !req.Canceled() {
+			t.Error("Canceled() = false after Cancel")
+		}
+		// Cancel after completion is a no-op.
+		done := c.IsendSized(1, 1, 16)
+		p.Wait(50 * sim.Microsecond)
+		done.Cancel()
+		if done.Canceled() {
+			t.Error("completed eager send marked canceled")
+		}
+	})
+	s.Spawn("receiver", func(p *sim.Proc) {
+		// Consume only the small eager message.
+		w.Comm(1).Recv(p, 0, 1)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelOnRecvIsNoop(t *testing.T) {
+	s := sim.New()
+	w, _ := NewWorld(s, 2, fastNet())
+	s.Spawn("r", func(p *sim.Proc) {
+		c := w.Comm(0)
+		req := c.Irecv(1, 0)
+		req.Cancel() // receives cannot be canceled; must not panic
+		if req.Canceled() {
+			t.Error("recv marked canceled")
+		}
+		w.Comm(0) // keep c alive
+		_ = req
+	})
+	s.Spawn("sender", func(p *sim.Proc) {
+		w.Comm(1).Send(p, 0, 0, []byte("x"))
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPostedReceivesMatchInPostOrder(t *testing.T) {
+	// Two receives posted for the same (src, tag): the first posted gets
+	// the first message.
+	s := sim.New()
+	w, _ := NewWorld(s, 2, fastNet())
+	s.Spawn("receiver", func(p *sim.Proc) {
+		c := w.Comm(0)
+		r1 := c.Irecv(1, 0)
+		r2 := c.Irecv(1, 0)
+		d1, _ := r1.Wait(p)
+		d2, _ := r2.Wait(p)
+		if string(d1) != "first" || string(d2) != "second" {
+			t.Errorf("posted-order matching broken: %q, %q", d1, d2)
+		}
+	})
+	s.Spawn("sender", func(p *sim.Proc) {
+		c := w.Comm(1)
+		c.Send(p, 0, 0, []byte("first"))
+		c.Send(p, 0, 0, []byte("second"))
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWildcardPostedBeforeSpecific(t *testing.T) {
+	// A wildcard receive posted first captures the message even when a
+	// specific receive is posted later (MPI posted-order semantics).
+	s := sim.New()
+	w, _ := NewWorld(s, 2, fastNet())
+	s.Spawn("receiver", func(p *sim.Proc) {
+		c := w.Comm(0)
+		wild := c.Irecv(AnySource, AnyTag)
+		spec := c.Irecv(1, 7)
+		d1, st := wild.Wait(p)
+		if string(d1) != "a" || st.Tag != 7 {
+			t.Errorf("wildcard got %q tag %d", d1, st.Tag)
+		}
+		d2, _ := spec.Wait(p)
+		if string(d2) != "b" {
+			t.Errorf("specific got %q", d2)
+		}
+	})
+	s.Spawn("sender", func(p *sim.Proc) {
+		c := w.Comm(1)
+		c.Send(p, 0, 7, []byte("a"))
+		c.Send(p, 0, 7, []byte("b"))
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

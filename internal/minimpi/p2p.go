@@ -1,0 +1,333 @@
+package minimpi
+
+import (
+	"fmt"
+
+	"dynacc/internal/sim"
+)
+
+// message is an in-flight transfer. The envelope (matching metadata)
+// travels ahead of the payload; bodyArrived fires when the payload has
+// fully landed at the receiver.
+type message struct {
+	ctx         int
+	srcWorld    int // world rank of sender
+	srcComm     int // communicator rank of sender
+	tag         Tag
+	size        int
+	data        []byte
+	bodyArrived *sim.Event
+	cts         *sim.Event // rendezvous clear-to-send; nil for eager sends
+}
+
+type postedRecv struct {
+	ctx int
+	src int // communicator rank or AnySource
+	tag Tag
+	req *Request
+	// comm resolves world source ranks to communicator ranks for Status.
+	comm *Comm
+}
+
+type prober struct {
+	ctx   int
+	src   int
+	tag   Tag
+	comm  *Comm
+	ev    *sim.Event
+	match *message
+}
+
+// Request is a handle for a nonblocking operation. Wait (or the Comm
+// Wait* helpers) block until completion; Done exposes the underlying
+// completion event for select-style composition with sim.AwaitAny.
+type Request struct {
+	done     *sim.Event
+	cancel   *sim.Event
+	isSend   bool
+	canceled bool
+	status   Status
+	data     []byte
+}
+
+// Done returns the completion event.
+func (r *Request) Done() *sim.Event { return r.done }
+
+// Cancel aborts a send that has not completed (MPI_Cancel): a rendezvous
+// payload still waiting for the receiver's clearance is abandoned and the
+// request completes as canceled. Cancelling a completed request or a
+// receive is a no-op. Like MPI, a canceled-but-already-matched transfer
+// leaves the peer's receive pending forever — cancellation is for
+// unreachable peers.
+func (r *Request) Cancel() {
+	if r.isSend && r.cancel != nil && !r.done.Triggered() {
+		r.canceled = true
+		r.cancel.Trigger()
+	}
+}
+
+// Canceled reports whether the request was aborted by Cancel.
+func (r *Request) Canceled() bool { return r.canceled }
+
+// Completed reports whether the operation has finished.
+func (r *Request) Completed() bool { return r.done.Triggered() }
+
+// Wait blocks the calling process until the request completes. For
+// receives it returns the payload (nil for sized sends) and the status.
+func (r *Request) Wait(p *sim.Proc) ([]byte, Status) {
+	r.done.Await(p)
+	return r.data, r.status
+}
+
+// Result returns the payload and status of an already-completed request.
+// It panics if the request is still in flight (use Wait or Done first).
+func (r *Request) Result() ([]byte, Status) {
+	if !r.done.Triggered() {
+		panic("minimpi: Result on incomplete request")
+	}
+	return r.data, r.status
+}
+
+// WaitTimeout blocks until the request completes or d elapses. The
+// boolean reports completion; on timeout the request stays posted (MPI
+// has no portable cancel either — the caller must treat the peer as
+// failed).
+func (r *Request) WaitTimeout(p *sim.Proc, d sim.Duration) ([]byte, Status, bool) {
+	if !r.done.AwaitTimeout(p, d) {
+		return nil, Status{}, false
+	}
+	return r.data, r.status, true
+}
+
+// matches reports whether an envelope satisfies a posted (src, tag) pair,
+// where src is a communicator rank or AnySource.
+func envelopeMatches(m *message, ctx int, src int, tag Tag) bool {
+	if m.ctx != ctx {
+		return false
+	}
+	if src != AnySource && m.srcComm != src {
+		return false
+	}
+	if tag != AnyTag && m.tag != tag {
+		return false
+	}
+	return true
+}
+
+// Isend starts a nonblocking tagged send of data to dst. The caller must
+// not modify data until the request completes. The send completes once the
+// payload has left the sender's NIC (local completion).
+func (c *Comm) Isend(dst int, tag Tag, data []byte) *Request {
+	return c.isend(dst, tag, data, len(data))
+}
+
+// IsendSized starts a nonblocking send of size metadata-only bytes: it
+// costs exactly the virtual time of a real size-byte message but carries
+// no payload. Used by paper-scale benchmarks.
+func (c *Comm) IsendSized(dst int, tag Tag, size int) *Request {
+	if size < 0 {
+		panic(fmt.Sprintf("minimpi: IsendSized: negative size %d", size))
+	}
+	return c.isend(dst, tag, nil, size)
+}
+
+func (c *Comm) isend(dst int, tag Tag, data []byte, size int) *Request {
+	c.checkRank(dst, "Isend")
+	if tag < 0 {
+		panic(fmt.Sprintf("minimpi: Isend: user tags must be non-negative, got %d", tag))
+	}
+	return c.isendAnyTag(dst, tag, data, size)
+}
+
+// isendAnyTag is the internal send path; collectives use negative tags.
+func (c *Comm) isendAnyTag(dst int, tag Tag, data []byte, size int) *Request {
+	w := c.world
+	params := w.params
+	srcEp := c.ep()
+	dstEp := w.eps[c.group[dst]]
+	req := &Request{done: sim.NewEvent(w.sim), cancel: sim.NewEvent(w.sim), isSend: true,
+		status: Status{Source: dst, Tag: tag, Size: size}}
+	m := &message{
+		ctx:         c.ctx,
+		srcWorld:    srcEp.rank,
+		srcComm:     c.rank,
+		tag:         tag,
+		size:        size,
+		data:        data,
+		bodyArrived: sim.NewEvent(w.sim),
+	}
+	if params.Rendezvous(size) {
+		m.cts = sim.NewEvent(w.sim)
+	}
+	w.sim.Spawn(fmt.Sprintf("mpi-send %d->%d t%d", srcEp.rank, dstEp.rank, tag), func(p *sim.Proc) {
+		p.Wait(params.SendOverhead)
+		p.Wait(params.Latency) // envelope flight
+		dstEp.deliverEnvelope(m)
+		if m.cts != nil {
+			if sim.AwaitAny(p, m.cts, req.cancel) == 1 && !m.cts.Triggered() {
+				// Canceled while waiting for the receiver's clearance: the
+				// payload never flows.
+				req.done.Trigger()
+				return
+			}
+			p.Wait(params.RendezvousRTT)
+		}
+		// Payload occupies the sender's transmit path and the receiver's
+		// receive path for the serialization time.
+		srcEp.tx.Acquire(p, 1)
+		dstEp.rx.Acquire(p, 1)
+		p.Wait(params.TransferTime(m.size))
+		req.done.Trigger() // local completion at the sender
+		m.bodyArrived.Trigger()
+		// Per-message completion processing occupies both endpoints a
+		// little longer, bounding the achievable message rate.
+		p.Wait(params.MessageGap)
+		srcEp.tx.Release(1)
+		dstEp.rx.Release(1)
+		occupancy := params.TransferTime(m.size) + params.MessageGap
+		srcEp.traffic.MsgsSent++
+		srcEp.traffic.BytesSent += int64(m.size)
+		srcEp.traffic.TxBusy += occupancy
+		dstEp.traffic.MsgsReceived++
+		dstEp.traffic.BytesReceived += int64(m.size)
+		dstEp.traffic.RxBusy += occupancy
+	})
+	return req
+}
+
+// Send is the blocking form of Isend.
+func (c *Comm) Send(p *sim.Proc, dst int, tag Tag, data []byte) {
+	r := c.Isend(dst, tag, data)
+	r.Wait(p)
+}
+
+// SendSized is the blocking form of IsendSized.
+func (c *Comm) SendSized(p *sim.Proc, dst int, tag Tag, size int) {
+	r := c.IsendSized(dst, tag, size)
+	r.Wait(p)
+}
+
+// Irecv posts a nonblocking receive matching (src, tag); src may be
+// AnySource and tag may be AnyTag.
+func (c *Comm) Irecv(src int, tag Tag) *Request {
+	if src != AnySource {
+		c.checkRank(src, "Irecv")
+	}
+	if tag < 0 && tag != AnyTag {
+		panic(fmt.Sprintf("minimpi: Irecv: user tags must be non-negative or AnyTag, got %d", tag))
+	}
+	return c.irecvAnyTag(src, tag)
+}
+
+func (c *Comm) irecvAnyTag(src int, tag Tag) *Request {
+	w := c.world
+	ep := c.ep()
+	req := &Request{done: sim.NewEvent(w.sim)}
+	// First try the unexpected queue, in envelope-arrival order.
+	for i, m := range ep.unexpected {
+		if envelopeMatches(m, c.ctx, src, tag) {
+			ep.unexpected = append(ep.unexpected[:i], ep.unexpected[i+1:]...)
+			c.completeRecv(req, m)
+			return req
+		}
+	}
+	ep.posted = append(ep.posted, &postedRecv{ctx: c.ctx, src: src, tag: tag, req: req, comm: c})
+	return req
+}
+
+// Recv blocks until a matching message arrives and returns its payload
+// (nil for sized sends) and status.
+func (c *Comm) Recv(p *sim.Proc, src int, tag Tag) ([]byte, Status) {
+	return c.Irecv(src, tag).Wait(p)
+}
+
+// completeRecv wires a matched message to its receive request: grant the
+// rendezvous sender clearance, then complete once the payload has landed
+// plus the receive overhead.
+func (c *Comm) completeRecv(req *Request, m *message) {
+	if m.cts != nil {
+		m.cts.Trigger()
+	}
+	w := c.world
+	m.bodyArrived.OnTrigger(func() {
+		w.sim.After(w.params.RecvOverhead, func() {
+			req.data = m.data
+			req.status = Status{Source: m.srcComm, Tag: m.tag, Size: m.size}
+			req.done.Trigger()
+		})
+	})
+}
+
+// deliverEnvelope lands an envelope at the endpoint: match a posted
+// receive (oldest matching first), otherwise queue as unexpected. Probers
+// are satisfied either way.
+func (ep *endpoint) deliverEnvelope(m *message) {
+	for i, pr := range ep.posted {
+		if envelopeMatches(m, pr.ctx, pr.src, pr.tag) {
+			ep.posted = append(ep.posted[:i], ep.posted[i+1:]...)
+			pr.comm.completeRecv(pr.req, m)
+			ep.notifyProbers(m)
+			return
+		}
+	}
+	ep.unexpected = append(ep.unexpected, m)
+	ep.notifyProbers(m)
+}
+
+func (ep *endpoint) notifyProbers(m *message) {
+	kept := ep.probers[:0]
+	for _, pb := range ep.probers {
+		if pb.match == nil && envelopeMatches(m, pb.ctx, pb.src, pb.tag) {
+			pb.match = m
+			pb.ev.Trigger()
+			continue
+		}
+		kept = append(kept, pb)
+	}
+	ep.probers = kept
+}
+
+// Probe blocks until a message matching (src, tag) is available to
+// receive, without consuming it, and returns its status.
+func (c *Comm) Probe(p *sim.Proc, src int, tag Tag) Status {
+	if st, ok := c.Iprobe(src, tag); ok {
+		return st
+	}
+	ep := c.ep()
+	pb := &prober{ctx: c.ctx, src: src, tag: tag, comm: c, ev: sim.NewEvent(c.world.sim)}
+	ep.probers = append(ep.probers, pb)
+	pb.ev.Await(p)
+	return Status{Source: pb.match.srcComm, Tag: pb.match.tag, Size: pb.match.size}
+}
+
+// Iprobe reports whether a matching message has arrived (matched or
+// unexpected does not matter to MPI Probe semantics; here, like MPI, only
+// not-yet-received envelopes count) and its status.
+func (c *Comm) Iprobe(src int, tag Tag) (Status, bool) {
+	if src != AnySource {
+		c.checkRank(src, "Iprobe")
+	}
+	for _, m := range c.ep().unexpected {
+		if envelopeMatches(m, c.ctx, src, tag) {
+			return Status{Source: m.srcComm, Tag: m.tag, Size: m.size}, true
+		}
+	}
+	return Status{}, false
+}
+
+// WaitAll blocks until every request has completed.
+func WaitAll(p *sim.Proc, reqs ...*Request) {
+	for _, r := range reqs {
+		r.done.Await(p)
+	}
+}
+
+// WaitAny blocks until at least one request completes and returns the
+// index of a completed one (lowest index if several already are).
+func WaitAny(p *sim.Proc, reqs ...*Request) int {
+	events := make([]*sim.Event, len(reqs))
+	for i, r := range reqs {
+		events[i] = r.done
+	}
+	return sim.AwaitAny(p, events...)
+}

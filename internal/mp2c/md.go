@@ -1,0 +1,180 @@
+package mp2c
+
+import (
+	"math"
+)
+
+// The molecular-dynamics half of MP2C: solute particles interacting
+// through a truncated Lennard-Jones potential, integrated with velocity
+// Verlet on the host CPU, and coupled to the SRD solvent by taking part
+// in the collision step (momentum exchanges between solvent and solute,
+// as in the real code's multi-scale coupling).
+//
+// Forces use a cell list over the solute positions; solutes near a slab
+// boundary are exchanged as ghosts so cross-rank pairs are seen by both
+// owners. Solute migration shares the solvent's slab-ownership rule.
+
+// LJParams parameterizes the solute-solute interaction.
+type LJParams struct {
+	Epsilon float64
+	Sigma   float64
+	Cutoff  float64 // interaction range, in cell units
+}
+
+// DefaultLJ returns the customary reduced-unit parameters.
+func DefaultLJ() LJParams {
+	return LJParams{Epsilon: 1, Sigma: 1, Cutoff: 2.5}
+}
+
+// ljForce returns the force on particle i from the displacement d = xi-xj
+// (already minimum-imaged) with squared distance r2 > 0, plus the pair
+// potential energy (truncated, unshifted).
+func (lj LJParams) ljForce(dx, dy, dz, r2 float64) (fx, fy, fz, u float64) {
+	s2 := lj.Sigma * lj.Sigma / r2
+	s6 := s2 * s2 * s2
+	s12 := s6 * s6
+	// f = 24ε(2·s12 − s6)/r² · d
+	f := 24 * lj.Epsilon * (2*s12 - s6) / r2
+	return f * dx, f * dy, f * dz, 4 * lj.Epsilon * (s12 - s6)
+}
+
+// LJForces computes forces (and the potential energy) for the given
+// positions, including one-sided contributions from ghost positions.
+// Box dimensions wrap y and z; x wraps with period nxWrap when nxWrap >
+// 0 (single-rank case) and is otherwise open (multi-rank slabs handle x
+// through pre-shifted ghosts). The force slice must hold 3n entries and
+// is overwritten.
+func LJForces(lj LJParams, pos []float64, ghosts []float64, nxWrap, ny, nz int, force []float64) float64 {
+	n := len(pos) / 3
+	for i := range force {
+		force[i] = 0
+	}
+	if n == 0 {
+		return 0
+	}
+	rc2 := lj.Cutoff * lj.Cutoff
+	lx, ly, lz := float64(nxWrap), float64(ny), float64(nz)
+
+	// Cell list over local + ghost positions. Periodic dimensions use
+	// floor(L/cutoff) bins so every bin is at least a cutoff wide (a
+	// narrower last bin would let wrapped pairs slip past the 27-cell
+	// search); the open x direction bins at exactly the cutoff.
+	binCount := func(l float64) int {
+		b := int(math.Floor(l / lj.Cutoff))
+		if b < 1 {
+			b = 1
+		}
+		return b
+	}
+	clampBin := func(x, l float64, b int) int {
+		i := int(math.Floor(x / (l / float64(b))))
+		if i < 0 {
+			i = 0
+		}
+		if i >= b {
+			i = b - 1
+		}
+		return i
+	}
+	binsX, binsY, binsZ := 0, binCount(ly), binCount(lz)
+	if nxWrap > 0 {
+		binsX = binCount(lx)
+	}
+
+	all := make([]float64, 0, len(pos)+len(ghosts))
+	all = append(all, pos...)
+	all = append(all, ghosts...)
+	total := len(all) / 3
+	cell := func(i int) [3]int {
+		var cx int
+		if nxWrap > 0 {
+			cx = clampBin(all[3*i], lx, binsX)
+		} else {
+			cx = int(math.Floor(all[3*i] / lj.Cutoff))
+		}
+		return [3]int{
+			cx,
+			clampBin(all[3*i+1], ly, binsY),
+			clampBin(all[3*i+2], lz, binsZ),
+		}
+	}
+	bins := make(map[[3]int][]int)
+	for i := 0; i < total; i++ {
+		bins[cell(i)] = append(bins[cell(i)], i)
+	}
+
+	mini := func(d, l float64) float64 {
+		if d > l/2 {
+			return d - l
+		}
+		if d < -l/2 {
+			return d + l
+		}
+		return d
+	}
+	wrapBin := func(v, b int) int { return ((v % b) + b) % b }
+
+	var energy float64
+	var nbs [][3]int
+	for i := 0; i < n; i++ { // forces only on local particles
+		ci := cell(i)
+		// Collect the (deduplicated) neighbour cells: with fewer than
+		// three bins in a periodic direction, offsets alias through the
+		// wrap and would double-count pairs.
+		nbs = nbs[:0]
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dz := -1; dz <= 1; dz++ {
+					nb := [3]int{ci[0] + dx, ci[1] + dy, ci[2] + dz}
+					if nxWrap > 0 {
+						nb[0] = wrapBin(nb[0], binsX)
+					}
+					nb[1] = wrapBin(nb[1], binsY)
+					nb[2] = wrapBin(nb[2], binsZ)
+					dup := false
+					for _, seen := range nbs {
+						if seen == nb {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						nbs = append(nbs, nb)
+					}
+				}
+			}
+		}
+		for _, nb := range nbs {
+			for _, j := range bins[nb] {
+				if j == i {
+					continue
+				}
+				ddx := all[3*i] - all[3*j]
+				if nxWrap > 0 {
+					ddx = mini(ddx, lx)
+				}
+				ddy := mini(all[3*i+1]-all[3*j+1], ly)
+				ddz := mini(all[3*i+2]-all[3*j+2], lz)
+				r2 := ddx*ddx + ddy*ddy + ddz*ddz
+				if r2 >= rc2 || r2 == 0 {
+					continue
+				}
+				fx, fy, fz, u := lj.ljForce(ddx, ddy, ddz, r2)
+				force[3*i] += fx
+				force[3*i+1] += fy
+				force[3*i+2] += fz
+				// Half the pair energy per side; ghost pairs are counted
+				// once on each rank, local pairs twice here.
+				energy += u / 2
+			}
+		}
+	}
+	return energy
+}
+
+// mdHalfKick applies v += f/m * dt/2 (unit mass).
+func mdHalfKick(vel, force []float64, dt float64) {
+	for i := range vel {
+		vel[i] += force[i] * dt / 2
+	}
+}

@@ -1,0 +1,277 @@
+package mp2c
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dynacc/internal/accel"
+	"dynacc/internal/cluster"
+	"dynacc/internal/gpu"
+	"dynacc/internal/sim"
+)
+
+// placeSolutes puts n solutes on a jittered grid so no pair starts deep
+// inside the repulsive core (which would blow up the integrator).
+func placeSolutes(rng *rand.Rand, n, nx, ny, nz int) []float64 {
+	pos := make([]float64, 0, 3*n)
+	spacing := 1.3
+	i := 0
+	for x := 0.5; x < float64(nx) && i < n; x += spacing {
+		for y := 0.5; y < float64(ny) && i < n; y += spacing {
+			for z := 0.5; z < float64(nz) && i < n; z += spacing {
+				pos = append(pos,
+					x+0.05*rng.Float64(), y+0.05*rng.Float64(), z+0.05*rng.Float64())
+				i++
+			}
+		}
+	}
+	return pos
+}
+
+func TestLJForceRepulsiveAndAttractive(t *testing.T) {
+	lj := DefaultLJ()
+	// Below the minimum (2^(1/6) σ ≈ 1.122) the force is repulsive.
+	fx, _, _, _ := lj.ljForce(1.0, 0, 0, 1.0)
+	if fx <= 0 {
+		t.Errorf("force at r=1 should push apart, got %v", fx)
+	}
+	// Beyond the minimum it attracts.
+	fx, _, _, _ = lj.ljForce(1.5, 0, 0, 2.25)
+	if fx >= 0 {
+		t.Errorf("force at r=1.5 should pull together, got %v", fx)
+	}
+	// Energy at the minimum is -ε.
+	rm := math.Pow(2, 1.0/6)
+	_, _, _, u := lj.ljForce(rm, 0, 0, rm*rm)
+	if math.Abs(u+lj.Epsilon) > 1e-12 {
+		t.Errorf("U(r_min) = %v, want %v", u, -lj.Epsilon)
+	}
+}
+
+func TestLJForcesNewtonThirdLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pos := placeSolutes(rng, 60, 8, 8, 8)
+	n := len(pos) / 3
+	force := make([]float64, 3*n)
+	LJForces(DefaultLJ(), pos, nil, 8, 8, 8, force)
+	var fx, fy, fz float64
+	for i := 0; i < n; i++ {
+		fx += force[3*i]
+		fy += force[3*i+1]
+		fz += force[3*i+2]
+	}
+	if math.Abs(fx) > 1e-9 || math.Abs(fy) > 1e-9 || math.Abs(fz) > 1e-9 {
+		t.Errorf("net force (%g,%g,%g) not zero", fx, fy, fz)
+	}
+}
+
+func TestLJForcesMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	lj := DefaultLJ()
+	pos := placeSolutes(rng, 40, 9, 9, 9)
+	n := len(pos) / 3
+	fast := make([]float64, 3*n)
+	LJForces(lj, pos, nil, 9, 9, 9, fast)
+	// Brute force with full minimum image.
+	slow := make([]float64, 3*n)
+	mini := func(d, l float64) float64 {
+		if d > l/2 {
+			return d - l
+		}
+		if d < -l/2 {
+			return d + l
+		}
+		return d
+	}
+	rc2 := lj.Cutoff * lj.Cutoff
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dx := mini(pos[3*i]-pos[3*j], 9)
+			dy := mini(pos[3*i+1]-pos[3*j+1], 9)
+			dz := mini(pos[3*i+2]-pos[3*j+2], 9)
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 >= rc2 || r2 == 0 {
+				continue
+			}
+			fx, fy, fz, _ := lj.ljForce(dx, dy, dz, r2)
+			slow[3*i] += fx
+			slow[3*i+1] += fy
+			slow[3*i+2] += fz
+		}
+	}
+	for i := range fast {
+		if math.Abs(fast[i]-slow[i]) > 1e-9 {
+			t.Fatalf("component %d: cell list %g vs brute force %g", i, fast[i], slow[i])
+		}
+	}
+}
+
+// NVE check: pure MD (velocity Verlet + LJ, no solvent interaction) must
+// conserve total energy to integrator accuracy.
+func TestVelocityVerletEnergyConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	lj := DefaultLJ()
+	const box = 8
+	pos := placeSolutes(rng, 50, box, box, box)
+	n := len(pos) / 3
+	vel := make([]float64, 3*n)
+	for i := range vel {
+		vel[i] = 0.3 * rng.NormFloat64()
+	}
+	force := make([]float64, 3*n)
+	energyOf := func() float64 {
+		u := LJForces(lj, pos, nil, box, box, box, force)
+		var ke float64
+		for _, v := range vel {
+			ke += v * v / 2
+		}
+		return u + ke
+	}
+	e0 := energyOf()
+	const dt = 0.002
+	LJForces(lj, pos, nil, box, box, box, force)
+	for step := 0; step < 400; step++ {
+		mdHalfKick(vel, force, dt)
+		for i := 0; i < n; i++ {
+			for k := 0; k < 3; k++ {
+				pos[3*i+k] = wrap(pos[3*i+k]+vel[3*i+k]*dt, box)
+			}
+		}
+		LJForces(lj, pos, nil, box, box, box, force)
+		mdHalfKick(vel, force, dt)
+	}
+	e1 := energyOf()
+	// The truncated, unshifted potential jumps at the cutoff, so NVE
+	// drift is bounded by the truncation, not the integrator; a few
+	// percent over 400 steps is the expected scale.
+	drift := math.Abs(e1-e0) / (math.Abs(e0) + 1)
+	if drift > 0.05 {
+		t.Errorf("energy drift %.3f%% over 400 steps (E %.4f -> %.4f)", drift*100, e0, e1)
+	}
+}
+
+func TestCoupledRunConservesTotalMomentum(t *testing.T) {
+	cfg := Defaults(3000)
+	cfg.Steps = 20
+	cfg.Execute = true
+	cfg.Solutes = 60
+	cfg.DT = 0.02
+	cfg.MDSubsteps = 4
+
+	reg := registryForTest()
+	px := make([]float64, 2) // per-rank momentum sums gathered at the end
+	py := make([]float64, 2)
+	pz := make([]float64, 2)
+	var before [3]float64
+	runCoupled(t, reg, cfg, func(p *sim.Proc, s *Sim, phase string) {
+		var x, y, z float64
+		for i := 0; i < s.Particles(); i++ {
+			x += s.vel[3*i]
+			y += s.vel[3*i+1]
+			z += s.vel[3*i+2]
+		}
+		for i := 0; i < s.SoluteCount(); i++ {
+			x += s.solVel[3*i]
+			y += s.solVel[3*i+1]
+			z += s.solVel[3*i+2]
+		}
+		if phase == "before" {
+			before[0] += x // single-threaded sim: safe accumulation
+			before[1] += y
+			before[2] += z
+		} else {
+			px[s.rank], py[s.rank], pz[s.rank] = x, y, z
+		}
+	})
+	after := [3]float64{px[0] + px[1], py[0] + py[1], pz[0] + pz[1]}
+	for k := 0; k < 3; k++ {
+		if math.Abs(after[k]-before[k]) > 1e-6 {
+			t.Errorf("momentum component %d drifted: %g -> %g", k, before[k], after[k])
+		}
+	}
+}
+
+func TestCoupledRunKeepsSoluteCount(t *testing.T) {
+	cfg := Defaults(2000)
+	cfg.Steps = 30
+	cfg.Execute = true
+	cfg.Solutes = 40
+	cfg.DT = 0.02
+	cfg.MDSubsteps = 4
+	total := 0
+	runCoupled(t, registryForTest(), cfg, func(p *sim.Proc, s *Sim, phase string) {
+		if phase == "after" {
+			total += s.SoluteCount()
+			for i := 0; i < s.SoluteCount(); i++ {
+				x := s.solPos[3*i]
+				if x < s.x0 || x >= s.x1 {
+					t.Errorf("rank %d: solute %d at x=%g outside slab", s.rank, i, x)
+					return
+				}
+			}
+		}
+	})
+	if total != 40 {
+		t.Errorf("solutes lost or duplicated: %d of 40", total)
+	}
+}
+
+func TestSoluteConfigValidation(t *testing.T) {
+	cfg := Defaults(100)
+	cfg.Solutes = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative solutes accepted")
+	}
+}
+
+// registryForTest returns a registry with the SRD kernel.
+func registryForTest() *gpu.Registry {
+	reg := gpu.NewRegistry()
+	RegisterKernels(reg)
+	return reg
+}
+
+// runCoupled runs a 2-rank coupled MD+SRD simulation on remote GPUs and
+// invokes hook before and after the run on each rank.
+func runCoupled(t *testing.T, reg *gpu.Registry, cfg Config, hook func(p *sim.Proc, s *Sim, phase string)) {
+	t.Helper()
+	cl, err := cluster.New(cluster.Config{
+		ComputeNodes: 2, Accelerators: 2, Registry: reg, Execute: cfg.Execute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SpawnAll(func(p *sim.Proc, node *cluster.Node) {
+		handles, err := node.ARM.Acquire(p, 1, true)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer node.ARM.Release(p, handles)
+		s, err := NewSim(node.App, accel.Remote(node.Attach(handles[0])), cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := s.Setup(p); err != nil {
+			t.Error(err)
+			return
+		}
+		defer s.Teardown(p)
+		hook(p, s, "before")
+		node.App.Barrier(p)
+		if _, err := s.Run(p); err != nil {
+			t.Error(err)
+			return
+		}
+		node.App.Barrier(p)
+		hook(p, s, "after")
+	})
+	if _, err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+package mp2c
+
+import (
+	"math"
+
+	"dynacc/internal/sim"
+)
+
+// Solute migration and ghost-exchange tags.
+const (
+	tagSolLeft    = 503
+	tagSolRight   = 504
+	tagGhostLeft  = 505
+	tagGhostRight = 506
+)
+
+// mdStep advances the solute phase by one solvent step, integrating the
+// stiff Lennard-Jones dynamics with MDSubsteps velocity-Verlet substeps
+// (half-kick, drift, migration + ghost exchange, force recomputation,
+// half-kick). The whole phase runs on the host CPU; only the SRD
+// coupling touches the GPU.
+func (s *Sim) mdStep(p *sim.Proc) error {
+	if s.cfg.Solutes == 0 {
+		return nil
+	}
+	sub := s.cfg.MDSubsteps
+	if sub < 1 {
+		sub = 1
+	}
+	n := s.SoluteCount()
+	p.Wait(sim.Duration(float64(n*sub) * s.cfg.CPUNsPerSoluteStep))
+	if !s.cfg.Execute {
+		// Model mode charges the CPU cost; the tiny ghost messages are
+		// negligible next to the solvent migration and SRD traffic.
+		return nil
+	}
+	dt := s.cfg.DT / float64(sub)
+	lx, ly, lz := float64(s.nx), float64(s.ny), float64(s.nz)
+	for k := 0; k < sub; k++ {
+		mdHalfKick(s.solVel, s.solForce, dt)
+		n = s.SoluteCount()
+		for i := 0; i < n; i++ {
+			s.solPos[3*i] = wrapFar(s.solPos[3*i]+s.solVel[3*i]*dt, lx)
+			s.solPos[3*i+1] = wrapFar(s.solPos[3*i+1]+s.solVel[3*i+1]*dt, ly)
+			s.solPos[3*i+2] = wrapFar(s.solPos[3*i+2]+s.solVel[3*i+2]*dt, lz)
+		}
+		if err := s.migrateSolutes(p); err != nil {
+			return err
+		}
+		if err := s.computeForces(p); err != nil {
+			return err
+		}
+		mdHalfKick(s.solVel, s.solForce, dt)
+	}
+	return nil
+}
+
+// wrapFar is a wrap robust to excursions of more than one box length.
+func wrapFar(x, l float64) float64 {
+	if x >= 0 && x < l {
+		return x
+	}
+	x = math.Mod(x, l)
+	if x < 0 {
+		x += l
+	}
+	return x
+}
+
+// migrateSolutes re-homes solutes that left the slab, like the solvent
+// migration but on dedicated tags.
+func (s *Sim) migrateSolutes(p *sim.Proc) error {
+	if s.np == 1 {
+		return nil
+	}
+	left := (s.rank - 1 + s.np) % s.np
+	right := (s.rank + 1) % s.np
+	var sendL, sendR []byte
+	keepPos := s.solPos[:0]
+	keepVel := s.solVel[:0]
+	n := s.SoluteCount()
+	for i := 0; i < n; i++ {
+		x := s.solPos[3*i]
+		switch {
+		case x >= s.x0 && x < s.x1:
+			keepPos = append(keepPos, s.solPos[3*i], s.solPos[3*i+1], s.solPos[3*i+2])
+			keepVel = append(keepVel, s.solVel[3*i], s.solVel[3*i+1], s.solVel[3*i+2])
+		case leftOf(x, s.x0, float64(s.nx)):
+			sendL = appendParticle(sendL, s.solPos[3*i:3*i+3], s.solVel[3*i:3*i+3])
+		default:
+			sendR = appendParticle(sendR, s.solPos[3*i:3*i+3], s.solVel[3*i:3*i+3])
+		}
+	}
+	s.solPos, s.solVel = keepPos, keepVel
+	rl := s.comm.Irecv(left, tagSolRight)
+	rr := s.comm.Irecv(right, tagSolLeft)
+	sl := s.comm.Isend(left, tagSolLeft, sendL)
+	sr := s.comm.Isend(right, tagSolRight, sendR)
+	dataL, _ := rl.Wait(p)
+	dataR, _ := rr.Wait(p)
+	sl.Wait(p)
+	sr.Wait(p)
+	s.absorbSolutes(dataL)
+	s.absorbSolutes(dataR)
+	s.solForce = resize(s.solForce, len(s.solPos))
+	return nil
+}
+
+func (s *Sim) absorbSolutes(data []byte) {
+	for off := 0; off+48 <= len(data); off += 48 {
+		for k := 0; k < 3; k++ {
+			s.solPos = append(s.solPos, getF64At(data, off+8*k))
+		}
+		for k := 0; k < 3; k++ {
+			s.solVel = append(s.solVel, getF64At(data, off+24+8*k))
+		}
+	}
+}
+
+func resize(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
+// computeForces exchanges boundary solutes as ghosts and evaluates the
+// Lennard-Jones forces. Ghost x coordinates are pre-shifted so distances
+// across the (possibly periodic) slab boundary are direct, which lets
+// the force kernel treat x as an open direction.
+func (s *Sim) computeForces(p *sim.Proc) error {
+	s.solForce = resize(s.solForce, len(s.solPos))
+	ghosts, err := s.exchangeGhosts(p)
+	if err != nil {
+		return err
+	}
+	nxWrap := 0
+	if s.np == 1 {
+		nxWrap = s.nx
+	}
+	LJForces(s.cfg.LJ, s.solPos, ghosts, nxWrap, s.ny, s.nz, s.solForce)
+	return nil
+}
+
+// exchangeGhosts sends copies of solutes within the cutoff of a slab
+// boundary to that neighbour (positions only).
+func (s *Sim) exchangeGhosts(p *sim.Proc) ([]float64, error) {
+	if s.np == 1 {
+		return nil, nil
+	}
+	rc := s.cfg.LJ.Cutoff
+	left := (s.rank - 1 + s.np) % s.np
+	right := (s.rank + 1) % s.np
+	lx := float64(s.nx)
+	var sendL, sendR []byte
+	n := s.SoluteCount()
+	for i := 0; i < n; i++ {
+		x := s.solPos[3*i]
+		if x < s.x0+rc {
+			// Ghost for the left neighbour; wrap across the global box
+			// when this is rank 0.
+			gx := x
+			if s.rank == 0 {
+				gx += lx
+			}
+			sendL = appendF64(appendF64(appendF64(sendL, gx), s.solPos[3*i+1]), s.solPos[3*i+2])
+		}
+		if x >= s.x1-rc {
+			gx := x
+			if s.rank == s.np-1 {
+				gx -= lx
+			}
+			sendR = appendF64(appendF64(appendF64(sendR, gx), s.solPos[3*i+1]), s.solPos[3*i+2])
+		}
+	}
+	rl := s.comm.Irecv(left, tagGhostRight)
+	rr := s.comm.Irecv(right, tagGhostLeft)
+	sl := s.comm.Isend(left, tagGhostLeft, sendL)
+	sr := s.comm.Isend(right, tagGhostRight, sendR)
+	dataL, _ := rl.Wait(p)
+	dataR, _ := rr.Wait(p)
+	sl.Wait(p)
+	sr.Wait(p)
+	var ghosts []float64
+	for _, data := range [][]byte{dataL, dataR} {
+		for off := 0; off+24 <= len(data); off += 24 {
+			ghosts = append(ghosts,
+				getF64At(data, off), getF64At(data, off+8), getF64At(data, off+16))
+		}
+	}
+	return ghosts, nil
+}

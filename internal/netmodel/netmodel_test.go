@@ -1,0 +1,138 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dynacc/internal/sim"
+)
+
+func TestValidatePresets(t *testing.T) {
+	for _, p := range []Params{QDRInfiniBand(), GigabitEthernet()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []Params{
+		{Name: "zero-bw"},
+		{Name: "neg-bw", Bandwidth: -1},
+		{Name: "neg-lat", Bandwidth: 1, Latency: -1},
+		{Name: "neg-eager", Bandwidth: 1, EagerThreshold: -1},
+		{Name: "neg-ovh", Bandwidth: 1, SendOverhead: -1},
+	}
+	for _, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid params", p.Name)
+		}
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	p := Params{Name: "t", Bandwidth: 1e9} // 1 GB/s => 1 ns/byte
+	if got := p.TransferTime(1000); got != 1000*sim.Nanosecond {
+		t.Fatalf("TransferTime(1000) = %v, want 1us", got)
+	}
+	if got := p.TransferTime(0); got != 0 {
+		t.Fatalf("TransferTime(0) = %v, want 0", got)
+	}
+	if got := p.TransferTime(-5); got != 0 {
+		t.Fatalf("TransferTime(-5) = %v, want 0", got)
+	}
+}
+
+func TestRendezvousThreshold(t *testing.T) {
+	p := QDRInfiniBand()
+	if p.Rendezvous(p.EagerThreshold - 1) {
+		t.Error("below threshold should be eager")
+	}
+	if !p.Rendezvous(p.EagerThreshold) {
+		t.Error("at threshold should be rendezvous")
+	}
+}
+
+// The paper measures ~2660 MiB/s for a 64 MiB PingPong message and an MPI
+// latency of roughly 2 us. The preset must land on those calibration
+// anchors.
+func TestQDRCalibration(t *testing.T) {
+	p := QDRInfiniBand()
+	peak := p.PingPongBandwidth(64*MiB) / MiB
+	if peak < 2600 || peak > 2700 {
+		t.Errorf("64 MiB PingPong bandwidth = %.0f MiB/s, want ~2660", peak)
+	}
+	lat := p.OneWayTime(8) // IMB latency is quoted for tiny messages
+	if lat < 1500*sim.Nanosecond || lat > 2500*sim.Nanosecond {
+		t.Errorf("small-message latency = %v, want ~2us", lat)
+	}
+}
+
+func TestPingPongBandwidthMonotonicNearPeak(t *testing.T) {
+	p := QDRInfiniBand()
+	prev := 0.0
+	for n := 1 * KiB; n <= 64*MiB; n *= 4 {
+		bw := p.PingPongBandwidth(n)
+		if bw < prev {
+			t.Fatalf("bandwidth not monotone: %.1f MiB/s at %d after %.1f", bw/MiB, n, prev/MiB)
+		}
+		prev = bw
+	}
+	if prev >= p.Bandwidth {
+		t.Fatalf("measured peak %.1f should stay below link rate %.1f", prev/MiB, p.Bandwidth/MiB)
+	}
+}
+
+func TestGigEMuchSlowerThanIB(t *testing.T) {
+	ib, ge := QDRInfiniBand(), GigabitEthernet()
+	if ge.PingPongBandwidth(16*MiB) > ib.PingPongBandwidth(16*MiB)/10 {
+		t.Error("GigE should be over 10x slower than QDR IB at large sizes")
+	}
+}
+
+// Property: one-way time is strictly increasing in message size and always
+// at least the pure serialization time.
+func TestPropertyOneWayTimeMonotone(t *testing.T) {
+	p := QDRInfiniBand()
+	f := func(a, b uint32) bool {
+		na, nb := int(a%(64*MiB)), int(b%(64*MiB))
+		if na > nb {
+			na, nb = nb, na
+		}
+		ta, tb := p.OneWayTime(na), p.OneWayTime(nb)
+		if ta > tb {
+			return false
+		}
+		return ta >= p.TransferTime(na) && tb >= p.TransferTime(nb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPingPongBandwidthZeroSize(t *testing.T) {
+	p := QDRInfiniBand()
+	if bw := p.PingPongBandwidth(0); bw != 0 {
+		t.Fatalf("PingPongBandwidth(0) = %v, want 0", bw)
+	}
+	if math.IsNaN(p.PingPongBandwidth(1)) {
+		t.Fatal("NaN bandwidth")
+	}
+}
+
+func TestFabricGenerationOrdering(t *testing.T) {
+	const n = 16 * MiB
+	ge := GigabitEthernet().PingPongBandwidth(n)
+	ddr := DDRInfiniBand().PingPongBandwidth(n)
+	qdr := QDRInfiniBand().PingPongBandwidth(n)
+	fdr := FDRInfiniBand().PingPongBandwidth(n)
+	if !(ge < ddr && ddr < qdr && qdr < fdr) {
+		t.Errorf("fabric ordering broken: %v %v %v %v", ge, ddr, qdr, fdr)
+	}
+	for _, p := range []Params{DDRInfiniBand(), FDRInfiniBand()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}

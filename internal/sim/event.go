@@ -1,0 +1,116 @@
+package sim
+
+// Event is a one-shot completion: it starts untriggered, any number of
+// processes may Await it, and a single Trigger wakes them all. Awaiting an
+// already-triggered event returns immediately. Events are the building
+// block for request completion (minimpi), job completion (ARM) and joins.
+type Event struct {
+	sim       *Simulation
+	fired     bool
+	waiters   []*eventWaiter
+	callbacks []func()
+}
+
+// eventWaiter links a blocked process to one or more events (AwaitAny).
+type eventWaiter struct {
+	p     *Proc
+	woken bool // set by the first event that fires; later fires are no-ops
+}
+
+// NewEvent creates an untriggered event.
+func NewEvent(s *Simulation) *Event { return &Event{sim: s} }
+
+// Triggered reports whether the event has fired.
+func (e *Event) Triggered() bool { return e.fired }
+
+// Trigger fires the event, waking all current waiters at the present
+// virtual time. Triggering an already-fired event is a no-op.
+func (e *Event) Trigger() {
+	if e.fired {
+		return
+	}
+	e.fired = true
+	for _, w := range e.waiters {
+		if !w.woken {
+			w.woken = true
+			w.p.wake()
+		}
+	}
+	e.waiters = nil
+	for _, fn := range e.callbacks {
+		fn := fn
+		e.sim.schedule(e.sim.now, fn)
+	}
+	e.callbacks = nil
+}
+
+// OnTrigger registers fn to run (in scheduler context, at the trigger
+// instant) when the event fires. If the event has already fired, fn is
+// scheduled at the current virtual time. Callbacks must not block; they
+// may schedule work, trigger other events, or spawn processes.
+func (e *Event) OnTrigger(fn func()) {
+	if e.fired {
+		e.sim.schedule(e.sim.now, fn)
+		return
+	}
+	e.callbacks = append(e.callbacks, fn)
+}
+
+// Await blocks the calling process until the event fires. Returns
+// immediately if it already has.
+func (e *Event) Await(p *Proc) {
+	if e.fired {
+		return
+	}
+	w := &eventWaiter{p: p}
+	e.waiters = append(e.waiters, w)
+	p.block("awaiting event")
+}
+
+// AwaitAny blocks until any of the given events fires and returns the index
+// of one fired event. If several are already triggered, the lowest index
+// wins.
+func AwaitAny(p *Proc, events ...*Event) int {
+	for i, e := range events {
+		if e.fired {
+			return i
+		}
+	}
+	w := &eventWaiter{p: p}
+	for _, e := range events {
+		e.waiters = append(e.waiters, w)
+	}
+	p.block("awaiting any event")
+	// The registrations left on the other events are harmless: their woken
+	// flag is set, so later Triggers skip them.
+	for i, e := range events {
+		if e.fired {
+			return i
+		}
+	}
+	// Unreachable: we were woken, so some event fired.
+	panic("sim: AwaitAny woken with no fired event")
+}
+
+// AwaitTimeout blocks until the event fires or d elapses. It reports true
+// if the event fired (possibly exactly at the deadline) and false on
+// timeout.
+func (e *Event) AwaitTimeout(p *Proc, d Duration) bool {
+	if e.fired {
+		return true
+	}
+	if d < 0 {
+		d = 0
+	}
+	w := &eventWaiter{p: p}
+	e.waiters = append(e.waiters, w)
+	s := p.sim
+	s.schedule(s.now.Add(d), func() {
+		if !w.woken {
+			w.woken = true
+			p.wake()
+		}
+	})
+	p.block("awaiting event with timeout")
+	return e.fired
+}

@@ -1,0 +1,97 @@
+package sim
+
+import "fmt"
+
+// Mailbox is an unbounded FIFO queue of values with blocking receive. It is
+// the basic inter-process communication channel inside a simulation: sends
+// never block; receivers block until a value is available. Values are
+// delivered in send order, and competing receivers are served in arrival
+// order.
+type Mailbox struct {
+	sim     *Simulation
+	name    string
+	items   []any
+	waiters []*boxWaiter
+}
+
+type boxWaiter struct {
+	p     *Proc
+	woken bool
+	val   any
+	got   bool
+}
+
+// NewMailbox creates an empty mailbox.
+func NewMailbox(s *Simulation, name string) *Mailbox {
+	return &Mailbox{sim: s, name: name}
+}
+
+// Len reports the number of queued values.
+func (m *Mailbox) Len() int { return len(m.items) }
+
+// Send enqueues v. If a receiver is blocked, the value is handed to the
+// oldest one and it is woken at the current virtual time.
+func (m *Mailbox) Send(v any) {
+	for len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters[0] = nil
+		m.waiters = m.waiters[1:]
+		if w.woken {
+			continue // timed out concurrently; already awake
+		}
+		w.val, w.got, w.woken = v, true, true
+		w.p.wake()
+		return
+	}
+	m.items = append(m.items, v)
+}
+
+// Recv blocks until a value is available and returns it.
+func (m *Mailbox) Recv(p *Proc) any {
+	if len(m.items) > 0 {
+		v := m.items[0]
+		m.items[0] = nil
+		m.items = m.items[1:]
+		return v
+	}
+	w := &boxWaiter{p: p}
+	m.waiters = append(m.waiters, w)
+	p.block(fmt.Sprintf("receiving from mailbox %s", m.name))
+	if !w.got {
+		panic(fmt.Sprintf("sim: mailbox %s: receiver woken without value", m.name))
+	}
+	return w.val
+}
+
+// TryRecv returns a queued value if one is available.
+func (m *Mailbox) TryRecv() (any, bool) {
+	if len(m.items) == 0 {
+		return nil, false
+	}
+	v := m.items[0]
+	m.items[0] = nil
+	m.items = m.items[1:]
+	return v, true
+}
+
+// RecvTimeout blocks until a value arrives or d elapses. The boolean
+// reports whether a value was received.
+func (m *Mailbox) RecvTimeout(p *Proc, d Duration) (any, bool) {
+	if v, ok := m.TryRecv(); ok {
+		return v, true
+	}
+	if d < 0 {
+		d = 0
+	}
+	w := &boxWaiter{p: p}
+	m.waiters = append(m.waiters, w)
+	s := p.sim
+	s.schedule(s.now.Add(d), func() {
+		if !w.woken {
+			w.woken = true
+			w.p.wake()
+		}
+	})
+	p.block(fmt.Sprintf("receiving from mailbox %s (timed)", m.name))
+	return w.val, w.got
+}

@@ -1,0 +1,100 @@
+package sim
+
+import "fmt"
+
+// Resource is a counted semaphore with FIFO granting. It models contended
+// hardware: a network link, a DMA engine, a CPU core pool. A process
+// acquires n units, holds them across timed work, and releases them.
+//
+// Granting is strictly FIFO: a large request at the head of the queue
+// blocks smaller requests behind it (no barging), which keeps timing
+// reproducible and models fair hardware arbitration.
+type Resource struct {
+	sim      *Simulation
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*resWaiter
+}
+
+type resWaiter struct {
+	p     *Proc
+	n     int
+	woken bool
+}
+
+// NewResource creates a resource with the given capacity (> 0).
+func NewResource(s *Simulation, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %q: capacity must be positive, got %d", name, capacity))
+	}
+	return &Resource{sim: s, name: name, capacity: capacity}
+}
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Acquire blocks until n units are available and takes them. n must be
+// between 1 and the resource capacity.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 || n > r.capacity {
+		panic(fmt.Sprintf("sim: resource %q: acquire %d of capacity %d", r.name, n, r.capacity))
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.inUse += n
+		return
+	}
+	w := &resWaiter{p: p, n: n}
+	r.waiters = append(r.waiters, w)
+	p.block(fmt.Sprintf("acquiring %d of resource %s", n, r.name))
+}
+
+// TryAcquire takes n units if immediately available, reporting success.
+func (r *Resource) TryAcquire(n int) bool {
+	if n <= 0 || n > r.capacity {
+		panic(fmt.Sprintf("sim: resource %q: try-acquire %d of capacity %d", r.name, n, r.capacity))
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.inUse += n
+		return true
+	}
+	return false
+}
+
+// Release returns n units and grants queued waiters in FIFO order.
+func (r *Resource) Release(n int) {
+	if n <= 0 || n > r.inUse {
+		panic(fmt.Sprintf("sim: resource %q: release %d with %d in use", r.name, n, r.inUse))
+	}
+	r.inUse -= n
+	r.grant()
+}
+
+// grant wakes queued waiters, head first, while capacity allows.
+func (r *Resource) grant() {
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if r.inUse+w.n > r.capacity {
+			return
+		}
+		r.inUse += w.n
+		r.waiters[0] = nil
+		r.waiters = r.waiters[1:]
+		w.woken = true
+		w.p.wake()
+	}
+}
+
+// Use acquires n units, waits for d, then releases: the common pattern for
+// "occupy this hardware for this long".
+func (r *Resource) Use(p *Proc, n int, d Duration) {
+	r.Acquire(p, n)
+	p.Wait(d)
+	r.Release(n)
+}
+
+// QueueLen reports the number of blocked acquirers.
+func (r *Resource) QueueLen() int { return len(r.waiters) }

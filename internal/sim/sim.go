@@ -1,0 +1,298 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// A Simulation owns a virtual clock and a set of cooperative processes.
+// Each process is a goroutine, but exactly one process runs at any moment:
+// a process runs until it blocks on a simulation primitive (Wait, Event,
+// Resource, Mailbox), at which point control returns to the scheduler,
+// which advances the virtual clock to the next pending event. Ties in
+// virtual time are broken by event creation order, so a simulation is
+// bit-for-bit reproducible across runs and safe under the race detector.
+//
+// The package provides the primitives the rest of this repository is built
+// on: timed waits, one-shot events (completions), counted resources
+// (semaphores modelling links, DMA engines, CPUs) and mailboxes (FIFO
+// message queues with blocking receive).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds reports the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// String formats the duration using the most natural unit.
+func (d Duration) String() string {
+	switch {
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.3gus", float64(d)/float64(Microsecond))
+	case d < Second:
+		return fmt.Sprintf("%.4gms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6gs", float64(d)/float64(Second))
+	}
+}
+
+// Seconds reports the time as a floating-point number of seconds since
+// simulation start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// event is a scheduled callback. Events are executed by the scheduler
+// goroutine in (at, seq) order.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (v any) {
+	old := *h
+	n := len(old)
+	v = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+func (h eventHeap) Peek() *event        { return h[0] }
+func (h *eventHeap) pushEvent(e *event) { heap.Push(h, e) }
+
+// Simulation is a discrete-event simulation instance. The zero value is not
+// usable; create one with New.
+type Simulation struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	yield chan struct{} // processes signal the scheduler here when blocking
+
+	procs   map[*Proc]struct{} // live (spawned, not yet terminated) processes
+	nprocs  int                // total processes ever spawned, for naming
+	failure error              // first process panic, if any
+}
+
+// New creates an empty simulation with the clock at zero.
+func New() *Simulation {
+	return &Simulation{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time. It may be called from process
+// context or between Run calls.
+func (s *Simulation) Now() Time { return s.now }
+
+// After schedules fn to run in scheduler context d from now. Like event
+// callbacks, fn must not block.
+func (s *Simulation) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.schedule(s.now.Add(d), fn)
+}
+
+// schedule enqueues fn to run at time at (>= now).
+func (s *Simulation) schedule(at Time, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	s.events.pushEvent(&event{at: at, seq: s.seq, fn: fn})
+}
+
+// Proc is the handle a process function uses to interact with the
+// simulation: waiting, spawning children, and querying the clock. A Proc is
+// only valid inside the goroutine of the process it belongs to.
+type Proc struct {
+	sim    *Simulation
+	name   string
+	resume chan struct{}
+	state  string // human-readable description of what the process waits on
+	done   *Event // triggered when the process function returns
+}
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// Sim returns the owning simulation.
+func (p *Proc) Sim() *Simulation { return p.sim }
+
+// Done returns an event triggered when the process terminates. Other
+// processes can Await it to join.
+func (p *Proc) Done() *Event { return p.done }
+
+// block hands control back to the scheduler and sleeps until resumed.
+func (p *Proc) block(state string) {
+	p.state = state
+	p.sim.yield <- struct{}{}
+	<-p.resume
+	p.state = ""
+}
+
+// wake schedules p to resume at the current virtual time.
+func (p *Proc) wake() {
+	s := p.sim
+	s.schedule(s.now, func() { s.dispatch(p) })
+}
+
+// dispatch resumes process p and waits until it blocks again or terminates.
+// Called only from the scheduler goroutine.
+func (s *Simulation) dispatch(p *Proc) {
+	p.resume <- struct{}{}
+	<-s.yield
+}
+
+// Wait advances the process by d of virtual time. Negative durations are
+// treated as zero (yield to other processes scheduled at the same instant).
+func (p *Proc) Wait(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := p.sim
+	self := p
+	s.schedule(s.now.Add(d), func() { s.dispatch(self) })
+	p.block(fmt.Sprintf("waiting %v", d))
+}
+
+// Spawn starts a new process at the current virtual time. The child runs
+// concurrently (in virtual time) with the caller; the caller keeps running
+// until it blocks. Spawn may also be called on the Simulation before Run.
+func (p *Proc) Spawn(name string, fn func(p *Proc)) *Proc {
+	return p.sim.Spawn(name, fn)
+}
+
+// Spawn registers a new process to start at the current virtual time and
+// returns its handle. The process function runs in its own goroutine under
+// the cooperative scheduling discipline described in the package comment.
+func (s *Simulation) Spawn(name string, fn func(p *Proc)) *Proc {
+	s.nprocs++
+	if name == "" {
+		name = fmt.Sprintf("proc-%d", s.nprocs)
+	}
+	p := &Proc{
+		sim:    s,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	p.done = NewEvent(s)
+	s.procs[p] = struct{}{}
+	s.schedule(s.now, func() {
+		go func() {
+			<-p.resume // wait for first dispatch
+			defer func() {
+				if r := recover(); r != nil {
+					if s.failure == nil {
+						s.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+					}
+				}
+				delete(s.procs, p)
+				p.done.Trigger()
+				p.state = "terminated"
+				s.yield <- struct{}{}
+			}()
+			fn(p)
+		}()
+		s.dispatch(p)
+	})
+	return p
+}
+
+// Run executes events until none remain or until a process panics. It
+// returns an error if a process panicked, or if live processes remain
+// blocked with no pending events (deadlock). The clock stops at the last
+// executed event.
+func (s *Simulation) Run() error { return s.run(Time(1<<62-1), false) }
+
+// RunUntil executes events with timestamps <= limit and advances the
+// clock to exactly limit on return (even if the queue drained earlier).
+func (s *Simulation) RunUntil(limit Time) error { return s.run(limit, true) }
+
+func (s *Simulation) run(limit Time, advance bool) error {
+	for len(s.events) > 0 {
+		e := s.events.Peek()
+		if e.at > limit {
+			s.now = limit
+			return nil
+		}
+		heap.Pop(&s.events)
+		s.now = e.at
+		e.fn()
+		if s.failure != nil {
+			return s.failure
+		}
+	}
+	if len(s.procs) > 0 {
+		return s.deadlockError()
+	}
+	if advance && s.now < limit {
+		s.now = limit
+	}
+	return nil
+}
+
+// Step executes a single pending event. It reports whether an event was
+// executed and any process failure.
+func (s *Simulation) Step() (bool, error) {
+	if len(s.events) == 0 {
+		return false, nil
+	}
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.at
+	e.fn()
+	return true, s.failure
+}
+
+func (s *Simulation) deadlockError() error {
+	var names []string
+	for p := range s.procs {
+		names = append(names, fmt.Sprintf("%s (%s)", p.name, p.state))
+	}
+	sort.Strings(names)
+	return fmt.Errorf("sim: deadlock at t=%v: %d process(es) blocked forever: %v",
+		Duration(s.now), len(names), names)
+}
+
+// Pending reports the number of scheduled events.
+func (s *Simulation) Pending() int { return len(s.events) }
+
+// LiveProcs reports the number of spawned, unterminated processes.
+func (s *Simulation) LiveProcs() int { return len(s.procs) }

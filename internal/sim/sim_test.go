@@ -1,0 +1,728 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	s := New()
+	if s.Now() != 0 {
+		t.Fatalf("new simulation clock = %v, want 0", s.Now())
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("empty run: %v", err)
+	}
+}
+
+func TestWaitAdvancesClock(t *testing.T) {
+	s := New()
+	var end Time
+	s.Spawn("waiter", func(p *Proc) {
+		p.Wait(5 * Microsecond)
+		p.Wait(3 * Millisecond)
+		end = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := Time(5*Microsecond + 3*Millisecond); end != want {
+		t.Fatalf("end time = %v, want %v", end, want)
+	}
+}
+
+func TestZeroAndNegativeWait(t *testing.T) {
+	s := New()
+	ran := false
+	s.Spawn("p", func(p *Proc) {
+		p.Wait(0)
+		p.Wait(-5)
+		if p.Now() != 0 {
+			t.Errorf("clock moved on zero wait: %v", p.Now())
+		}
+		ran = true
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("process did not run")
+	}
+}
+
+func TestInterleavingIsDeterministic(t *testing.T) {
+	run := func() string {
+		s := New()
+		var log []string
+		for i := 0; i < 4; i++ {
+			i := i
+			s.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for step := 0; step < 3; step++ {
+					p.Wait(Duration(10 * Microsecond))
+					log = append(log, fmt.Sprintf("p%d@%d", i, step))
+				}
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(log, ",")
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+	// Same-time ties must resolve in spawn order.
+	if !strings.HasPrefix(first, "p0@0,p1@0,p2@0,p3@0") {
+		t.Fatalf("tie-break not FIFO: %s", first)
+	}
+}
+
+func TestSpawnChildSeesParentTime(t *testing.T) {
+	s := New()
+	var childStart Time
+	s.Spawn("parent", func(p *Proc) {
+		p.Wait(7 * Microsecond)
+		p.Spawn("child", func(c *Proc) {
+			childStart = c.Now()
+		})
+		p.Wait(Microsecond)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childStart != Time(7*Microsecond) {
+		t.Fatalf("child start = %v, want 7us", childStart)
+	}
+}
+
+func TestEventTriggerWakesAllWaiters(t *testing.T) {
+	s := New()
+	ev := NewEvent(s)
+	woken := 0
+	for i := 0; i < 3; i++ {
+		s.Spawn("waiter", func(p *Proc) {
+			ev.Await(p)
+			woken++
+		})
+	}
+	s.Spawn("trigger", func(p *Proc) {
+		p.Wait(Millisecond)
+		ev.Trigger()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+}
+
+func TestAwaitFiredEventReturnsImmediately(t *testing.T) {
+	s := New()
+	ev := NewEvent(s)
+	ev.Trigger()
+	var when Time
+	s.Spawn("p", func(p *Proc) {
+		ev.Await(p)
+		when = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if when != 0 {
+		t.Fatalf("await of fired event took time: %v", when)
+	}
+	if !ev.Triggered() {
+		t.Fatal("Triggered() = false after Trigger")
+	}
+}
+
+func TestDoubleTriggerIsNoop(t *testing.T) {
+	s := New()
+	ev := NewEvent(s)
+	count := 0
+	s.Spawn("w", func(p *Proc) {
+		ev.Await(p)
+		count++
+	})
+	s.Spawn("t", func(p *Proc) {
+		ev.Trigger()
+		ev.Trigger()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("waiter woke %d times, want 1", count)
+	}
+}
+
+func TestAwaitAny(t *testing.T) {
+	s := New()
+	a, b, c := NewEvent(s), NewEvent(s), NewEvent(s)
+	var got int
+	var when Time
+	s.Spawn("w", func(p *Proc) {
+		got = AwaitAny(p, a, b, c)
+		when = p.Now()
+	})
+	s.Spawn("t", func(p *Proc) {
+		p.Wait(3 * Microsecond)
+		b.Trigger()
+		p.Wait(Microsecond)
+		a.Trigger()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("AwaitAny returned %d, want 1", got)
+	}
+	if when != Time(3*Microsecond) {
+		t.Fatalf("woke at %v, want 3us", when)
+	}
+}
+
+func TestAwaitAnyAlreadyFired(t *testing.T) {
+	s := New()
+	a, b := NewEvent(s), NewEvent(s)
+	b.Trigger()
+	var got int
+	s.Spawn("w", func(p *Proc) { got = AwaitAny(p, a, b) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("AwaitAny = %d, want 1", got)
+	}
+}
+
+func TestAwaitTimeout(t *testing.T) {
+	s := New()
+	ev := NewEvent(s)
+	var fired, timedOut bool
+	var tFired, tTimeout Time
+	s.Spawn("w1", func(p *Proc) {
+		fired = ev.AwaitTimeout(p, 10*Microsecond)
+		tFired = p.Now()
+	})
+	s.Spawn("w2", func(p *Proc) {
+		timedOut = ev.AwaitTimeout(p, 2*Microsecond)
+		tTimeout = p.Now()
+	})
+	s.Spawn("t", func(p *Proc) {
+		p.Wait(5 * Microsecond)
+		ev.Trigger()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired || tFired != Time(5*Microsecond) {
+		t.Fatalf("w1: fired=%v at %v, want true at 5us", fired, tFired)
+	}
+	if timedOut || tTimeout != Time(2*Microsecond) {
+		t.Fatalf("w2: fired=%v at %v, want false at 2us", timedOut, tTimeout)
+	}
+}
+
+func TestProcDoneEvent(t *testing.T) {
+	s := New()
+	var joined Time
+	worker := s.Spawn("worker", func(p *Proc) { p.Wait(9 * Microsecond) })
+	s.Spawn("joiner", func(p *Proc) {
+		worker.Done().Await(p)
+		joined = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if joined != Time(9*Microsecond) {
+		t.Fatalf("joined at %v, want 9us", joined)
+	}
+}
+
+func TestResourceMutualExclusion(t *testing.T) {
+	s := New()
+	r := NewResource(s, "link", 1)
+	var order []string
+	worker := func(name string, startDelay, hold Duration) {
+		s.Spawn(name, func(p *Proc) {
+			p.Wait(startDelay)
+			r.Acquire(p, 1)
+			order = append(order, name+"+")
+			p.Wait(hold)
+			order = append(order, name+"-")
+			r.Release(1)
+		})
+	}
+	worker("a", 0, 10*Microsecond)
+	worker("b", 1*Microsecond, 10*Microsecond)
+	worker("c", 2*Microsecond, 10*Microsecond)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "a+,a-,b+,b-,c+,c-"
+	if got := strings.Join(order, ","); got != want {
+		t.Fatalf("order = %s, want %s", got, want)
+	}
+}
+
+func TestResourceFIFONoBarging(t *testing.T) {
+	s := New()
+	r := NewResource(s, "pool", 2)
+	var order []string
+	// holder takes both units; big (needs 2) queues first; small (needs 1)
+	// must not overtake big even though a single unit frees up first.
+	s.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 2)
+		p.Wait(10 * Microsecond)
+		r.Release(1)
+		p.Wait(10 * Microsecond)
+		r.Release(1)
+	})
+	s.Spawn("big", func(p *Proc) {
+		p.Wait(Microsecond)
+		r.Acquire(p, 2)
+		order = append(order, "big")
+		r.Release(2)
+	})
+	s.Spawn("small", func(p *Proc) {
+		p.Wait(2 * Microsecond)
+		r.Acquire(p, 1)
+		order = append(order, "small")
+		r.Release(1)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ","); got != "big,small" {
+		t.Fatalf("order = %s, want big,small", got)
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	s := New()
+	r := NewResource(s, "r", 2)
+	s.Spawn("p", func(p *Proc) {
+		if !r.TryAcquire(2) {
+			t.Error("TryAcquire(2) on empty resource failed")
+		}
+		if r.TryAcquire(1) {
+			t.Error("TryAcquire(1) on full resource succeeded")
+		}
+		r.Release(2)
+		if r.InUse() != 0 {
+			t.Errorf("InUse = %d after release", r.InUse())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceUse(t *testing.T) {
+	s := New()
+	r := NewResource(s, "dma", 1)
+	var done Time
+	s.Spawn("a", func(p *Proc) { r.Use(p, 1, 5*Microsecond) })
+	s.Spawn("b", func(p *Proc) {
+		r.Use(p, 1, 5*Microsecond)
+		done = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != Time(10*Microsecond) {
+		t.Fatalf("serialized Use finished at %v, want 10us", done)
+	}
+}
+
+func TestResourcePanicsOnMisuse(t *testing.T) {
+	s := New()
+	r := NewResource(s, "r", 1)
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"acquire zero", func() { r.Acquire(nil, 0) }},
+		{"acquire above capacity", func() { r.Acquire(nil, 2) }},
+		{"release more than held", func() { r.Release(1) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewResourceRejectsNonPositiveCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero capacity")
+		}
+	}()
+	NewResource(New(), "bad", 0)
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	s := New()
+	m := NewMailbox(s, "box")
+	var got []int
+	s.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, m.Recv(p).(int))
+		}
+	})
+	s.Spawn("send", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Wait(Microsecond)
+			m.Send(i)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[1 2 3]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMailboxBufferedBeforeRecv(t *testing.T) {
+	s := New()
+	m := NewMailbox(s, "box")
+	m.Send("x")
+	m.Send("y")
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	var a, b string
+	s.Spawn("r", func(p *Proc) {
+		a = m.Recv(p).(string)
+		b = m.Recv(p).(string)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a != "x" || b != "y" {
+		t.Fatalf("got %q,%q", a, b)
+	}
+}
+
+func TestMailboxTryRecv(t *testing.T) {
+	s := New()
+	m := NewMailbox(s, "box")
+	if _, ok := m.TryRecv(); ok {
+		t.Fatal("TryRecv on empty mailbox succeeded")
+	}
+	m.Send(7)
+	v, ok := m.TryRecv()
+	if !ok || v.(int) != 7 {
+		t.Fatalf("TryRecv = %v,%v", v, ok)
+	}
+}
+
+func TestMailboxRecvTimeout(t *testing.T) {
+	s := New()
+	m := NewMailbox(s, "box")
+	var v1 any
+	var ok1, ok2 bool
+	s.Spawn("r1", func(p *Proc) { v1, ok1 = m.RecvTimeout(p, 10*Microsecond) })
+	s.Spawn("r2", func(p *Proc) { _, ok2 = m.RecvTimeout(p, Microsecond) })
+	s.Spawn("sender", func(p *Proc) {
+		p.Wait(5 * Microsecond)
+		m.Send(42)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok1 || v1.(int) != 42 {
+		t.Fatalf("r1 got %v,%v; want 42,true", v1, ok1)
+	}
+	if ok2 {
+		t.Fatal("r2 should have timed out")
+	}
+}
+
+func TestMailboxTimedOutWaiterSkipped(t *testing.T) {
+	// A send after r1's timeout must go to r2, not the dead r1 waiter.
+	s := New()
+	m := NewMailbox(s, "box")
+	var r2got any
+	s.Spawn("r1", func(p *Proc) { m.RecvTimeout(p, Microsecond) })
+	s.Spawn("r2", func(p *Proc) { r2got = m.Recv(p) })
+	s.Spawn("sender", func(p *Proc) {
+		p.Wait(5 * Microsecond)
+		m.Send("live")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r2got != "live" {
+		t.Fatalf("r2 got %v, want live", r2got)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	s := New()
+	ev := NewEvent(s)
+	s.Spawn("stuck", func(p *Proc) { ev.Await(p) })
+	err := s.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	if !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("deadlock error should name the process: %v", err)
+	}
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	s := New()
+	s.Spawn("bomb", func(p *Proc) {
+		p.Wait(Microsecond)
+		panic("boom")
+	})
+	err := s.Run()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want panic propagation", err)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	ticks := 0
+	s.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Wait(Millisecond)
+			ticks++
+		}
+	})
+	if err := s.RunUntil(Time(5*Millisecond + Microsecond)); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+	if s.Now() != Time(5*Millisecond+Microsecond) {
+		t.Fatalf("clock = %v", s.Now())
+	}
+	// Continue to completion.
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 100 {
+		t.Fatalf("ticks = %d, want 100", ticks)
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := New()
+	n := 0
+	s.Spawn("p", func(p *Proc) { n++ })
+	ran, err := s.Step()
+	if err != nil || !ran {
+		t.Fatalf("Step = %v,%v", ran, err)
+	}
+	for {
+		ran, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ran {
+			break
+		}
+	}
+	if n != 1 {
+		t.Fatalf("n = %d", n)
+	}
+}
+
+func TestLiveProcsAndPending(t *testing.T) {
+	s := New()
+	s.Spawn("p", func(p *Proc) { p.Wait(Microsecond) })
+	if s.LiveProcs() != 1 {
+		t.Fatalf("LiveProcs = %d, want 1", s.LiveProcs())
+	}
+	if s.Pending() == 0 {
+		t.Fatal("Pending = 0, want > 0")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.LiveProcs() != 0 || s.Pending() != 0 {
+		t.Fatalf("after Run: live=%d pending=%d", s.LiveProcs(), s.Pending())
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := map[Duration]string{
+		5:               "5ns",
+		3 * Microsecond: "3us",
+		2 * Millisecond: "2ms",
+		7 * Second:      "7s",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("(%d).String() = %q, want %q", int64(d), got, want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	tt := Time(100).Add(50)
+	if tt != 150 {
+		t.Fatalf("Add: %v", tt)
+	}
+	if d := Time(150).Sub(Time(100)); d != 50 {
+		t.Fatalf("Sub: %v", d)
+	}
+	if s := (2 * Second).Seconds(); s != 2.0 {
+		t.Fatalf("Seconds: %v", s)
+	}
+	if s := Time(3 * Second).Seconds(); s != 3.0 {
+		t.Fatalf("Time.Seconds: %v", s)
+	}
+}
+
+// Property: for any set of delays, every process observes the clock value
+// equal to the sum of its own waits (waits of other processes never leak).
+func TestPropertyWaitSumsAreLocal(t *testing.T) {
+	f := func(seed int64, raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		okAll := true
+		for pi := 0; pi < 4; pi++ {
+			n := 1 + rng.Intn(len(raw))
+			delays := make([]Duration, n)
+			for i := range delays {
+				delays[i] = Duration(raw[rng.Intn(len(raw))])
+			}
+			s.Spawn(fmt.Sprintf("p%d", pi), func(p *Proc) {
+				var sum Duration
+				for _, d := range delays {
+					p.Wait(d)
+					sum += d
+				}
+				if p.Now() != Time(sum) {
+					okAll = false
+				}
+			})
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a resource never exceeds its capacity, regardless of the
+// acquire/release pattern.
+func TestPropertyResourceNeverOverCapacity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		capn := 1 + rng.Intn(4)
+		r := NewResource(s, "r", capn)
+		violated := false
+		for i := 0; i < 8; i++ {
+			n := 1 + rng.Intn(capn)
+			hold := Duration(rng.Intn(100))
+			start := Duration(rng.Intn(100))
+			s.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+				p.Wait(start)
+				r.Acquire(p, n)
+				if r.InUse() > r.Capacity() {
+					violated = true
+				}
+				p.Wait(hold)
+				r.Release(n)
+			})
+		}
+		return s.Run() == nil && !violated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventOnTrigger(t *testing.T) {
+	s := New()
+	ev := NewEvent(s)
+	var firedAt Time
+	ev.OnTrigger(func() { firedAt = s.Now() })
+	s.Spawn("t", func(p *Proc) {
+		p.Wait(5 * Microsecond)
+		ev.Trigger()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if firedAt != Time(5*Microsecond) {
+		t.Errorf("callback at %v, want 5us", firedAt)
+	}
+	// Registering on an already-fired event schedules immediately.
+	ran := false
+	ev.OnTrigger(func() { ran = true })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("post-fire callback did not run")
+	}
+}
+
+func TestAfterSchedulesCallback(t *testing.T) {
+	s := New()
+	var order []int
+	s.After(2*Microsecond, func() { order = append(order, 2) })
+	s.After(Microsecond, func() { order = append(order, 1) })
+	s.After(-5, func() { order = append(order, 0) }) // clamped to now
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[0 1 2]" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestCallbackChainsKeepClockMonotonic(t *testing.T) {
+	s := New()
+	var times []Time
+	var chain func(depth int)
+	chain = func(depth int) {
+		times = append(times, s.Now())
+		if depth < 3 {
+			s.After(Microsecond, func() { chain(depth + 1) })
+		}
+	}
+	s.After(0, func() { chain(0) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Errorf("clock went backwards: %v", times)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	w := NewWriter(64)
+	w.U8(7).U32(1 << 30).U64(1 << 60).I64(-42).Int(-9).F64(3.25).Str("hello").Blob([]byte{1, 2, 3})
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := r.U32(); got != 1<<30 {
+		t.Errorf("U32 = %d", got)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Int(); got != -9 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.F64(); got != 3.25 {
+		t.Errorf("F64 = %g", got)
+	}
+	if got := r.Str(); got != "hello" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := r.Blob(); len(got) != 3 || got[0] != 1 {
+		t.Errorf("Blob = %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestTruncatedStickyError(t *testing.T) {
+	w := NewWriter(0)
+	w.U32(5)
+	r := NewReader(w.Bytes())
+	r.U64() // too short
+	if r.Err() == nil {
+		t.Fatal("no error on truncated read")
+	}
+	// Sticky: everything after returns zero values, error preserved.
+	if got := r.U32(); got != 0 {
+		t.Errorf("post-error U32 = %d", got)
+	}
+	if got := r.Str(); got != "" {
+		t.Errorf("post-error Str = %q", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("error cleared")
+	}
+}
+
+func TestEmptyStringAndBlob(t *testing.T) {
+	w := NewWriter(0)
+	w.Str("").Blob(nil)
+	r := NewReader(w.Bytes())
+	if got := r.Str(); got != "" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := r.Blob(); len(got) != 0 {
+		t.Errorf("Blob = %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(a uint8, b uint32, c uint64, d int64, e float64, s string, blob []byte) bool {
+		w := NewWriter(0)
+		w.U8(a).U32(b).U64(c).I64(d).F64(e).Str(s).Blob(blob)
+		r := NewReader(w.Bytes())
+		if r.U8() != a || r.U32() != b || r.U64() != c || r.I64() != d {
+			return false
+		}
+		got := r.F64()
+		if got != e && !(got != got && e != e) { // NaN-safe compare
+			return false
+		}
+		if r.Str() != s {
+			return false
+		}
+		gb := r.Blob()
+		if len(gb) != len(blob) {
+			return false
+		}
+		for i := range gb {
+			if gb[i] != blob[i] {
+				return false
+			}
+		}
+		return r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
