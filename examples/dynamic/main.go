@@ -2,7 +2,9 @@
 // fault-tolerance claim of Section III. Three compute nodes with phases
 // of differing accelerator demand share a pool of three network-attached
 // GPUs: they acquire at runtime, block while the pool is drained, release
-// early when a phase ends, and keep running when an accelerator breaks.
+// early when a phase ends, and keep running when an accelerator breaks —
+// both when an administrator retires one and when a fault-injection plan
+// crash-kills a daemon under a job that then fails over to a spare.
 package main
 
 import (
@@ -12,18 +14,35 @@ import (
 
 	"dynacc/internal/arm"
 	"dynacc/internal/cluster"
+	"dynacc/internal/core"
+	"dynacc/internal/faults"
 	"dynacc/internal/sim"
 )
 
 func main() {
+	// Fault-aware protocol settings: requests time out instead of waiting
+	// forever on a dead daemon, and are retried twice before giving up.
+	opts := core.DefaultOptions()
+	opts.Timeout = 50 * sim.Millisecond
+	opts.Retries = 2
+	dcfg := core.DefaultDaemonConfig()
+	dcfg.PayloadTimeout = 20 * sim.Millisecond
 	cl, err := cluster.New(cluster.Config{
 		ComputeNodes: 3,
 		Accelerators: 3,
 		Policy:       arm.Backfill,
+		Options:      &opts,
+		Daemon:       &dcfg,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// The chaos schedule: accelerator 0's daemon is crash-killed at
+	// t=200ms, while node 0's last phase is holding it.
+	plan := faults.NewPlan(0).KillDaemon(200*sim.Millisecond, 0)
+	plan.Log = func(s string) { fmt.Println(s) }
+	plan.Arm(cl)
 
 	say := func(p *sim.Proc, rank int, format string, args ...any) {
 		fmt.Printf("[t=%8v] node %d: %s\n", sim.Duration(p.Now()), rank, fmt.Sprintf(format, args...))
@@ -74,6 +93,52 @@ func main() {
 		usePhase(p, node, 3, 40*sim.Millisecond)
 		p.Wait(30 * sim.Millisecond) // accelerator-free phase
 		usePhase(p, node, 2, 20*sim.Millisecond)
+
+		// Final phase: ride out an injected daemon crash. Node 0 is
+		// holding two accelerators when the chaos plan kills one at
+		// t=200ms; the stuck request surfaces as a typed timeout, the
+		// client reports the failure and fails over to the spare, and the
+		// job finishes on the replacement.
+		if d := sim.Time(0).Add(180 * sim.Millisecond).Sub(p.Now()); d > 0 {
+			p.Wait(d)
+		}
+		handles, err := node.ARM.Acquire(p, 2, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		accels := make([]*core.Accel, len(handles))
+		for i, h := range handles {
+			accels[i] = node.Attach(h)
+			if _, err := accels[i].MemAlloc(p, 1<<20); err != nil {
+				log.Fatal(err)
+			}
+		}
+		say(p, node.Rank, "resilient phase holding %v, compute in progress", handles)
+		p.Wait(40 * sim.Millisecond) // the crash lands here
+		for i, ac := range accels {
+			err := ac.Sync(p)
+			if err == nil {
+				continue
+			}
+			if !errors.Is(err, core.ErrTimeout) {
+				log.Fatalf("accelerator %d: %v", i, err)
+			}
+			say(p, node.Rank, "accelerator on rank %d stopped answering: %v", ac.Rank(), err)
+			if err := ac.Failover(p); err != nil {
+				log.Fatalf("failover: %v", err)
+			}
+			say(p, node.Rank, "failed over to rank %d, allocations replayed from the host shadow", ac.Rank())
+		}
+		// Prove the replacement serves requests, then hand everything back.
+		for _, ac := range accels {
+			if err := ac.Sync(p); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := node.ARM.Release(p, node.ARM.Held()); err != nil {
+			log.Fatal(err)
+		}
+		say(p, node.Rank, "resilient phase done — job survived the crash")
 	})
 	cl.Spawn(1, func(p *sim.Proc, node *cluster.Node) {
 		// Node 1: modest, repeated single-GPU phases; blocks while node 0

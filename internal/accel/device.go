@@ -170,14 +170,18 @@ func (l *LocalDevice) CopyD2HAsync(dst []byte, src gpu.Ptr, off, n int, stream u
 
 func (l *LocalDevice) CopyH2D2DAsync(dst gpu.Ptr, off, colBytes, cols, pitch int, src []byte, stream uint8) Pending {
 	return l.enqueue(stream, func(p *sim.Proc) error {
-		l.dev.CopyEngineTransfer(p, colBytes*cols, true, true)
+		if err := l.dev.CopyEngineTransfer(p, colBytes*cols, true, true); err != nil {
+			return err
+		}
 		return l.dev.ScatterColumns(dst, off, colBytes, cols, pitch, src)
 	})
 }
 
 func (l *LocalDevice) CopyD2H2DAsync(dst []byte, src gpu.Ptr, off, colBytes, cols, pitch int, stream uint8) Pending {
 	return l.enqueue(stream, func(p *sim.Proc) error {
-		l.dev.CopyEngineTransfer(p, colBytes*cols, false, true)
+		if err := l.dev.CopyEngineTransfer(p, colBytes*cols, false, true); err != nil {
+			return err
+		}
 		data, err := l.dev.GatherColumns(src, off, colBytes, cols, pitch)
 		if err != nil {
 			return err

@@ -50,6 +50,7 @@ const (
 	opFail
 	opRepair
 	opShutdown
+	opReplace
 )
 
 // Reply status codes.
@@ -222,6 +223,13 @@ func (s *Server) handle(p *sim.Proc, src int, data []byte) bool {
 		s.setState(p, r.Int(), acFailed, src, reqID)
 	case opRepair:
 		s.setState(p, r.Int(), acFree, src, reqID)
+	case opReplace:
+		rank := r.Int()
+		if r.Err() != nil {
+			s.reply(src, reqID, statusBadRequest, nil)
+			return true
+		}
+		s.replace(p, src, reqID, rank)
 	case opShutdown:
 		s.reply(src, reqID, statusOK, nil)
 		return false
@@ -369,6 +377,34 @@ func (s *Server) drainQueue(p *sim.Proc) {
 			return
 		}
 	}
+}
+
+// replace handles a compute node's failure report for an accelerator it
+// holds (identified by daemon rank, which is what the computation API
+// knows): the accelerator is marked failed and a replacement is granted
+// from the free pool. The grant is non-blocking — waiting for another
+// job to release could deadlock the reporter, so an empty pool answers
+// unavailable and the caller decides whether to retry. The reply has the
+// same shape as an acquire reply with one handle.
+func (s *Server) replace(p *sim.Proc, src int, reqID uint64, rank int) {
+	var failed *accel
+	for _, a := range s.accels {
+		if a.rank == rank && a.state == acAssigned && a.owner == src {
+			failed = a
+			break
+		}
+	}
+	if failed == nil {
+		s.reply(src, reqID, statusBadRequest, nil)
+		return
+	}
+	s.accrue(p.Now())
+	failed.state = acFailed
+	s.assignedNow--
+	// The shrunken pool may make queued requests impossible; settle them
+	// before queueing the replacement acquire.
+	s.drainQueue(p)
+	s.acquire(p, &pendingAcquire{src: src, reqID: reqID, n: 1, enqueued: p.Now()}, false)
 }
 
 // setState handles fail/repair administrative requests.

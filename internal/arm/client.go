@@ -103,6 +103,32 @@ func (c *Client) Release(p *sim.Proc, handles []Handle) error {
 	return statusErr(status)
 }
 
+// Replace reports that the accelerator whose daemon listens on
+// failedRank stopped answering and asks for a substitute. The ARM marks
+// the failed accelerator broken and grants a replacement from the free
+// pool; ErrUnavailable means no spare is free right now (the failure
+// report still sticks), ErrImpossible that the operational pool is
+// exhausted, ErrBadRequest that the caller does not hold an accelerator
+// on that rank.
+func (c *Client) Replace(p *sim.Proc, failedRank int) (Handle, error) {
+	status, payload, err := c.call(p, opReplace, func(w *wire.Writer) { w.Int(failedRank) })
+	if err != nil {
+		return Handle{}, err
+	}
+	if err := statusErr(status); err != nil {
+		return Handle{}, err
+	}
+	r := wire.NewReader(payload)
+	if count := r.Int(); count != 1 {
+		return Handle{}, fmt.Errorf("arm: replace reply has %d handles", count)
+	}
+	h := Handle{ID: r.Int(), Rank: r.Int()}
+	if err := r.Err(); err != nil {
+		return Handle{}, fmt.Errorf("arm: malformed replace reply: %w", err)
+	}
+	return h, nil
+}
+
 // Stats fetches the ARM's pool snapshot.
 func (c *Client) Stats(p *sim.Proc) (PoolStats, error) {
 	status, payload, err := c.call(p, opStats, nil)

@@ -1,0 +1,161 @@
+package arm
+
+// Randomized invariants over the ARM's bookkeeping (testing/quick):
+// under any interleaving of acquire / release / replace / repair, the
+// pool partition Free+Assigned+Failed == Total holds, no accelerator is
+// ever assigned twice, and FIFO queues grant strictly in arrival order.
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynacc/internal/sim"
+)
+
+func TestPropertyPoolPartitionInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nAC := 2 + rng.Intn(4)
+		ok := true
+		pool(t, nAC, 1, Policy(rng.Intn(2)), func(p *sim.Proc, c *Client, rank int) {
+			lrng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+			var held []Handle
+			heldIDs := make(map[int]bool)
+			var failedIDs []int
+			check := func() {
+				st, err := c.Stats(p)
+				if err != nil {
+					ok = false
+					return
+				}
+				if st.Total != nAC || st.Free+st.Assigned+st.Failed != st.Total {
+					t.Errorf("partition broken: %+v", st)
+					ok = false
+				}
+				if st.Assigned != len(held) || st.Failed != len(failedIDs) {
+					t.Errorf("books disagree: %+v, held %d, failed %d", st, len(held), len(failedIDs))
+					ok = false
+				}
+			}
+			free := func() int { return nAC - len(held) - len(failedIDs) }
+			for i := 0; i < 12 && ok; i++ {
+				switch lrng.Intn(4) {
+				case 0: // acquire one more
+					hs, err := c.Acquire(p, 1, false)
+					switch {
+					case err == nil:
+						for _, h := range hs {
+							if heldIDs[h.ID] {
+								t.Errorf("accel %d assigned twice", h.ID)
+								ok = false
+							}
+							heldIDs[h.ID] = true
+						}
+						held = append(held, hs...)
+					case errors.Is(err, ErrUnavailable) || errors.Is(err, ErrImpossible):
+						if free() > 0 && errors.Is(err, ErrUnavailable) {
+							t.Errorf("unavailable with %d free", free())
+							ok = false
+						}
+					default:
+						t.Errorf("acquire: %v", err)
+						ok = false
+					}
+				case 1: // release the oldest holding
+					if len(held) == 0 {
+						continue
+					}
+					if err := c.Release(p, held[:1]); err != nil {
+						t.Errorf("release: %v", err)
+						ok = false
+					}
+					delete(heldIDs, held[0].ID)
+					held = held[1:]
+				case 2: // report a failure, get a replacement
+					// Only when a spare exists: a blocking replace with no
+					// free accelerator and no other client would wait forever.
+					if len(held) == 0 || free() == 0 {
+						continue
+					}
+					old := held[0]
+					h, err := c.Replace(p, old.Rank)
+					if err != nil {
+						t.Errorf("replace: %v", err)
+						ok = false
+						continue
+					}
+					if heldIDs[h.ID] {
+						t.Errorf("replacement %d already assigned", h.ID)
+						ok = false
+					}
+					delete(heldIDs, old.ID)
+					heldIDs[h.ID] = true
+					held[0] = h
+					failedIDs = append(failedIDs, old.ID)
+				case 3: // repair the oldest failure
+					if len(failedIDs) == 0 {
+						continue
+					}
+					if err := c.Repair(p, failedIDs[0]); err != nil {
+						t.Errorf("repair: %v", err)
+						ok = false
+					}
+					failedIDs = failedIDs[1:]
+				}
+				check()
+			}
+			// Drain so the pool teardown sees a consistent state.
+			if len(held) > 0 {
+				if err := c.Release(p, held); err != nil {
+					t.Errorf("final release: %v", err)
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyFIFOGrantOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nCN := 2 + rng.Intn(5)
+		// Distinct arrival offsets, far apart compared to network latency,
+		// randomly assigned to ranks.
+		delays := rng.Perm(nCN)
+		var order []int
+		ok := true
+		pool(t, 1, nCN, FIFO, func(p *sim.Proc, c *Client, rank int) {
+			d := delays[rank-1]
+			p.Wait(sim.Duration(d+1) * sim.Millisecond)
+			hs, err := c.Acquire(p, 1, true)
+			if err != nil {
+				ok = false
+				return
+			}
+			order = append(order, d)
+			p.Wait(500 * sim.Microsecond)
+			if err := c.Release(p, hs); err != nil {
+				ok = false
+			}
+		})
+		if len(order) != nCN {
+			return false
+		}
+		for i := 1; i < len(order); i++ {
+			if order[i] < order[i-1] {
+				t.Errorf("FIFO violated: grant order %v", order)
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -108,6 +108,23 @@ func (na *NodeARM) Release(p *sim.Proc, handles []arm.Handle) error {
 	return err
 }
 
+// Replace implements core.Replacer: it reports the failed daemon rank to
+// the ARM, swaps the bookkeeping entry, and returns the replacement's
+// daemon rank. The front-end calls this during Client.Failover.
+func (na *NodeARM) Replace(p *sim.Proc, failedRank int) (int, error) {
+	h, err := na.Client.Replace(p, failedRank)
+	if err != nil {
+		return 0, err
+	}
+	for id, held := range na.held {
+		if held.Rank == failedRank {
+			delete(na.held, id)
+		}
+	}
+	na.held[h.ID] = h
+	return h.Rank, nil
+}
+
 // Held lists the handles this node still holds.
 func (na *NodeARM) Held() []arm.Handle {
 	ids := make([]int, 0, len(na.held))
@@ -131,6 +148,7 @@ type Cluster struct {
 	World   *minimpi.World
 	Daemons []*core.Daemon
 	cfg     Config
+	dcfg    core.DaemonConfig
 
 	appGroup *minimpi.Group
 	armRank  int
@@ -173,7 +191,7 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl := &Cluster{Sim: s, World: w, cfg: cfg, armRank: nRanks - 1}
+	cl := &Cluster{Sim: s, World: w, cfg: cfg, dcfg: dcfg, armRank: nRanks - 1}
 
 	cnRanks := make([]int, cfg.ComputeNodes)
 	for i := range cnRanks {
@@ -224,6 +242,7 @@ func New(cfg Config) (*Cluster, error) {
 			ARM:   &NodeARM{Client: arm.NewClient(worldComm, cl.armRank), held: make(map[int]arm.Handle)},
 			FE:    fe,
 		}
+		fe.SetReplacer(node.ARM)
 		for g := 0; g < cfg.LocalGPUs; g++ {
 			dev, err := gpu.NewDevice(s, gpu.Config{
 				Name:     fmt.Sprintf("cn%d-gpu%d", i, g),
@@ -268,13 +287,23 @@ func (cl *Cluster) Run() (sim.Time, error) {
 			m.Done().Await(p)
 		}
 		// Auto-release: any accelerator still held when a job's main
-		// returned is wiped and returned to the pool.
+		// returned is wiped and returned to the pool. Accelerators whose
+		// daemon died (chaos tests, injected failures) can't be reset over
+		// the wire; they are reported failed instead so the ARM's books
+		// stay consistent.
 		for _, n := range cl.nodes {
 			leftovers := n.ARM.Held()
 			if len(leftovers) == 0 {
 				continue
 			}
 			for _, h := range leftovers {
+				d := cl.daemonAt(h.Rank)
+				if d == nil || !d.Alive() || d.Device().Failed() != nil {
+					if err := n.ARM.Fail(p, h.ID); err != nil {
+						panic(fmt.Sprintf("cluster: auto-release fail report: %v", err))
+					}
+					continue
+				}
 				if err := n.FE.Attach(h.Rank).Reset(p); err != nil {
 					panic(fmt.Sprintf("cluster: auto-release reset: %v", err))
 				}
@@ -285,6 +314,9 @@ func (cl *Cluster) Run() (sim.Time, error) {
 		}
 		node := cl.nodes[0]
 		for _, d := range cl.Daemons {
+			if !d.Alive() {
+				continue // killed by fault injection; nothing to stop
+			}
 			// Shutdown through the regular protocol, from CN 0's front-end.
 			ac := node.FE.Attach(d.Rank())
 			if err := ac.Shutdown(p); err != nil {
@@ -297,4 +329,39 @@ func (cl *Cluster) Run() (sim.Time, error) {
 	})
 	err := cl.Sim.Run()
 	return cl.Sim.Now(), err
+}
+
+// daemonAt returns the daemon listening on a world rank, or nil.
+func (cl *Cluster) daemonAt(rank int) *core.Daemon {
+	i := rank - cl.cfg.ComputeNodes
+	if i < 0 || i >= len(cl.Daemons) {
+		return nil
+	}
+	return cl.Daemons[i]
+}
+
+// KillDaemon crash-kills accelerator daemon i: every process it is
+// running stops at its next scheduling point and in-flight requests are
+// abandoned, exactly like a daemon segfault. Clients discover the death
+// through request timeouts. Service on the rank can be restored with
+// RestartDaemon.
+func (cl *Cluster) KillDaemon(i int) { cl.Daemons[i].Kill() }
+
+// RestartDaemon replaces a killed daemon i with a fresh one on the same
+// rank and device, modeling an accelerator-node reboot: the NIC endpoint
+// state is discarded, engines stranded by the crash are released, and
+// device memory is wiped. No-op while the daemon is still alive.
+func (cl *Cluster) RestartDaemon(p *sim.Proc, i int) {
+	old := cl.Daemons[i]
+	if old.Alive() {
+		return
+	}
+	rank := old.Rank()
+	cl.World.ResetEndpoint(rank)
+	dev := old.Device()
+	dev.ResetEngines()
+	dev.Reset(p)
+	d := core.NewDaemon(cl.World.Comm(rank), dev, cl.dcfg)
+	cl.Daemons[rank-cl.cfg.ComputeNodes] = d
+	cl.Sim.Spawn(fmt.Sprintf("daemon-ac%d", rank-cl.cfg.ComputeNodes), d.Run)
 }

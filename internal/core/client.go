@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"dynacc/internal/gpu"
 	"dynacc/internal/minimpi"
@@ -12,8 +14,31 @@ import (
 // ErrTimeout reports that an accelerator stopped answering within the
 // configured request timeout — the client-side half of the paper's fault
 // tolerance story (a broken accelerator must not take the compute node
-// down with it).
+// down with it). Concrete timeout errors are *TimeoutError values;
+// errors.Is(err, ErrTimeout) matches them.
 var ErrTimeout = errors.New("core: request timed out; accelerator unreachable")
+
+// TimeoutError is the typed error for a request that exhausted its
+// timeout budget, including retransmissions.
+type TimeoutError struct {
+	// Op is the request op code, or zero for a payload-stream transfer.
+	Op uint8
+	// Rank is the daemon rank that stopped answering.
+	Rank int
+	// Attempts is how many times the request was sent.
+	Attempts int
+}
+
+func (e *TimeoutError) Error() string {
+	what := "payload transfer"
+	if e.Op != 0 {
+		what = fmt.Sprintf("op %d", e.Op)
+	}
+	return fmt.Sprintf("core: %s to accelerator rank %d timed out after %d attempt(s)", what, e.Rank, e.Attempts)
+}
+
+// Is makes errors.Is(err, ErrTimeout) succeed for TimeoutError values.
+func (e *TimeoutError) Is(target error) bool { return target == ErrTimeout }
 
 // Options configures a front-end's copy protocols.
 type Options struct {
@@ -24,9 +49,15 @@ type Options struct {
 	H2D CopyConfig
 	D2H CopyConfig
 	// Timeout bounds every request round trip; zero waits forever. With a
-	// timeout set, calls against a dead accelerator fail with ErrTimeout
-	// instead of blocking the compute node.
+	// timeout set, calls against a dead accelerator fail with a
+	// *TimeoutError instead of blocking the compute node.
 	Timeout sim.Duration
+	// Retries is how many times a timed-out request header is
+	// retransmitted (with the same request ID — the daemon's dedup table
+	// makes retransmission idempotent) before the call fails. Payload
+	// streams never retransmit: a broken copy fails after one timeout and
+	// the caller decides between surfacing the error and Failover.
+	Retries int
 }
 
 // DefaultOptions returns the paper's best-performing configuration.
@@ -42,15 +73,33 @@ func (o Options) Validate() error {
 	if err := o.H2D.Validate(); err != nil {
 		return err
 	}
+	if o.Retries < 0 {
+		return fmt.Errorf("core: negative retry count %d", o.Retries)
+	}
 	return o.D2H.Validate()
 }
+
+// Replacer obtains a replacement accelerator after a failure report: the
+// implementation (the cluster's ARM wiring) tells the resource manager
+// the old rank is dead and comes back with a freshly assigned one.
+type Replacer interface {
+	Replace(p *sim.Proc, failedRank int) (int, error)
+}
+
+// clientEpoch gives every front-end instance in the process a disjoint
+// request-ID space, so daemons can key their idempotency tables by
+// (source rank, reqID) even when several front-ends share a rank. The
+// shift keeps reqID mod tagWindow — and therefore tag assignment and
+// simulation timing — identical regardless of epoch.
+var clientEpoch atomic.Uint64
 
 // Client is the front-end of the computation API: it lives in a
 // compute-node process and forwards ac* calls to accelerator daemons.
 type Client struct {
-	comm    *minimpi.Comm
-	opts    Options
-	nextReq uint64
+	comm     *minimpi.Comm
+	opts     Options
+	nextReq  uint64
+	replacer Replacer
 }
 
 // NewClient creates a front-end on the given communicator.
@@ -58,24 +107,54 @@ func NewClient(comm *minimpi.Comm, opts Options) (*Client, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	return &Client{comm: comm, opts: opts}, nil
+	return &Client{comm: comm, opts: opts, nextReq: clientEpoch.Add(1) << 40}, nil
 }
 
 // Options returns the client's protocol configuration.
 func (c *Client) Options() Options { return c.opts }
 
+// SetReplacer installs the failover path used by Client.Failover. The
+// cluster builder wires its ARM client in here.
+func (c *Client) SetReplacer(r Replacer) { c.replacer = r }
+
 // Attach binds an accelerator handle (the communicator rank its daemon
 // listens on) and returns the per-accelerator API object. The handle is
 // what the ARM's Acquire returned.
 func (c *Client) Attach(daemonRank int) *Accel {
-	return &Accel{c: c, rank: daemonRank}
+	return &Accel{
+		c:      c,
+		rank:   daemonRank,
+		allocs: make(map[gpu.Ptr]*allocRecord),
+		remap:  make(map[gpu.Ptr]gpu.Ptr),
+	}
 }
+
+// allocRecord is the front-end's failover ledger entry for one device
+// allocation: its size, and a lazily created host mirror of everything
+// the front-end itself put there (uploads and memsets). The mirror is
+// what Failover replays onto a replacement accelerator.
+type allocRecord struct {
+	size   int
+	shadow []byte
+}
+
+// virtBase is where minted pointer ids start; far above any address a
+// device allocator hands out, so app-visible pointers stay unique even
+// when a replacement daemon reuses addresses of the failed one.
+const virtBase gpu.Ptr = 1 << 52
 
 // Accel is the paper's accelerator handle: every computation-API call
 // names it explicitly (acMemAlloc(args, ac_handle), ...).
 type Accel struct {
 	c    *Client
 	rank int
+
+	// Failover ledger: app-visible pointer → allocation record, plus the
+	// translation of app-visible pointers to the current daemon's
+	// physical pointers (identity until a failover redirects them).
+	allocs   map[gpu.Ptr]*allocRecord
+	remap    map[gpu.Ptr]gpu.Ptr
+	nextVirt gpu.Ptr
 }
 
 // Rank returns the communicator rank of the accelerator's daemon.
@@ -83,6 +162,15 @@ func (a *Accel) Rank() int { return a.rank }
 
 // Client returns the front-end this handle belongs to.
 func (a *Accel) Client() *Client { return a.c }
+
+// translate maps an app-visible pointer to the current daemon's physical
+// pointer. Pointers the ledger does not know pass through unchanged.
+func (a *Accel) translate(ptr gpu.Ptr) gpu.Ptr {
+	if phys, ok := a.remap[ptr]; ok {
+		return phys
+	}
+	return ptr
+}
 
 // Pending is an in-flight asynchronous operation.
 type Pending struct {
@@ -99,22 +187,155 @@ func (pd *Pending) Wait(p *sim.Proc) error {
 // Done exposes the completion event for WaitAny-style composition.
 func (pd *Pending) Done() *sim.Event { return pd.done }
 
-// sendReq serializes and ships a request header, returning the pending
-// response receive.
-func (a *Accel) sendReq(q *request) *minimpi.Request {
-	a.c.nextReq++
-	q.reqID = a.c.nextReq
-	resp := a.c.comm.Irecv(a.rank, respTag(q.reqID))
-	a.c.comm.Isend(a.rank, TagRequest, encodeRequest(q))
-	return resp
+// call is one request round trip in flight: the encoded header (kept for
+// retransmission), the posted response receive, and the retry policy.
+type call struct {
+	a     *Accel
+	q     *request
+	enc   []byte
+	resp  *minimpi.Request
+	retry bool
 }
 
-// awaitReq waits for a request with the accelerator's timeout policy.
+// newCall assigns a request ID, translates device pointers through the
+// failover ledger, posts the response receive and ships the header.
+func (a *Accel) newCall(q *request, retry bool) *call {
+	a.c.nextReq++
+	q.reqID = a.c.nextReq
+	q.ptr = a.translate(q.ptr)
+	for i, arg := range q.launch.Args {
+		if arg.Kind == gpu.KindPtr {
+			q.launch.Args[i] = gpu.PtrArg(a.translate(arg.Ptr))
+		}
+	}
+	cl := &call{a: a, q: q, enc: encodeRequest(q), retry: retry}
+	cl.resp = a.c.comm.Irecv(a.rank, respTag(q.reqID))
+	a.c.comm.Isend(a.rank, TagRequest, cl.enc)
+	return cl
+}
+
+// wait blocks until the call's verified response arrives, retransmitting
+// on timeout when the call allows it. Responses whose echoed request ID
+// does not match are stale (tag-window collisions, error replies to
+// garbage) and are discarded.
+func (cl *call) wait(p *sim.Proc) (*response, error) {
+	a := cl.a
+	t := a.c.opts.Timeout
+	attempts := 1
+	if cl.retry {
+		attempts += a.c.opts.Retries
+	}
+	sent := 1
+	for {
+		var data []byte
+		if t > 0 {
+			d, _, ok := cl.resp.WaitTimeout(p, t)
+			if !ok {
+				if sent < attempts {
+					sent++
+					a.c.comm.Isend(a.rank, TagRequest, cl.enc)
+					continue
+				}
+				return nil, &TimeoutError{Op: cl.q.op, Rank: a.rank, Attempts: sent}
+			}
+			data = d
+		} else {
+			data, _ = cl.resp.Wait(p)
+		}
+		rsp, err := decodeResponse(data)
+		if err != nil {
+			return nil, err
+		}
+		if rsp.reqID != cl.q.reqID {
+			cl.resp = a.c.comm.Irecv(a.rank, respTag(cl.q.reqID))
+			continue
+		}
+		return rsp, nil
+	}
+}
+
+// statusOnly waits for the call and folds the daemon's status into one
+// error.
+func (cl *call) statusOnly(p *sim.Proc) error {
+	rsp, err := cl.wait(p)
+	if err != nil {
+		return err
+	}
+	return rsp.err()
+}
+
+// asyncCall drives a header-only round trip without blocking the caller:
+// response arrival, request-ID verification, timeout and bounded retry
+// are all event-driven. onOK runs (before completion) when the daemon
+// reported success.
+func (a *Accel) asyncCall(q *request, onOK func()) *Pending {
+	pd := &Pending{done: sim.NewEvent(a.sim())}
+	cl := a.newCall(q, true)
+	t := a.c.opts.Timeout
+	attempts := 1
+	if cl.retry {
+		attempts += a.c.opts.Retries
+	}
+	sent := 1
+	gen := 0 // invalidates superseded deadline timers
+	var watch func(r *minimpi.Request)
+	var arm func()
+	arm = func() {
+		if t <= 0 {
+			return
+		}
+		myGen := gen
+		a.sim().After(t, func() {
+			if pd.done.Triggered() || gen != myGen {
+				return
+			}
+			if sent < attempts {
+				sent++
+				gen++
+				a.c.comm.Isend(a.rank, TagRequest, cl.enc)
+				arm()
+				return
+			}
+			pd.err = &TimeoutError{Op: q.op, Rank: a.rank, Attempts: sent}
+			pd.done.Trigger()
+		})
+	}
+	watch = func(r *minimpi.Request) {
+		r.Done().OnTrigger(func() {
+			if pd.done.Triggered() {
+				return // already timed out
+			}
+			data, _ := r.Result()
+			rsp, err := decodeResponse(data)
+			if err == nil && rsp.reqID != q.reqID {
+				// Stale response on our tag: keep listening.
+				watch(a.c.comm.Irecv(a.rank, respTag(q.reqID)))
+				return
+			}
+			gen++
+			if err != nil {
+				pd.err = err
+			} else {
+				pd.err = rsp.err()
+			}
+			if pd.err == nil && onOK != nil {
+				onOK()
+			}
+			pd.done.Trigger()
+		})
+	}
+	watch(cl.resp)
+	arm()
+	return pd
+}
+
+// awaitReq waits for a payload-stream request with the accelerator's
+// timeout policy (single attempt: payload blocks are not retransmitted).
 func (a *Accel) awaitReq(p *sim.Proc, req *minimpi.Request) ([]byte, minimpi.Status, error) {
 	if t := a.c.opts.Timeout; t > 0 {
 		data, st, ok := req.WaitTimeout(p, t)
 		if !ok {
-			return nil, minimpi.Status{}, ErrTimeout
+			return nil, minimpi.Status{}, &TimeoutError{Rank: a.rank, Attempts: 1}
 		}
 		return data, st, nil
 	}
@@ -122,26 +343,11 @@ func (a *Accel) awaitReq(p *sim.Proc, req *minimpi.Request) ([]byte, minimpi.Sta
 	return data, st, nil
 }
 
-func (a *Accel) waitResp(p *sim.Proc, resp *minimpi.Request) (*response, error) {
-	data, _, err := a.awaitReq(p, resp)
-	if err != nil {
-		return nil, err
-	}
-	return decodeResponse(data)
-}
-
-func (a *Accel) statusOnly(p *sim.Proc, resp *minimpi.Request) error {
-	rsp, err := a.waitResp(p, resp)
-	if err != nil {
-		return err
-	}
-	return rsp.err()
-}
-
-// MemAlloc allocates n bytes on the accelerator (acMemAlloc).
-func (a *Accel) MemAlloc(p *sim.Proc, n int) (gpu.Ptr, error) {
-	resp := a.sendReq(&request{op: OpMemAlloc, size: n})
-	rsp, err := a.waitResp(p, resp)
+// rawAlloc performs the MemAlloc round trip without touching the
+// failover ledger (Failover uses it to rebuild on a replacement).
+func (a *Accel) rawAlloc(p *sim.Proc, n int) (gpu.Ptr, error) {
+	cl := a.newCall(&request{op: OpMemAlloc, size: n}, true)
+	rsp, err := cl.wait(p)
 	if err != nil {
 		return 0, err
 	}
@@ -151,9 +357,54 @@ func (a *Accel) MemAlloc(p *sim.Proc, n int) (gpu.Ptr, error) {
 	return rsp.ptr, nil
 }
 
+// MemAlloc allocates n bytes on the accelerator (acMemAlloc).
+func (a *Accel) MemAlloc(p *sim.Proc, n int) (gpu.Ptr, error) {
+	phys, err := a.rawAlloc(p, n)
+	if err != nil {
+		return 0, err
+	}
+	app := phys
+	if _, taken := a.allocs[app]; taken {
+		// A replacement daemon reused an address the ledger still maps:
+		// hand the app a minted id instead (nothing does arithmetic on
+		// gpu.Ptr values, so any unique id works).
+		a.nextVirt++
+		app = virtBase + a.nextVirt
+	}
+	if app != phys {
+		a.remap[app] = phys
+	}
+	a.allocs[app] = &allocRecord{size: n}
+	return app, nil
+}
+
 // MemFree releases device memory (acMemFree).
 func (a *Accel) MemFree(p *sim.Proc, ptr gpu.Ptr) error {
-	return a.statusOnly(p, a.sendReq(&request{op: OpMemFree, ptr: ptr}))
+	err := a.newCall(&request{op: OpMemFree, ptr: ptr}, true).statusOnly(p)
+	if err == nil {
+		delete(a.allocs, ptr)
+		delete(a.remap, ptr)
+	}
+	return err
+}
+
+// noteUpload mirrors successfully uploaded bytes into the allocation's
+// host shadow so Failover can replay them.
+func (a *Accel) noteUpload(ptr gpu.Ptr, off, colBytes, cols, pitch int, src []byte) {
+	rec := a.allocs[ptr]
+	if rec == nil || src == nil || colBytes <= 0 {
+		return
+	}
+	if rec.shadow == nil {
+		rec.shadow = make([]byte, rec.size)
+	}
+	for c := 0; c < cols; c++ {
+		lo := off + c*pitch
+		if lo < 0 || lo+colBytes > len(rec.shadow) || (c+1)*colBytes > len(src) {
+			return
+		}
+		copy(rec.shadow[lo:lo+colBytes], src[c*colBytes:(c+1)*colBytes])
+	}
 }
 
 // MemcpyH2D copies n bytes of host memory into device memory at dst+off
@@ -196,7 +447,7 @@ func (a *Accel) MemcpyH2D2DAsync(dst gpu.Ptr, off, colBytes, cols, pitch int, sr
 	block, depth := a.c.opts.H2D.resolve(n)
 	q := &request{op: OpMemcpyH2D, stream: stream, ptr: dst, off: off, size: n,
 		cols: cols, pitch: pitch, block: block, depth: depth}
-	resp := a.sendReq(q)
+	cl := a.newCall(q, false)
 	tag := dataTag(q.reqID)
 	a.sim().Spawn("h2d-sender", func(hp *sim.Proc) {
 		nb := numBlocks(n, block)
@@ -225,7 +476,10 @@ func (a *Accel) MemcpyH2D2DAsync(dst gpu.Ptr, off, colBytes, cols, pitch int, sr
 				return
 			}
 		}
-		pd.err = a.statusOnly(hp, resp)
+		pd.err = cl.statusOnly(hp)
+		if pd.err == nil {
+			a.noteUpload(dst, off, colBytes, cols, pitch, src)
+		}
 		pd.done.Trigger()
 	})
 	return pd
@@ -266,7 +520,7 @@ func (a *Accel) MemcpyD2H2DAsync(dst []byte, src gpu.Ptr, off, colBytes, cols, p
 	block, depth := a.c.opts.D2H.resolve(n)
 	q := &request{op: OpMemcpyD2H, stream: stream, ptr: src, off: off, size: n,
 		cols: cols, pitch: pitch, block: block, depth: depth}
-	resp := a.sendReq(q)
+	cl := a.newCall(q, false)
 	tag := dataTag(q.reqID)
 	a.sim().Spawn("d2h-receiver", func(hp *sim.Proc) {
 		nb := numBlocks(n, block)
@@ -281,10 +535,34 @@ func (a *Accel) MemcpyD2H2DAsync(dst []byte, src gpu.Ptr, off, colBytes, cols, p
 				copy(dst[i*block:], data)
 			}
 		}
-		pd.err = a.statusOnly(hp, resp)
+		pd.err = cl.statusOnly(hp)
+		if pd.err == nil && dst != nil {
+			// Downloaded contents are host-visible truth: refresh the
+			// shadow so a later failover replays them too.
+			a.noteDownload(src, off, colBytes, cols, pitch, dst)
+		}
 		pd.done.Trigger()
 	})
 	return pd
+}
+
+// noteDownload scatters freshly downloaded bytes into the allocation's
+// shadow (the strided inverse of noteUpload).
+func (a *Accel) noteDownload(ptr gpu.Ptr, off, colBytes, cols, pitch int, data []byte) {
+	rec := a.allocs[ptr]
+	if rec == nil || data == nil || colBytes <= 0 {
+		return
+	}
+	if rec.shadow == nil {
+		rec.shadow = make([]byte, rec.size)
+	}
+	for c := 0; c < cols; c++ {
+		lo := off + c*pitch
+		if lo < 0 || lo+colBytes > len(rec.shadow) || (c+1)*colBytes > len(data) {
+			return
+		}
+		copy(rec.shadow[lo:lo+colBytes], data[c*colBytes:(c+1)*colBytes])
+	}
 }
 
 // Memset fills n bytes of device memory at dst+off with value
@@ -295,28 +573,23 @@ func (a *Accel) Memset(p *sim.Proc, dst gpu.Ptr, off, n int, value byte) error {
 
 // MemsetAsync queues the fill on a stream.
 func (a *Accel) MemsetAsync(dst gpu.Ptr, off, n int, value byte, stream uint8) *Pending {
-	pd := &Pending{done: sim.NewEvent(a.sim())}
 	if n < 0 {
+		pd := &Pending{done: sim.NewEvent(a.sim())}
 		pd.err = fmt.Errorf("core: Memset: negative size %d", n)
 		pd.done.Trigger()
 		return pd
 	}
 	q := &request{op: OpMemset, stream: stream, ptr: dst, off: off, size: n, value: value}
-	resp := a.sendReq(q)
-	a.armTimeout(pd)
-	resp.Done().OnTrigger(func() {
-		if pd.done.Triggered() {
-			return
+	return a.asyncCall(q, func() {
+		if rec := a.allocs[dst]; rec != nil && off >= 0 && off+n <= rec.size {
+			if rec.shadow == nil {
+				rec.shadow = make([]byte, rec.size)
+			}
+			for i := off; i < off+n; i++ {
+				rec.shadow[i] = value
+			}
 		}
-		rsp, err := waitRespNow(resp)
-		if err != nil {
-			pd.err = err
-		} else {
-			pd.err = rsp.err()
-		}
-		pd.done.Trigger()
 	})
-	return pd
 }
 
 // Kernel is a client-side kernel object, created per the paper's
@@ -348,60 +621,24 @@ func (k *Kernel) Run(p *sim.Proc, grid, block gpu.Dim3) error {
 // RunAsync launches the kernel on a stream and returns immediately; the
 // returned Pending completes when the daemon reports the kernel finished.
 func (k *Kernel) RunAsync(grid, block gpu.Dim3, stream uint8) *Pending {
-	pd := &Pending{done: sim.NewEvent(k.a.sim())}
 	q := &request{
 		op:     OpKernelRun,
 		stream: stream,
 		kernel: k.name,
 		launch: gpu.Launch{Grid: grid, Block: block, Args: append([]gpu.Value(nil), k.args...)},
 	}
-	resp := k.a.sendReq(q)
-	k.a.armTimeout(pd)
-	resp.Done().OnTrigger(func() {
-		if pd.done.Triggered() {
-			return // already timed out
-		}
-		rsp, err := waitRespNow(resp)
-		if err != nil {
-			pd.err = err
-		} else {
-			pd.err = rsp.err()
-		}
-		pd.done.Trigger()
-	})
-	return pd
-}
-
-// armTimeout fails the pending operation with ErrTimeout when the
-// client's request timeout elapses first.
-func (a *Accel) armTimeout(pd *Pending) {
-	t := a.c.opts.Timeout
-	if t <= 0 {
-		return
-	}
-	a.sim().After(t, func() {
-		if !pd.done.Triggered() {
-			pd.err = ErrTimeout
-			pd.done.Trigger()
-		}
-	})
-}
-
-// waitRespNow decodes an already-completed response request.
-func waitRespNow(resp *minimpi.Request) (*response, error) {
-	data, _ := resp.Result()
-	return decodeResponse(data)
+	return k.a.asyncCall(q, nil)
 }
 
 // Sync blocks until every outstanding request on every stream of this
 // accelerator has completed (cuCtxSynchronize analogue).
 func (a *Accel) Sync(p *sim.Proc) error {
-	return a.statusOnly(p, a.sendReq(&request{op: OpSync}))
+	return a.newCall(&request{op: OpSync}, true).statusOnly(p)
 }
 
 // Info queries the accelerator's device description.
 func (a *Accel) Info(p *sim.Proc) (DeviceInfo, error) {
-	rsp, err := a.waitResp(p, a.sendReq(&request{op: OpDeviceInfo}))
+	rsp, err := a.newCall(&request{op: OpDeviceInfo}, true).wait(p)
 	if err != nil {
 		return DeviceInfo{}, err
 	}
@@ -415,13 +652,65 @@ func (a *Accel) Info(p *sim.Proc) (DeviceInfo, error) {
 // exclusive holder a clean device. Call it before releasing the handle
 // back to the ARM.
 func (a *Accel) Reset(p *sim.Proc) error {
-	return a.statusOnly(p, a.sendReq(&request{op: OpReset}))
+	err := a.newCall(&request{op: OpReset}, true).statusOnly(p)
+	if err == nil {
+		a.allocs = make(map[gpu.Ptr]*allocRecord)
+		a.remap = make(map[gpu.Ptr]gpu.Ptr)
+	}
+	return err
 }
 
 // Shutdown stops the accelerator's daemon (simulation teardown).
 func (a *Accel) Shutdown(p *sim.Proc) error {
-	return a.statusOnly(p, a.sendReq(&request{op: OpShutdown}))
+	return a.newCall(&request{op: OpShutdown}, true).statusOnly(p)
 }
+
+// Failover migrates the handle to a replacement accelerator after its
+// daemon stopped answering (paper Section III: "in case of an
+// accelerator failure, the ARM assigns a replacement"): the client's
+// replacer reports the failure and returns a fresh rank, then every live
+// allocation is re-created there and its host-shadowed contents are
+// re-uploaded. App-visible pointers stay valid — subsequent requests
+// translate them to the replacement's memory. Device contents that never
+// passed through the host (kernel results, direct AC-to-AC transfers)
+// are not restored; applications re-run from the recovered state.
+func (c *Client) Failover(p *sim.Proc, a *Accel) error {
+	if a.c != c {
+		return fmt.Errorf("core: Failover: accelerator belongs to a different client")
+	}
+	if c.replacer == nil {
+		return fmt.Errorf("core: Failover: no replacer configured (see Client.SetReplacer)")
+	}
+	newRank, err := c.replacer.Replace(p, a.rank)
+	if err != nil {
+		return fmt.Errorf("core: failover of rank %d: %w", a.rank, err)
+	}
+	oldRank := a.rank
+	a.rank = newRank
+	// Deterministic rebuild order: sorted app-visible pointers.
+	ptrs := make([]gpu.Ptr, 0, len(a.allocs))
+	for ptr := range a.allocs {
+		ptrs = append(ptrs, ptr)
+	}
+	sort.Slice(ptrs, func(i, j int) bool { return ptrs[i] < ptrs[j] })
+	for _, ptr := range ptrs {
+		rec := a.allocs[ptr]
+		phys, err := a.rawAlloc(p, rec.size)
+		if err != nil {
+			return fmt.Errorf("core: failover %d->%d: re-alloc %d bytes: %w", oldRank, newRank, rec.size, err)
+		}
+		a.remap[ptr] = phys
+		if rec.shadow != nil {
+			if err := a.MemcpyH2D(p, ptr, 0, rec.shadow, rec.size); err != nil {
+				return fmt.Errorf("core: failover %d->%d: re-upload: %w", oldRank, newRank, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Failover is the handle-level convenience for Client.Failover.
+func (a *Accel) Failover(p *sim.Proc) error { return a.c.Failover(p, a) }
 
 // DirectCopy moves n bytes from src's device memory to dst's device
 // memory accelerator-to-accelerator, without staging through the compute
@@ -452,10 +741,10 @@ func (c *Client) DirectCopy2D(p *sim.Proc, src *Accel, srcPtr gpu.Ptr, srcOff, c
 	recvQ := &request{op: OpD2DRecv, ptr: dstPtr, off: dstOff, size: n, cols: 1, pitch: n,
 		block: block, depth: depth, peer: src.rank, xferID: xferID}
 	// Post the receiver side first so its daemon is ready for the stream.
-	recvResp := dst.sendReq(recvQ)
-	sendResp := src.sendReq(sendQ)
-	errRecv := dst.statusOnly(p, recvResp)
-	errSend := src.statusOnly(p, sendResp)
+	recvCall := dst.newCall(recvQ, false)
+	sendCall := src.newCall(sendQ, false)
+	errRecv := recvCall.statusOnly(p)
+	errSend := sendCall.statusOnly(p)
 	if errSend != nil {
 		return errSend
 	}

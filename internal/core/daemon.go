@@ -17,6 +17,13 @@ type DaemonConfig struct {
 	// that makes very small blocks unprofitable for large payloads (paper
 	// Section V-A).
 	PostCost sim.Duration
+	// PayloadTimeout bounds how long a copy pipeline waits for any single
+	// payload block (or for a receiver's clearance when sending). Zero
+	// waits forever. With a timeout set, a transfer whose peer died —
+	// front-end or partner daemon — winds down with an error response
+	// instead of wedging the stream worker for good, which is what lets
+	// surviving daemons be reused after a failover.
+	PayloadTimeout sim.Duration
 }
 
 // DefaultDaemonConfig returns the configuration used on the paper's
@@ -34,7 +41,24 @@ type DaemonStats struct {
 	StagingPeak int64
 	BlocksIn    int64
 	BlocksOut   int64
+	// DupsDropped counts retransmitted requests absorbed by the dedup
+	// table (in-flight duplicates dropped, completed ones re-answered).
+	DupsDropped int64
 }
+
+// dedupKey identifies a request for idempotency: the sender's rank plus
+// its per-client request sequence number.
+type dedupKey struct {
+	src   int
+	reqID uint64
+}
+
+// dedupWindow is how many completed requests the daemon remembers. A
+// retransmit older than the window is indistinguishable from a new
+// request; the window therefore just needs to exceed the deepest retry
+// horizon a client can have in flight, and 512 is orders of magnitude
+// beyond that.
+const dedupWindow = 512
 
 // Daemon is the back-end running on an accelerator node: it receives
 // requests from front-ends and executes them on the local virtual GPU via
@@ -48,6 +72,18 @@ type Daemon struct {
 
 	streams map[uint8]*sim.Mailbox
 	mainP   *sim.Proc
+
+	// procs tracks every process the daemon owns (dispatch loop, stream
+	// workers, pipeline helpers) so Kill can take the whole daemon down
+	// the way a host crash would.
+	procs []*sim.Proc
+	dead  bool
+
+	// seen is the idempotent-request table: nil value while the request is
+	// executing (duplicates are dropped — the original will answer),
+	// encoded response afterwards (duplicates are re-answered from cache).
+	seen      map[dedupKey][]byte
+	seenOrder []dedupKey
 }
 
 // NewDaemon creates a daemon serving the device on the given communicator
@@ -59,6 +95,7 @@ func NewDaemon(comm *minimpi.Comm, dev *gpu.Device, cfg DaemonConfig) *Daemon {
 		cfg:     cfg,
 		sim:     comm.World().Sim(),
 		streams: make(map[uint8]*sim.Mailbox),
+		seen:    make(map[dedupKey][]byte),
 	}
 }
 
@@ -70,6 +107,47 @@ func (d *Daemon) Rank() int { return d.comm.Rank() }
 
 // Device returns the device this daemon drives.
 func (d *Daemon) Device() *gpu.Device { return d.dev }
+
+// Alive reports whether the daemon has not been killed.
+func (d *Daemon) Alive() bool { return !d.dead }
+
+// Kill crashes the daemon: every process it owns (the dispatch loop,
+// stream workers, in-flight copy pipelines) dies at its next scheduling
+// point, mid-request state and all. Use cluster.RestartDaemon (or a fresh
+// NewDaemon plus endpoint/engine resets) to bring the rank back.
+func (d *Daemon) Kill() {
+	if d.dead {
+		return
+	}
+	d.dead = true
+	for _, p := range d.procs {
+		p.Kill()
+	}
+	d.procs = nil
+}
+
+// track registers a daemon-owned process for Kill, pruning corpses so the
+// list stays proportional to live work.
+func (d *Daemon) track(p *sim.Proc) {
+	if len(d.procs) > 64 {
+		live := d.procs[:0]
+		for _, q := range d.procs {
+			if !q.Done().Triggered() {
+				live = append(live, q)
+			}
+		}
+		for i := len(live); i < len(d.procs); i++ {
+			d.procs[i] = nil
+		}
+		d.procs = live
+	}
+	d.procs = append(d.procs, p)
+}
+
+// spawn starts a daemon-owned child process.
+func (d *Daemon) spawn(parent *sim.Proc, name string, fn func(*sim.Proc)) {
+	d.track(parent.Spawn(name, fn))
+}
 
 // workItem travels from the dispatch loop to a stream worker.
 type workItem struct {
@@ -98,16 +176,29 @@ func (g *syncGroup) arrive() {
 // accelerator rank's process.
 func (d *Daemon) Run(p *sim.Proc) {
 	d.mainP = p
+	d.track(p)
 	for {
 		data, st := d.comm.Recv(p, minimpi.AnySource, TagRequest)
 		q, err := decodeRequest(data)
 		if err != nil {
-			// Best effort: reqID decodes before any payload error.
-			if q != nil {
-				d.respond(st.Source, q.reqID, err, 0)
+			// A malformed header still deserves an answer when its reqID
+			// survived, or the caller waits for a response forever.
+			if reqID, ok := peekReqID(data); ok {
+				d.respond(st.Source, reqID, err, 0)
 			}
 			continue
 		}
+		key := dedupKey{src: st.Source, reqID: q.reqID}
+		if cached, dup := d.seen[key]; dup {
+			d.stats.DupsDropped++
+			if cached != nil {
+				// Completed before: replay the recorded response.
+				d.comm.Isend(st.Source, respTag(q.reqID), cached)
+			}
+			// Still in flight: drop the duplicate; the original will answer.
+			continue
+		}
+		d.admit(key)
 		d.stats.Requests++
 		switch q.op {
 		case OpShutdown:
@@ -127,12 +218,22 @@ func (d *Daemon) Run(p *sim.Proc) {
 				Execute:   d.dev.ExecuteMode(),
 				Kernels:   d.dev.Registry().Names(),
 			}
-			rsp := &response{status: statusOK, payload: encodeDeviceInfo(di)}
-			d.comm.Isend(st.Source, respTag(q.reqID), encodeResponse(rsp))
+			d.sendResponse(st.Source, q.reqID, &response{status: statusOK, payload: encodeDeviceInfo(di)})
 		default:
 			d.stream(q.stream).Send(workItem{src: st.Source, q: q})
 		}
 	}
+}
+
+// admit records a request as in flight and evicts the oldest entry once
+// the table outgrows the dedup window.
+func (d *Daemon) admit(key dedupKey) {
+	if len(d.seenOrder) >= dedupWindow {
+		delete(d.seen, d.seenOrder[0])
+		d.seenOrder = d.seenOrder[1:]
+	}
+	d.seen[key] = nil
+	d.seenOrder = append(d.seenOrder, key)
 }
 
 // barrier posts a sync marker to every live stream and returns the group;
@@ -164,7 +265,7 @@ func (d *Daemon) stream(id uint8) *sim.Mailbox {
 	}
 	mbox := sim.NewMailbox(d.sim, fmt.Sprintf("%s.stream%d", d.dev.Name(), id))
 	d.streams[id] = mbox
-	d.mainP.Spawn(fmt.Sprintf("%s-stream%d", d.dev.Name(), id), func(p *sim.Proc) {
+	d.spawn(d.mainP, fmt.Sprintf("%s-stream%d", d.dev.Name(), id), func(p *sim.Proc) {
 		for {
 			item := mbox.Recv(p).(workItem)
 			if item.sync != nil {
@@ -187,7 +288,19 @@ func (d *Daemon) respond(src int, reqID uint64, err error, ptr gpu.Ptr) {
 		rsp.status = statusError
 		rsp.errmsg = err.Error()
 	}
-	d.comm.Isend(src, respTag(reqID), encodeResponse(rsp))
+	d.sendResponse(src, reqID, rsp)
+}
+
+// sendResponse encodes, records (for duplicate replay) and sends a
+// response.
+func (d *Daemon) sendResponse(src int, reqID uint64, rsp *response) {
+	rsp.reqID = reqID
+	enc := encodeResponse(rsp)
+	key := dedupKey{src: src, reqID: reqID}
+	if _, ok := d.seen[key]; ok {
+		d.seen[key] = enc
+	}
+	d.comm.Isend(src, respTag(reqID), enc)
 }
 
 // execute runs one request inside a stream worker.
@@ -210,8 +323,16 @@ func (d *Daemon) execute(p *sim.Proc, src int, q *request) {
 	case OpMemcpyD2H:
 		d.sendFromDevice(p, src, q, src, dataTag(q.reqID))
 	case OpD2DRecv:
+		if q.peer >= d.comm.Size() {
+			d.respond(src, q.reqID, fmt.Errorf("core: D2D peer rank %d out of range", q.peer), 0)
+			return
+		}
 		d.recvToDevice(p, src, q, q.peer, d2dTag(q.xferID))
 	case OpD2DSend:
+		if q.peer >= d.comm.Size() {
+			d.respond(src, q.reqID, fmt.Errorf("core: D2D peer rank %d out of range", q.peer), 0)
+			return
+		}
 		d.sendFromDevice(p, src, q, q.peer, d2dTag(q.xferID))
 	default:
 		d.respond(src, q.reqID, fmt.Errorf("op %d not executable on a stream", q.op), 0)
@@ -266,7 +387,7 @@ func (d *Daemon) recvToDevice(p *sim.Proc, respDst int, q *request, dataSrc int,
 	// The poster keeps `depth` receives outstanding: a receive is posted
 	// as soon as a staging buffer frees up, which is what grants the
 	// sender's rendezvous clearance (flow control comes for free).
-	p.Spawn("pipeline-poster", func(pp *sim.Proc) {
+	d.spawn(p, "pipeline-poster", func(pp *sim.Proc) {
 		for i := 0; i < nb; i++ {
 			bufs.Acquire(pp, 1)
 			reqs[i] = d.comm.Irecv(dataSrc, tag)
@@ -274,10 +395,29 @@ func (d *Daemon) recvToDevice(p *sim.Proc, respDst int, q *request, dataSrc int,
 		}
 	})
 	var assembled []byte
+	var dmaErr, recvErr error
+	deadline := d.cfg.PayloadTimeout
 	dmaDone := make([]*sim.Event, nb)
 	for i := 0; i < nb; i++ {
 		posted[i].Await(p)
-		data, st := reqs[i].Wait(p)
+		var data []byte
+		var st minimpi.Status
+		if deadline > 0 {
+			var arrived bool
+			data, st, arrived = reqs[i].WaitTimeout(p, deadline)
+			if !arrived {
+				// Peer presumed dead: the block never arrived. Return the
+				// staging buffer (no DMA will) and keep draining so the
+				// pipeline winds down; the error travels in the response.
+				if recvErr == nil {
+					recvErr = fmt.Errorf("core: payload block %d/%d from rank %d timed out", i+1, nb, dataSrc)
+				}
+				bufs.Release(1)
+				continue
+			}
+		} else {
+			data, st = reqs[i].Wait(p)
+		}
 		d.stats.BlocksIn++
 		if data != nil && rangeErr == nil {
 			if assembled == nil {
@@ -290,18 +430,28 @@ func (d *Daemon) recvToDevice(p *sim.Proc, respDst int, q *request, dataSrc int,
 		ev := sim.NewEvent(d.sim)
 		dmaDone[i] = ev
 		sz := st.Size
-		p.Spawn("pipeline-dma", func(dp *sim.Proc) {
+		d.spawn(p, "pipeline-dma", func(dp *sim.Proc) {
 			// GPUDirect: the staging buffer is registered with both the
 			// NIC and the GPU, so this is a pinned DMA.
-			d.dev.CopyEngineTransfer(dp, sz, true, true)
+			if err := d.dev.CopyEngineTransfer(dp, sz, true, true); err != nil && dmaErr == nil {
+				dmaErr = err
+			}
 			bufs.Release(1)
 			ev.Trigger()
 		})
 	}
 	for _, ev := range dmaDone {
-		ev.Await(p)
+		if ev != nil {
+			ev.Await(p)
+		}
 	}
 	firstErr := rangeErr
+	if firstErr == nil {
+		firstErr = recvErr
+	}
+	if firstErr == nil {
+		firstErr = dmaErr
+	}
 	if firstErr == nil && assembled != nil {
 		if err := d.dev.ScatterColumns(q.ptr, q.off, colBytes, cols, pitch, assembled); err != nil {
 			firstErr = err
@@ -334,6 +484,8 @@ func (d *Daemon) sendFromDevice(p *sim.Proc, respDst int, q *request, dataDst in
 		}
 	}
 	rangeErr := firstErr
+	var dmaErr, sendErr error
+	deadline := d.cfg.PayloadTimeout
 	bufs := sim.NewResource(d.sim, "staging", q.depth)
 	done := make([]*sim.Event, nb)
 	for i := 0; i < nb; i++ {
@@ -347,19 +499,34 @@ func (d *Daemon) sendFromDevice(p *sim.Proc, respDst int, q *request, dataDst in
 			hi = q.size
 		}
 		sz := hi - lo
-		p.Spawn("pipeline-d2h", func(dp *sim.Proc) {
+		d.spawn(p, "pipeline-d2h", func(dp *sim.Proc) {
 			var sendReq *minimpi.Request
 			switch {
 			case rangeErr != nil:
 				sendReq = d.comm.IsendSized(dataDst, tag, 0)
 			case gathered != nil:
-				d.dev.CopyEngineTransfer(dp, sz, false, true)
+				if err := d.dev.CopyEngineTransfer(dp, sz, false, true); err != nil && dmaErr == nil {
+					dmaErr = err
+				}
 				sendReq = d.comm.Isend(dataDst, tag, gathered[lo:hi])
 			default:
-				d.dev.CopyEngineTransfer(dp, sz, false, true)
+				if err := d.dev.CopyEngineTransfer(dp, sz, false, true); err != nil && dmaErr == nil {
+					dmaErr = err
+				}
 				sendReq = d.comm.IsendSized(dataDst, tag, sz)
 			}
-			sendReq.Wait(dp)
+			if deadline > 0 {
+				if _, _, sent := sendReq.WaitTimeout(dp, deadline); !sent {
+					// Receiver presumed dead: abandon the un-cleared payload
+					// so the pipeline winds down instead of wedging.
+					sendReq.Cancel()
+					if sendErr == nil {
+						sendErr = fmt.Errorf("core: payload block to rank %d timed out", dataDst)
+					}
+				}
+			} else {
+				sendReq.Wait(dp)
+			}
 			d.stats.BlocksOut++
 			bufs.Release(1)
 			ev.Trigger()
@@ -367,6 +534,12 @@ func (d *Daemon) sendFromDevice(p *sim.Proc, respDst int, q *request, dataDst in
 	}
 	for _, ev := range done {
 		ev.Await(p)
+	}
+	if firstErr == nil {
+		firstErr = dmaErr
+	}
+	if firstErr == nil {
+		firstErr = sendErr
 	}
 	d.respond(respDst, q.reqID, firstErr, 0)
 }

@@ -1,0 +1,90 @@
+package core
+
+// Fuzz targets for the middleware's wire decoders: whatever arrives on
+// the request tag must decode without panicking, and anything that
+// decodes must survive a canonical re-encode round trip. These are the
+// surfaces a misbehaving (or fault-injected) peer can reach directly.
+
+import (
+	"bytes"
+	"testing"
+
+	"dynacc/internal/gpu"
+)
+
+func fuzzSeedRequests() []*request {
+	return []*request{
+		{op: OpMemAlloc, reqID: 1, size: 4096},
+		{op: OpMemFree, reqID: 2, ptr: 0x1000},
+		{op: OpMemcpyH2D, reqID: 3, stream: 1, ptr: 0x1000, off: 64, size: 1 << 20,
+			cols: 4, pitch: 1 << 18, block: 128 << 10, depth: 2},
+		{op: OpMemcpyD2H, reqID: 4, ptr: 0x2000, size: 64 << 10, cols: 1, pitch: 64 << 10,
+			block: 128 << 10, depth: 4},
+		{op: OpMemset, reqID: 5, ptr: 0x1000, off: 16, size: 256, value: 0xCD},
+		{op: OpKernelRun, reqID: 6, kernel: "vadd", launch: gpu.Launch{
+			Grid: gpu.Dim3{X: 16, Y: 1, Z: 1}, Block: gpu.Dim3{X: 256, Y: 1, Z: 1},
+			Args: []gpu.Value{gpu.PtrArg(0x1000), gpu.IntArg(42), gpu.FloatArg(1.5)},
+		}},
+		{op: OpSync, reqID: 7},
+		{op: OpDeviceInfo, reqID: 8},
+		{op: OpD2DSend, reqID: 9, ptr: 0x1000, size: 1 << 16, cols: 2, pitch: 1 << 15,
+			block: 1 << 14, depth: 2, peer: 3, xferID: 99},
+		{op: OpD2DRecv, reqID: 10, ptr: 0x2000, size: 1 << 16, cols: 1, pitch: 1 << 16,
+			block: 1 << 14, depth: 2, peer: 2, xferID: 99},
+		{op: OpReset, reqID: 11},
+		{op: OpShutdown, reqID: 12},
+	}
+}
+
+func FuzzDecodeRequest(f *testing.F) {
+	for _, q := range fuzzSeedRequests() {
+		f.Add(encodeRequest(q))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+	f.Add([]byte{OpMemAlloc, 1, 0, 0, 0, 0, 0, 0, 0, 9}) // truncated size
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := decodeRequest(data)
+		if err != nil {
+			return // rejected garbage is fine; panics are not
+		}
+		// Everything that decodes has passed validate(); it must also
+		// re-encode into a canonical form that decodes to the same request.
+		enc := encodeRequest(q)
+		q2, err := decodeRequest(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if !bytes.Equal(encodeRequest(q2), enc) {
+			t.Fatalf("encoding is not canonical:\n first %x\nsecond %x", enc, encodeRequest(q2))
+		}
+	})
+}
+
+func FuzzDecodeResponse(f *testing.F) {
+	seeds := []*response{
+		{reqID: 1, status: statusOK},
+		{reqID: 2, status: statusOK, ptr: 0x4000},
+		{reqID: 3, status: statusError, errmsg: "gpu: out of device memory"},
+		{reqID: 4, status: statusOK, payload: []byte{1, 2, 3, 4}},
+	}
+	for _, rsp := range seeds {
+		f.Add(encodeResponse(rsp))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rsp, err := decodeResponse(data)
+		if err != nil {
+			return
+		}
+		enc := encodeResponse(rsp)
+		rsp2, err := decodeResponse(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if !bytes.Equal(encodeResponse(rsp2), enc) {
+			t.Fatalf("encoding is not canonical:\n first %x\nsecond %x", enc, encodeResponse(rsp2))
+		}
+	})
+}

@@ -328,11 +328,65 @@ func decodeRequest(data []byte) (*request, error) {
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("core: malformed request: %w", err)
 	}
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
 	return q, nil
 }
 
-// response is a decoded response.
+// maxPayload bounds the size a request header may claim (1 TiB): anything
+// larger is a corrupted or hostile header, not a copy the simulated
+// cluster could perform. It keeps block-count arithmetic and staging
+// allocations safe.
+const maxPayload = 1 << 40
+
+// validate rejects decoded headers whose fields would corrupt daemon
+// state: negative sizes or geometry flow into block counts and resource
+// capacities, so they must never leave the decoder.
+func (q *request) validate() error {
+	switch q.op {
+	case OpMemAlloc:
+		if q.size < 0 || q.size > maxPayload {
+			return fmt.Errorf("core: malformed request: alloc size %d", q.size)
+		}
+	case OpMemcpyH2D, OpMemcpyD2H, OpD2DSend, OpD2DRecv:
+		if q.size < 0 || q.size > maxPayload || q.off < 0 || q.cols < 0 || q.pitch < 0 {
+			return fmt.Errorf("core: malformed request: copy geometry size=%d off=%d cols=%d pitch=%d",
+				q.size, q.off, q.cols, q.pitch)
+		}
+		if q.size > 0 && (q.block <= 0 || q.depth <= 0) {
+			return fmt.Errorf("core: malformed request: copy pipeline block=%d depth=%d", q.block, q.depth)
+		}
+		if q.block < 0 || q.depth < 0 {
+			return fmt.Errorf("core: malformed request: copy pipeline block=%d depth=%d", q.block, q.depth)
+		}
+		if q.peer < 0 {
+			return fmt.Errorf("core: malformed request: negative peer rank %d", q.peer)
+		}
+	case OpMemset:
+		if q.size < 0 || q.size > maxPayload || q.off < 0 {
+			return fmt.Errorf("core: malformed request: memset size=%d off=%d", q.size, q.off)
+		}
+	}
+	return nil
+}
+
+// peekReqID best-effort extracts (op, reqID) from a request header that
+// failed to decode, so the daemon can still answer with an error instead
+// of leaving the caller waiting for a response that will never come.
+func peekReqID(data []byte) (uint64, bool) {
+	r := wire.NewReader(data)
+	r.U8()
+	id := r.U64()
+	return id, r.Err() == nil
+}
+
+// response is a decoded response. The echoed reqID lets a client reject
+// stale or misdirected responses (tag windows wrap; error replies to
+// garbage headers may carry a colliding tag) instead of trusting tag
+// matching alone.
 type response struct {
+	reqID   uint64
 	status  uint8
 	errmsg  string
 	ptr     gpu.Ptr // OpMemAlloc
@@ -341,13 +395,13 @@ type response struct {
 
 func encodeResponse(rsp *response) []byte {
 	w := wire.NewWriter(32)
-	w.U8(rsp.status).Str(rsp.errmsg).U64(uint64(rsp.ptr)).Blob(rsp.payload)
+	w.U64(rsp.reqID).U8(rsp.status).Str(rsp.errmsg).U64(uint64(rsp.ptr)).Blob(rsp.payload)
 	return w.Bytes()
 }
 
 func decodeResponse(data []byte) (*response, error) {
 	r := wire.NewReader(data)
-	rsp := &response{status: r.U8(), errmsg: r.Str(), ptr: gpu.Ptr(r.U64())}
+	rsp := &response{reqID: r.U64(), status: r.U8(), errmsg: r.Str(), ptr: gpu.Ptr(r.U64())}
 	rsp.payload = append([]byte(nil), r.Blob()...)
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("core: malformed response: %w", err)

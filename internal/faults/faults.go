@@ -1,0 +1,198 @@
+// Package faults injects failures into a simulated accelerator cluster:
+// daemon crashes and reboots, GPU hardware failures, and interconnect
+// faults (severed, lossy, or slow links). A Plan is a deterministic,
+// virtual-time schedule of such events; arming it on a cluster spawns a
+// chaos controller process that applies each event at its instant.
+//
+// Determinism: the same plan (same construction calls, same seed) armed
+// on the same cluster produces bit-identical simulations — probabilistic
+// drops draw from a seeded generator in message-arrival order, which the
+// simulation itself makes deterministic. That keeps chaos tests
+// reproducible and lets regression tests assert identical output across
+// runs with active fault injection.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dynacc/internal/cluster"
+	"dynacc/internal/minimpi"
+	"dynacc/internal/sim"
+)
+
+// event is one scheduled fault (or repair).
+type event struct {
+	at    sim.Duration // virtual time from simulation start
+	seq   int          // insertion order breaks ties deterministically
+	desc  string
+	apply func(p *sim.Proc, cl *cluster.Cluster)
+}
+
+// pair is an unordered world-rank link key.
+type pair struct{ a, b int }
+
+func mkPair(a, b int) pair {
+	if a > b {
+		a, b = b, a
+	}
+	return pair{a, b}
+}
+
+// linkState is the mutable interconnect-fault table the installed
+// LinkFilter consults on every message.
+type linkState struct {
+	severed map[pair]bool
+	delay   map[pair]sim.Duration
+	drop    map[pair]float64
+	rng     *rand.Rand
+}
+
+func (ls *linkState) filter(src, dst int, _ minimpi.Tag, _ int) minimpi.LinkVerdict {
+	k := mkPair(src, dst)
+	v := minimpi.LinkVerdict{}
+	if ls.severed[k] {
+		v.Drop = true
+		return v
+	}
+	if p, ok := ls.drop[k]; ok && ls.rng.Float64() < p {
+		v.Drop = true
+		return v
+	}
+	v.Delay = ls.delay[k]
+	return v
+}
+
+// Plan is a schedule of fault events under construction. All times are
+// virtual durations from simulation start; events at the same instant
+// apply in the order they were added.
+type Plan struct {
+	events []event
+	links  *linkState
+	// Log, when set, receives a line per applied event (handy in tests).
+	Log func(string)
+}
+
+// NewPlan creates an empty plan. The seed drives probabilistic drops
+// (DropLink); plans without them are seed-independent.
+func NewPlan(seed int64) *Plan {
+	return &Plan{links: &linkState{
+		severed: make(map[pair]bool),
+		delay:   make(map[pair]sim.Duration),
+		drop:    make(map[pair]float64),
+		rng:     rand.New(rand.NewSource(seed)),
+	}}
+}
+
+func (pl *Plan) add(at sim.Duration, desc string, apply func(p *sim.Proc, cl *cluster.Cluster)) *Plan {
+	pl.events = append(pl.events, event{at: at, seq: len(pl.events), desc: desc, apply: apply})
+	return pl
+}
+
+// KillDaemon crash-kills accelerator daemon ac at time at (see
+// cluster.KillDaemon).
+func (pl *Plan) KillDaemon(at sim.Duration, ac int) *Plan {
+	return pl.add(at, fmt.Sprintf("kill daemon ac%d", ac), func(p *sim.Proc, cl *cluster.Cluster) {
+		cl.KillDaemon(ac)
+	})
+}
+
+// RestartDaemon reboots a previously killed daemon ac at time at (see
+// cluster.RestartDaemon).
+func (pl *Plan) RestartDaemon(at sim.Duration, ac int) *Plan {
+	return pl.add(at, fmt.Sprintf("restart daemon ac%d", ac), func(p *sim.Proc, cl *cluster.Cluster) {
+		cl.RestartDaemon(p, ac)
+	})
+}
+
+// FailGPU breaks accelerator ac's GPU at time at: every device operation
+// from then on — including kernels already executing — returns
+// gpu.ErrDeviceFailed, which the daemon reports to its client.
+func (pl *Plan) FailGPU(at sim.Duration, ac int, cause string) *Plan {
+	return pl.add(at, fmt.Sprintf("fail gpu ac%d", ac), func(p *sim.Proc, cl *cluster.Cluster) {
+		cl.Daemons[ac].Device().Fail(cause)
+	})
+}
+
+// RepairGPU undoes FailGPU at time at and releases engines stranded by
+// operations that died mid-flight.
+func (pl *Plan) RepairGPU(at sim.Duration, ac int) *Plan {
+	return pl.add(at, fmt.Sprintf("repair gpu ac%d", ac), func(p *sim.Proc, cl *cluster.Cluster) {
+		dev := cl.Daemons[ac].Device()
+		dev.Repair()
+		dev.ResetEngines()
+	})
+}
+
+// SeverLink cuts the link between world ranks a and b at time at: every
+// message between them is silently dropped in both directions until
+// HealLink.
+func (pl *Plan) SeverLink(at sim.Duration, a, b int) *Plan {
+	return pl.add(at, fmt.Sprintf("sever link %d<->%d", a, b), func(p *sim.Proc, cl *cluster.Cluster) {
+		pl.links.severed[mkPair(a, b)] = true
+	})
+}
+
+// HealLink restores a severed link at time at (messages dropped while it
+// was down stay lost, as on a real network).
+func (pl *Plan) HealLink(at sim.Duration, a, b int) *Plan {
+	return pl.add(at, fmt.Sprintf("heal link %d<->%d", a, b), func(p *sim.Proc, cl *cluster.Cluster) {
+		delete(pl.links.severed, mkPair(a, b))
+	})
+}
+
+// DelayLink adds extra one-way latency to every message between world
+// ranks a and b from time at on; zero removes the penalty.
+func (pl *Plan) DelayLink(at sim.Duration, a, b int, extra sim.Duration) *Plan {
+	return pl.add(at, fmt.Sprintf("delay link %d<->%d", a, b), func(p *sim.Proc, cl *cluster.Cluster) {
+		if extra <= 0 {
+			delete(pl.links.delay, mkPair(a, b))
+			return
+		}
+		pl.links.delay[mkPair(a, b)] = extra
+	})
+}
+
+// DropLink makes the link between world ranks a and b lossy from time at
+// on: each message is independently dropped with probability prob (drawn
+// from the plan's seeded generator); zero makes it reliable again.
+func (pl *Plan) DropLink(at sim.Duration, a, b int, prob float64) *Plan {
+	return pl.add(at, fmt.Sprintf("drop link %d<->%d p=%g", a, b, prob), func(p *sim.Proc, cl *cluster.Cluster) {
+		if prob <= 0 {
+			delete(pl.links.drop, mkPair(a, b))
+			return
+		}
+		pl.links.drop[mkPair(a, b)] = prob
+	})
+}
+
+// Arm installs the plan on a cluster: the interconnect filter goes live
+// immediately and a "chaos" process applies each scheduled event at its
+// virtual time. Call between cluster.New and cluster.Run. A plan arms
+// one cluster once.
+func (pl *Plan) Arm(cl *cluster.Cluster) {
+	cl.World.SetLinkFilter(pl.links.filter)
+	if len(pl.events) == 0 {
+		return
+	}
+	evs := append([]event(nil), pl.events...)
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].seq < evs[j].seq
+	})
+	start := cl.Sim.Now()
+	cl.Sim.Spawn("chaos", func(p *sim.Proc) {
+		for _, ev := range evs {
+			if d := start.Add(ev.at).Sub(p.Now()); d > 0 {
+				p.Wait(d)
+			}
+			ev.apply(p, cl)
+			if pl.Log != nil {
+				pl.Log(fmt.Sprintf("[%v] chaos: %s", p.Now(), ev.desc))
+			}
+		}
+	})
+}

@@ -2,11 +2,17 @@ package gpu
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
 	"dynacc/internal/sim"
 )
+
+// ErrDeviceFailed is wrapped by every error a failed device returns;
+// callers test for it with errors.Is to distinguish hardware loss from
+// argument errors.
+var ErrDeviceFailed = errors.New("device failed")
 
 // Device is one virtual accelerator. All methods must be called from
 // simulation processes; operations charge virtual time and contend on the
@@ -27,6 +33,10 @@ type Device struct {
 	compute *sim.Resource
 
 	execute bool
+
+	// failure, when non-nil, makes every operation fail (fault injection:
+	// the silicon is gone but the daemon in front of it is still up).
+	failure error
 
 	// stats
 	bytesIn, bytesOut int64
@@ -83,15 +93,50 @@ func (d *Device) ExecuteMode() bool { return d.execute }
 // Registry returns the kernel registry the device resolves names in.
 func (d *Device) Registry() *Registry { return d.registry }
 
+// Fail marks the device failed with the given cause: every subsequent
+// operation returns an error wrapping ErrDeviceFailed until Repair. The
+// daemon in front of the device keeps serving (and reporting the failure),
+// which is how a real node reports a dead GPU.
+func (d *Device) Fail(cause string) {
+	if cause == "" {
+		cause = "injected fault"
+	}
+	d.failure = fmt.Errorf("gpu: %s: %w: %s", d.name, ErrDeviceFailed, cause)
+}
+
+// Repair clears a failure injected by Fail. The device contents are NOT
+// restored — callers must re-allocate and re-upload, as after a real
+// device replacement.
+func (d *Device) Repair() {
+	d.failure = nil
+}
+
+// Failed returns the active failure, or nil for a healthy device.
+func (d *Device) Failed() error { return d.failure }
+
+// ResetEngines replaces the DMA and compute semaphores with fresh ones,
+// releasing units stranded by processes that died mid-operation. Part of
+// restarting a crashed daemon; never call it while live work is in flight.
+func (d *Device) ResetEngines() {
+	d.dma = sim.NewResource(d.sim, d.name+".dma", 1)
+	d.compute = sim.NewResource(d.sim, d.name+".compute", 1)
+}
+
 // MemAlloc allocates n bytes of device memory.
 func (d *Device) MemAlloc(p *sim.Proc, n int) (Ptr, error) {
 	p.Wait(d.model.MallocOverhead)
+	if d.failure != nil {
+		return 0, d.failure
+	}
 	return d.alloc.alloc(n)
 }
 
 // MemFree releases an allocation.
 func (d *Device) MemFree(p *sim.Proc, ptr Ptr) error {
 	p.Wait(d.model.MallocOverhead)
+	if d.failure != nil {
+		return d.failure
+	}
 	return d.alloc.freePtr(ptr)
 }
 
@@ -129,6 +174,9 @@ func (d *Device) CopyH2D(p *sim.Proc, dst Ptr, off int, src []byte, n int, pinne
 	if src != nil && len(src) != n {
 		return fmt.Errorf("gpu: CopyH2D: src has %d bytes, size argument says %d", len(src), n)
 	}
+	if d.failure != nil {
+		return d.failure
+	}
 	if err := d.checkRange(dst, off, n); err != nil {
 		return err
 	}
@@ -159,6 +207,9 @@ func (d *Device) CopyD2H(p *sim.Proc, dst []byte, src Ptr, off, n int, pinned bo
 	if dst != nil && len(dst) != n {
 		return fmt.Errorf("gpu: CopyD2H: dst has %d bytes, size argument says %d", len(dst), n)
 	}
+	if d.failure != nil {
+		return d.failure
+	}
 	if err := d.checkRange(src, off, n); err != nil {
 		return err
 	}
@@ -186,6 +237,9 @@ func (d *Device) CopyD2H(p *sim.Proc, dst []byte, src Ptr, off, n int, pinned bo
 // Memset fills n bytes of device memory at ptr+off with value
 // (cuMemsetD8): a memory-bandwidth-bound device-side operation.
 func (d *Device) Memset(p *sim.Proc, ptr Ptr, off, n int, value byte) error {
+	if d.failure != nil {
+		return d.failure
+	}
 	if err := d.checkRange(ptr, off, n); err != nil {
 		return err
 	}
@@ -205,6 +259,9 @@ func (d *Device) Memset(p *sim.Proc, ptr Ptr, off, n int, value byte) error {
 // CopyD2D copies n bytes between two device allocations through device
 // memory (no PCIe transfer; cost is 2n over the memory bandwidth).
 func (d *Device) CopyD2D(p *sim.Proc, dst Ptr, dstOff int, src Ptr, srcOff, n int) error {
+	if d.failure != nil {
+		return d.failure
+	}
 	if err := d.checkRange(dst, dstOff, n); err != nil {
 		return err
 	}
@@ -234,7 +291,12 @@ func (d *Device) AsyncSetupCost() sim.Duration { return d.model.AsyncSetup }
 // transfer without moving data: pinned transfers occupy the DMA engine,
 // pageable ones the calling CPU. The middleware uses it to time pipeline
 // blocks whose bytes are placed separately (ScatterColumns/GatherColumns).
-func (d *Device) CopyEngineTransfer(p *sim.Proc, n int, toDevice, pinned bool) {
+// It reports the device failure, if any (checked again after the engine
+// time, so a device dying mid-transfer fails that transfer).
+func (d *Device) CopyEngineTransfer(p *sim.Proc, n int, toDevice, pinned bool) error {
+	if d.failure != nil {
+		return d.failure
+	}
 	cm := d.copyModel(toDevice, pinned)
 	t := cm.Time(n)
 	if pinned {
@@ -250,6 +312,7 @@ func (d *Device) CopyEngineTransfer(p *sim.Proc, n int, toDevice, pinned bool) {
 	} else {
 		d.bytesOut += int64(n)
 	}
+	return d.failure
 }
 
 // ValidRange checks that [ptr+off, ptr+off+n) lies inside a live
@@ -281,6 +344,9 @@ func (d *Device) LaunchKernel(p *sim.Proc, name string, l Launch) (err error) {
 	if !ok {
 		return fmt.Errorf("gpu: unknown kernel %q", name)
 	}
+	if d.failure != nil {
+		return d.failure
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("gpu: kernel %q faulted: %v", name, r)
@@ -292,6 +358,10 @@ func (d *Device) LaunchKernel(p *sim.Proc, name string, l Launch) (err error) {
 	d.compute.Release(1)
 	d.busy += cost
 	d.launches++
+	if d.failure != nil {
+		// The device died while the kernel was on the silicon.
+		return d.failure
+	}
 	if d.execute {
 		if err := k.Execute(l, d); err != nil {
 			return fmt.Errorf("gpu: kernel %q: %w", name, err)

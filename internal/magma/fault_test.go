@@ -1,0 +1,238 @@
+package magma
+
+// Fault-tolerance acceptance tests: a multi-GPU QR factorization loses
+// an accelerator daemon halfway through. With a spare in the pool the
+// computation fails over — replacement assignment from the ARM, state
+// replay from the host shadow, re-run — and still produces the correct
+// factorization. Without a spare, the client gets typed errors at every
+// step and never hangs.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dynacc/internal/arm"
+	"dynacc/internal/cluster"
+	"dynacc/internal/core"
+	"dynacc/internal/gpu"
+	"dynacc/internal/lapack"
+	"dynacc/internal/sim"
+)
+
+// qrFaultRun builds a single-compute-node cluster with nAC accelerators
+// and fault-aware protocol settings (request timeout + retries on the
+// client, payload timeout on the daemons), runs prep before the
+// simulation starts, and fn as the node main.
+func qrFaultRun(t *testing.T, nAC int, prep func(cl *cluster.Cluster), fn func(p *sim.Proc, node *cluster.Node)) {
+	t.Helper()
+	reg := gpu.NewRegistry()
+	RegisterKernels(reg)
+	opts := core.DefaultOptions()
+	opts.Timeout = 100 * sim.Millisecond
+	opts.Retries = 2
+	dcfg := core.DefaultDaemonConfig()
+	dcfg.PayloadTimeout = 20 * sim.Millisecond
+	cl, err := cluster.New(cluster.Config{
+		ComputeNodes: 1,
+		Accelerators: nAC,
+		Registry:     reg,
+		Execute:      true,
+		Options:      &opts,
+		Daemon:       &dcfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep != nil {
+		prep(cl)
+	}
+	cl.Spawn(0, func(p *sim.Proc, node *cluster.Node) { fn(p, node) })
+	if _, err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// acquireAccels gets n accelerators and returns both the raw handles
+// (for failover) and their Device wrappers (for the algorithms).
+func acquireAccels(t *testing.T, p *sim.Proc, node *cluster.Node, n int) ([]*core.Accel, []Device) {
+	t.Helper()
+	handles, err := node.ARM.Acquire(p, n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accels := make([]*core.Accel, 0, n)
+	devs := make([]Device, 0, n)
+	for _, h := range handles {
+		ac := node.Attach(h)
+		accels = append(accels, ac)
+		devs = append(devs, Remote(ac))
+	}
+	return accels, devs
+}
+
+// calibrateQR runs the factorization fault-free on a pool of nAC
+// accelerators (3 in use) and returns the virtual window [start, end] of
+// the Dgeqrf call, so fault runs can aim at "50% progress".
+func calibrateQR(t *testing.T, nAC, n, nb int, a []float64) (tStart, tEnd sim.Time) {
+	t.Helper()
+	qrFaultRun(t, nAC, nil, func(p *sim.Proc, node *cluster.Node) {
+		_, devs := acquireAccels(t, p, node, 3)
+		dist, err := NewDist(p, devs, n, n, nb, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dist.Free(p)
+		if err := dist.Upload(p, a); err != nil {
+			t.Fatal(err)
+		}
+		tau := make([]float64, n)
+		cfg := DefaultConfig()
+		cfg.NB = nb
+		tStart = p.Now()
+		if err := Dgeqrf(p, dist, tau, cfg); err != nil {
+			t.Fatalf("fault-free calibration run failed: %v", err)
+		}
+		tEnd = p.Now()
+	})
+	if tEnd <= tStart {
+		t.Fatalf("calibration window empty: [%v, %v]", tStart, tEnd)
+	}
+	return tStart, tEnd
+}
+
+func TestDgeqrfFailoverSurvivesMidRunDaemonKill(t *testing.T) {
+	const n, nb = 96, 16
+	rng := rand.New(rand.NewSource(77))
+	a := randSquare(rng, n)
+	ref := append([]float64(nil), a...)
+	refTau := make([]float64, n)
+	lapack.Dgeqrf(n, n, ref, n, refTau, nb)
+
+	// Pool of 4: three in use, one spare for the failover.
+	tStart, tEnd := calibrateQR(t, 4, n, nb, a)
+	killAt := tStart.Add(tEnd.Sub(tStart) / 2)
+
+	qrFaultRun(t, 4, func(cl *cluster.Cluster) {
+		cl.Sim.After(killAt.Sub(sim.Time(0)), func() { cl.KillDaemon(1) })
+	}, func(p *sim.Proc, node *cluster.Node) {
+		accels, devs := acquireAccels(t, p, node, 3)
+		dist, err := NewDist(p, devs, n, n, nb, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dist.Free(p)
+		if err := dist.Upload(p, a); err != nil {
+			t.Fatal(err)
+		}
+		tau := make([]float64, n)
+		cfg := DefaultConfig()
+		cfg.NB = nb
+		if err := Dgeqrf(p, dist, tau, cfg); err == nil {
+			t.Fatal("factorization succeeded although a daemon died halfway")
+		}
+
+		// Probe the accelerators, fail the dead one over to the spare.
+		failed := -1
+		for i, ac := range accels {
+			err := ac.Sync(p)
+			if err == nil {
+				continue
+			}
+			if !errors.Is(err, core.ErrTimeout) {
+				t.Fatalf("probe of accelerator %d: got %v, want timeout", i, err)
+			}
+			if failed != -1 {
+				t.Fatalf("accelerators %d and %d both timed out", failed, i)
+			}
+			failed = i
+			if err := ac.Failover(p); err != nil {
+				t.Fatalf("failover: %v", err)
+			}
+		}
+		if failed != 1 {
+			t.Errorf("dead accelerator index = %d, want 1", failed)
+		}
+
+		// The replacement holds the host-shadowed allocation contents;
+		// restart the factorization from the original matrix.
+		if err := dist.Upload(p, a); err != nil {
+			t.Fatalf("re-upload after failover: %v", err)
+		}
+		for i := range tau {
+			tau[i] = 0
+		}
+		if err := Dgeqrf(p, dist, tau, cfg); err != nil {
+			t.Fatalf("factorization after failover: %v", err)
+		}
+		got := make([]float64, n*n)
+		if err := dist.Download(p, got); err != nil {
+			t.Fatalf("download after failover: %v", err)
+		}
+		scale := lapack.Dlange(lapack.MaxAbs, n, n, ref, n)
+		for i := range got {
+			if math.Abs(got[i]-ref[i]) > 1e-10*scale {
+				t.Fatalf("factor differs at %d: %g vs %g", i, got[i], ref[i])
+			}
+		}
+		for i := range tau {
+			if math.Abs(tau[i]-refTau[i]) > 1e-10 {
+				t.Fatalf("tau[%d] = %g vs %g", i, tau[i], refTau[i])
+			}
+		}
+
+		// The ARM's books reflect the swap: 3 assigned, 1 broken.
+		st, err := node.ARM.Stats(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Failed != 1 || st.Assigned != 3 {
+			t.Errorf("pool after failover: %+v, want 3 assigned / 1 failed", st)
+		}
+	})
+}
+
+func TestDgeqrfDaemonKillWithoutSpareReturnsTypedTimeout(t *testing.T) {
+	const n, nb = 96, 16
+	rng := rand.New(rand.NewSource(77))
+	a := randSquare(rng, n)
+
+	// Pool of exactly 3: no spare to fail over to.
+	tStart, tEnd := calibrateQR(t, 3, n, nb, a)
+	killAt := tStart.Add(tEnd.Sub(tStart) / 2)
+
+	qrFaultRun(t, 3, func(cl *cluster.Cluster) {
+		cl.Sim.After(killAt.Sub(sim.Time(0)), func() { cl.KillDaemon(1) })
+	}, func(p *sim.Proc, node *cluster.Node) {
+		accels, devs := acquireAccels(t, p, node, 3)
+		dist, err := NewDist(p, devs, n, n, nb, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dist.Free(p)
+		if err := dist.Upload(p, a); err != nil {
+			t.Fatal(err)
+		}
+		tau := make([]float64, n)
+		cfg := DefaultConfig()
+		cfg.NB = nb
+		if err := Dgeqrf(p, dist, tau, cfg); err == nil {
+			t.Fatal("factorization succeeded although a daemon died halfway")
+		}
+
+		// The dead accelerator answers with a typed timeout, not a hang.
+		err = accels[1].Sync(p)
+		if !errors.Is(err, core.ErrTimeout) {
+			t.Fatalf("sync on dead accelerator: got %v, want timeout", err)
+		}
+		var te *core.TimeoutError
+		if !errors.As(err, &te) || te.Attempts != 3 {
+			t.Fatalf("timeout error %+v, want 3 attempts (1 + 2 retries)", te)
+		}
+		// Failover is cleanly impossible: the ARM has no spare.
+		if err := accels[1].Failover(p); !errors.Is(err, arm.ErrUnavailable) {
+			t.Fatalf("failover without spare: got %v, want unavailable", err)
+		}
+	})
+}

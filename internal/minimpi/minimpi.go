@@ -54,6 +54,9 @@ type World struct {
 	// splitCtx memoizes context ids allocated by communicator splits so
 	// that every member of a split arrives at the same new context.
 	splitCtx map[splitKey]int
+	// linkFilter, when set, decides the fate of every message (fault
+	// injection). See SetLinkFilter.
+	linkFilter LinkFilter
 }
 
 type splitKey struct {

@@ -161,7 +161,19 @@ func (c *Comm) isendAnyTag(dst int, tag Tag, data []byte, size int) *Request {
 	}
 	w.sim.Spawn(fmt.Sprintf("mpi-send %d->%d t%d", srcEp.rank, dstEp.rank, tag), func(p *sim.Proc) {
 		p.Wait(params.SendOverhead)
+		v := w.verdict(srcEp.rank, dstEp.rank, tag, size)
+		if v.Delay > 0 {
+			p.Wait(v.Delay)
+		}
 		p.Wait(params.Latency) // envelope flight
+		if v.Drop {
+			// Lost on the wire: the sender sees local completion (it
+			// cannot tell), the receiver never sees the envelope, and a
+			// rendezvous payload is silently abandoned.
+			req.done.Trigger()
+			srcEp.traffic.MsgsSent++
+			return
+		}
 		dstEp.deliverEnvelope(m)
 		if m.cts != nil {
 			if sim.AwaitAny(p, m.cts, req.cancel) == 1 && !m.cts.Triggered() {

@@ -36,8 +36,8 @@ func (m *Mailbox) Send(v any) {
 		w := m.waiters[0]
 		m.waiters[0] = nil
 		m.waiters = m.waiters[1:]
-		if w.woken {
-			continue // timed out concurrently; already awake
+		if w.woken || w.p.gone() {
+			continue // timed out or killed concurrently; skip
 		}
 		w.val, w.got, w.woken = v, true, true
 		w.p.wake()

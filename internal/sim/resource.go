@@ -73,10 +73,17 @@ func (r *Resource) Release(n int) {
 	r.grant()
 }
 
-// grant wakes queued waiters, head first, while capacity allows.
+// grant wakes queued waiters, head first, while capacity allows. Waiters
+// whose process was killed while queued are dropped instead of granted, so
+// a crashed holder-to-be does not strand capacity.
 func (r *Resource) grant() {
 	for len(r.waiters) > 0 {
 		w := r.waiters[0]
+		if w.p.gone() {
+			r.waiters[0] = nil
+			r.waiters = r.waiters[1:]
+			continue
+		}
 		if r.inUse+w.n > r.capacity {
 			return
 		}

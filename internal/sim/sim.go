@@ -138,14 +138,22 @@ func (s *Simulation) schedule(at Time, fn func()) {
 
 // Proc is the handle a process function uses to interact with the
 // simulation: waiting, spawning children, and querying the clock. A Proc is
-// only valid inside the goroutine of the process it belongs to.
+// only valid inside the goroutine of the process it belongs to, except for
+// Kill, Killed and Done, which other processes use to manage it.
 type Proc struct {
-	sim    *Simulation
-	name   string
-	resume chan struct{}
-	state  string // human-readable description of what the process waits on
-	done   *Event // triggered when the process function returns
+	sim        *Simulation
+	name       string
+	resume     chan struct{}
+	state      string // human-readable description of what the process waits on
+	done       *Event // triggered when the process function returns
+	killed     bool   // Kill was called; unwind at the next scheduling point
+	terminated bool   // the process function has returned or unwound
 }
+
+// killSignal is the panic value that unwinds a killed process. It is
+// recovered by the process shell and treated as clean termination, not a
+// simulation failure.
+type killSignal struct{}
 
 // Name returns the process name given at Spawn time.
 func (p *Proc) Name() string { return p.name }
@@ -160,11 +168,36 @@ func (p *Proc) Sim() *Simulation { return p.sim }
 // processes can Await it to join.
 func (p *Proc) Done() *Event { return p.done }
 
-// block hands control back to the scheduler and sleeps until resumed.
+// Kill terminates the process at its next scheduling point: the victim
+// unwinds (running its defers) the next time it would resume, without
+// marking the simulation as failed. Any resource units the victim holds are
+// lost — exactly like hardware seized by a crashed host — so killing models
+// a process crash, not a graceful stop. Killing a terminated or
+// already-killed process is a no-op.
+func (p *Proc) Kill() {
+	if p.killed || p.terminated {
+		return
+	}
+	p.killed = true
+	p.wake()
+}
+
+// Killed reports whether Kill has been called on the process.
+func (p *Proc) Killed() bool { return p.killed }
+
+// gone reports whether the process is dead or doomed. Queueing primitives
+// use it to skip granting to waiters that will never run again.
+func (p *Proc) gone() bool { return p.killed || p.terminated }
+
+// block hands control back to the scheduler and sleeps until resumed. A
+// killed process unwinds here instead of resuming.
 func (p *Proc) block(state string) {
 	p.state = state
 	p.sim.yield <- struct{}{}
 	<-p.resume
+	if p.killed {
+		panic(killSignal{})
+	}
 	p.state = ""
 }
 
@@ -175,8 +208,12 @@ func (p *Proc) wake() {
 }
 
 // dispatch resumes process p and waits until it blocks again or terminates.
-// Called only from the scheduler goroutine.
+// Called only from the scheduler goroutine. A process that died with a wake
+// still pending (e.g. killed while also holding a timer) is skipped.
 func (s *Simulation) dispatch(p *Proc) {
+	if p.terminated {
+		return
+	}
 	p.resume <- struct{}{}
 	<-s.yield
 }
@@ -220,16 +257,19 @@ func (s *Simulation) Spawn(name string, fn func(p *Proc)) *Proc {
 			<-p.resume // wait for first dispatch
 			defer func() {
 				if r := recover(); r != nil {
-					if s.failure == nil {
+					if _, wasKilled := r.(killSignal); !wasKilled && s.failure == nil {
 						s.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
 					}
 				}
+				p.terminated = true
 				delete(s.procs, p)
 				p.done.Trigger()
 				p.state = "terminated"
 				s.yield <- struct{}{}
 			}()
-			fn(p)
+			if !p.killed { // killed before ever running: skip the body
+				fn(p)
+			}
 		}()
 		s.dispatch(p)
 	})

@@ -1,0 +1,90 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzRoundTrip checks that any value sequence written through Writer
+// reads back identically, with no residue and no error.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint32(2), uint64(3), int64(-4), 1.5, "hello", []byte{9, 8, 7})
+	f.Add(uint8(0), uint32(0), uint64(0), int64(0), 0.0, "", []byte(nil))
+	f.Add(uint8(255), uint32(math.MaxUint32), uint64(math.MaxUint64),
+		int64(math.MinInt64), math.Inf(-1), "\x00\xff", bytes.Repeat([]byte{0xAA}, 300))
+	f.Fuzz(func(t *testing.T, u8 uint8, u32 uint32, u64 uint64, i64 int64, fl float64, s string, b []byte) {
+		w := NewWriter(0)
+		w.U8(u8).U32(u32).U64(u64).I64(i64).F64(fl).Str(s).Blob(b).Int(int(i64))
+		r := NewReader(w.Bytes())
+		if got := r.U8(); got != u8 {
+			t.Fatalf("U8: got %d want %d", got, u8)
+		}
+		if got := r.U32(); got != u32 {
+			t.Fatalf("U32: got %d want %d", got, u32)
+		}
+		if got := r.U64(); got != u64 {
+			t.Fatalf("U64: got %d want %d", got, u64)
+		}
+		if got := r.I64(); got != i64 {
+			t.Fatalf("I64: got %d want %d", got, i64)
+		}
+		if got := r.F64(); got != fl && !(math.IsNaN(got) && math.IsNaN(fl)) {
+			t.Fatalf("F64: got %v want %v", got, fl)
+		}
+		if got := r.Str(); got != s {
+			t.Fatalf("Str: got %q want %q", got, s)
+		}
+		if got := r.Blob(); !bytes.Equal(got, b) {
+			t.Fatalf("Blob: got %x want %x", got, b)
+		}
+		if got := r.Int(); got != int(i64) {
+			t.Fatalf("Int: got %d want %d", got, int(i64))
+		}
+		if err := r.Err(); err != nil {
+			t.Fatalf("round trip error: %v", err)
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("%d bytes left over", r.Remaining())
+		}
+	})
+}
+
+// FuzzReaderGarbage drives every reader method over raw bytes: no input
+// may panic, and after the first error every read returns a zero value.
+func FuzzReaderGarbage(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(NewWriter(0).Str("x").Blob([]byte{1}).Bytes())
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // Blob/Str length prefix 2^32-1
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		for i := 0; r.Err() == nil && i < 64; i++ {
+			switch i % 6 {
+			case 0:
+				r.U8()
+			case 1:
+				r.U32()
+			case 2:
+				r.Str()
+			case 3:
+				r.Blob()
+			case 4:
+				r.U64()
+			case 5:
+				r.F64()
+			}
+			if r.Remaining() == 0 {
+				break
+			}
+		}
+		if r.Err() != nil {
+			if got := r.Blob(); got != nil {
+				t.Fatalf("read after error returned data: %x", got)
+			}
+			if got := r.Str(); got != "" {
+				t.Fatalf("read after error returned data: %q", got)
+			}
+		}
+	})
+}

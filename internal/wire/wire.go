@@ -86,6 +86,12 @@ func (r *Reader) take(n int) []byte {
 	if r.err != nil {
 		return nil
 	}
+	if n < 0 {
+		// int(uint32) wraps negative on 32-bit platforms; a negative count
+		// must fail like any other bogus length, not slice out of range.
+		r.err = fmt.Errorf("wire: invalid length %d at offset %d", n, r.off)
+		return nil
+	}
 	if r.off+n > len(r.buf) {
 		r.err = fmt.Errorf("wire: truncated message: need %d bytes at offset %d of %d", n, r.off, len(r.buf))
 		return nil
