@@ -16,6 +16,13 @@
 // work; here it is fully implemented, including FIFO and backfill
 // queueing policies and accelerator failure handling (the paper's fault
 // tolerance claim: a broken accelerator never takes a compute node down).
+//
+// On top of the passive bookkeeping sits an optional health subsystem
+// (ConfigureHealth): daemons heartbeat the ARM, a threshold failure
+// detector on the virtual clock marks silent nodes suspect and then
+// dead, assignments become leases that expire when their holder stops
+// renewing, and reclaimed accelerators are sanitized before re-entering
+// the free pool. See health.go.
 package arm
 
 import (
@@ -36,10 +43,12 @@ type Handle struct {
 
 // Control-plane tags. TagRequest carries client→ARM requests; replies use
 // tagReplyBase plus the client's request sequence number, so delayed
-// (blocking) replies never collide.
+// (blocking) replies never collide. TagNotify carries unsolicited
+// ARM→client health notices (see Notice).
 const (
 	TagRequest   minimpi.Tag = 1 << 20
 	tagReplyBase minimpi.Tag = TagRequest + 1
+	TagNotify    minimpi.Tag = TagRequest - 1
 )
 
 // Request op codes.
@@ -51,6 +60,11 @@ const (
 	opRepair
 	opShutdown
 	opReplace
+	// Health subsystem (PR 2).
+	opHeartbeat // daemon→ARM liveness beat; no reply
+	opRenew     // explicit lease renewal
+	opMigrate   // swap a suspect assignment for a spare
+	opDrain     // retire an accelerator gracefully
 )
 
 // Reply status codes.
@@ -105,10 +119,19 @@ type PoolStats struct {
 	Free     int
 	Assigned int
 	Failed   int
-	Queued   int
+	// Suspect counts accelerators out of the free pool because their
+	// daemon went silent (including those being sanitized after a
+	// reclaim); Retired counts accelerators drained out of service.
+	Suspect int
+	Retired int
+	Queued  int
 	// Acquires and Releases count completed operations.
 	Acquires int
 	Releases int
+	// Reclaimed counts leases the ARM revoked (expiry or forced drain);
+	// Migrations counts suspect assignments swapped for a spare.
+	Reclaimed  int
+	Migrations int
 	// BusySeconds integrates assigned-accelerator time: one accelerator
 	// assigned for one virtual second contributes 1.0.
 	BusySeconds float64
@@ -131,13 +154,36 @@ const (
 	acFree acState = iota
 	acAssigned
 	acFailed
+	// acSuspect: the daemon stopped heartbeating (or the accelerator was
+	// migrated away from); unowned and not grantable, but may recover.
+	acSuspect
+	// acReclaiming: a revoked lease's accelerator while its daemon-side
+	// sanitize (device reset) is in flight.
+	acReclaiming
+	// acRetired: drained out of service; only an administrative repair
+	// brings it back.
+	acRetired
 )
+
+// drainWait remembers the requester of a pending opDrain so the reply can
+// be sent once the accelerator actually retires.
+type drainWait struct {
+	src   int
+	reqID uint64
+}
 
 type accel struct {
 	id    int
 	rank  int
 	state acState
 	owner int // world rank of owner while assigned
+
+	// Health bookkeeping (unused while the subsystem is off).
+	lease    sim.Time   // assignment expires when now passes this (0 = no lease)
+	dirty    bool       // device may hold residue; sanitize before re-granting
+	draining bool       // retire instead of freeing on next un-assignment
+	notified bool       // owner has been sent a suspect notice
+	drainer  *drainWait // pending opDrain reply
 }
 
 type pendingAcquire struct {
@@ -150,25 +196,40 @@ type pendingAcquire struct {
 // Server is the ARM service state machine.
 type Server struct {
 	comm   *minimpi.Comm
+	sim    *sim.Simulation
 	policy Policy
 
 	accels []*accel // pool order = grant order (lowest id first)
 	byID   map[int]*accel
 	queue  []*pendingAcquire
 
+	// Health subsystem (health.go); healthOn only after ConfigureHealth.
+	health    HealthConfig
+	healthOn  bool
+	sanitizer func(p *sim.Proc, rank int) error
+	lastBeat  map[int]sim.Time // daemon rank → last heartbeat arrival
+	closed    bool             // stops the detector tick after shutdown
+
 	// accounting
-	lastChange   sim.Time
-	assignedNow  int
-	busySeconds  float64
-	waitSeconds  float64
-	acquireCount int
-	releaseCount int
+	lastChange     sim.Time
+	assignedNow    int
+	busySeconds    float64
+	waitSeconds    float64
+	acquireCount   int
+	releaseCount   int
+	reclaimedCount int
+	migrateCount   int
 }
 
 // NewServer creates an ARM serving the given accelerator inventory on the
 // communicator. Inventory ids must be unique.
 func NewServer(comm *minimpi.Comm, inventory []Handle, policy Policy) (*Server, error) {
-	s := &Server{comm: comm, policy: policy, byID: make(map[int]*accel)}
+	s := &Server{
+		comm:   comm,
+		sim:    comm.World().Sim(),
+		policy: policy,
+		byID:   make(map[int]*accel),
+	}
 	for _, h := range inventory {
 		if _, dup := s.byID[h.ID]; dup {
 			return nil, fmt.Errorf("arm: duplicate accelerator id %d", h.ID)
@@ -180,23 +241,40 @@ func NewServer(comm *minimpi.Comm, inventory []Handle, policy Policy) (*Server, 
 	return s, nil
 }
 
+func (s *Server) now() sim.Time { return s.sim.Now() }
+
 // Run serves requests until a shutdown request arrives. It is typically
 // spawned as the ARM rank's process.
 func (s *Server) Run(p *sim.Proc) {
-	s.lastChange = p.Now()
+	s.lastChange = s.now()
+	if s.healthOn {
+		// Treat startup as one fresh beat from everyone: daemons get a
+		// full silence budget before the detector may suspect them.
+		s.lastBeat = make(map[int]sim.Time)
+		for _, a := range s.accels {
+			s.lastBeat[a.rank] = s.now()
+		}
+		s.scheduleTick()
+	}
 	for {
 		data, st := s.comm.Recv(p, minimpi.AnySource, TagRequest)
-		if !s.handle(p, st.Source, data) {
+		if !s.handle(st.Source, data) {
+			s.closed = true
 			return
 		}
 	}
 }
 
 // handle processes one request; it reports false on shutdown.
-func (s *Server) handle(p *sim.Proc, src int, data []byte) bool {
+func (s *Server) handle(src int, data []byte) bool {
 	r := wire.NewReader(data)
 	op := r.U8()
 	reqID := r.U64()
+	// Any request from a lease holder proves the client alive: renew its
+	// leases implicitly (the front-end's piggybacked renewal).
+	if op != opHeartbeat {
+		s.touchClient(src)
+	}
 	switch op {
 	case opAcquire:
 		n := r.Int()
@@ -205,7 +283,7 @@ func (s *Server) handle(p *sim.Proc, src int, data []byte) bool {
 			s.reply(src, reqID, statusBadRequest, nil)
 			return true
 		}
-		s.acquire(p, &pendingAcquire{src: src, reqID: reqID, n: n, enqueued: p.Now()}, blocking)
+		s.acquire(&pendingAcquire{src: src, reqID: reqID, n: n, enqueued: s.now()}, blocking)
 	case opRelease:
 		count := r.Int()
 		ids := make([]int, 0, count)
@@ -216,20 +294,49 @@ func (s *Server) handle(p *sim.Proc, src int, data []byte) bool {
 			s.reply(src, reqID, statusBadRequest, nil)
 			return true
 		}
-		s.release(p, src, reqID, ids)
+		s.release(src, reqID, ids)
 	case opStats:
-		s.reply(src, reqID, statusOK, s.encodeStats(p.Now()))
+		s.reply(src, reqID, statusOK, s.encodeStats(s.now()))
 	case opFail:
-		s.setState(p, r.Int(), acFailed, src, reqID)
+		s.setState(r.Int(), acFailed, src, reqID)
 	case opRepair:
-		s.setState(p, r.Int(), acFree, src, reqID)
+		s.setState(r.Int(), acFree, src, reqID)
 	case opReplace:
 		rank := r.Int()
 		if r.Err() != nil {
 			s.reply(src, reqID, statusBadRequest, nil)
 			return true
 		}
-		s.replace(p, src, reqID, rank)
+		s.replace(src, reqID, rank)
+	case opHeartbeat:
+		count := r.Int()
+		active := make([]int, 0, count)
+		for i := 0; i < count; i++ {
+			active = append(active, r.Int())
+		}
+		if r.Err() == nil {
+			s.heartbeat(src, active)
+		}
+		// Beats are fire-and-forget: no reply.
+	case opRenew:
+		// The touchClient above already renewed; this op exists so a
+		// client with no other traffic can keep its leases alive.
+		s.reply(src, reqID, statusOK, nil)
+	case opMigrate:
+		rank := r.Int()
+		if r.Err() != nil {
+			s.reply(src, reqID, statusBadRequest, nil)
+			return true
+		}
+		s.migrate(src, reqID, rank)
+	case opDrain:
+		id := r.Int()
+		deadline := sim.Duration(r.I64())
+		if r.Err() != nil {
+			s.reply(src, reqID, statusBadRequest, nil)
+			return true
+		}
+		s.drain(src, reqID, id, deadline)
 	case opShutdown:
 		s.reply(src, reqID, statusOK, nil)
 		return false
@@ -250,11 +357,14 @@ func (s *Server) reply(dst int, reqID uint64, status uint8, body []byte) {
 	s.comm.Isend(dst, tagReplyBase+minimpi.Tag(reqID), w.Bytes())
 }
 
-// operational counts non-failed accelerators.
+// operational counts accelerators that can (eventually) serve: everything
+// but failed and retired ones. Suspect accelerators count — they may
+// recover — so a queued request waiting on one blocks rather than being
+// rejected until the detector declares the node dead.
 func (s *Server) operational() int {
 	n := 0
 	for _, a := range s.accels {
-		if a.state != acFailed {
+		if a.state != acFailed && a.state != acRetired {
 			n++
 		}
 	}
@@ -280,13 +390,13 @@ func (s *Server) accrue(now sim.Time) {
 	s.lastChange = now
 }
 
-func (s *Server) acquire(p *sim.Proc, req *pendingAcquire, blocking bool) {
+func (s *Server) acquire(req *pendingAcquire, blocking bool) {
 	if req.n > s.operational() {
 		s.reply(req.src, req.reqID, statusImpossible, nil)
 		return
 	}
 	if s.freeCount() >= req.n && (s.policy == Backfill || len(s.queue) == 0) {
-		s.grant(p, req)
+		s.grant(req)
 		return
 	}
 	if !blocking {
@@ -298,8 +408,8 @@ func (s *Server) acquire(p *sim.Proc, req *pendingAcquire, blocking bool) {
 
 // grant assigns req.n free accelerators (lowest id first) and replies
 // with their handles.
-func (s *Server) grant(p *sim.Proc, req *pendingAcquire) {
-	s.accrue(p.Now())
+func (s *Server) grant(req *pendingAcquire) {
+	s.accrue(s.now())
 	w := wire.NewWriter(8 + 16*req.n)
 	w.Int(req.n)
 	granted := 0
@@ -312,6 +422,10 @@ func (s *Server) grant(p *sim.Proc, req *pendingAcquire) {
 		}
 		a.state = acAssigned
 		a.owner = req.src
+		a.notified = false
+		if s.healthOn && s.health.LeaseTTL > 0 {
+			a.lease = s.now().Add(s.health.LeaseTTL)
+		}
 		w.Int(a.id).Int(a.rank)
 		granted++
 	}
@@ -320,11 +434,11 @@ func (s *Server) grant(p *sim.Proc, req *pendingAcquire) {
 	}
 	s.assignedNow += req.n
 	s.acquireCount++
-	s.waitSeconds += p.Now().Sub(req.enqueued).Seconds()
+	s.waitSeconds += s.now().Sub(req.enqueued).Seconds()
 	s.reply(req.src, req.reqID, statusOK, w.Bytes())
 }
 
-func (s *Server) release(p *sim.Proc, src int, reqID uint64, ids []int) {
+func (s *Server) release(src int, reqID uint64, ids []int) {
 	// Validate ownership first so a bad release changes nothing.
 	for _, id := range ids {
 		a, ok := s.byID[id]
@@ -333,24 +447,29 @@ func (s *Server) release(p *sim.Proc, src int, reqID uint64, ids []int) {
 			return
 		}
 	}
-	s.accrue(p.Now())
+	s.accrue(s.now())
 	for _, id := range ids {
 		a := s.byID[id]
 		if a.state == acAssigned {
-			a.state = acFree
 			a.owner = 0
 			s.assignedNow--
+			if a.draining {
+				s.retire(a)
+			} else {
+				a.state = acFree
+			}
 		}
-		// Releasing a failed accelerator leaves it failed.
+		// Releasing a failed (or suspect, reclaiming, retired) accelerator
+		// leaves it in that state.
 	}
 	s.releaseCount++
 	s.reply(src, reqID, statusOK, nil)
-	s.drainQueue(p)
+	s.drainQueue()
 }
 
 // drainQueue grants queued requests according to the policy and rejects
 // requests that became impossible.
-func (s *Server) drainQueue(p *sim.Proc) {
+func (s *Server) drainQueue() {
 	for {
 		progressed := false
 		kept := s.queue[:0]
@@ -360,7 +479,7 @@ func (s *Server) drainQueue(p *sim.Proc) {
 				s.reply(req.src, req.reqID, statusImpossible, nil)
 				progressed = true
 			case s.freeCount() >= req.n:
-				s.grant(p, req)
+				s.grant(req)
 				progressed = true
 			default:
 				kept = append(kept, req)
@@ -386,7 +505,7 @@ func (s *Server) drainQueue(p *sim.Proc) {
 // job to release could deadlock the reporter, so an empty pool answers
 // unavailable and the caller decides whether to retry. The reply has the
 // same shape as an acquire reply with one handle.
-func (s *Server) replace(p *sim.Proc, src int, reqID uint64, rank int) {
+func (s *Server) replace(src int, reqID uint64, rank int) {
 	var failed *accel
 	for _, a := range s.accels {
 		if a.rank == rank && a.state == acAssigned && a.owner == src {
@@ -398,43 +517,58 @@ func (s *Server) replace(p *sim.Proc, src int, reqID uint64, rank int) {
 		s.reply(src, reqID, statusBadRequest, nil)
 		return
 	}
-	s.accrue(p.Now())
+	s.accrue(s.now())
 	failed.state = acFailed
+	failed.owner = 0
 	s.assignedNow--
+	s.settleDrainer(failed)
 	// The shrunken pool may make queued requests impossible; settle them
 	// before queueing the replacement acquire.
-	s.drainQueue(p)
-	s.acquire(p, &pendingAcquire{src: src, reqID: reqID, n: 1, enqueued: p.Now()}, false)
+	s.drainQueue()
+	s.acquire(&pendingAcquire{src: src, reqID: reqID, n: 1, enqueued: s.now()}, false)
 }
 
 // setState handles fail/repair administrative requests.
-func (s *Server) setState(p *sim.Proc, id int, state acState, src int, reqID uint64) {
+func (s *Server) setState(id int, state acState, src int, reqID uint64) {
 	a, ok := s.byID[id]
 	if !ok {
 		s.reply(src, reqID, statusBadRequest, nil)
 		return
 	}
-	s.accrue(p.Now())
+	s.accrue(s.now())
 	if a.state == acAssigned && state == acFailed {
 		// The paper's fault-tolerance property: the compute node survives;
 		// it discovers the failure on next use or at release.
 		s.assignedNow--
 	}
-	if a.state == acFailed && state == acFree {
+	if state == acFree {
+		// Administrative repair returns any out-of-service accelerator
+		// (failed, suspect, retired) to the pool, presumed clean.
 		a.owner = 0
+		a.dirty = false
+		a.draining = false
+		if s.lastBeat != nil {
+			s.lastBeat[a.rank] = s.now()
+		}
 	}
 	a.state = state
+	if state == acFailed {
+		s.settleDrainer(a)
+	}
 	s.reply(src, reqID, statusOK, nil)
-	s.drainQueue(p)
+	s.drainQueue()
 }
 
 func (s *Server) encodeStats(now sim.Time) []byte {
 	s.accrue(now)
 	st := PoolStats{
-		Total:       len(s.accels),
-		Queued:      len(s.queue),
-		Acquires:    s.acquireCount,
-		Releases:    s.releaseCount,
+		Total:      len(s.accels),
+		Queued:     len(s.queue),
+		Acquires:   s.acquireCount,
+		Releases:   s.releaseCount,
+		Reclaimed:  s.reclaimedCount,
+		Migrations: s.migrateCount,
+
 		BusySeconds: s.busySeconds,
 		WaitSeconds: s.waitSeconds,
 	}
@@ -446,11 +580,16 @@ func (s *Server) encodeStats(now sim.Time) []byte {
 			st.Assigned++
 		case acFailed:
 			st.Failed++
+		case acSuspect, acReclaiming:
+			st.Suspect++
+		case acRetired:
+			st.Retired++
 		}
 	}
-	w := wire.NewWriter(64)
+	w := wire.NewWriter(96)
 	w.Int(st.Total).Int(st.Free).Int(st.Assigned).Int(st.Failed).Int(st.Queued)
 	w.Int(st.Acquires).Int(st.Releases).F64(st.BusySeconds).F64(st.WaitSeconds)
+	w.Int(st.Suspect).Int(st.Retired).Int(st.Reclaimed).Int(st.Migrations)
 	return w.Bytes()
 }
 
@@ -467,5 +606,9 @@ func decodeStats(body []byte) (PoolStats, error) {
 	}
 	st.BusySeconds = r.F64()
 	st.WaitSeconds = r.F64()
+	st.Suspect = r.Int()
+	st.Retired = r.Int()
+	st.Reclaimed = r.Int()
+	st.Migrations = r.Int()
 	return st, r.Err()
 }

@@ -2,6 +2,7 @@ package arm
 
 import (
 	"fmt"
+	"math/rand"
 
 	"dynacc/internal/minimpi"
 	"dynacc/internal/sim"
@@ -168,4 +169,134 @@ func (c *Client) Shutdown(p *sim.Proc) error {
 		return err
 	}
 	return statusErr(status)
+}
+
+// Renew explicitly renews every lease this client rank holds. Lease
+// renewal is normally implicit (any ARM request, or daemon heartbeats
+// reporting the client active), so Renew is only needed by a client that
+// holds accelerators while idling on both fronts.
+func (c *Client) Renew(p *sim.Proc) error {
+	status, _, err := c.call(p, opRenew, nil)
+	if err != nil {
+		return err
+	}
+	return statusErr(status)
+}
+
+// Drain takes accelerator id out of service: no new grants, in-flight
+// ownership respected until released, then the accelerator retires. The
+// call blocks until the accelerator is out of service. A positive
+// deadline bounds the wait: when it expires with the holder still
+// attached the ARM revokes the lease, sanitizes, and retires.
+func (c *Client) Drain(p *sim.Proc, id int, deadline sim.Duration) error {
+	status, _, err := c.call(p, opDrain, func(w *wire.Writer) {
+		w.Int(id).I64(int64(deadline))
+	})
+	if err != nil {
+		return err
+	}
+	return statusErr(status)
+}
+
+// Migrate trades the accelerator this client holds on oldRank for a
+// spare. The old assignment is surrendered (its daemon sanitizes it back
+// into the pool on its next heartbeat) and the returned handle points at
+// the replacement. ErrUnavailable means no spare could be granted right
+// now — the old assignment is kept, so the caller can retry or limp on.
+func (c *Client) Migrate(p *sim.Proc, oldRank int) (Handle, error) {
+	status, payload, err := c.call(p, opMigrate, func(w *wire.Writer) { w.Int(oldRank) })
+	if err != nil {
+		return Handle{}, err
+	}
+	if err := statusErr(status); err != nil {
+		return Handle{}, err
+	}
+	r := wire.NewReader(payload)
+	if count := r.Int(); count != 1 {
+		return Handle{}, fmt.Errorf("arm: migrate reply has %d handles", count)
+	}
+	h := Handle{ID: r.Int(), Rank: r.Int()}
+	if err := r.Err(); err != nil {
+		return Handle{}, fmt.Errorf("arm: malformed migrate reply: %w", err)
+	}
+	return h, nil
+}
+
+// RecvNotice blocks until the ARM sends this rank a health notice
+// (suspect daemon, declared death, lease revocation). Run it in a
+// dedicated watcher process: notices are unsolicited and arrive on their
+// own tag, so they never interleave with request/reply traffic.
+func (c *Client) RecvNotice(p *sim.Proc) (Notice, error) {
+	data, _ := c.comm.Recv(p, c.armRank, TagNotify)
+	return DecodeNotice(data)
+}
+
+// Backoff computes jittered exponential retry delays, for loops that
+// retry ErrUnavailable acquires without hammering the ARM in lockstep
+// with every other waiter.
+type Backoff struct {
+	Base   sim.Duration // delay before the first retry
+	Cap    sim.Duration // upper bound on the un-jittered delay
+	Factor float64      // growth per attempt (e.g. 2.0)
+	Jitter float64      // fraction of the delay randomized, in [0, 1]
+}
+
+// DefaultBackoff is proportioned for the simulated fabric's ARM round
+// trip (~tens of microseconds): start at 1ms, double, cap at 16ms,
+// randomize the last quarter.
+func DefaultBackoff() Backoff {
+	return Backoff{
+		Base:   sim.Millisecond,
+		Cap:    16 * sim.Millisecond,
+		Factor: 2.0,
+		Jitter: 0.25,
+	}
+}
+
+// Delay returns the wait before retry number attempt (0-based). rng may
+// be nil, which disables jitter.
+func (b Backoff) Delay(attempt int, rng *rand.Rand) sim.Duration {
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if sim.Duration(d) >= b.Cap {
+			d = float64(b.Cap)
+			break
+		}
+	}
+	if d > float64(b.Cap) {
+		d = float64(b.Cap)
+	}
+	if b.Jitter > 0 && rng != nil {
+		// Full delay minus a random slice of the jitter band, so the
+		// cap still bounds the result.
+		d -= b.Jitter * d * rng.Float64()
+	}
+	if d < 1 {
+		d = 1
+	}
+	return sim.Duration(d)
+}
+
+// AcquireRetry is Acquire(n, blocking=false) wrapped in a jittered
+// exponential backoff: up to attempts tries, sleeping b.Delay between
+// ErrUnavailable results. Other errors abort immediately. rng may be nil
+// (no jitter); pass a seeded one for deterministic-but-decorrelated
+// retries.
+func (c *Client) AcquireRetry(p *sim.Proc, n, attempts int, b Backoff, rng *rand.Rand) ([]Handle, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			p.Wait(b.Delay(i-1, rng))
+		}
+		var hs []Handle
+		hs, err = c.Acquire(p, n, false)
+		if err == nil || err != ErrUnavailable {
+			return hs, err
+		}
+	}
+	return nil, err
 }

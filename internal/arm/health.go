@@ -1,0 +1,446 @@
+package arm
+
+// The ARM's active health subsystem: daemon heartbeats feed a threshold
+// failure detector on the virtual clock (a two-level simplification of
+// phi-accrual: silence beyond SuspectAfter makes a node suspect, beyond
+// DeadAfter dead), assignments become leases that the front-end renews
+// implicitly with every ARM request and daemons renew on their holders'
+// behalf with every heartbeat, and revoked leases are sanitized via a
+// daemon-side device reset before their accelerator re-enters the pool.
+//
+// Accelerator lifecycle with the subsystem on:
+//
+//	free ──grant──▶ leased(assigned) ──release──▶ free
+//	  │                  │ lease expiry / forced drain
+//	  │ silence          ▼
+//	  ▼              reclaiming ──sanitize ok──▶ free (or retired)
+//	suspect ◀─migrate─┘  │ sanitize failed
+//	  │ beats resume     ▼
+//	  │ (sanitize)     dead(failed)
+//	  ▼
+//	free        silence ≥ DeadAfter from any live state ──▶ dead(failed)
+
+import (
+	"fmt"
+
+	"dynacc/internal/sim"
+	"dynacc/internal/wire"
+)
+
+// HealthConfig tunes the ARM health subsystem. Zero durations disable the
+// corresponding mechanism: SuspectAfter/DeadAfter gate the failure
+// detector, LeaseTTL gates lease expiry.
+type HealthConfig struct {
+	// HeartbeatInterval is how often daemons beat (the cluster wires the
+	// same value into the daemons) and the detector's check cadence.
+	HeartbeatInterval sim.Duration
+	// SuspectAfter is the heartbeat silence after which an accelerator
+	// node is suspect: its free accelerator leaves the pool, and owners
+	// of assigned ones are notified so they can migrate.
+	SuspectAfter sim.Duration
+	// DeadAfter is the silence after which a suspect node is declared
+	// dead: its accelerators are marked failed and owners notified.
+	DeadAfter sim.Duration
+	// LeaseTTL is how long an assignment stays valid without renewal.
+	// Renewal is implicit: any ARM request from the owner, any daemon
+	// heartbeat reporting the owner active, or an explicit Renew.
+	LeaseTTL sim.Duration
+}
+
+// DefaultHealthConfig returns a configuration proportioned for the
+// simulated QDR fabric: suspect after 3 missed beats, dead after 10.
+func DefaultHealthConfig() HealthConfig {
+	return HealthConfig{
+		HeartbeatInterval: 2 * sim.Millisecond,
+		SuspectAfter:      6 * sim.Millisecond,
+		DeadAfter:         20 * sim.Millisecond,
+		LeaseTTL:          50 * sim.Millisecond,
+	}
+}
+
+// Validate reports whether the configuration is coherent.
+func (hc HealthConfig) Validate() error {
+	if hc.HeartbeatInterval <= 0 && (hc.SuspectAfter > 0 || hc.DeadAfter > 0 || hc.LeaseTTL > 0) {
+		return fmt.Errorf("arm: health config needs a positive HeartbeatInterval (detector cadence)")
+	}
+	if hc.DeadAfter > 0 && hc.SuspectAfter > 0 && hc.DeadAfter < hc.SuspectAfter {
+		return fmt.Errorf("arm: DeadAfter %v below SuspectAfter %v", hc.DeadAfter, hc.SuspectAfter)
+	}
+	if hc.SuspectAfter > 0 && hc.SuspectAfter < hc.HeartbeatInterval {
+		return fmt.Errorf("arm: SuspectAfter %v below the heartbeat interval %v", hc.SuspectAfter, hc.HeartbeatInterval)
+	}
+	return nil
+}
+
+// ConfigureHealth enables the health subsystem. Call before Run.
+func (s *Server) ConfigureHealth(hc HealthConfig) error {
+	if err := hc.Validate(); err != nil {
+		return err
+	}
+	s.health = hc
+	s.healthOn = hc.HeartbeatInterval > 0
+	return nil
+}
+
+// SetSanitizer installs the function the ARM uses to wipe a reclaimed
+// accelerator's device before re-granting it (the cluster wires a
+// computation-API Reset here). It runs in its own process and must
+// return within bounded virtual time — give the underlying client a
+// timeout. Without a sanitizer, reclaimed accelerators return to the
+// pool unwiped.
+func (s *Server) SetSanitizer(fn func(p *sim.Proc, rank int) error) { s.sanitizer = fn }
+
+// EncodeHeartbeat builds the message a daemon sends the ARM every
+// heartbeat interval on TagRequest. active lists the world ranks of
+// clients that issued requests to the daemon since its previous beat;
+// the ARM renews those clients' leases (the daemon-side half of
+// implicit renewal).
+func EncodeHeartbeat(active []int) []byte {
+	w := wire.NewWriter(16 + 8*len(active))
+	w.U8(opHeartbeat).U64(0)
+	w.Int(len(active))
+	for _, r := range active {
+		w.Int(r)
+	}
+	return w.Bytes()
+}
+
+// NoticeKind classifies an unsolicited ARM→client health notice.
+type NoticeKind uint8
+
+// Notice kinds.
+const (
+	// NoticeSuspect: a daemon serving one of the client's accelerators
+	// went silent; the client should consider migrating (arm.Client.
+	// Migrate) before the node is declared dead.
+	NoticeSuspect NoticeKind = iota + 1
+	// NoticeDead: the daemon was declared dead; the assignment is gone
+	// and device state is unrecoverable. Failover territory.
+	NoticeDead
+	// NoticeRevoked: the ARM took the assignment back — lease expiry or
+	// a forced drain deadline.
+	NoticeRevoked
+)
+
+func (k NoticeKind) String() string {
+	switch k {
+	case NoticeSuspect:
+		return "suspect"
+	case NoticeDead:
+		return "dead"
+	case NoticeRevoked:
+		return "revoked"
+	default:
+		return fmt.Sprintf("notice(%d)", uint8(k))
+	}
+}
+
+// Notice is an unsolicited health event the ARM sends to the owner of an
+// affected accelerator on TagNotify.
+type Notice struct {
+	Kind NoticeKind
+	ID   int // accelerator pool id
+	Rank int // its daemon's world rank
+}
+
+func encodeNotice(n Notice) []byte {
+	w := wire.NewWriter(24)
+	w.U8(uint8(n.Kind)).Int(n.ID).Int(n.Rank)
+	return w.Bytes()
+}
+
+// DecodeNotice parses a TagNotify message body.
+func DecodeNotice(data []byte) (Notice, error) {
+	r := wire.NewReader(data)
+	n := Notice{Kind: NoticeKind(r.U8()), ID: r.Int(), Rank: r.Int()}
+	if err := r.Err(); err != nil {
+		return Notice{}, fmt.Errorf("arm: malformed notice: %w", err)
+	}
+	return n, nil
+}
+
+// notify sends a health notice to an accelerator's owner, fire and
+// forget: a dead client simply never reads it.
+func (s *Server) notify(owner int, kind NoticeKind, a *accel) {
+	s.comm.Isend(owner, TagNotify, encodeNotice(Notice{Kind: kind, ID: a.id, Rank: a.rank}))
+}
+
+// scheduleTick re-arms the detector until the server shuts down.
+func (s *Server) scheduleTick() {
+	s.sim.After(s.health.HeartbeatInterval, func() {
+		if s.closed {
+			return
+		}
+		s.checkHealth()
+		s.scheduleTick()
+	})
+}
+
+// checkHealth is one detector pass over the inventory: silence
+// thresholds first, then lease expiry.
+func (s *Server) checkHealth() {
+	now := s.now()
+	hc := s.health
+	if hc.SuspectAfter > 0 || hc.DeadAfter > 0 {
+		for _, a := range s.accels {
+			silence := now.Sub(s.lastBeat[a.rank])
+			switch {
+			case hc.DeadAfter > 0 && silence >= hc.DeadAfter:
+				s.markDead(a)
+			case hc.SuspectAfter > 0 && silence >= hc.SuspectAfter:
+				s.markSuspect(a)
+			}
+		}
+	}
+	if hc.LeaseTTL > 0 {
+		for _, a := range s.accels {
+			if a.state == acAssigned && now.Sub(a.lease) >= 0 {
+				s.reclaim(a)
+			}
+		}
+	}
+	s.drainQueue()
+}
+
+// markSuspect moves a silent node's accelerator out of circulation: a
+// free one leaves the pool, an assigned one stays with its owner but the
+// owner is told (once per episode) so it can migrate.
+func (s *Server) markSuspect(a *accel) {
+	switch a.state {
+	case acFree:
+		a.state = acSuspect
+	case acAssigned:
+		if !a.notified {
+			a.notified = true
+			s.notify(a.owner, NoticeSuspect, a)
+		}
+	}
+}
+
+// markDead declares a node's accelerator failed after prolonged silence.
+func (s *Server) markDead(a *accel) {
+	switch a.state {
+	case acFree, acSuspect, acReclaiming:
+		a.state = acFailed
+		s.settleDrainer(a)
+	case acAssigned:
+		s.accrue(s.now())
+		s.notify(a.owner, NoticeDead, a)
+		a.owner = 0
+		s.assignedNow--
+		a.state = acFailed
+		s.settleDrainer(a)
+	}
+}
+
+// heartbeat processes one daemon beat: refresh the detector, recover
+// suspect accelerators on that rank, and renew leases of the clients the
+// daemon saw traffic from.
+func (s *Server) heartbeat(src int, active []int) {
+	if !s.healthOn {
+		return
+	}
+	s.lastBeat[src] = s.now()
+	for _, a := range s.accels {
+		if a.rank != src {
+			continue
+		}
+		switch a.state {
+		case acSuspect:
+			// The node came back. A clean accelerator rejoins the pool
+			// directly; one abandoned mid-use (migration source) is
+			// sanitized first.
+			if a.dirty && s.sanitizer != nil {
+				s.startSanitize(a)
+			} else {
+				a.dirty = false
+				a.state = acFree
+			}
+		case acAssigned:
+			a.notified = false // suspicion episode over
+		}
+		// Detector-declared deaths (acFailed) do NOT auto-recover on
+		// resumed beats: a partition long enough to be declared dead needs
+		// an administrative Repair, matching real operator workflows.
+	}
+	for _, r := range active {
+		s.touchClient(r)
+	}
+	s.drainQueue()
+}
+
+// touchClient renews every lease held by the given client rank.
+func (s *Server) touchClient(src int) {
+	if !s.healthOn || s.health.LeaseTTL <= 0 {
+		return
+	}
+	exp := s.now().Add(s.health.LeaseTTL)
+	for _, a := range s.accels {
+		if a.state == acAssigned && a.owner == src {
+			a.lease = exp
+		}
+	}
+}
+
+// reclaim revokes an expired lease: the owner is presumed dead, its
+// accelerator is taken back and sanitized before re-entering the pool.
+func (s *Server) reclaim(a *accel) {
+	s.accrue(s.now())
+	s.notify(a.owner, NoticeRevoked, a)
+	a.owner = 0
+	s.assignedNow--
+	a.dirty = true
+	s.reclaimedCount++
+	s.sanitizeOrSettle(a)
+}
+
+// sanitizeOrSettle wipes a just-revoked accelerator's device when a
+// sanitizer is wired, or settles it immediately when not.
+func (s *Server) sanitizeOrSettle(a *accel) {
+	if s.sanitizer != nil {
+		s.startSanitize(a)
+		return
+	}
+	a.dirty = false
+	s.settle(a, true)
+}
+
+// startSanitize runs the daemon-side device reset in its own process and
+// settles the accelerator on completion. The accelerator parks in
+// acReclaiming meanwhile; if the detector declares it dead first, the
+// completion is dropped.
+func (s *Server) startSanitize(a *accel) {
+	a.state = acReclaiming
+	s.sim.Spawn(fmt.Sprintf("arm-sanitize-ac%d", a.id), func(p *sim.Proc) {
+		err := s.sanitizer(p, a.rank)
+		if a.state != acReclaiming {
+			return
+		}
+		if err == nil {
+			a.dirty = false
+		}
+		s.settle(a, err == nil)
+		s.drainQueue()
+	})
+}
+
+// settle places a reclaimed accelerator in its final state: retired when
+// a drain was pending, free on a clean sanitize, failed otherwise.
+func (s *Server) settle(a *accel, clean bool) {
+	switch {
+	case !clean:
+		a.state = acFailed
+		s.settleDrainer(a)
+	case a.draining:
+		s.retire(a)
+	default:
+		a.state = acFree
+	}
+}
+
+// retire takes an accelerator out of service and answers the drain
+// request that asked for it.
+func (s *Server) retire(a *accel) {
+	a.state = acRetired
+	a.draining = false
+	s.settleDrainer(a)
+}
+
+// settleDrainer answers a pending drain once its accelerator reaches an
+// out-of-service state (retired, or failed along the way — either way it
+// no longer serves).
+func (s *Server) settleDrainer(a *accel) {
+	a.draining = false
+	if a.drainer == nil {
+		return
+	}
+	s.reply(a.drainer.src, a.drainer.reqID, statusOK, nil)
+	a.drainer = nil
+}
+
+// drain handles opDrain: stop granting the accelerator, wait (bounded by
+// deadline, when positive) for in-flight work to release it, then retire
+// it. The reply is delayed until the accelerator is out of service.
+func (s *Server) drain(src int, reqID uint64, id int, deadline sim.Duration) {
+	a, ok := s.byID[id]
+	if !ok || a.drainer != nil {
+		s.reply(src, reqID, statusBadRequest, nil)
+		return
+	}
+	switch a.state {
+	case acRetired, acFailed:
+		// Already out of service; retiring a failed accelerator is a
+		// formality that keeps it from being repaired back by accident.
+		a.state = acRetired
+		s.reply(src, reqID, statusOK, nil)
+	case acFree, acSuspect:
+		a.state = acRetired
+		a.dirty = false
+		s.reply(src, reqID, statusOK, nil)
+		s.drainQueue()
+	case acReclaiming:
+		// Sanitize in flight: mark it so settle() retires instead of
+		// freeing, and answer then.
+		a.draining = true
+		a.drainer = &drainWait{src: src, reqID: reqID}
+	case acAssigned:
+		s.accrue(s.now())
+		a.draining = true
+		a.drainer = &drainWait{src: src, reqID: reqID}
+		if deadline > 0 {
+			s.sim.After(deadline, func() { s.forceDrain(a) })
+		}
+	}
+}
+
+// forceDrain fires when a drain deadline expires with the holder still
+// attached: the lease is revoked and the accelerator sanitized into
+// retirement.
+func (s *Server) forceDrain(a *accel) {
+	if a.state != acAssigned || !a.draining {
+		return
+	}
+	s.accrue(s.now())
+	s.notify(a.owner, NoticeRevoked, a)
+	a.owner = 0
+	s.assignedNow--
+	a.dirty = true
+	s.reclaimedCount++
+	s.sanitizeOrSettle(a)
+	s.drainQueue()
+}
+
+// migrate handles opMigrate: the client holds an accelerator on a
+// suspect (or otherwise unwanted) daemon rank and asks to trade it for a
+// spare. The old assignment is surrendered into the suspect state — its
+// daemon's next heartbeat will sanitize it back into the pool; continued
+// silence lets the detector declare it dead — and a spare is granted
+// non-blocking, with the same reply shape as acquire. When no spare can
+// be granted right now the old assignment is kept: limping on a suspect
+// node beats holding nothing.
+func (s *Server) migrate(src int, reqID uint64, rank int) {
+	var old *accel
+	for _, a := range s.accels {
+		if a.rank == rank && a.state == acAssigned && a.owner == src {
+			old = a
+			break
+		}
+	}
+	if old == nil {
+		s.reply(src, reqID, statusBadRequest, nil)
+		return
+	}
+	if s.freeCount() < 1 || (s.policy == FIFO && len(s.queue) > 0) {
+		s.reply(src, reqID, statusUnavailable, nil)
+		return
+	}
+	s.accrue(s.now())
+	old.owner = 0
+	s.assignedNow--
+	old.state = acSuspect
+	old.dirty = true
+	old.notified = false
+	s.migrateCount++
+	s.settleDrainer(old)
+	s.acquire(&pendingAcquire{src: src, reqID: reqID, n: 1, enqueued: s.now()}, false)
+}

@@ -15,6 +15,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"dynacc/internal/arm"
@@ -56,6 +57,26 @@ type Config struct {
 	// LocalGPUs attaches this many node-local GPUs to every compute node
 	// (the static-architecture baseline).
 	LocalGPUs int
+
+	// Health, when set, turns on the ARM's health subsystem: daemons
+	// heartbeat to the ARM, silent daemons are detected, assignments
+	// become leases, and reclaimed accelerators are sanitized through a
+	// device reset before re-entering the pool.
+	Health *arm.HealthConfig
+
+	// AutoMigrate spawns a per-node watcher that reacts to the ARM's
+	// suspect notices by live-migrating the node's handles off the
+	// suspect daemon (device-to-device). Leave it off to handle notices
+	// yourself via node.ARM.RecvNotice.
+	AutoMigrate bool
+
+	// FailoverRetries is how many times the failover path retries an
+	// ErrUnavailable replacement grant, with jittered exponential
+	// backoff. Zero keeps the single-attempt behavior.
+	FailoverRetries int
+
+	// FailoverBackoff tunes those retries; defaults to arm.DefaultBackoff.
+	FailoverBackoff *arm.Backoff
 }
 
 // Node is the per-compute-node context handed to node main functions.
@@ -84,7 +105,10 @@ type Node struct {
 // bookkeeping so the cluster can enforce end-of-job release.
 type NodeARM struct {
 	*arm.Client
-	held map[int]arm.Handle
+	held    map[int]arm.Handle
+	retries int
+	backoff arm.Backoff
+	rng     *rand.Rand
 }
 
 // Acquire requests n exclusive accelerators (see arm.Client.Acquire) and
@@ -110,9 +134,19 @@ func (na *NodeARM) Release(p *sim.Proc, handles []arm.Handle) error {
 
 // Replace implements core.Replacer: it reports the failed daemon rank to
 // the ARM, swaps the bookkeeping entry, and returns the replacement's
-// daemon rank. The front-end calls this during Client.Failover.
+// daemon rank. The front-end calls this during Client.Failover. When the
+// pool has no spare right now (ErrUnavailable) and the cluster was built
+// with FailoverRetries, the grant is retried with jittered exponential
+// backoff — the failure report from the first attempt sticks either way.
 func (na *NodeARM) Replace(p *sim.Proc, failedRank int) (int, error) {
 	h, err := na.Client.Replace(p, failedRank)
+	if err == arm.ErrUnavailable && na.retries > 0 {
+		var hs []arm.Handle
+		hs, err = na.Client.AcquireRetry(p, 1, na.retries, na.backoff, na.rng)
+		if err == nil {
+			h = hs[0]
+		}
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -123,6 +157,22 @@ func (na *NodeARM) Replace(p *sim.Proc, failedRank int) (int, error) {
 	}
 	na.held[h.ID] = h
 	return h.Rank, nil
+}
+
+// Migrate trades the handle this node holds on oldRank for a spare (see
+// arm.Client.Migrate) and swaps the bookkeeping entry.
+func (na *NodeARM) Migrate(p *sim.Proc, oldRank int) (arm.Handle, error) {
+	h, err := na.Client.Migrate(p, oldRank)
+	if err != nil {
+		return arm.Handle{}, err
+	}
+	for id, held := range na.held {
+		if held.Rank == oldRank {
+			delete(na.held, id)
+		}
+	}
+	na.held[h.ID] = h
+	return h, nil
 }
 
 // Held lists the handles this node still holds.
@@ -142,6 +192,24 @@ func (na *NodeARM) Held() []arm.Handle {
 // Attach wraps an ARM handle with this node's front-end.
 func (n *Node) Attach(h arm.Handle) *core.Accel { return n.FE.Attach(h.Rank) }
 
+// MigrateRank live-migrates this node's state off the daemon at oldRank:
+// the ARM trades the assignment for a spare, then every attached handle
+// on the old rank has its allocations copied device-to-device to the
+// replacement and is atomically repointed. Intended for daemons the ARM
+// reported *suspect* (arm.NoticeSuspect): a suspect daemon is not
+// heartbeating, so the ARM will not sanitize the migration source
+// underneath the copy. It returns the replacement handle.
+func (n *Node) MigrateRank(p *sim.Proc, oldRank int) (arm.Handle, error) {
+	h, err := n.ARM.Migrate(p, oldRank)
+	if err != nil {
+		return arm.Handle{}, err
+	}
+	if _, err := n.FE.MigrateRank(p, oldRank, h.Rank); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
 // Cluster is a built system, ready to run node main functions.
 type Cluster struct {
 	Sim     *sim.Simulation
@@ -150,11 +218,20 @@ type Cluster struct {
 	cfg     Config
 	dcfg    core.DaemonConfig
 
-	appGroup *minimpi.Group
-	armRank  int
-	nodes    []*Node
-	mains    []*sim.Proc
+	appGroup  *minimpi.Group
+	armRank   int
+	nodes     []*Node
+	mains     []*sim.Proc
+	nodeMains [][]*sim.Proc
+	watchers  []*sim.Proc
+	srv       *arm.Server
 }
+
+// ARMRank returns the world rank the ARM listens on.
+func (cl *Cluster) ARMRank() int { return cl.armRank }
+
+// DaemonRank returns the world rank accelerator daemon i listens on.
+func (cl *Cluster) DaemonRank(i int) int { return cl.cfg.ComputeNodes + i }
 
 // New builds (but does not run) a cluster.
 func New(cfg Config) (*Cluster, error) {
@@ -191,7 +268,8 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl := &Cluster{Sim: s, World: w, cfg: cfg, dcfg: dcfg, armRank: nRanks - 1}
+	cl := &Cluster{Sim: s, World: w, cfg: cfg, dcfg: dcfg, armRank: nRanks - 1,
+		nodeMains: make([][]*sim.Proc, cfg.ComputeNodes)}
 
 	cnRanks := make([]int, cfg.ComputeNodes)
 	for i := range cnRanks {
@@ -215,7 +293,7 @@ func New(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		d := core.NewDaemon(w.Comm(rank), dev, dcfg)
+		d := core.NewDaemon(w.Comm(rank), dev, cl.daemonConfig(rank))
 		cl.Daemons = append(cl.Daemons, d)
 		s.Spawn(fmt.Sprintf("daemon-ac%d", i), d.Run)
 		inventory = append(inventory, arm.Handle{ID: i, Rank: rank})
@@ -226,6 +304,34 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	cl.srv = srv
+	if cfg.Health != nil {
+		if err := srv.ConfigureHealth(*cfg.Health); err != nil {
+			return nil, err
+		}
+		// The sanitizer: a computation-API client on the ARM's own rank
+		// that device-resets a reclaimed accelerator before it re-enters
+		// the pool. Bounded timeout — the daemon being sanitized may be
+		// the one that just went silent.
+		sanOpts := opts
+		if sanOpts.Timeout <= 0 {
+			switch {
+			case cfg.Health.SuspectAfter > 0:
+				sanOpts.Timeout = cfg.Health.SuspectAfter
+			case cfg.Health.HeartbeatInterval > 0:
+				sanOpts.Timeout = 4 * cfg.Health.HeartbeatInterval
+			default:
+				sanOpts.Timeout = 10 * sim.Millisecond
+			}
+		}
+		sanFE, err := core.NewClient(w.Comm(cl.armRank), sanOpts)
+		if err != nil {
+			return nil, err
+		}
+		srv.SetSanitizer(func(p *sim.Proc, rank int) error {
+			return sanFE.Attach(rank).Reset(p)
+		})
+	}
 	s.Spawn("arm", srv.Run)
 
 	// Compute nodes.
@@ -235,14 +341,45 @@ func New(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		backoff := arm.DefaultBackoff()
+		if cfg.FailoverBackoff != nil {
+			backoff = *cfg.FailoverBackoff
+		}
 		node := &Node{
 			Rank:  i,
 			World: worldComm,
 			App:   cl.appGroup.Comm(i),
-			ARM:   &NodeARM{Client: arm.NewClient(worldComm, cl.armRank), held: make(map[int]arm.Handle)},
-			FE:    fe,
+			ARM: &NodeARM{
+				Client:  arm.NewClient(worldComm, cl.armRank),
+				held:    make(map[int]arm.Handle),
+				retries: cfg.FailoverRetries,
+				backoff: backoff,
+				rng:     rand.New(rand.NewSource(0x9E3779B9 + int64(i))),
+			},
+			FE: fe,
 		}
 		fe.SetReplacer(node.ARM)
+		if cfg.AutoMigrate && cfg.Health != nil {
+			// The watcher reacts to the ARM's suspect notices by migrating
+			// this node's handles off the silent daemon — the application
+			// never has to notice, let alone call Failover.
+			n := node
+			wp := s.Spawn(fmt.Sprintf("cn%d-health-watch", i), func(p *sim.Proc) {
+				for {
+					nt, err := n.ARM.RecvNotice(p)
+					if err != nil {
+						return
+					}
+					if nt.Kind != arm.NoticeSuspect {
+						continue
+					}
+					// Best effort: with no spare free (or the handle already
+					// gone) the node limps on and Failover remains the net.
+					_, _ = n.MigrateRank(p, nt.Rank)
+				}
+			})
+			cl.watchers = append(cl.watchers, wp)
+		}
 		for g := 0; g < cfg.LocalGPUs; g++ {
 			dev, err := gpu.NewDevice(s, gpu.Config{
 				Name:     fmt.Sprintf("cn%d-gpu%d", i, g),
@@ -260,6 +397,21 @@ func New(cfg Config) (*Cluster, error) {
 	return cl, nil
 }
 
+// daemonConfig returns the daemon configuration for the given world
+// rank, wiring the heartbeat sink to the ARM when health is on.
+func (cl *Cluster) daemonConfig(rank int) core.DaemonConfig {
+	dc := cl.dcfg
+	if cl.cfg.Health != nil && cl.cfg.Health.HeartbeatInterval > 0 {
+		comm := cl.World.Comm(rank)
+		armRank := cl.armRank
+		dc.HeartbeatInterval = cl.cfg.Health.HeartbeatInterval
+		dc.Heartbeat = func(active []int) {
+			comm.Isend(armRank, arm.TagRequest, arm.EncodeHeartbeat(active))
+		}
+	}
+	return dc
+}
+
 // Node returns the context of compute node i (for inspection in tests).
 func (cl *Cluster) Node(i int) *Node { return cl.nodes[i] }
 
@@ -269,6 +421,7 @@ func (cl *Cluster) Spawn(i int, main func(p *sim.Proc, n *Node)) {
 	node := cl.nodes[i]
 	proc := cl.Sim.Spawn(fmt.Sprintf("cn%d", i), func(p *sim.Proc) { main(p, node) })
 	cl.mains = append(cl.mains, proc)
+	cl.nodeMains[i] = append(cl.nodeMains[i], proc)
 }
 
 // SpawnAll registers the same main on every compute node (SPMD style).
@@ -286,6 +439,11 @@ func (cl *Cluster) Run() (sim.Time, error) {
 		for _, m := range cl.mains {
 			m.Done().Await(p)
 		}
+		// The health watchers would otherwise block in RecvNotice forever
+		// (and could race teardown's use of the same ARM clients).
+		for _, wp := range cl.watchers {
+			wp.Kill()
+		}
 		// Auto-release: any accelerator still held when a job's main
 		// returned is wiped and returned to the pool. Accelerators whose
 		// daemon died (chaos tests, injected failures) can't be reset over
@@ -299,7 +457,7 @@ func (cl *Cluster) Run() (sim.Time, error) {
 			for _, h := range leftovers {
 				d := cl.daemonAt(h.Rank)
 				if d == nil || !d.Alive() || d.Device().Failed() != nil {
-					if err := n.ARM.Fail(p, h.ID); err != nil {
+					if err := n.ARM.Fail(p, h.ID); err != nil && err != arm.ErrBadRequest {
 						panic(fmt.Sprintf("cluster: auto-release fail report: %v", err))
 					}
 					continue
@@ -309,7 +467,14 @@ func (cl *Cluster) Run() (sim.Time, error) {
 				}
 			}
 			if err := n.ARM.Release(p, leftovers); err != nil {
-				panic(fmt.Sprintf("cluster: auto-release: %v", err))
+				// The batch can be stale when the health subsystem revoked
+				// a lease behind the node's back (expiry, forced drain):
+				// release what is still ours, one by one.
+				for _, h := range leftovers {
+					if err := n.ARM.Release(p, []arm.Handle{h}); err != nil && err != arm.ErrBadRequest {
+						panic(fmt.Sprintf("cluster: auto-release: %v", err))
+					}
+				}
 			}
 		}
 		node := cl.nodes[0]
@@ -347,6 +512,36 @@ func (cl *Cluster) daemonAt(rank int) *core.Daemon {
 // RestartDaemon.
 func (cl *Cluster) KillDaemon(i int) { cl.Daemons[i].Kill() }
 
+// KillClient crash-kills compute node i's main process(es) mid-job, the
+// way a node panic would: in-flight work is abandoned and — crucially —
+// the accelerators the node held are NOT released (a dead process
+// releases nothing). With the health subsystem on, the ARM reclaims them
+// when their leases expire; without it they leak, which is exactly the
+// robustness gap the leases close.
+func (cl *Cluster) KillClient(i int) {
+	for _, m := range cl.nodeMains[i] {
+		m.Kill()
+	}
+	// The crashed process's bookkeeping dies with it: teardown must not
+	// try to release handles on the dead node's behalf.
+	cl.nodes[i].ARM.held = make(map[int]arm.Handle)
+}
+
+// DrainDaemon gracefully retires accelerator daemon i via node n's ARM
+// client: the ARM stops granting the accelerator, waits (bounded by
+// deadline, when positive) for the current holder to release it, then
+// retires it — and once the ARM no longer hands it out, the daemon
+// itself is shut down through the regular protocol.
+func (cl *Cluster) DrainDaemon(p *sim.Proc, n *Node, i int, deadline sim.Duration) error {
+	if err := n.ARM.Drain(p, i, deadline); err != nil {
+		return err
+	}
+	if d := cl.Daemons[i]; d.Alive() {
+		return n.FE.Attach(d.Rank()).Shutdown(p)
+	}
+	return nil
+}
+
 // RestartDaemon replaces a killed daemon i with a fresh one on the same
 // rank and device, modeling an accelerator-node reboot: the NIC endpoint
 // state is discarded, engines stranded by the crash are released, and
@@ -361,7 +556,7 @@ func (cl *Cluster) RestartDaemon(p *sim.Proc, i int) {
 	dev := old.Device()
 	dev.ResetEngines()
 	dev.Reset(p)
-	d := core.NewDaemon(cl.World.Comm(rank), dev, cl.dcfg)
+	d := core.NewDaemon(cl.World.Comm(rank), dev, cl.daemonConfig(rank))
 	cl.Daemons[rank-cl.cfg.ComputeNodes] = d
 	cl.Sim.Spawn(fmt.Sprintf("daemon-ac%d", rank-cl.cfg.ComputeNodes), d.Run)
 }

@@ -391,3 +391,143 @@ func TestChaosDaemonRestart(t *testing.T) {
 		}
 	})
 }
+
+// The daemon's request-dedup window, probed with hand-crafted requests.
+
+// rawSend ships an encoded request from the test's client rank to
+// daemon rank 1 without going through the front-end, so tests control
+// the request ID exactly.
+func (cb *chaosBed) rawSend(reqID uint64, q *request) {
+	q.reqID = reqID
+	cb.world.Comm(0).Isend(1, TagRequest, encodeRequest(q))
+}
+
+// rawCall is rawSend plus the response round trip.
+func (cb *chaosBed) rawCall(t *testing.T, p *sim.Proc, reqID uint64, q *request) *response {
+	t.Helper()
+	resp := cb.world.Comm(0).Irecv(1, respTag(reqID))
+	cb.rawSend(reqID, q)
+	data, _ := resp.Wait(p)
+	rsp, err := decodeResponse(data)
+	if err != nil {
+		t.Fatalf("raw call reqID=%d: %v", reqID, err)
+	}
+	return rsp
+}
+
+// Two requests whose IDs collide modulo the response-tag window are
+// still distinct to the dedup table (it keys on the full 64-bit ID):
+// both must execute, neither may be treated as a retransmit.
+func TestChaosDedupTagWindowWraparound(t *testing.T) {
+	cb := newChaosBed(t, 1, false, chaosOpts())
+	cb.run(t, sim.Second, func(p *sim.Proc) {
+		const base = uint64(7)
+		comm := cb.world.Comm(0)
+		// Same respTag for both: post both receives up front and match
+		// responses by their echoed request ID.
+		r1 := comm.Irecv(1, respTag(base))
+		r2 := comm.Irecv(1, respTag(base+tagWindow))
+		cb.rawSend(base, &request{op: OpMemAlloc, size: 1 << 20})
+		cb.rawSend(base+tagWindow, &request{op: OpMemAlloc, size: 1 << 20})
+		seen := map[uint64]gpu.Ptr{}
+		for _, rr := range []*minimpi.Request{r1, r2} {
+			data, _ := rr.Wait(p)
+			rsp, err := decodeResponse(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rsp.err(); err != nil {
+				t.Fatalf("alloc reqID=%d: %v", rsp.reqID, err)
+			}
+			seen[rsp.reqID] = rsp.ptr
+		}
+		if len(seen) != 2 {
+			t.Fatalf("got responses for %d distinct reqIDs, want 2: %v", len(seen), seen)
+		}
+		if seen[base] == seen[base+tagWindow] {
+			t.Fatalf("wrapped request did not execute: both returned ptr %#x", seen[base])
+		}
+		st := cb.daemons[0].Stats()
+		if st.DupsDropped != 0 || st.Requests != 2 {
+			t.Fatalf("stats = %+v, want 2 executed requests and no dups", st)
+		}
+	})
+}
+
+// A retransmit that arrives after its entry was evicted from the dedup
+// window is indistinguishable from a new request and executes again —
+// the documented limit of the window, pinned here so a regression in
+// eviction order is caught.
+func TestChaosDedupWindowEviction(t *testing.T) {
+	cb := newChaosBed(t, 1, false, chaosOpts())
+	cb.run(t, 10*sim.Second, func(p *sim.Proc) {
+		const victim = uint64(1)
+		first := cb.rawCall(t, p, victim, &request{op: OpMemAlloc, size: 4096})
+		if err := first.err(); err != nil {
+			t.Fatalf("first alloc: %v", err)
+		}
+		// Flood the window with distinct requests so the victim's entry
+		// is evicted (IDs chosen to share no respTag with the victim).
+		for i := 0; i < dedupWindow; i++ {
+			id := uint64(1000 + i)
+			if rsp := cb.rawCall(t, p, id, &request{op: OpMemset, ptr: first.ptr, size: 1}); rsp.err() != nil {
+				t.Fatalf("flood request %d: %v", id, rsp.err())
+			}
+		}
+		// The "retransmit" now re-executes: a fresh allocation, no dup hit.
+		second := cb.rawCall(t, p, victim, &request{op: OpMemAlloc, size: 4096})
+		if err := second.err(); err != nil {
+			t.Fatalf("replayed alloc: %v", err)
+		}
+		if second.ptr == first.ptr {
+			t.Fatalf("replay after eviction returned the cached ptr %#x", first.ptr)
+		}
+		st := cb.daemons[0].Stats()
+		if st.DupsDropped != 0 {
+			t.Fatalf("DupsDropped = %d, want 0 (entry should have been evicted)", st.DupsDropped)
+		}
+		if st.Requests != int64(dedupWindow)+2 {
+			t.Fatalf("Requests = %d, want %d", st.Requests, dedupWindow+2)
+		}
+	})
+}
+
+// A link delay longer than the client timeout forces a retransmit of a
+// request the daemon already served: the duplicate must be absorbed by
+// the dedup table (answered from cache, executed once).
+func TestChaosDedupDuplicateAfterLinkDelay(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Timeout = 5 * sim.Millisecond
+	opts.Retries = 2
+	cb := newChaosBed(t, 1, false, opts)
+	// Delay daemon->client traffic beyond the timeout so the client
+	// retransmits while the original response is still in flight.
+	lag := true
+	cb.world.SetLinkFilter(func(src, dst int, _ minimpi.Tag, _ int) minimpi.LinkVerdict {
+		if lag && src == 1 && dst == 0 {
+			return minimpi.LinkVerdict{Delay: 7 * sim.Millisecond}
+		}
+		return minimpi.LinkVerdict{}
+	})
+	cb.run(t, sim.Second, func(p *sim.Proc) {
+		a := cb.accels[0]
+		ptr, err := a.MemAlloc(p, 1<<20)
+		if err != nil {
+			t.Fatalf("alloc through lossy link: %v", err)
+		}
+		lag = false // let teardown run at full speed
+		st := cb.daemons[0].Stats()
+		if st.Requests != 1 {
+			t.Fatalf("Requests = %d, want 1 (duplicate must not re-execute)", st.Requests)
+		}
+		if st.DupsDropped < 1 {
+			t.Fatalf("DupsDropped = %d, want >= 1", st.DupsDropped)
+		}
+		if got := cb.devs[0].MemUsed(); got != 1<<20 {
+			t.Fatalf("device has %d bytes allocated, want one 1MiB allocation", got)
+		}
+		if err := a.MemFree(p, ptr); err != nil {
+			t.Fatalf("free: %v", err)
+		}
+	})
+}

@@ -100,6 +100,10 @@ type Client struct {
 	opts     Options
 	nextReq  uint64
 	replacer Replacer
+
+	// attached lists every handle this client created, so rank-wide
+	// operations (MigrateRank) can find the handles pointing at a daemon.
+	attached []*Accel
 }
 
 // NewClient creates a front-end on the given communicator.
@@ -121,12 +125,14 @@ func (c *Client) SetReplacer(r Replacer) { c.replacer = r }
 // listens on) and returns the per-accelerator API object. The handle is
 // what the ARM's Acquire returned.
 func (c *Client) Attach(daemonRank int) *Accel {
-	return &Accel{
+	a := &Accel{
 		c:      c,
 		rank:   daemonRank,
 		allocs: make(map[gpu.Ptr]*allocRecord),
 		remap:  make(map[gpu.Ptr]gpu.Ptr),
 	}
+	c.attached = append(c.attached, a)
+	return a
 }
 
 // allocRecord is the front-end's failover ledger entry for one device
@@ -711,6 +717,79 @@ func (c *Client) Failover(p *sim.Proc, a *Accel) error {
 
 // Failover is the handle-level convenience for Client.Failover.
 func (a *Accel) Failover(p *sim.Proc) error { return a.c.Failover(p, a) }
+
+// Migrate moves the handle's live state to the accelerator at newRank
+// while the old daemon is still answering — the proactive counterpart of
+// Failover, used when the ARM reports the old daemon *suspect* rather
+// than dead. Every live allocation is re-created on the new accelerator
+// and its contents copied device-to-device over the pipelined direct
+// protocol, so state that never passed through the host (kernel
+// results) survives; only when the old daemon fails mid-copy does an
+// allocation fall back to replaying its host shadow. The swap is atomic
+// from the application's view: the handle keeps pointing at the old
+// daemon until everything copied, then flips. On error the old
+// assignment is untouched (allocations already made on newRank are the
+// ARM's to reclaim via sanitize).
+func (c *Client) Migrate(p *sim.Proc, a *Accel, newRank int) error {
+	if a.c != c {
+		return fmt.Errorf("core: Migrate: accelerator belongs to a different client")
+	}
+	if newRank == a.rank {
+		return nil
+	}
+	oldRank := a.rank
+	// A raw handle for the destination: allocations land in its ledger,
+	// which is discarded — the migrated handle keeps the original
+	// app-visible pointers and records.
+	tmp := c.Attach(newRank)
+	ptrs := make([]gpu.Ptr, 0, len(a.allocs))
+	for ptr := range a.allocs {
+		ptrs = append(ptrs, ptr)
+	}
+	sort.Slice(ptrs, func(i, j int) bool { return ptrs[i] < ptrs[j] })
+	newRemap := make(map[gpu.Ptr]gpu.Ptr, len(ptrs))
+	for _, ptr := range ptrs {
+		rec := a.allocs[ptr]
+		phys, err := tmp.rawAlloc(p, rec.size)
+		if err != nil {
+			return fmt.Errorf("core: migrate %d->%d: alloc %d bytes: %w", oldRank, newRank, rec.size, err)
+		}
+		if err := c.DirectCopy(p, a, ptr, 0, tmp, phys, 0, rec.size); err != nil {
+			// The old daemon died mid-copy after all: fall back to the
+			// failover path for this allocation when a host shadow exists.
+			if rec.shadow == nil {
+				return fmt.Errorf("core: migrate %d->%d: direct copy: %w", oldRank, newRank, err)
+			}
+			if err2 := tmp.MemcpyH2D(p, phys, 0, rec.shadow, rec.size); err2 != nil {
+				return fmt.Errorf("core: migrate %d->%d: shadow replay after %v: %w", oldRank, newRank, err, err2)
+			}
+		}
+		newRemap[ptr] = phys
+	}
+	a.rank = newRank
+	a.remap = newRemap
+	return nil
+}
+
+// Migrate is the handle-level convenience for Client.Migrate.
+func (a *Accel) Migrate(p *sim.Proc, newRank int) error { return a.c.Migrate(p, a, newRank) }
+
+// MigrateRank migrates every handle this client has attached to oldRank
+// over to newRank, returning how many moved. The first error aborts
+// (already-moved handles stay moved).
+func (c *Client) MigrateRank(p *sim.Proc, oldRank, newRank int) (int, error) {
+	moved := 0
+	for _, a := range c.attached {
+		if a.rank != oldRank {
+			continue
+		}
+		if err := c.Migrate(p, a, newRank); err != nil {
+			return moved, err
+		}
+		moved++
+	}
+	return moved, nil
+}
 
 // DirectCopy moves n bytes from src's device memory to dst's device
 // memory accelerator-to-accelerator, without staging through the compute

@@ -24,6 +24,14 @@ type DaemonConfig struct {
 	// instead of wedging the stream worker for good, which is what lets
 	// surviving daemons be reused after a failover.
 	PayloadTimeout sim.Duration
+	// HeartbeatInterval, when positive and Heartbeat is set, makes the
+	// daemon call Heartbeat every interval with the ranks it served since
+	// the previous beat. The cluster wires this to the ARM's health
+	// subsystem; the daemon itself knows nothing about the ARM.
+	HeartbeatInterval sim.Duration
+	// Heartbeat is the beat sink (see HeartbeatInterval). It runs on the
+	// daemon's heartbeat process and must not block for long.
+	Heartbeat func(active []int)
 }
 
 // DefaultDaemonConfig returns the configuration used on the paper's
@@ -44,6 +52,8 @@ type DaemonStats struct {
 	// DupsDropped counts retransmitted requests absorbed by the dedup
 	// table (in-flight duplicates dropped, completed ones re-answered).
 	DupsDropped int64
+	// Beats counts heartbeats sent (zero unless heartbeats are wired).
+	Beats int64
 }
 
 // dedupKey identifies a request for idempotency: the sender's rank plus
@@ -76,8 +86,13 @@ type Daemon struct {
 	// procs tracks every process the daemon owns (dispatch loop, stream
 	// workers, pipeline helpers) so Kill can take the whole daemon down
 	// the way a host crash would.
-	procs []*sim.Proc
-	dead  bool
+	procs   []*sim.Proc
+	dead    bool
+	stopped bool // Run returned (graceful shutdown)
+
+	// active records the ranks that sent requests since the last
+	// heartbeat, so beats can piggyback lease renewals for them.
+	active map[int]struct{}
 
 	// seen is the idempotent-request table: nil value while the request is
 	// executing (duplicates are dropped — the original will answer),
@@ -96,6 +111,7 @@ func NewDaemon(comm *minimpi.Comm, dev *gpu.Device, cfg DaemonConfig) *Daemon {
 		sim:     comm.World().Sim(),
 		streams: make(map[uint8]*sim.Mailbox),
 		seen:    make(map[dedupKey][]byte),
+		active:  make(map[int]struct{}),
 	}
 }
 
@@ -108,8 +124,9 @@ func (d *Daemon) Rank() int { return d.comm.Rank() }
 // Device returns the device this daemon drives.
 func (d *Daemon) Device() *gpu.Device { return d.dev }
 
-// Alive reports whether the daemon has not been killed.
-func (d *Daemon) Alive() bool { return !d.dead }
+// Alive reports whether the daemon is still serving: neither killed nor
+// gracefully shut down.
+func (d *Daemon) Alive() bool { return !d.dead && !d.stopped }
 
 // Kill crashes the daemon: every process it owns (the dispatch loop,
 // stream workers, in-flight copy pipelines) dies at its next scheduling
@@ -177,8 +194,22 @@ func (g *syncGroup) arrive() {
 func (d *Daemon) Run(p *sim.Proc) {
 	d.mainP = p
 	d.track(p)
+	defer func() { d.stopped = true }()
+	if d.cfg.HeartbeatInterval > 0 && d.cfg.Heartbeat != nil {
+		d.spawn(p, fmt.Sprintf("%s-heartbeat", d.dev.Name()), func(hp *sim.Proc) {
+			for {
+				hp.Wait(d.cfg.HeartbeatInterval)
+				if d.stopped || d.dead {
+					return
+				}
+				d.cfg.Heartbeat(d.takeActive())
+				d.stats.Beats++
+			}
+		})
+	}
 	for {
 		data, st := d.comm.Recv(p, minimpi.AnySource, TagRequest)
+		d.active[st.Source] = struct{}{}
 		q, err := decodeRequest(data)
 		if err != nil {
 			// A malformed header still deserves an answer when its reqID
@@ -223,6 +254,21 @@ func (d *Daemon) Run(p *sim.Proc) {
 			d.stream(q.stream).Send(workItem{src: st.Source, q: q})
 		}
 	}
+}
+
+// takeActive returns (sorted, for determinism) and clears the set of
+// ranks that sent requests since the previous call.
+func (d *Daemon) takeActive() []int {
+	if len(d.active) == 0 {
+		return nil
+	}
+	ranks := make([]int, 0, len(d.active))
+	for r := range d.active {
+		ranks = append(ranks, r)
+		delete(d.active, r)
+	}
+	sort.Ints(ranks)
+	return ranks
 }
 
 // admit records a request as in flight and evicts the oldest entry once

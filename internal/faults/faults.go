@@ -106,6 +106,32 @@ func (pl *Plan) RestartDaemon(at sim.Duration, ac int) *Plan {
 	})
 }
 
+// KillClient crash-kills compute node cn's main process at time at (see
+// cluster.KillClient): its held accelerators are not released and, with
+// the ARM health subsystem on, come back via lease expiry.
+func (pl *Plan) KillClient(at sim.Duration, cn int) *Plan {
+	return pl.add(at, fmt.Sprintf("kill client cn%d", cn), func(p *sim.Proc, cl *cluster.Cluster) {
+		cl.KillClient(cn)
+	})
+}
+
+// PartitionARM severs accelerator daemon ac's link to the ARM at time at
+// — heartbeats stop arriving while the daemon keeps serving clients, the
+// classic partial partition that makes a node *suspect*. Undo with
+// HealARM.
+func (pl *Plan) PartitionARM(at sim.Duration, ac int) *Plan {
+	return pl.add(at, fmt.Sprintf("partition daemon ac%d from ARM", ac), func(p *sim.Proc, cl *cluster.Cluster) {
+		pl.links.severed[mkPair(cl.DaemonRank(ac), cl.ARMRank())] = true
+	})
+}
+
+// HealARM restores daemon ac's link to the ARM at time at.
+func (pl *Plan) HealARM(at sim.Duration, ac int) *Plan {
+	return pl.add(at, fmt.Sprintf("heal daemon ac%d link to ARM", ac), func(p *sim.Proc, cl *cluster.Cluster) {
+		delete(pl.links.severed, mkPair(cl.DaemonRank(ac), cl.ARMRank()))
+	})
+}
+
 // FailGPU breaks accelerator ac's GPU at time at: every device operation
 // from then on — including kernels already executing — returns
 // gpu.ErrDeviceFailed, which the daemon reports to its client.
