@@ -26,7 +26,20 @@ func main() {
 	fig := flag.String("fig", "all", `experiment id: 5..11, fig5..fig11, extA, extB, or "all"`)
 	format := flag.String("format", "table", "output format: table or csv")
 	quick := flag.Bool("quick", false, "reduced parameter grids")
+	batchJSON := flag.String("batching-json", "", "run the command-batching launch storm and write the report to this file")
 	flag.Parse()
+
+	if *batchJSON != "" {
+		r, err := bench.WriteBatchingJSON(*batchJSON, 1000)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("launch storm (%d launches): %.0f ops/s unbatched, %.0f ops/s batched (%.1fx), wire messages %d -> %d (%.1fx fewer)\n",
+			r.Launches, r.Unbatched.OpsPerSec, r.Batched.OpsPerSec, r.Speedup,
+			r.Unbatched.WireMsgs, r.Batched.WireMsgs, r.MsgRatio)
+		return
+	}
 
 	ids, err := resolve(*fig)
 	if err != nil {

@@ -7,11 +7,13 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
 	"dynacc/internal/clfe"
 	"dynacc/internal/cluster"
+	"dynacc/internal/core"
 	"dynacc/internal/gpu"
 	"dynacc/internal/minimpi"
 	"dynacc/internal/sim"
@@ -44,8 +46,14 @@ func main() {
 		},
 	})
 
+	// Command batching on: the front-end records header-only commands
+	// (fills, launches, small writes) into per-stream command buffers and
+	// ships each buffer as a single wire message at clFlush / clFinish,
+	// or when the buffer fills up.
+	opts := core.BatchedOptions()
 	cl, err := cluster.New(cluster.Config{
 		ComputeNodes: 1, Accelerators: 1, Registry: reg, Execute: true,
+		Options: &opts,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -122,6 +130,39 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("two command queues overlapped: both done in %v\n", p.Now().Sub(start))
+
+		// clFlush made explicit: enqueued commands stay in the
+		// client-side command buffer until Flush (or a blocking call)
+		// ships them. The wire counter shows the whole burst leaving as
+		// one message.
+		q3 := ctx.CreateQueue(3)
+		comm := ctx.Accel().Client().Comm()
+		before := comm.WireStats().Msgs
+		if _, err := q3.EnqueueFillBuffer(x, 0x7F, 0, 4096); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := q3.EnqueueWriteBuffer(y, 0, minimpi.F64Bytes(ys[:256]), 8*256); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := q3.EnqueueNDRangeKernel("saxpy",
+			gpu.Dim3{X: 256}, gpu.Dim3{X: 256}, x, y, 0.5, 256); err != nil {
+			log.Fatal(err)
+		}
+		recorded := comm.WireStats().Msgs - before
+		if err := q3.Flush(); err != nil { // clFlush ships the buffer
+			log.Fatal(err)
+		}
+		flushed := comm.WireStats().Msgs - before
+		fmt.Printf("command batching: 3 enqueues posted %d wire messages before clFlush, %d after\n",
+			recorded, flushed)
+		if err := q3.Finish(p); err != nil {
+			log.Fatal(err)
+		}
+		if err := q3.Flush(); errors.Is(err, clfe.ErrNothingPending) {
+			fmt.Println("clFlush on a drained queue reports ErrNothingPending")
+		} else if err != nil {
+			log.Fatal(err)
+		}
 	})
 	if _, err := cl.Run(); err != nil {
 		log.Fatal(err)

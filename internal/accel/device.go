@@ -35,7 +35,25 @@ type Device interface {
 	CopyH2D2DAsync(dst gpu.Ptr, off, colBytes, cols, pitch int, src []byte, stream uint8) Pending
 	CopyD2H2DAsync(dst []byte, src gpu.Ptr, off, colBytes, cols, pitch int, stream uint8) Pending
 	LaunchAsync(kernel string, l gpu.Launch, stream uint8) Pending
+	// Flush submits any commands the attachment has recorded but not yet
+	// shipped for the given stream. Local devices and unbatched remote
+	// handles submit eagerly, making it a no-op; with command batching on
+	// (core.Options.BatchOps) it ships the stream's command buffer, so
+	// issue-heavy code should call it after a launch storm instead of
+	// waiting for a blocking call to trigger the flush.
+	Flush(stream uint8)
 	Sync(p *sim.Proc) error
+}
+
+// Batched reports whether the device records commands into buffers that
+// Flush submits (i.e. a remote attachment with command batching on).
+// Algorithms use it to pick an issue-all-then-wait shape only when it
+// pays.
+func Batched(d Device) bool {
+	if r, ok := d.(remoteDevice); ok {
+		return r.a.Client().Options().BatchOps > 0
+	}
+	return false
 }
 
 // PeerCopier is an optional Device capability: moving data directly
@@ -57,6 +75,7 @@ func Remote(a *core.Accel) Device { return remoteDevice{a: a} }
 
 func (r remoteDevice) MemAlloc(p *sim.Proc, n int) (gpu.Ptr, error) { return r.a.MemAlloc(p, n) }
 func (r remoteDevice) MemFree(p *sim.Proc, ptr gpu.Ptr) error       { return r.a.MemFree(p, ptr) }
+func (r remoteDevice) Flush(stream uint8)                           { r.a.Flush(stream) }
 func (r remoteDevice) Sync(p *sim.Proc) error                       { return r.a.Sync(p) }
 
 func (r remoteDevice) CopyH2DAsync(dst gpu.Ptr, off int, src []byte, n int, stream uint8) Pending {
@@ -198,6 +217,10 @@ func (l *LocalDevice) LaunchAsync(kernel string, launch gpu.Launch, stream uint8
 		return l.dev.LaunchKernel(p, kernel, launch)
 	})
 }
+
+// Flush is a no-op: local operations are submitted to their stream
+// worker the moment they are enqueued.
+func (l *LocalDevice) Flush(uint8) {}
 
 // Sync drains all streams.
 func (l *LocalDevice) Sync(p *sim.Proc) error {

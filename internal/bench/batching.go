@@ -1,0 +1,131 @@
+package bench
+
+// Launch-storm microbenchmark for the stream-ordered command buffers: a
+// burst of small kernel launches against one network-attached
+// accelerator, with batching off (one wire message per launch, the
+// paper's baseline) and on (launches coalesced into opBatch command
+// buffers). Wire-message counts come from the client communicator's
+// post-time counters; throughput is launches over virtual time.
+
+import (
+	"encoding/json"
+	"os"
+
+	"dynacc/internal/core"
+	"dynacc/internal/gpu"
+	"dynacc/internal/minimpi"
+	"dynacc/internal/netmodel"
+	"dynacc/internal/sim"
+)
+
+// LaunchStormResult summarizes one launch-storm run.
+type LaunchStormResult struct {
+	Batched     bool    `json:"batched"`
+	Launches    int     `json:"launches"`
+	WireMsgs    int64   `json:"wire_msgs"`
+	WireBytes   int64   `json:"wire_bytes"`
+	VirtualSecs float64 `json:"virtual_seconds"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+// stormKernelCost is the modelled execution time of the storm's kernel:
+// small enough that wire overhead, not compute, dominates — the regime
+// command batching exists for.
+const stormKernelCost = 2 * sim.Microsecond
+
+// LaunchStorm issues `launches` asynchronous small-kernel launches on one
+// stream followed by a Sync, over QDR InfiniBand, and reports wire
+// traffic and throughput. batched selects core.BatchedOptions.
+func LaunchStorm(launches int, batched bool) LaunchStormResult {
+	s := sim.New()
+	w, err := minimpi.NewWorld(s, 2, netmodel.QDRInfiniBand())
+	if err != nil {
+		panic(err)
+	}
+	reg := gpu.NewRegistry()
+	reg.Register(gpu.FuncKernel{
+		KernelName: "storm.small",
+		CostFn:     func(gpu.Launch, gpu.Model) sim.Duration { return stormKernelCost },
+	})
+	dev, err := gpu.NewDevice(s, gpu.Config{Model: gpu.TeslaC1060(), Registry: reg})
+	if err != nil {
+		panic(err)
+	}
+	daemon := core.NewDaemon(w.Comm(1), dev, core.DefaultDaemonConfig())
+	s.Spawn("daemon", daemon.Run)
+	opts := core.DefaultOptions()
+	if batched {
+		opts = core.BatchedOptions()
+	}
+	res := LaunchStormResult{Batched: batched, Launches: launches}
+	s.Spawn("cn", func(p *sim.Proc) {
+		client, err := core.NewClient(w.Comm(0), opts)
+		if err != nil {
+			panic(err)
+		}
+		ac := client.Attach(1)
+		k := ac.KernelCreate("storm.small")
+		before := client.Comm().WireStats()
+		start := p.Now()
+		for i := 0; i < launches; i++ {
+			k.RunAsync(gpu.Dim3{X: 1}, gpu.Dim3{X: 64}, 0)
+		}
+		if err := ac.Sync(p); err != nil {
+			panic(err)
+		}
+		elapsed := p.Now().Sub(start)
+		after := client.Comm().WireStats()
+		res.WireMsgs = after.Msgs - before.Msgs
+		res.WireBytes = after.Bytes - before.Bytes
+		res.VirtualSecs = elapsed.Seconds()
+		if elapsed > 0 {
+			res.OpsPerSec = float64(launches) / elapsed.Seconds()
+		}
+		if err := ac.Shutdown(p); err != nil {
+			panic(err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// BatchingReport pairs the two launch-storm modes for the smoke
+// benchmark's JSON artifact.
+type BatchingReport struct {
+	Launches  int               `json:"launches"`
+	Unbatched LaunchStormResult `json:"unbatched"`
+	Batched   LaunchStormResult `json:"batched"`
+	// MsgRatio is unbatched/batched wire messages; Speedup is the
+	// batched/unbatched ops-per-second ratio.
+	MsgRatio float64 `json:"wire_msg_ratio"`
+	Speedup  float64 `json:"ops_per_sec_speedup"`
+}
+
+// MeasureBatching runs the launch storm in both modes.
+func MeasureBatching(launches int) BatchingReport {
+	r := BatchingReport{
+		Launches:  launches,
+		Unbatched: LaunchStorm(launches, false),
+		Batched:   LaunchStorm(launches, true),
+	}
+	if r.Batched.WireMsgs > 0 {
+		r.MsgRatio = float64(r.Unbatched.WireMsgs) / float64(r.Batched.WireMsgs)
+	}
+	if r.Unbatched.OpsPerSec > 0 {
+		r.Speedup = r.Batched.OpsPerSec / r.Unbatched.OpsPerSec
+	}
+	return r
+}
+
+// WriteBatchingJSON writes a MeasureBatching report to path (the CI
+// bench-smoke artifact BENCH_batching.json).
+func WriteBatchingJSON(path string, launches int) (BatchingReport, error) {
+	r := MeasureBatching(launches)
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return r, err
+	}
+	return r, os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,21 @@
+package bench
+
+import "testing"
+
+// TestLaunchStormBatchingWins pins the command-buffer acceptance bar: the
+// batched storm must post at least 3x fewer wire messages than the
+// unbatched baseline and deliver strictly higher launch throughput.
+func TestLaunchStormBatchingWins(t *testing.T) {
+	r := MeasureBatching(500)
+	if r.Unbatched.WireMsgs == 0 || r.Batched.WireMsgs == 0 {
+		t.Fatalf("storm posted no wire messages: %+v", r)
+	}
+	if 3*r.Batched.WireMsgs > r.Unbatched.WireMsgs {
+		t.Errorf("wire messages: %d batched vs %d unbatched, want at least 3x fewer",
+			r.Batched.WireMsgs, r.Unbatched.WireMsgs)
+	}
+	if r.Batched.OpsPerSec <= r.Unbatched.OpsPerSec {
+		t.Errorf("ops/sec: %.0f batched vs %.0f unbatched, want batched higher",
+			r.Batched.OpsPerSec, r.Unbatched.OpsPerSec)
+	}
+}

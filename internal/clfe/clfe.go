@@ -13,6 +13,7 @@
 package clfe
 
 import (
+	"errors"
 	"fmt"
 
 	"dynacc/internal/core"
@@ -175,13 +176,28 @@ func (q *CommandQueue) EnqueueNDRangeKernel(name string, global, local gpu.Dim3,
 	return q.track(k.RunAsync(grid, local, q.stream)), nil
 }
 
-// Flush is a no-op (commands are submitted eagerly), kept for API
-// parity.
-func (q *CommandQueue) Flush() {}
+// ErrNothingPending reports a Flush that found no recorded commands to
+// submit: either every enqueued command already shipped, or the
+// middleware runs without batching and submits eagerly.
+var ErrNothingPending = errors.New("clfe: flush: nothing pending")
+
+// Flush submits the queue's recorded command buffer to the accelerator
+// (clFlush): with command batching on (core.Options.BatchOps) the
+// Enqueue* calls record commands client-side, and Flush ships them as
+// one wire message. It returns ErrNothingPending when there was nothing
+// to submit.
+func (q *CommandQueue) Flush() error {
+	if q.ctx.ac.Flush(q.stream) == nil {
+		return ErrNothingPending
+	}
+	return nil
+}
 
 // Finish blocks until every command enqueued on this queue has completed
-// and returns the first error (clFinish).
+// and returns the first error (clFinish). Recorded commands are flushed
+// first, as clFinish implies clFlush.
 func (q *CommandQueue) Finish(p *sim.Proc) error {
+	q.ctx.ac.Flush(q.stream)
 	var first error
 	for _, e := range q.events {
 		if err := e.Wait(p); err != nil && first == nil {

@@ -2,9 +2,11 @@ package clfe
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"dynacc/internal/cluster"
+	"dynacc/internal/core"
 	"dynacc/internal/gpu"
 	"dynacc/internal/minimpi"
 	"dynacc/internal/sim"
@@ -217,6 +219,125 @@ func TestEnqueueFillBuffer(t *testing.T) {
 		}
 		if _, err := q.EnqueueFillBuffer(buf, 0, 200, 100); err == nil {
 			t.Error("out-of-range fill accepted")
+		}
+	})
+}
+
+// withBatchedContext is withContext with command batching enabled in the
+// middleware, so Enqueue* calls record client-side until Flush/Finish.
+func withBatchedContext(t *testing.T, fn func(p *sim.Proc, ctx *Context)) {
+	t.Helper()
+	reg := gpu.NewRegistry()
+	reg.Register(gpu.FuncKernel{
+		KernelName: "slowkernel",
+		CostFn:     func(gpu.Launch, gpu.Model) sim.Duration { return sim.Millisecond },
+	})
+	opts := core.BatchedOptions()
+	cl, err := cluster.New(cluster.Config{ComputeNodes: 1, Accelerators: 1, Registry: reg, Execute: true, Options: &opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Spawn(0, func(p *sim.Proc, node *cluster.Node) {
+		handles, err := node.ARM.Acquire(p, 1, false)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer node.ARM.Release(p, handles)
+		fn(p, NewContext(node.Attach(handles[0])))
+	})
+	if _, err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueFlushShipsOneWireMessage pins the clFlush contract: enqueued
+// header-only commands stay client-side until Flush, which ships them as
+// exactly one wire message; a second Flush finds nothing pending.
+func TestQueueFlushShipsOneWireMessage(t *testing.T) {
+	withBatchedContext(t, func(p *sim.Proc, ctx *Context) {
+		q := ctx.CreateQueue(0)
+		if err := q.Flush(); !errors.Is(err, ErrNothingPending) {
+			t.Fatalf("flush of empty queue: got %v, want ErrNothingPending", err)
+		}
+		buf, err := ctx.CreateBuffer(p, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer buf.Release(p)
+		comm := ctx.Accel().Client().Comm()
+		before := comm.WireStats().Msgs
+		if _, err := q.EnqueueFillBuffer(buf, 0x01, 0, 4096); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.EnqueueFillBuffer(buf, 0x02, 0, 64); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.EnqueueNDRangeKernel("slowkernel", gpu.Dim3{X: 1}, gpu.Dim3{X: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if got := comm.WireStats().Msgs - before; got != 0 {
+			t.Fatalf("%d messages posted before Flush, want 0 (commands must record client-side)", got)
+		}
+		if err := q.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		if got := comm.WireStats().Msgs - before; got != 1 {
+			t.Fatalf("Flush posted %d wire messages for 3 commands, want 1", got)
+		}
+		if err := q.Flush(); !errors.Is(err, ErrNothingPending) {
+			t.Fatalf("second flush: got %v, want ErrNothingPending", err)
+		}
+		if err := q.Finish(p); err != nil {
+			t.Fatal(err)
+		}
+		// In-order execution: the narrow fill overwrote the wide one.
+		out := make([]byte, 4096)
+		if _, err := q.EnqueueReadBuffer(buf, 0, out, 4096); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Finish(p); err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range out {
+			want := byte(0x01)
+			if i < 64 {
+				want = 0x02
+			}
+			if b != want {
+				t.Fatalf("byte %d = %#x, want %#x", i, b, want)
+			}
+		}
+	})
+}
+
+// TestFinishImpliesFlush: clFinish must submit the recorded buffer
+// itself, without an explicit clFlush.
+func TestFinishImpliesFlush(t *testing.T) {
+	withBatchedContext(t, func(p *sim.Proc, ctx *Context) {
+		buf, err := ctx.CreateBuffer(p, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer buf.Release(p)
+		q := ctx.CreateQueue(0)
+		if _, err := q.EnqueueFillBuffer(buf, 0x5C, 0, 256); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Finish(p); err != nil {
+			t.Fatalf("finish with recorded commands: %v", err)
+		}
+		out := make([]byte, 256)
+		if _, err := q.EnqueueReadBuffer(buf, 0, out, 256); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Finish(p); err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range out {
+			if b != 0x5C {
+				t.Fatalf("byte %d = %#x after Finish-implied flush", i, b)
+			}
 		}
 	})
 }

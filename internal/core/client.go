@@ -58,7 +58,27 @@ type Options struct {
 	// streams never retransmit: a broken copy fails after one timeout and
 	// the caller decides between surfacing the error and Failover.
 	Retries int
+	// BatchOps, when positive, turns on stream-ordered command batching:
+	// header-only operations (kernel launches, memsets, frees and small
+	// inline uploads) are recorded per stream and coalesced into a single
+	// opBatch wire message, flushed when BatchOps commands are queued,
+	// when the buffer reaches BatchBytes, at any blocking call on the
+	// stream, or explicitly via Accel.Flush. Zero (the default) keeps the
+	// paper's one-wire-message-per-request path bit for bit.
+	BatchOps int
+	// BatchBytes bounds the wire size of one command buffer (headers plus
+	// inline payloads); a recorder flushes before exceeding it. Zero
+	// means DefaultBatchBytes.
+	BatchBytes int
+	// InlineCopy, when positive, lets host-to-device copies of at most
+	// this many bytes ride inside the command buffer instead of opening a
+	// block-stream exchange. Only effective with batching on.
+	InlineCopy int
 }
+
+// DefaultBatchBytes bounds one command buffer's wire size when
+// Options.BatchBytes is zero.
+const DefaultBatchBytes = 64 * 1024
 
 // DefaultOptions returns the paper's best-performing configuration.
 func DefaultOptions() Options {
@@ -68,6 +88,17 @@ func DefaultOptions() Options {
 	}
 }
 
+// BatchedOptions returns DefaultOptions with command batching enabled at
+// tuned defaults: buffers of up to 64 commands or 64 KiB, and uploads of
+// up to 4 KiB carried inline.
+func BatchedOptions() Options {
+	o := DefaultOptions()
+	o.BatchOps = 64
+	o.BatchBytes = DefaultBatchBytes
+	o.InlineCopy = 4 * 1024
+	return o
+}
+
 // Validate reports whether the options are usable.
 func (o Options) Validate() error {
 	if err := o.H2D.Validate(); err != nil {
@@ -75,6 +106,13 @@ func (o Options) Validate() error {
 	}
 	if o.Retries < 0 {
 		return fmt.Errorf("core: negative retry count %d", o.Retries)
+	}
+	if o.BatchOps < 0 || o.BatchBytes < 0 || o.InlineCopy < 0 {
+		return fmt.Errorf("core: negative batching option (BatchOps=%d BatchBytes=%d InlineCopy=%d)",
+			o.BatchOps, o.BatchBytes, o.InlineCopy)
+	}
+	if o.BatchOps > maxBatchOps {
+		return fmt.Errorf("core: BatchOps %d exceeds protocol limit %d", o.BatchOps, maxBatchOps)
 	}
 	return o.D2H.Validate()
 }
@@ -117,6 +155,10 @@ func NewClient(comm *minimpi.Comm, opts Options) (*Client, error) {
 // Options returns the client's protocol configuration.
 func (c *Client) Options() Options { return c.opts }
 
+// Comm returns the communicator the client sends on. Tests use its
+// WireStats to assert how many wire messages an operation sequence cost.
+func (c *Client) Comm() *minimpi.Comm { return c.comm }
+
 // SetReplacer installs the failover path used by Client.Failover. The
 // cluster builder wires its ARM client in here.
 func (c *Client) SetReplacer(r Replacer) { c.replacer = r }
@@ -130,6 +172,7 @@ func (c *Client) Attach(daemonRank int) *Accel {
 		rank:   daemonRank,
 		allocs: make(map[gpu.Ptr]*allocRecord),
 		remap:  make(map[gpu.Ptr]gpu.Ptr),
+		recs:   make(map[uint8]*recorder),
 	}
 	c.attached = append(c.attached, a)
 	return a
@@ -161,6 +204,14 @@ type Accel struct {
 	allocs   map[gpu.Ptr]*allocRecord
 	remap    map[gpu.Ptr]gpu.Ptr
 	nextVirt gpu.Ptr
+
+	// Per-stream command recorders (active only with Options.BatchOps
+	// positive). noFlush suspends both recording and flushing while
+	// Failover/Migrate rebuild state on a new rank, so recorded-but-
+	// unflushed commands replay on the replacement as one whole batch
+	// instead of interleaving with rebuild traffic.
+	recs    map[uint8]*recorder
+	noFlush bool
 }
 
 // Rank returns the communicator rank of the accelerator's daemon.
@@ -182,16 +233,31 @@ func (a *Accel) translate(ptr gpu.Ptr) gpu.Ptr {
 type Pending struct {
 	done *sim.Event
 	err  error
+	// flush ships the command buffer this operation is recorded in; set
+	// only while the operation sits in a recorder, cleared once the batch
+	// is on the wire. Waiting on a recorded operation is a blocking call
+	// and therefore a flush trigger.
+	flush func()
 }
 
 // Wait blocks until the operation completes and returns its error.
 func (pd *Pending) Wait(p *sim.Proc) error {
+	if f := pd.flush; f != nil {
+		f()
+	}
 	pd.done.Await(p)
 	return pd.err
 }
 
-// Done exposes the completion event for WaitAny-style composition.
-func (pd *Pending) Done() *sim.Event { return pd.done }
+// Done exposes the completion event for WaitAny-style composition. If
+// the operation is still sitting in a command recorder it is flushed
+// first — the event could otherwise never trigger.
+func (pd *Pending) Done() *sim.Event {
+	if f := pd.flush; f != nil {
+		f()
+	}
+	return pd.done
+}
 
 // call is one request round trip in flight: the encoded header (kept for
 // retransmission), the posted response receive, and the retry policy.
@@ -201,22 +267,50 @@ type call struct {
 	enc   []byte
 	resp  *minimpi.Request
 	retry bool
+	// pad inflates the request message's wire size (model-mode inline
+	// writes carry no payload bytes but must cost the same virtual time).
+	pad int
 }
 
-// newCall assigns a request ID, translates device pointers through the
-// failover ledger, posts the response receive and ships the header.
-func (a *Accel) newCall(q *request, retry bool) *call {
-	a.c.nextReq++
-	q.reqID = a.c.nextReq
+// send ships (or re-ships) the encoded header.
+func (cl *call) send() {
+	if cl.pad > 0 {
+		cl.a.c.comm.IsendPadded(cl.a.rank, TagRequest, cl.enc, len(cl.enc)+cl.pad)
+	} else {
+		cl.a.c.comm.Isend(cl.a.rank, TagRequest, cl.enc)
+	}
+}
+
+// translateReq maps a request's device pointers through the failover
+// ledger; for a batch, every recorded command is translated. Translation
+// happens when the request ships (not when it is recorded), so commands
+// recorded before a Failover/Migrate replay against the replacement
+// rank's pointer map.
+func (a *Accel) translateReq(q *request) {
 	q.ptr = a.translate(q.ptr)
 	for i, arg := range q.launch.Args {
 		if arg.Kind == gpu.KindPtr {
 			q.launch.Args[i] = gpu.PtrArg(a.translate(arg.Ptr))
 		}
 	}
-	cl := &call{a: a, q: q, enc: encodeRequest(q), retry: retry}
+	for _, sub := range q.batch {
+		a.translateReq(sub)
+	}
+}
+
+// newCall assigns a request ID, translates device pointers through the
+// failover ledger, posts the response receive and ships the header.
+func (a *Accel) newCall(q *request, retry bool) *call {
+	return a.newCallPadded(q, retry, 0)
+}
+
+func (a *Accel) newCallPadded(q *request, retry bool, pad int) *call {
+	a.c.nextReq++
+	q.reqID = a.c.nextReq
+	a.translateReq(q)
+	cl := &call{a: a, q: q, enc: encodeRequest(q), retry: retry, pad: pad}
 	cl.resp = a.c.comm.Irecv(a.rank, respTag(q.reqID))
-	a.c.comm.Isend(a.rank, TagRequest, cl.enc)
+	cl.send()
 	return cl
 }
 
@@ -239,7 +333,7 @@ func (cl *call) wait(p *sim.Proc) (*response, error) {
 			if !ok {
 				if sent < attempts {
 					sent++
-					a.c.comm.Isend(a.rank, TagRequest, cl.enc)
+					cl.send()
 					continue
 				}
 				return nil, &TimeoutError{Op: cl.q.op, Rank: a.rank, Attempts: sent}
@@ -276,12 +370,29 @@ func (cl *call) statusOnly(p *sim.Proc) error {
 // reported success.
 func (a *Accel) asyncCall(q *request, onOK func()) *Pending {
 	pd := &Pending{done: sim.NewEvent(a.sim())}
-	cl := a.newCall(q, true)
+	a.roundTrip(q, pd, 0, func(rsp *response, err error) {
+		if err != nil {
+			pd.err = err
+		} else {
+			pd.err = rsp.err()
+		}
+		if pd.err == nil && onOK != nil {
+			onOK()
+		}
+		pd.done.Trigger()
+	})
+	return pd
+}
+
+// roundTrip is the event-driven request engine shared by asyncCall and
+// batch flushes: it ships q with bounded retransmission and hands the
+// verified response (or the transport error) to finish, exactly once.
+// finish must trigger pd.done; the pending's event doubles as the
+// round trip's liveness guard (a triggered pd stops timers and watchers).
+func (a *Accel) roundTrip(q *request, pd *Pending, pad int, finish func(rsp *response, err error)) {
+	cl := a.newCallPadded(q, true, pad)
 	t := a.c.opts.Timeout
-	attempts := 1
-	if cl.retry {
-		attempts += a.c.opts.Retries
-	}
+	attempts := 1 + a.c.opts.Retries
 	sent := 1
 	gen := 0 // invalidates superseded deadline timers
 	var watch func(r *minimpi.Request)
@@ -298,12 +409,11 @@ func (a *Accel) asyncCall(q *request, onOK func()) *Pending {
 			if sent < attempts {
 				sent++
 				gen++
-				a.c.comm.Isend(a.rank, TagRequest, cl.enc)
+				cl.send()
 				arm()
 				return
 			}
-			pd.err = &TimeoutError{Op: q.op, Rank: a.rank, Attempts: sent}
-			pd.done.Trigger()
+			finish(nil, &TimeoutError{Op: q.op, Rank: a.rank, Attempts: sent})
 		})
 	}
 	watch = func(r *minimpi.Request) {
@@ -319,20 +429,171 @@ func (a *Accel) asyncCall(q *request, onOK func()) *Pending {
 				return
 			}
 			gen++
-			if err != nil {
-				pd.err = err
-			} else {
-				pd.err = rsp.err()
-			}
-			if pd.err == nil && onOK != nil {
-				onOK()
-			}
-			pd.done.Trigger()
+			finish(rsp, err)
 		})
 	}
 	watch(cl.resp)
 	arm()
+}
+
+// recCmd is one recorded command: its (untranslated) request, the
+// Pending handed to the caller, and the ledger update to run on success.
+type recCmd struct {
+	q    *request
+	pd   *Pending
+	onOK func()
+}
+
+// recorder accumulates one stream's command buffer between flushes.
+type recorder struct {
+	cmds  []recCmd
+	bytes int // wire-size estimate, inline payloads and model pads included
+}
+
+// batching reports whether ops may be recorded right now (batching is
+// configured on and no Failover/Migrate rebuild is in progress).
+func (a *Accel) batching() bool { return a.c.opts.BatchOps > 0 && !a.noFlush }
+
+func (a *Accel) batchBytesLimit() int {
+	if a.c.opts.BatchBytes > 0 {
+		return a.c.opts.BatchBytes
+	}
+	return DefaultBatchBytes
+}
+
+// cmdCost estimates the bytes a command adds to the batch message. It
+// only steers the BatchBytes flush threshold, so a rough upper bound on
+// the encoded header is fine.
+func cmdCost(q *request) int {
+	return 48 + len(q.kernel) + 12*len(q.launch.Args) + len(q.inline) + q.modelPad()
+}
+
+// record queues a command on its stream's recorder and returns the
+// caller's Pending. The buffer auto-flushes at the BatchOps/BatchBytes
+// thresholds; otherwise it ships at the next blocking call on the
+// stream, an explicit Flush, or a Wait on any recorded Pending.
+func (a *Accel) record(q *request, onOK func()) *Pending {
+	rec := a.recs[q.stream]
+	if rec == nil {
+		rec = &recorder{}
+		a.recs[q.stream] = rec
+	}
+	pd := &Pending{done: sim.NewEvent(a.sim())}
+	stream := q.stream
+	pd.flush = func() { a.flushStream(stream) }
+	rec.cmds = append(rec.cmds, recCmd{q: q, pd: pd, onOK: onOK})
+	rec.bytes += cmdCost(q)
+	if len(rec.cmds) >= a.c.opts.BatchOps || rec.bytes >= a.batchBytesLimit() {
+		a.flushStream(stream)
+	}
 	return pd
+}
+
+// Flush ships the recorded command buffer of a stream as one opBatch
+// wire message and returns a Pending that completes when the daemon has
+// answered (each recorded operation's own Pending completes too, with
+// its per-command error). It returns nil when nothing was pending.
+func (a *Accel) Flush(stream uint8) *Pending {
+	return a.flushStream(stream)
+}
+
+// flushAll flushes every stream's recorder in ascending stream order
+// (sorted, so event-creation order — and DES determinism — never depends
+// on map iteration).
+func (a *Accel) flushAll() {
+	if len(a.recs) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(a.recs))
+	for id, rec := range a.recs {
+		if len(rec.cmds) > 0 {
+			ids = append(ids, int(id))
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		a.flushStream(uint8(id))
+	}
+}
+
+// flushStream ships one stream's recorded commands. A single recorded
+// non-inline command goes out as a plain request — the wire shape is
+// then identical to the unbatched path. Multiple commands (or an inline
+// write) travel as one opBatch carrying one request ID: the daemon
+// executes them in order, answers with a per-command status vector, and
+// its dedup table replays the whole batch atomically on retransmission.
+func (a *Accel) flushStream(stream uint8) *Pending {
+	rec := a.recs[stream]
+	if a.noFlush || rec == nil || len(rec.cmds) == 0 {
+		return nil
+	}
+	cmds := rec.cmds
+	rec.cmds = nil
+	rec.bytes = 0
+	for i := range cmds {
+		cmds[i].pd.flush = nil
+	}
+	if len(cmds) == 1 && cmds[0].q.op != OpWriteInline {
+		cm := cmds[0]
+		a.roundTrip(cm.q, cm.pd, 0, func(rsp *response, err error) {
+			if err != nil {
+				cm.pd.err = err
+			} else {
+				cm.pd.err = rsp.err()
+			}
+			if cm.pd.err == nil && cm.onOK != nil {
+				cm.onOK()
+			}
+			cm.pd.done.Trigger()
+		})
+		return cm.pd
+	}
+	sub := make([]*request, len(cmds))
+	pad := 0
+	for i, cm := range cmds {
+		sub[i] = cm.q
+		pad += cm.q.modelPad()
+	}
+	q := &request{op: OpBatch, stream: stream, batch: sub}
+	master := &Pending{done: sim.NewEvent(a.sim())}
+	a.roundTrip(q, master, pad, func(rsp *response, err error) {
+		defer master.done.Trigger()
+		if err == nil {
+			err = rsp.err()
+		}
+		var sts []cmdStatus
+		if err == nil {
+			sts, err = decodeBatchStatus(rsp.payload, len(cmds))
+		}
+		if err != nil {
+			// Transport or whole-batch failure: every command fails
+			// identically — the batch is atomic, never half-applied from
+			// the caller's view.
+			master.err = err
+			for _, cm := range cmds {
+				cm.pd.err = err
+				cm.pd.done.Trigger()
+			}
+			return
+		}
+		for i, cm := range cmds {
+			switch sts[i].status {
+			case batchCmdOK:
+				if cm.onOK != nil {
+					cm.onOK()
+				}
+			case batchCmdFailed:
+				cm.pd.err = &BatchError{Index: i, Op: cm.q.op, Err: &remoteError{msg: sts[i].errmsg}}
+				if master.err == nil {
+					master.err = cm.pd.err
+				}
+			default: // batchCmdSkipped
+				cm.pd.err = &BatchError{Index: i, Op: cm.q.op, Err: ErrBatchAborted}
+			}
+			cm.pd.done.Trigger()
+		}
+	})
+	return master
 }
 
 // awaitReq waits for a payload-stream request with the accelerator's
@@ -384,12 +645,21 @@ func (a *Accel) MemAlloc(p *sim.Proc, n int) (gpu.Ptr, error) {
 	return app, nil
 }
 
-// MemFree releases device memory (acMemFree).
+// MemFree releases device memory (acMemFree). With batching on, the free
+// is recorded behind the stream's queued commands and the whole buffer
+// flushes immediately — the call still blocks until the daemon confirms,
+// but coalesces with everything recorded before it.
 func (a *Accel) MemFree(p *sim.Proc, ptr gpu.Ptr) error {
-	err := a.newCall(&request{op: OpMemFree, ptr: ptr}, true).statusOnly(p)
-	if err == nil {
+	onOK := func() {
 		delete(a.allocs, ptr)
 		delete(a.remap, ptr)
+	}
+	if a.batching() {
+		return a.record(&request{op: OpMemFree, ptr: ptr}, onOK).Wait(p)
+	}
+	err := a.newCall(&request{op: OpMemFree, ptr: ptr}, true).statusOnly(p)
+	if err == nil {
+		onOK()
 	}
 	return err
 }
@@ -450,6 +720,21 @@ func (a *Accel) MemcpyH2D2DAsync(dst gpu.Ptr, off, colBytes, cols, pitch int, sr
 		pd.done.Trigger()
 		return pd
 	}
+	if a.batching() && a.c.opts.InlineCopy > 0 && n <= a.c.opts.InlineCopy {
+		// Small upload: the payload rides inside the command buffer (a
+		// copy is taken now — the caller may reuse src immediately). In
+		// model mode (src nil) the flush pads the wire message by n bytes
+		// so the virtual-time cost matches execute mode.
+		q := &request{op: OpWriteInline, stream: stream, ptr: dst, off: off, size: n,
+			cols: cols, pitch: pitch}
+		if src != nil {
+			q.inline = append([]byte(nil), src...)
+		}
+		return a.record(q, func() { a.noteUpload(dst, off, colBytes, cols, pitch, q.inline) })
+	}
+	// A streamed copy is a blocking exchange on its stream: recorded
+	// commands there must reach the daemon first to keep stream order.
+	a.flushStream(stream)
 	block, depth := a.c.opts.H2D.resolve(n)
 	q := &request{op: OpMemcpyH2D, stream: stream, ptr: dst, off: off, size: n,
 		cols: cols, pitch: pitch, block: block, depth: depth}
@@ -523,6 +808,8 @@ func (a *Accel) MemcpyD2H2DAsync(dst []byte, src gpu.Ptr, off, colBytes, cols, p
 		pd.done.Trigger()
 		return pd
 	}
+	// Downloads read what queued commands wrote: flush the stream first.
+	a.flushStream(stream)
 	block, depth := a.c.opts.D2H.resolve(n)
 	q := &request{op: OpMemcpyD2H, stream: stream, ptr: src, off: off, size: n,
 		cols: cols, pitch: pitch, block: block, depth: depth}
@@ -586,7 +873,7 @@ func (a *Accel) MemsetAsync(dst gpu.Ptr, off, n int, value byte, stream uint8) *
 		return pd
 	}
 	q := &request{op: OpMemset, stream: stream, ptr: dst, off: off, size: n, value: value}
-	return a.asyncCall(q, func() {
+	onOK := func() {
 		if rec := a.allocs[dst]; rec != nil && off >= 0 && off+n <= rec.size {
 			if rec.shadow == nil {
 				rec.shadow = make([]byte, rec.size)
@@ -595,7 +882,11 @@ func (a *Accel) MemsetAsync(dst gpu.Ptr, off, n int, value byte, stream uint8) *
 				rec.shadow[i] = value
 			}
 		}
-	})
+	}
+	if a.batching() {
+		return a.record(q, onOK)
+	}
+	return a.asyncCall(q, onOK)
 }
 
 // Kernel is a client-side kernel object, created per the paper's
@@ -633,17 +924,24 @@ func (k *Kernel) RunAsync(grid, block gpu.Dim3, stream uint8) *Pending {
 		kernel: k.name,
 		launch: gpu.Launch{Grid: grid, Block: block, Args: append([]gpu.Value(nil), k.args...)},
 	}
+	if k.a.batching() {
+		return k.a.record(q, nil)
+	}
 	return k.a.asyncCall(q, nil)
 }
 
 // Sync blocks until every outstanding request on every stream of this
-// accelerator has completed (cuCtxSynchronize analogue).
+// accelerator has completed (cuCtxSynchronize analogue). Recorded
+// command buffers on every stream are flushed first.
 func (a *Accel) Sync(p *sim.Proc) error {
+	a.flushAll()
 	return a.newCall(&request{op: OpSync}, true).statusOnly(p)
 }
 
-// Info queries the accelerator's device description.
+// Info queries the accelerator's device description. Queued commands
+// flush first so MemUsed reflects every recorded alloc-affecting op.
 func (a *Accel) Info(p *sim.Proc) (DeviceInfo, error) {
+	a.flushAll()
 	rsp, err := a.newCall(&request{op: OpDeviceInfo}, true).wait(p)
 	if err != nil {
 		return DeviceInfo{}, err
@@ -658,6 +956,7 @@ func (a *Accel) Info(p *sim.Proc) (DeviceInfo, error) {
 // exclusive holder a clean device. Call it before releasing the handle
 // back to the ARM.
 func (a *Accel) Reset(p *sim.Proc) error {
+	a.flushAll()
 	err := a.newCall(&request{op: OpReset}, true).statusOnly(p)
 	if err == nil {
 		a.allocs = make(map[gpu.Ptr]*allocRecord)
@@ -667,7 +966,9 @@ func (a *Accel) Reset(p *sim.Proc) error {
 }
 
 // Shutdown stops the accelerator's daemon (simulation teardown).
+// Recorded commands flush first so nothing queued is lost.
 func (a *Accel) Shutdown(p *sim.Proc) error {
+	a.flushAll()
 	return a.newCall(&request{op: OpShutdown}, true).statusOnly(p)
 }
 
@@ -693,6 +994,13 @@ func (c *Client) Failover(p *sim.Proc, a *Accel) error {
 	}
 	oldRank := a.rank
 	a.rank = newRank
+	// Commands recorded but not yet flushed were never sent to the dead
+	// daemon: suspend flushing while the rebuild traffic runs, then
+	// replay them — as one whole batch, against the rebuilt pointer map —
+	// on the replacement. They either all reach the new rank or all fail
+	// together, never half.
+	a.noFlush = true
+	defer func() { a.noFlush = false }()
 	// Deterministic rebuild order: sorted app-visible pointers.
 	ptrs := make([]gpu.Ptr, 0, len(a.allocs))
 	for ptr := range a.allocs {
@@ -712,6 +1020,8 @@ func (c *Client) Failover(p *sim.Proc, a *Accel) error {
 			}
 		}
 	}
+	a.noFlush = false
+	a.flushAll()
 	return nil
 }
 
@@ -737,6 +1047,10 @@ func (c *Client) Migrate(p *sim.Proc, a *Accel, newRank int) error {
 	if newRank == a.rank {
 		return nil
 	}
+	// Commands recorded before the migration execute on the old daemon
+	// (it is still answering — only suspect) so their effects are part of
+	// the state that moves; the whole buffer ships now, never half.
+	a.flushAll()
 	oldRank := a.rank
 	// A raw handle for the destination: allocations land in its ledger,
 	// which is discarded — the migrated handle keeps the original
@@ -811,6 +1125,10 @@ func (c *Client) DirectCopy2D(p *sim.Proc, src *Accel, srcPtr gpu.Ptr, srcOff, c
 	if colBytes < 0 || cols <= 0 || pitch < colBytes {
 		return fmt.Errorf("core: DirectCopy: invalid geometry colBytes=%d cols=%d pitch=%d", colBytes, cols, pitch)
 	}
+	// The copy reads and writes device state touched by queued commands:
+	// flush both handles before the daemons start streaming.
+	src.flushAll()
+	dst.flushAll()
 	n := colBytes * cols
 	block, depth := c.opts.D2H.resolve(n)
 	c.nextReq++

@@ -54,6 +54,10 @@ type DaemonStats struct {
 	DupsDropped int64
 	// Beats counts heartbeats sent (zero unless heartbeats are wired).
 	Beats int64
+	// Batches counts opBatch command buffers executed; BatchedOps counts
+	// the commands they carried (each batch is one entry in Requests).
+	Batches    int64
+	BatchedOps int64
 }
 
 // dedupKey identifies a request for idempotency: the sender's rank plus
@@ -361,6 +365,8 @@ func (d *Daemon) execute(p *sim.Proc, src int, q *request) {
 		d.respond(src, q.reqID, d.dev.LaunchKernel(p, q.kernel, q.launch), 0)
 	case OpMemset:
 		d.respond(src, q.reqID, d.dev.Memset(p, q.ptr, q.off, q.size, q.value), 0)
+	case OpBatch:
+		d.executeBatch(p, src, q)
 	case OpReset:
 		d.dev.Reset(p)
 		d.respond(src, q.reqID, nil, 0)
@@ -383,6 +389,74 @@ func (d *Daemon) execute(p *sim.Proc, src int, q *request) {
 	default:
 		d.respond(src, q.reqID, fmt.Errorf("op %d not executable on a stream", q.op), 0)
 	}
+}
+
+// executeBatch runs a command buffer in order inside its stream worker,
+// stopping at the first failing command (stream order must never be
+// violated by executing past an error); the rest are marked skipped. The
+// single response carries the per-command status vector, and — like any
+// response — is recorded in the dedup table, so a retransmitted batch is
+// replayed atomically: executed once, answered twice.
+func (d *Daemon) executeBatch(p *sim.Proc, src int, q *request) {
+	sts := make([]cmdStatus, len(q.batch))
+	failed := false
+	// The buffer arrived through one driver submission: its first kernel
+	// pays the full launch overhead (covering the submit), later kernels
+	// only the device-side dispatch share.
+	submitPaid := false
+	for i, sub := range q.batch {
+		if failed {
+			sts[i] = cmdStatus{status: batchCmdSkipped}
+			continue
+		}
+		var err error
+		switch sub.op {
+		case OpKernelRun:
+			if submitPaid {
+				err = d.dev.LaunchKernelQueued(p, sub.kernel, sub.launch)
+			} else {
+				err = d.dev.LaunchKernel(p, sub.kernel, sub.launch)
+				submitPaid = true
+			}
+		case OpMemset:
+			err = d.dev.Memset(p, sub.ptr, sub.off, sub.size, sub.value)
+		case OpMemFree:
+			err = d.dev.MemFree(p, sub.ptr)
+		case OpWriteInline:
+			err = d.writeInline(p, sub)
+		default:
+			err = fmt.Errorf("core: op %d not executable in a batch", sub.op)
+		}
+		if err != nil {
+			sts[i] = cmdStatus{status: batchCmdFailed, errmsg: err.Error()}
+			failed = true
+		}
+	}
+	d.stats.Batches++
+	d.stats.BatchedOps += int64(len(q.batch))
+	d.sendResponse(src, q.reqID, &response{status: statusOK, payload: encodeBatchStatus(sts)})
+}
+
+// writeInline lands a small host-to-device write whose payload arrived
+// with the command buffer: the bytes already sit in (pageable) host
+// memory, so the cost is one async-copy setup plus an unpinned DMA — no
+// staging pipeline, no extra wire exchange.
+func (d *Daemon) writeInline(p *sim.Proc, q *request) error {
+	colBytes, cols, pitch := q.geometry()
+	if err := d.dev.ValidRange(q.ptr, q.off, (cols-1)*pitch+colBytes); err != nil {
+		return err
+	}
+	if q.size == 0 {
+		return nil
+	}
+	p.Wait(d.cfg.PostCost + d.dev.AsyncSetupCost())
+	if err := d.dev.CopyEngineTransfer(p, q.size, true, false); err != nil {
+		return err
+	}
+	if len(q.inline) > 0 {
+		return d.dev.ScatterColumns(q.ptr, q.off, colBytes, cols, pitch, q.inline)
+	}
+	return nil
 }
 
 func (d *Daemon) noteStaging(block, depth, nb int) {

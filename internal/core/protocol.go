@@ -25,6 +25,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"dynacc/internal/gpu"
@@ -66,7 +67,32 @@ const (
 	OpMemset
 	OpReset
 	OpShutdown
+	// OpBatch is a stream-ordered command buffer: one wire message
+	// carrying a sequence of header-only commands that execute in order
+	// on the target stream. It carries one request ID and replays
+	// atomically through the dedup window.
+	OpBatch
+	// OpWriteInline is a small host-to-device write whose payload rides
+	// inside the request header instead of a separate block stream. Only
+	// valid inside an OpBatch.
+	OpWriteInline
 )
+
+// maxBatchOps bounds the command count one OpBatch may claim; anything
+// larger is corrupt or hostile framing, not a buffer a client would
+// record (clients flush far earlier).
+const maxBatchOps = 4096
+
+// batchable reports whether an op may appear inside an OpBatch:
+// header-only commands whose execution is fully described by the header.
+// Streamed copies, syncs and control ops need their own request exchange.
+func batchable(op uint8) bool {
+	switch op {
+	case OpKernelRun, OpMemset, OpMemFree, OpWriteInline:
+		return true
+	}
+	return false
+}
 
 // Response status codes.
 const (
@@ -222,12 +248,34 @@ type request struct {
 
 	// memset
 	value uint8
+
+	// OpBatch: the recorded commands, in issue order. Sub-requests
+	// inherit the batch's reqID and stream.
+	batch []*request
+	// OpWriteInline: the payload carried inside the header. Empty in
+	// model mode, where only size is charged on the wire.
+	inline []byte
 }
 
 // encodeRequest serializes a request header.
 func encodeRequest(q *request) []byte {
 	w := wire.NewWriter(64)
 	w.U8(q.op).U64(q.reqID).U8(q.stream)
+	if q.op == OpBatch {
+		w.U32(uint32(len(q.batch)))
+		for _, sub := range q.batch {
+			w.U8(sub.op)
+			encodeBody(w, sub)
+		}
+		return w.Bytes()
+	}
+	encodeBody(w, q)
+	return w.Bytes()
+}
+
+// encodeBody serializes the op-specific fields of a request (everything
+// after op/reqID/stream). Batch framing reuses it per command.
+func encodeBody(w *wire.Writer, q *request) {
 	switch q.op {
 	case OpMemAlloc:
 		w.Int(q.size)
@@ -256,16 +304,54 @@ func encodeRequest(q *request) []byte {
 		w.Int(q.peer).U64(q.xferID).U64(uint64(q.ptr)).Int(q.off).Int(q.size).Int(q.cols).Int(q.pitch).Int(q.block).Int(q.depth)
 	case OpMemset:
 		w.U64(uint64(q.ptr)).Int(q.off).Int(q.size).U8(q.value)
+	case OpWriteInline:
+		w.U64(uint64(q.ptr)).Int(q.off).Int(q.size).Int(q.cols).Int(q.pitch).Blob(q.inline)
 	case OpSync, OpDeviceInfo, OpReset, OpShutdown:
 		// header only
 	}
-	return w.Bytes()
 }
 
 // decodeRequest parses a request header.
 func decodeRequest(data []byte) (*request, error) {
 	r := wire.NewReader(data)
 	q := &request{op: r.U8(), reqID: r.U64(), stream: r.U8()}
+	if q.op == OpBatch {
+		n := int(r.U32())
+		if r.Err() == nil && (n < 1 || n > maxBatchOps) {
+			return nil, fmt.Errorf("core: malformed request: batch of %d commands", n)
+		}
+		for i := 0; i < n && r.Err() == nil; i++ {
+			sub := &request{op: r.U8(), reqID: q.reqID, stream: q.stream}
+			if r.Err() == nil && !batchable(sub.op) {
+				return nil, fmt.Errorf("core: malformed request: op %d not allowed inside a batch", sub.op)
+			}
+			if err := decodeBody(r, sub); err != nil {
+				return nil, err
+			}
+			q.batch = append(q.batch, sub)
+		}
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("core: malformed request: %w", err)
+		}
+		if err := q.validate(); err != nil {
+			return nil, err
+		}
+		return q, nil
+	}
+	if err := decodeBody(r, q); err != nil {
+		return nil, err
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("core: malformed request: %w", err)
+	}
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// decodeBody parses the op-specific fields of a request.
+func decodeBody(r *wire.Reader, q *request) error {
 	switch q.op {
 	case OpMemAlloc:
 		q.size = r.Int()
@@ -289,9 +375,9 @@ func decodeRequest(data []byte) (*request, error) {
 		q.launch.Block = gpu.Dim3{X: dims[3], Y: dims[4], Z: dims[5]}
 		nargs := r.Int()
 		if nargs < 0 || nargs > 1<<16 {
-			return nil, fmt.Errorf("core: implausible kernel arg count %d", nargs)
+			return fmt.Errorf("core: implausible kernel arg count %d", nargs)
 		}
-		for i := 0; i < nargs; i++ {
+		for i := 0; i < nargs && r.Err() == nil; i++ {
 			kind := gpu.ValueKind(r.U8())
 			var v gpu.Value
 			switch kind {
@@ -302,7 +388,7 @@ func decodeRequest(data []byte) (*request, error) {
 			case gpu.KindFloat:
 				v = gpu.FloatArg(r.F64())
 			default:
-				return nil, fmt.Errorf("core: unknown kernel arg kind %d", kind)
+				return fmt.Errorf("core: unknown kernel arg kind %d", kind)
 			}
 			q.launch.Args = append(q.launch.Args, v)
 		}
@@ -321,17 +407,18 @@ func decodeRequest(data []byte) (*request, error) {
 		q.off = r.Int()
 		q.size = r.Int()
 		q.value = r.U8()
+	case OpWriteInline:
+		q.ptr = gpu.Ptr(r.U64())
+		q.off = r.Int()
+		q.size = r.Int()
+		q.cols = r.Int()
+		q.pitch = r.Int()
+		q.inline = append([]byte(nil), r.Blob()...)
 	case OpSync, OpDeviceInfo, OpReset, OpShutdown:
 	default:
-		return nil, fmt.Errorf("core: unknown op %d", q.op)
+		return fmt.Errorf("core: unknown op %d", q.op)
 	}
-	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("core: malformed request: %w", err)
-	}
-	if err := q.validate(); err != nil {
-		return nil, err
-	}
-	return q, nil
+	return nil
 }
 
 // maxPayload bounds the size a request header may claim (1 TiB): anything
@@ -367,8 +454,33 @@ func (q *request) validate() error {
 		if q.size < 0 || q.size > maxPayload || q.off < 0 {
 			return fmt.Errorf("core: malformed request: memset size=%d off=%d", q.size, q.off)
 		}
+	case OpWriteInline:
+		if q.size < 0 || q.size > maxPayload || q.off < 0 || q.cols < 0 || q.pitch < 0 {
+			return fmt.Errorf("core: malformed request: inline write size=%d off=%d cols=%d pitch=%d",
+				q.size, q.off, q.cols, q.pitch)
+		}
+		if len(q.inline) != 0 && len(q.inline) != q.size {
+			return fmt.Errorf("core: malformed request: inline payload %d bytes for size %d", len(q.inline), q.size)
+		}
+	case OpBatch:
+		for i, sub := range q.batch {
+			if err := sub.validate(); err != nil {
+				return fmt.Errorf("core: batch command %d: %w", i, err)
+			}
+		}
 	}
 	return nil
+}
+
+// modelPad returns the bytes a command should add to the batch message
+// beyond its encoded header: in model mode an inline write carries no
+// payload bytes, but the flush pads the wire message by this amount so
+// the virtual-time cost matches an execute-mode run bit for bit.
+func (q *request) modelPad() int {
+	if q.op == OpWriteInline && len(q.inline) == 0 {
+		return q.size
+	}
+	return 0
 }
 
 // peekReqID best-effort extracts (op, reqID) from a request header that
@@ -408,6 +520,76 @@ func decodeResponse(data []byte) (*response, error) {
 	}
 	return rsp, nil
 }
+
+// Per-command statuses inside a batch response's status vector.
+const (
+	batchCmdOK uint8 = iota
+	batchCmdFailed
+	batchCmdSkipped
+)
+
+// cmdStatus is one entry of a batch response's per-command status vector.
+type cmdStatus struct {
+	status uint8
+	errmsg string // set when status == batchCmdFailed
+}
+
+// encodeBatchStatus serializes the per-command status vector carried in
+// the payload of an OpBatch response.
+func encodeBatchStatus(sts []cmdStatus) []byte {
+	w := wire.NewWriter(8 + 2*len(sts))
+	w.U32(uint32(len(sts)))
+	for _, st := range sts {
+		w.U8(st.status)
+		if st.status == batchCmdFailed {
+			w.Str(st.errmsg)
+		}
+	}
+	return w.Bytes()
+}
+
+// decodeBatchStatus parses a batch status vector, requiring exactly want
+// entries (the client knows how many commands it flushed).
+func decodeBatchStatus(data []byte, want int) ([]cmdStatus, error) {
+	r := wire.NewReader(data)
+	n := int(r.U32())
+	if r.Err() == nil && n != want {
+		return nil, fmt.Errorf("core: batch status vector has %d entries, want %d", n, want)
+	}
+	sts := make([]cmdStatus, 0, want)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		st := cmdStatus{status: r.U8()}
+		if st.status == batchCmdFailed {
+			st.errmsg = r.Str()
+		}
+		sts = append(sts, st)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("core: malformed batch status: %w", err)
+	}
+	return sts, nil
+}
+
+// BatchError reports the failure of one command inside a flushed command
+// buffer: which position in the batch, which op, and the underlying
+// error. Commands recorded after the failing one are never attempted;
+// their Pendings fail with a BatchError wrapping ErrBatchAborted.
+type BatchError struct {
+	Index int
+	Op    uint8
+	Err   error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("core: batch command %d (op %d): %v", e.Index, e.Op, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// ErrBatchAborted marks commands skipped because an earlier command in
+// the same batch failed: the daemon stops at the first error so stream
+// order is never violated.
+var ErrBatchAborted = errors.New("core: command skipped after earlier batch error")
 
 // remoteError is an error reported by a daemon.
 type remoteError struct{ msg string }

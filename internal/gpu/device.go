@@ -339,7 +339,20 @@ func (d *Device) checkRange(ptr Ptr, off, n int) error {
 // the kernel body. A panicking kernel (bad arguments, out-of-range
 // access through the typed accessors) is reported as a launch error, the
 // way a CUDA kernel fault surfaces, instead of taking the daemon down.
-func (d *Device) LaunchKernel(p *sim.Proc, name string, l Launch) (err error) {
+func (d *Device) LaunchKernel(p *sim.Proc, name string, l Launch) error {
+	return d.launchKernel(p, name, l, d.model.LaunchOverhead)
+}
+
+// LaunchKernelQueued launches a kernel that arrived inside an already-
+// submitted command buffer: the buffer's first command paid the host-side
+// submission share of the launch overhead for the whole buffer, so only
+// the device-side dispatch cost is charged here. With a zero
+// Model.SubmitOverhead this is exactly LaunchKernel.
+func (d *Device) LaunchKernelQueued(p *sim.Proc, name string, l Launch) error {
+	return d.launchKernel(p, name, l, d.model.LaunchOverhead-d.model.SubmitOverhead)
+}
+
+func (d *Device) launchKernel(p *sim.Proc, name string, l Launch, overhead sim.Duration) (err error) {
 	k, ok := d.registry.Lookup(name)
 	if !ok {
 		return fmt.Errorf("gpu: unknown kernel %q", name)
@@ -352,7 +365,7 @@ func (d *Device) LaunchKernel(p *sim.Proc, name string, l Launch) (err error) {
 			err = fmt.Errorf("gpu: kernel %q faulted: %v", name, r)
 		}
 	}()
-	cost := d.model.LaunchOverhead + k.Cost(l, d.model)
+	cost := overhead + k.Cost(l, d.model)
 	d.compute.Acquire(p, 1)
 	p.Wait(cost)
 	d.compute.Release(1)

@@ -72,6 +72,14 @@ type Model struct {
 	// LaunchOverhead is the fixed host+device cost of one kernel launch.
 	LaunchOverhead sim.Duration
 
+	// SubmitOverhead is the host-side share of LaunchOverhead: the driver
+	// submission cost (ioctl plus ring doorbell) of handing one command to
+	// the device. A command buffer pays it once for the whole buffer —
+	// kernels after the first in one buffer charge only the remaining
+	// device-side dispatch cost (see Device.LaunchKernelQueued). Zero means
+	// every launch pays the full LaunchOverhead, batched or not.
+	SubmitOverhead sim.Duration
+
 	// MallocOverhead is the cost of a device allocation or free.
 	MallocOverhead sim.Duration
 }
@@ -86,6 +94,9 @@ func (m Model) Validate() error {
 		return fmt.Errorf("gpu model %q: non-positive copy bandwidth", m.Name)
 	case m.PeakDP <= 0 || m.MemBandwidth <= 0:
 		return fmt.Errorf("gpu model %q: non-positive compute rate", m.Name)
+	case m.SubmitOverhead < 0 || m.SubmitOverhead > m.LaunchOverhead:
+		return fmt.Errorf("gpu model %q: submit overhead %v outside [0, launch overhead %v]",
+			m.Name, m.SubmitOverhead, m.LaunchOverhead)
 	}
 	return nil
 }
@@ -111,6 +122,7 @@ func TeslaC1060() Model {
 		PeakDP:         78e9,
 		MemBandwidth:   102e9,
 		LaunchOverhead: 7 * sim.Microsecond,
+		SubmitOverhead: 5 * sim.Microsecond,
 		MallocOverhead: 10 * sim.Microsecond,
 	}
 }

@@ -138,6 +138,12 @@ func Dpotrf(p *sim.Proc, d *Dist, cfg Config) error {
 			for c := pj + 2; c < npanels; c++ {
 				launchUpdate(c)
 			}
+			// Ship the trailing-update launch storm (two launches per
+			// column block were just recorded per device); a no-op when
+			// batching is off.
+			for _, dv := range d.Devs {
+				dv.Flush(0)
+			}
 			if next < npanels {
 				if !cfg.Lookahead {
 					for _, dv := range d.Devs {

@@ -181,6 +181,11 @@ func Dgetrf(p *sim.Proc, d *Dist, ipiv []int, cfg Config) error {
 			}
 			update(g, startCol, d.widths[g]-startCol)
 		}
+		// Ship the row-swap + trailing-update launch storm (no-op when
+		// command batching is off).
+		for _, dev := range d.Devs {
+			dev.Flush(0)
+		}
 		if next < npanels {
 			if !cfg.Lookahead {
 				for _, dev := range d.Devs {

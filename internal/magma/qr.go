@@ -139,6 +139,13 @@ func Dgeqrf(p *sim.Proc, d *Dist, tau []float64, cfg Config) error {
 			}
 			track(dev.LaunchAsync(KernelLarfb, vLaunch(g, width, startCol*m+j), 0))
 		}
+		// Ship the wide-update launch storm: with command batching on the
+		// launches above sit in each device's recorder, and the trailing
+		// update must start before the host blocks on the lookahead
+		// download. A no-op without batching.
+		for _, dev := range d.Devs {
+			dev.Flush(0)
+		}
 
 		if next < npanels {
 			if !cfg.Lookahead {

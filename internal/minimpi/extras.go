@@ -64,6 +64,21 @@ type TrafficStats struct {
 	RxBusy sim.Duration
 }
 
+// WireStats counts the messages posted through one Comm, at post time:
+// every Isend/Send variant (including collectives' internal sends)
+// increments Msgs by one and Bytes by the message's wire size. Unlike
+// TrafficStats it is attributed to the communicator handle doing the
+// sending, not the endpoint, and it counts dropped messages too — it
+// answers "how many wire messages did this client emit", which is what
+// batching tests assert on.
+type WireStats struct {
+	Msgs  int64
+	Bytes int64
+}
+
+// WireStats returns the messages/bytes posted through this Comm so far.
+func (c *Comm) WireStats() WireStats { return c.wire }
+
 // Traffic returns the cumulative network counters of a world rank.
 func (w *World) Traffic(rank int) TrafficStats {
 	if rank < 0 || rank >= len(w.eps) {

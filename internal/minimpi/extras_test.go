@@ -222,3 +222,93 @@ func TestWildcardPostedBeforeSpecific(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWireStatsCountsPostedMessages: every send variant increments the
+// per-Comm wire counters at post time, with IsendPadded counting its
+// inflated wire size rather than the payload length.
+func TestWireStatsCountsPostedMessages(t *testing.T) {
+	s := sim.New()
+	w, err := NewWorld(s, 2, fastNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Spawn("sender", func(p *sim.Proc) {
+		c := w.Comm(0)
+		if ws := c.WireStats(); ws.Msgs != 0 || ws.Bytes != 0 {
+			t.Errorf("fresh comm has wire stats %+v", ws)
+		}
+		r1 := c.Isend(1, 0, make([]byte, 100))
+		r2 := c.IsendPadded(1, 0, make([]byte, 10), 64)
+		r3 := c.IsendSized(1, 0, 256)
+		WaitAll(p, r1, r2, r3)
+		ws := c.WireStats()
+		if ws.Msgs != 3 {
+			t.Errorf("Msgs = %d, want 3", ws.Msgs)
+		}
+		if ws.Bytes != 100+64+256 {
+			t.Errorf("Bytes = %d, want %d (padded send must count its wire size)", ws.Bytes, 100+64+256)
+		}
+	})
+	s.Spawn("receiver", func(p *sim.Proc) {
+		c := w.Comm(1)
+		for i := 0; i < 3; i++ {
+			c.Recv(p, 0, 0)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireStatsCountsCollectiveSends: collectives go through the same
+// chokepoint, so their internal sends are attributed to the calling Comm.
+func TestWireStatsCountsCollectiveSends(t *testing.T) {
+	const n = 4
+	runWorld(t, n, fastNet(), func(p *sim.Proc, c *Comm) {
+		parts := make([][]byte, n)
+		for r := range parts {
+			parts[r] = []byte{byte(c.Rank()), byte(r)}
+		}
+		c.Alltoall(p, parts)
+		if got := c.WireStats().Msgs; got != n-1 {
+			t.Errorf("rank %d posted %d wire messages in Alltoall, want %d", c.Rank(), got, n-1)
+		}
+	})
+}
+
+// TestWireStatsCountsDroppedMessages: a message the fault filter drops
+// still counts — the counter answers "what did this endpoint emit", not
+// "what arrived".
+func TestWireStatsCountsDroppedMessages(t *testing.T) {
+	s := sim.New()
+	w, err := NewWorld(s, 2, fastNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetLinkFilter(func(src, dst int, tag Tag, size int) LinkVerdict {
+		return LinkVerdict{Drop: true}
+	})
+	s.Spawn("sender", func(p *sim.Proc) {
+		c := w.Comm(0)
+		c.Isend(1, 0, make([]byte, 42))
+		if ws := c.WireStats(); ws.Msgs != 1 || ws.Bytes != 42 {
+			t.Errorf("dropped send not counted: %+v", ws)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIsendPaddedRejectsShortSize: padding below the payload length is a
+// programming error.
+func TestIsendPaddedRejectsShortSize(t *testing.T) {
+	s := sim.New()
+	w, _ := NewWorld(s, 2, fastNet())
+	defer func() {
+		if recover() == nil {
+			t.Error("IsendPadded with size < len(data) did not panic")
+		}
+	}()
+	w.Comm(0).IsendPadded(1, 0, make([]byte, 10), 5)
+}

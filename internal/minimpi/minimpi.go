@@ -178,6 +178,7 @@ type Comm struct {
 	rank     int   // rank within this communicator
 	group    []int // communicator rank -> world rank
 	splitGen int   // per-comm Split invocation counter
+	wire     WireStats
 }
 
 // Rank returns the caller's rank within this communicator.

@@ -139,8 +139,22 @@ func (c *Comm) isend(dst int, tag Tag, data []byte, size int) *Request {
 	return c.isendAnyTag(dst, tag, data, size)
 }
 
+// IsendPadded starts a nonblocking send of data whose wire cost is that
+// of size bytes, size >= len(data). The receiver gets exactly data; the
+// extra bytes are accounting only. The core protocol uses it to keep
+// model-mode command batches (inline writes with no backing payload)
+// costing the same virtual time as their execute-mode twins.
+func (c *Comm) IsendPadded(dst int, tag Tag, data []byte, size int) *Request {
+	if size < len(data) {
+		panic(fmt.Sprintf("minimpi: IsendPadded: size %d < len(data) %d", size, len(data)))
+	}
+	return c.isend(dst, tag, data, size)
+}
+
 // isendAnyTag is the internal send path; collectives use negative tags.
 func (c *Comm) isendAnyTag(dst int, tag Tag, data []byte, size int) *Request {
+	c.wire.Msgs++
+	c.wire.Bytes += int64(size)
 	w := c.world
 	params := w.params
 	srcEp := c.ep()

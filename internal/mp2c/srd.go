@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math"
 
+	"dynacc/internal/accel"
 	"dynacc/internal/gpu"
 	"dynacc/internal/sim"
 )
@@ -41,16 +42,6 @@ func (s *Sim) srd(p *sim.Proc, step int) error {
 		posB = f64sBytes2(s.pos, s.solPos)
 		velB = f64sBytes2(s.vel, s.solVel)
 	}
-	up1 := s.dev.CopyH2DAsync(s.dPos, 0, posB, 24*n, 0)
-	up2 := s.dev.CopyH2DAsync(s.dVel, 0, velB, 24*n, 0)
-	if err := up1.Wait(p); err != nil {
-		return err
-	}
-	if err := up2.Wait(p); err != nil {
-		return err
-	}
-	s.res.BytesToGPU += int64(48 * n)
-
 	seed := s.cfg.Seed*1000003 + int64(step)*7919 + int64(s.rank)
 	launch := gpu.Launch{
 		Grid:  gpu.Dim3{X: (n + 255) / 256},
@@ -61,8 +52,38 @@ func (s *Sim) srd(p *sim.Proc, step int) error {
 			gpu.FloatArg(s.cfg.Angle), gpu.IntArg(seed),
 		},
 	}
-	if err := s.dev.LaunchAsync(KernelSRD, launch, 0).Wait(p); err != nil {
-		return err
+	up1 := s.dev.CopyH2DAsync(s.dPos, 0, posB, 24*n, 0)
+	up2 := s.dev.CopyH2DAsync(s.dVel, 0, velB, 24*n, 0)
+	if accel.Batched(s.dev) {
+		// Stream-ordered prologue: record the kernel launch behind the
+		// uploads on stream 0 and flush the buffer once. The daemon
+		// executes the stream in order, so issue-all-then-wait is
+		// equivalent to the sequential waits below — minus the
+		// per-request wire round trips (small uploads even ride inline
+		// with the launch in one message).
+		kp := s.dev.LaunchAsync(KernelSRD, launch, 0)
+		s.dev.Flush(0)
+		if err := up1.Wait(p); err != nil {
+			return err
+		}
+		if err := up2.Wait(p); err != nil {
+			return err
+		}
+		s.res.BytesToGPU += int64(48 * n)
+		if err := kp.Wait(p); err != nil {
+			return err
+		}
+	} else {
+		if err := up1.Wait(p); err != nil {
+			return err
+		}
+		if err := up2.Wait(p); err != nil {
+			return err
+		}
+		s.res.BytesToGPU += int64(48 * n)
+		if err := s.dev.LaunchAsync(KernelSRD, launch, 0).Wait(p); err != nil {
+			return err
+		}
 	}
 
 	var velOut []byte
