@@ -27,7 +27,23 @@ func main() {
 	format := flag.String("format", "table", "output format: table or csv")
 	quick := flag.Bool("quick", false, "reduced parameter grids")
 	batchJSON := flag.String("batching-json", "", "run the command-batching launch storm and write the report to this file")
+	armJSON := flag.String("arm-json", "", "run the multi-tenant sharing workload and write the ARM's per-accelerator stats to this file")
 	flag.Parse()
+
+	if *armJSON != "" {
+		r, err := bench.WriteARMJSON(*armJSON, 3, 200)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("sharing (%d tenants x %d ops, capacity %d): %d session(s) on %d shared accelerator(s)\n",
+			r.Tenants, r.OpsPerTenant, r.ShareCapacity, r.Sessions, r.SharedAccels)
+		for _, a := range r.PerAccel {
+			fmt.Printf("  ac%d (rank %d, %s): %d sessions, %d grants, busy %.1f%%\n",
+				a.ID, a.Rank, a.State, a.Sessions, a.Grants, 100*a.Utilization)
+		}
+		return
+	}
 
 	if *batchJSON != "" {
 		r, err := bench.WriteBatchingJSON(*batchJSON, 1000)

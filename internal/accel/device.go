@@ -56,6 +56,19 @@ func Batched(d Device) bool {
 	return false
 }
 
+// CloseSession ends the session behind a remote device attached with
+// core.Client.AttachSession (or cluster.Node.AttachSession), freeing
+// every allocation the session still owns daemon-side without touching
+// other tenants sharing the accelerator. It reports false for local
+// devices and for remote attachments without a session.
+func CloseSession(p *sim.Proc, d Device) (bool, error) {
+	r, ok := d.(remoteDevice)
+	if !ok || r.a.Session() == 0 {
+		return false, nil
+	}
+	return true, r.a.CloseSession(p)
+}
+
 // PeerCopier is an optional Device capability: moving data directly
 // between two accelerators without staging it through the compute node —
 // the paper's AC-to-AC transfer advantage (Section III). The source is a

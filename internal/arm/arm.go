@@ -28,17 +28,22 @@ package arm
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"dynacc/internal/minimpi"
 	"dynacc/internal/sim"
 	"dynacc/internal/wire"
 )
 
-// Handle is an exclusive assignment of one accelerator: its pool id and
-// the world rank its back-end daemon listens on.
+// Handle is an assignment of one accelerator: its pool id and the world
+// rank its back-end daemon listens on. Shared marks a shared lease
+// (AcquireShared) as opposed to an exclusive assignment; it is client-side
+// bookkeeping, not part of the wire format.
 type Handle struct {
 	ID   int
 	Rank int
+
+	Shared bool
 }
 
 // Control-plane tags. TagRequest carries client→ARM requests; replies use
@@ -65,6 +70,9 @@ const (
 	opRenew     // explicit lease renewal
 	opMigrate   // swap a suspect assignment for a spare
 	opDrain     // retire an accelerator gracefully
+	// Multi-tenant sharing (PR 4).
+	opAcquireShared // like opAcquire, but a capacity-N shared lease
+	opStatsEx       // opStats plus per-accelerator utilization
 )
 
 // Reply status codes.
@@ -132,10 +140,39 @@ type PoolStats struct {
 	// Migrations counts suspect assignments swapped for a spare.
 	Reclaimed  int
 	Migrations int
-	// BusySeconds integrates assigned-accelerator time: one accelerator
-	// assigned for one virtual second contributes 1.0.
+	// BusySeconds integrates in-use accelerator time: one accelerator
+	// assigned (or shared by at least one tenant) for one virtual second
+	// contributes 1.0.
 	BusySeconds float64
 	// WaitSeconds integrates time acquire requests spent queued.
+	WaitSeconds float64
+	// Shared counts accelerators currently under shared leases (these are
+	// also counted in Assigned, preserving the legacy partition of Total);
+	// Sessions counts the shared leases held across them. Both are zero in
+	// exclusive-only operation.
+	Shared   int
+	Sessions int
+	// PerAccel is per-accelerator utilization, populated only by
+	// Client.StatsEx (the legacy Stats reply layout is unchanged).
+	PerAccel []AccelStats
+}
+
+// AccelStats is one accelerator's slice of the pool accounting, reported
+// by Client.StatsEx.
+type AccelStats struct {
+	ID   int
+	Rank int
+	// State is the accelerator's lifecycle state ("free", "assigned",
+	// "shared", "failed", "suspect", "reclaiming", "retired").
+	State string
+	// Sessions counts current holders: the sharer count of a shared
+	// accelerator, 1 when exclusively assigned, 0 otherwise.
+	Sessions int
+	// Grants counts leases ever granted on this accelerator.
+	Grants int
+	// BusySeconds integrates this accelerator's in-use time; WaitSeconds
+	// sums the queue wait of the grants it served.
+	BusySeconds float64
 	WaitSeconds float64
 }
 
@@ -163,7 +200,31 @@ const (
 	// acRetired: drained out of service; only an administrative repair
 	// brings it back.
 	acRetired
+	// acShared: held by one or more tenants under capacity-N shared
+	// leases (AcquireShared). Counted as assigned in the legacy stats.
+	acShared
 )
+
+func (st acState) String() string {
+	switch st {
+	case acFree:
+		return "free"
+	case acAssigned:
+		return "assigned"
+	case acShared:
+		return "shared"
+	case acFailed:
+		return "failed"
+	case acSuspect:
+		return "suspect"
+	case acReclaiming:
+		return "reclaiming"
+	case acRetired:
+		return "retired"
+	default:
+		return fmt.Sprintf("state(%d)", int(st))
+	}
+}
 
 // drainWait remembers the requester of a pending opDrain so the reply can
 // be sent once the accelerator actually retires.
@@ -178,26 +239,73 @@ type accel struct {
 	state acState
 	owner int // world rank of owner while assigned
 
+	// sharers maps tenant rank → lease expiry (0 = no lease) while the
+	// accelerator is shared. Non-empty only in acShared, except that a
+	// failure may freeze the map so tenants can still release.
+	sharers map[int]sim.Time
+
 	// Health bookkeeping (unused while the subsystem is off).
 	lease    sim.Time   // assignment expires when now passes this (0 = no lease)
 	dirty    bool       // device may hold residue; sanitize before re-granting
 	draining bool       // retire instead of freeing on next un-assignment
 	notified bool       // owner has been sent a suspect notice
 	drainer  *drainWait // pending opDrain reply
+
+	// Per-accelerator accounting (see AccelStats).
+	busySeconds float64
+	waitSeconds float64
+	grants      int
+}
+
+// holders counts the clients currently holding a: 1 for an exclusive
+// assignment, the sharer count for a shared accelerator, 0 otherwise.
+func (a *accel) holders() int {
+	switch a.state {
+	case acAssigned:
+		return 1
+	case acShared:
+		return len(a.sharers)
+	default:
+		return 0
+	}
+}
+
+// sortedSharerRanks returns a's sharer ranks in ascending order, so loops
+// over them are deterministic.
+func sortedSharerRanks(a *accel) []int {
+	ranks := make([]int, 0, len(a.sharers))
+	for r := range a.sharers {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	return ranks
 }
 
 type pendingAcquire struct {
 	src      int // communicator rank of requester
 	reqID    uint64
 	n        int
+	shared   bool // capacity-N shared leases instead of exclusive
 	enqueued sim.Time
+}
+
+// Options configures an ARM server beyond the queueing policy.
+type Options struct {
+	// Policy selects how queued (blocking) acquires are granted.
+	Policy Policy
+	// ShareCapacity is the maximum number of tenants AcquireShared may
+	// place on one accelerator. Zero (the default) disables shared leases
+	// entirely: AcquireShared fails with ErrBadRequest and the ARM behaves
+	// exactly as the exclusive-only manager.
+	ShareCapacity int
 }
 
 // Server is the ARM service state machine.
 type Server struct {
-	comm   *minimpi.Comm
-	sim    *sim.Simulation
-	policy Policy
+	comm     *minimpi.Comm
+	sim      *sim.Simulation
+	policy   Policy
+	shareCap int // tenants per accelerator for shared leases; 0 = disabled
 
 	accels []*accel // pool order = grant order (lowest id first)
 	byID   map[int]*accel
@@ -207,12 +315,12 @@ type Server struct {
 	health    HealthConfig
 	healthOn  bool
 	sanitizer func(p *sim.Proc, rank int) error
+	reaper    func(p *sim.Proc, rank, client int) error
 	lastBeat  map[int]sim.Time // daemon rank → last heartbeat arrival
 	closed    bool             // stops the detector tick after shutdown
 
 	// accounting
 	lastChange     sim.Time
-	assignedNow    int
 	busySeconds    float64
 	waitSeconds    float64
 	acquireCount   int
@@ -224,11 +332,20 @@ type Server struct {
 // NewServer creates an ARM serving the given accelerator inventory on the
 // communicator. Inventory ids must be unique.
 func NewServer(comm *minimpi.Comm, inventory []Handle, policy Policy) (*Server, error) {
+	return NewServerOpts(comm, inventory, Options{Policy: policy})
+}
+
+// NewServerOpts is NewServer with full options.
+func NewServerOpts(comm *minimpi.Comm, inventory []Handle, opts Options) (*Server, error) {
+	if opts.ShareCapacity < 0 {
+		return nil, fmt.Errorf("arm: negative share capacity %d", opts.ShareCapacity)
+	}
 	s := &Server{
-		comm:   comm,
-		sim:    comm.World().Sim(),
-		policy: policy,
-		byID:   make(map[int]*accel),
+		comm:     comm,
+		sim:      comm.World().Sim(),
+		policy:   opts.Policy,
+		shareCap: opts.ShareCapacity,
+		byID:     make(map[int]*accel),
 	}
 	for _, h := range inventory {
 		if _, dup := s.byID[h.ID]; dup {
@@ -284,6 +401,14 @@ func (s *Server) handle(src int, data []byte) bool {
 			return true
 		}
 		s.acquire(&pendingAcquire{src: src, reqID: reqID, n: n, enqueued: s.now()}, blocking)
+	case opAcquireShared:
+		n := r.Int()
+		blocking := r.U8() == 1
+		if r.Err() != nil || n <= 0 {
+			s.reply(src, reqID, statusBadRequest, nil)
+			return true
+		}
+		s.acquire(&pendingAcquire{src: src, reqID: reqID, n: n, shared: true, enqueued: s.now()}, blocking)
 	case opRelease:
 		count := r.Int()
 		ids := make([]int, 0, count)
@@ -297,6 +422,8 @@ func (s *Server) handle(src int, data []byte) bool {
 		s.release(src, reqID, ids)
 	case opStats:
 		s.reply(src, reqID, statusOK, s.encodeStats(s.now()))
+	case opStatsEx:
+		s.reply(src, reqID, statusOK, s.encodeStatsEx(s.now()))
 	case opFail:
 		s.setState(r.Int(), acFailed, src, reqID)
 	case opRepair:
@@ -381,21 +508,80 @@ func (s *Server) freeCount() int {
 	return n
 }
 
-// accrue charges the busy-time integral up to now.
+// accrue charges the busy-time integral up to now: each accelerator with
+// at least one holder adds the elapsed interval to its own busy time and
+// to the pool's. (A shared accelerator is busy, not busy-per-tenant: the
+// device is in use regardless of how many sessions share it.)
 func (s *Server) accrue(now sim.Time) {
 	dt := now.Sub(s.lastChange).Seconds()
 	if dt > 0 {
-		s.busySeconds += dt * float64(s.assignedNow)
+		for _, a := range s.accels {
+			if a.holders() > 0 {
+				a.busySeconds += dt
+				s.busySeconds += dt
+			}
+		}
 	}
 	s.lastChange = now
 }
 
+// sharedGrantable reports whether a can take one more sharer for client
+// src: free or already shared, not draining, below capacity, and src not
+// already sharing it (one lease per tenant per accelerator).
+func (s *Server) sharedGrantable(a *accel, src int) bool {
+	if a.draining || len(a.sharers) >= s.shareCap {
+		return false
+	}
+	if a.state != acFree && a.state != acShared {
+		return false
+	}
+	_, dup := a.sharers[src]
+	return !dup
+}
+
+// sharedAvailable counts accelerators that could take a new sharer for
+// src right now.
+func (s *Server) sharedAvailable(src int) int {
+	n := 0
+	for _, a := range s.accels {
+		if s.sharedGrantable(a, src) {
+			n++
+		}
+	}
+	return n
+}
+
+// canGrant reports whether req is satisfiable right now. Shared and
+// exclusive requests wait in the same FIFO queue; this is the single
+// grant predicate both kinds are checked against.
+func (s *Server) canGrant(req *pendingAcquire) bool {
+	if req.shared {
+		return s.sharedAvailable(req.src) >= req.n
+	}
+	return s.freeCount() >= req.n
+}
+
 func (s *Server) acquire(req *pendingAcquire, blocking bool) {
-	if req.n > s.operational() {
+	if req.shared && s.shareCap <= 0 {
+		// Sharing disabled: exclusive-only operation.
+		s.reply(req.src, req.reqID, statusBadRequest, nil)
+		return
+	}
+	ceiling := s.operational()
+	if req.shared {
+		// Accelerators this client already shares can never satisfy the
+		// request (one lease per tenant per accelerator).
+		for _, a := range s.accels {
+			if _, held := a.sharers[req.src]; held && a.state != acFailed && a.state != acRetired {
+				ceiling--
+			}
+		}
+	}
+	if req.n > ceiling {
 		s.reply(req.src, req.reqID, statusImpossible, nil)
 		return
 	}
-	if s.freeCount() >= req.n && (s.policy == Backfill || len(s.queue) == 0) {
+	if s.canGrant(req) && (s.policy == Backfill || len(s.queue) == 0) {
 		s.grant(req)
 		return
 	}
@@ -406,35 +592,75 @@ func (s *Server) acquire(req *pendingAcquire, blocking bool) {
 	s.queue = append(s.queue, req)
 }
 
-// grant assigns req.n free accelerators (lowest id first) and replies
-// with their handles.
+// pickShared selects n distinct accelerators for a new sharer:
+// least-loaded first (fewest current sharers) so tenants spread across
+// the pool, pool order breaking ties for determinism.
+func (s *Server) pickShared(src, n int) []*accel {
+	var cand []*accel
+	for _, a := range s.accels {
+		if s.sharedGrantable(a, src) {
+			cand = append(cand, a)
+		}
+	}
+	sort.SliceStable(cand, func(i, j int) bool {
+		return len(cand[i].sharers) < len(cand[j].sharers)
+	})
+	if len(cand) > n {
+		cand = cand[:n]
+	}
+	return cand
+}
+
+// grant assigns req.n accelerators and replies with their handles:
+// lowest-id free ones for an exclusive request, least-loaded shareable
+// ones for a shared request.
 func (s *Server) grant(req *pendingAcquire) {
-	s.accrue(s.now())
+	now := s.now()
+	s.accrue(now)
+	var lease sim.Time
+	if s.healthOn && s.health.LeaseTTL > 0 {
+		lease = now.Add(s.health.LeaseTTL)
+	}
+	wait := now.Sub(req.enqueued).Seconds()
 	w := wire.NewWriter(8 + 16*req.n)
 	w.Int(req.n)
 	granted := 0
-	for _, a := range s.accels {
-		if granted == req.n {
-			break
+	if req.shared {
+		for _, a := range s.pickShared(req.src, req.n) {
+			a.state = acShared
+			if a.sharers == nil {
+				a.sharers = make(map[int]sim.Time)
+			}
+			a.sharers[req.src] = lease
+			a.notified = false
+			a.grants++
+			a.waitSeconds += wait
+			w.Int(a.id).Int(a.rank)
+			granted++
 		}
-		if a.state != acFree {
-			continue
+	} else {
+		for _, a := range s.accels {
+			if granted == req.n {
+				break
+			}
+			if a.state != acFree {
+				continue
+			}
+			a.state = acAssigned
+			a.owner = req.src
+			a.notified = false
+			a.lease = lease
+			a.grants++
+			a.waitSeconds += wait
+			w.Int(a.id).Int(a.rank)
+			granted++
 		}
-		a.state = acAssigned
-		a.owner = req.src
-		a.notified = false
-		if s.healthOn && s.health.LeaseTTL > 0 {
-			a.lease = s.now().Add(s.health.LeaseTTL)
-		}
-		w.Int(a.id).Int(a.rank)
-		granted++
 	}
 	if granted != req.n {
 		panic(fmt.Sprintf("arm: grant invariant broken: %d of %d", granted, req.n))
 	}
-	s.assignedNow += req.n
 	s.acquireCount++
-	s.waitSeconds += s.now().Sub(req.enqueued).Seconds()
+	s.waitSeconds += wait
 	s.reply(req.src, req.reqID, statusOK, w.Bytes())
 }
 
@@ -442,25 +668,47 @@ func (s *Server) release(src int, reqID uint64, ids []int) {
 	// Validate ownership first so a bad release changes nothing.
 	for _, id := range ids {
 		a, ok := s.byID[id]
-		if !ok || (a.state == acAssigned && a.owner != src) || a.state == acFree {
+		if !ok || a.state == acFree {
 			s.reply(src, reqID, statusBadRequest, nil)
 			return
+		}
+		if a.state == acAssigned && a.owner != src {
+			s.reply(src, reqID, statusBadRequest, nil)
+			return
+		}
+		if a.state == acShared {
+			if _, held := a.sharers[src]; !held {
+				s.reply(src, reqID, statusBadRequest, nil)
+				return
+			}
 		}
 	}
 	s.accrue(s.now())
 	for _, id := range ids {
 		a := s.byID[id]
-		if a.state == acAssigned {
+		switch a.state {
+		case acAssigned:
 			a.owner = 0
-			s.assignedNow--
 			if a.draining {
 				s.retire(a)
 			} else {
 				a.state = acFree
 			}
+		case acShared:
+			delete(a.sharers, src)
+			if len(a.sharers) == 0 {
+				if a.draining {
+					s.retire(a)
+				} else {
+					a.state = acFree
+				}
+			}
+		default:
+			// Releasing a failed (or suspect, reclaiming, retired)
+			// accelerator leaves it in that state; just drop any frozen
+			// sharer bookkeeping for this tenant.
+			delete(a.sharers, src)
 		}
-		// Releasing a failed (or suspect, reclaiming, retired) accelerator
-		// leaves it in that state.
 	}
 	s.releaseCount++
 	s.reply(src, reqID, statusOK, nil)
@@ -468,7 +716,8 @@ func (s *Server) release(src int, reqID uint64, ids []int) {
 }
 
 // drainQueue grants queued requests according to the policy and rejects
-// requests that became impossible.
+// requests that became impossible. Shared and exclusive requests share
+// one queue, so FIFO head-of-line blocking holds across both kinds.
 func (s *Server) drainQueue() {
 	for {
 		progressed := false
@@ -478,7 +727,7 @@ func (s *Server) drainQueue() {
 			case req.n > s.operational():
 				s.reply(req.src, req.reqID, statusImpossible, nil)
 				progressed = true
-			case s.freeCount() >= req.n:
+			case s.canGrant(req):
 				s.grant(req)
 				progressed = true
 			default:
@@ -507,10 +756,21 @@ func (s *Server) drainQueue() {
 // same shape as an acquire reply with one handle.
 func (s *Server) replace(src int, reqID uint64, rank int) {
 	var failed *accel
+	shared := false
 	for _, a := range s.accels {
-		if a.rank == rank && a.state == acAssigned && a.owner == src {
+		if a.rank != rank {
+			continue
+		}
+		if a.state == acAssigned && a.owner == src {
 			failed = a
 			break
+		}
+		if a.state == acShared {
+			if _, held := a.sharers[src]; held {
+				failed = a
+				shared = true
+				break
+			}
 		}
 	}
 	if failed == nil {
@@ -518,14 +778,23 @@ func (s *Server) replace(src int, reqID uint64, rank int) {
 		return
 	}
 	s.accrue(s.now())
+	if shared {
+		// The daemon is down for every tenant on it: tell the other
+		// sharers so they can fail over too.
+		for _, r := range sortedSharerRanks(failed) {
+			if r != src {
+				s.notify(r, NoticeDead, failed)
+			}
+		}
+		failed.sharers = nil
+	}
 	failed.state = acFailed
 	failed.owner = 0
-	s.assignedNow--
 	s.settleDrainer(failed)
 	// The shrunken pool may make queued requests impossible; settle them
 	// before queueing the replacement acquire.
 	s.drainQueue()
-	s.acquire(&pendingAcquire{src: src, reqID: reqID, n: 1, enqueued: s.now()}, false)
+	s.acquire(&pendingAcquire{src: src, reqID: reqID, n: 1, shared: shared, enqueued: s.now()}, false)
 }
 
 // setState handles fail/repair administrative requests.
@@ -536,15 +805,15 @@ func (s *Server) setState(id int, state acState, src int, reqID uint64) {
 		return
 	}
 	s.accrue(s.now())
-	if a.state == acAssigned && state == acFailed {
-		// The paper's fault-tolerance property: the compute node survives;
-		// it discovers the failure on next use or at release.
-		s.assignedNow--
-	}
+	// Failing an assigned or shared accelerator is the paper's
+	// fault-tolerance property: the compute nodes survive and discover
+	// the failure on next use or at release (the sharer map is kept so
+	// those releases still validate).
 	if state == acFree {
 		// Administrative repair returns any out-of-service accelerator
 		// (failed, suspect, retired) to the pool, presumed clean.
 		a.owner = 0
+		a.sharers = nil
 		a.dirty = false
 		a.draining = false
 		if s.lastBeat != nil {
@@ -559,7 +828,10 @@ func (s *Server) setState(id int, state acState, src int, reqID uint64) {
 	s.drainQueue()
 }
 
-func (s *Server) encodeStats(now sim.Time) []byte {
+// snapshot accrues the time integrals and summarizes the pool. Shared
+// accelerators count under Assigned so the legacy partition of Total
+// (free + assigned + failed + suspect + retired) is unchanged.
+func (s *Server) snapshot(now sim.Time) PoolStats {
 	s.accrue(now)
 	st := PoolStats{
 		Total:      len(s.accels),
@@ -578,6 +850,10 @@ func (s *Server) encodeStats(now sim.Time) []byte {
 			st.Free++
 		case acAssigned:
 			st.Assigned++
+		case acShared:
+			st.Assigned++
+			st.Shared++
+			st.Sessions += len(a.sharers)
 		case acFailed:
 			st.Failed++
 		case acSuspect, acReclaiming:
@@ -586,15 +862,40 @@ func (s *Server) encodeStats(now sim.Time) []byte {
 			st.Retired++
 		}
 	}
-	w := wire.NewWriter(96)
+	return st
+}
+
+// encodeLegacyStats writes the original opStats reply layout, which is
+// byte-for-byte unchanged by the sharing work.
+func encodeLegacyStats(w *wire.Writer, st PoolStats) {
 	w.Int(st.Total).Int(st.Free).Int(st.Assigned).Int(st.Failed).Int(st.Queued)
 	w.Int(st.Acquires).Int(st.Releases).F64(st.BusySeconds).F64(st.WaitSeconds)
 	w.Int(st.Suspect).Int(st.Retired).Int(st.Reclaimed).Int(st.Migrations)
+}
+
+func (s *Server) encodeStats(now sim.Time) []byte {
+	w := wire.NewWriter(96)
+	encodeLegacyStats(w, s.snapshot(now))
 	return w.Bytes()
 }
 
-func decodeStats(body []byte) (PoolStats, error) {
-	r := wire.NewReader(body)
+// encodeStatsEx appends the sharing counters and the per-accelerator
+// utilization table to the legacy layout.
+func (s *Server) encodeStatsEx(now sim.Time) []byte {
+	st := s.snapshot(now)
+	w := wire.NewWriter(96 + 56*len(s.accels))
+	encodeLegacyStats(w, st)
+	w.Int(st.Shared).Int(st.Sessions)
+	w.Int(len(s.accels))
+	for _, a := range s.accels {
+		w.Int(a.id).Int(a.rank).Str(a.state.String())
+		w.Int(a.holders()).Int(a.grants)
+		w.F64(a.busySeconds).F64(a.waitSeconds)
+	}
+	return w.Bytes()
+}
+
+func decodeLegacyStats(r *wire.Reader) PoolStats {
 	st := PoolStats{
 		Total:    r.Int(),
 		Free:     r.Int(),
@@ -610,5 +911,32 @@ func decodeStats(body []byte) (PoolStats, error) {
 	st.Retired = r.Int()
 	st.Reclaimed = r.Int()
 	st.Migrations = r.Int()
+	return st
+}
+
+func decodeStats(body []byte) (PoolStats, error) {
+	r := wire.NewReader(body)
+	st := decodeLegacyStats(r)
+	return st, r.Err()
+}
+
+func decodeStatsEx(body []byte) (PoolStats, error) {
+	r := wire.NewReader(body)
+	st := decodeLegacyStats(r)
+	st.Shared = r.Int()
+	st.Sessions = r.Int()
+	count := r.Int()
+	if err := r.Err(); err != nil {
+		return PoolStats{}, err
+	}
+	st.PerAccel = make([]AccelStats, 0, count)
+	for i := 0; i < count; i++ {
+		as := AccelStats{ID: r.Int(), Rank: r.Int(), State: r.Str()}
+		as.Sessions = r.Int()
+		as.Grants = r.Int()
+		as.BusySeconds = r.F64()
+		as.WaitSeconds = r.F64()
+		st.PerAccel = append(st.PerAccel, as)
+	}
 	return st, r.Err()
 }

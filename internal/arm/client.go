@@ -90,6 +90,40 @@ func (c *Client) Acquire(p *sim.Proc, n int, blocking bool) ([]Handle, error) {
 	return handles, nil
 }
 
+// AcquireShared requests shared leases on n distinct accelerators. Unlike
+// Acquire, the grant does not evict or exclude other tenants: up to the
+// server's ShareCapacity clients can hold leases on one accelerator at a
+// time, each talking to the daemon under its own session. The returned
+// handles have Shared set. ErrBadRequest means the ARM was built without
+// sharing (ShareCapacity 0); blocking and ErrUnavailable/ErrImpossible
+// semantics match Acquire, with availability counted as accelerators that
+// can take one more sharer for this client.
+func (c *Client) AcquireShared(p *sim.Proc, n int, blocking bool) ([]Handle, error) {
+	status, payload, err := c.call(p, opAcquireShared, func(w *wire.Writer) {
+		b := uint8(0)
+		if blocking {
+			b = 1
+		}
+		w.Int(n).U8(b)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(status); err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(payload)
+	count := r.Int()
+	handles := make([]Handle, 0, count)
+	for i := 0; i < count; i++ {
+		handles = append(handles, Handle{ID: r.Int(), Rank: r.Int(), Shared: true})
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("arm: malformed acquire reply: %w", err)
+	}
+	return handles, nil
+}
+
 // Release returns previously acquired accelerators to the pool.
 func (c *Client) Release(p *sim.Proc, handles []Handle) error {
 	status, _, err := c.call(p, opRelease, func(w *wire.Writer) {
@@ -140,6 +174,20 @@ func (c *Client) Stats(p *sim.Proc) (PoolStats, error) {
 		return PoolStats{}, err
 	}
 	return decodeStats(payload)
+}
+
+// StatsEx fetches the pool snapshot plus the sharing counters and the
+// per-accelerator utilization table (PoolStats.Shared, .Sessions,
+// .PerAccel), which the legacy Stats reply omits.
+func (c *Client) StatsEx(p *sim.Proc) (PoolStats, error) {
+	status, payload, err := c.call(p, opStatsEx, nil)
+	if err != nil {
+		return PoolStats{}, err
+	}
+	if err := statusErr(status); err != nil {
+		return PoolStats{}, err
+	}
+	return decodeStatsEx(payload)
 }
 
 // Fail marks an accelerator broken (administrative; in a deployment this

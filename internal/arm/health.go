@@ -90,6 +90,15 @@ func (s *Server) ConfigureHealth(hc HealthConfig) error {
 // pool unwiped.
 func (s *Server) SetSanitizer(fn func(p *sim.Proc, rank int) error) { s.sanitizer = fn }
 
+// SetSessionReaper installs the function the ARM uses to tear down one
+// dead tenant's state on a shared accelerator's daemon (the cluster wires
+// core.Accel.ReapSessions here). Unlike the sanitizer, it is scoped to a
+// single client so surviving tenants on the same accelerator are
+// untouched. It runs in its own process; errors are ignored (the daemon
+// may itself be dead). Without a reaper, a revoked sharer's device state
+// is reclaimed only when the daemon's payload timeouts clean it up.
+func (s *Server) SetSessionReaper(fn func(p *sim.Proc, rank, client int) error) { s.reaper = fn }
+
 // EncodeHeartbeat builds the message a daemon sends the ARM every
 // heartbeat interval on TagRequest. active lists the world ranks of
 // clients that issued requests to the daemon since its previous beat;
@@ -197,6 +206,15 @@ func (s *Server) checkHealth() {
 			if a.state == acAssigned && now.Sub(a.lease) >= 0 {
 				s.reclaim(a)
 			}
+			if a.state == acShared {
+				// Shared leases expire per tenant: only the silent
+				// sharer is revoked, the others keep the accelerator.
+				for _, rank := range sortedSharerRanks(a) {
+					if lease := a.sharers[rank]; lease > 0 && now.Sub(lease) >= 0 {
+						s.reclaimShared(a, rank)
+					}
+				}
+			}
 		}
 	}
 	s.drainQueue()
@@ -214,6 +232,13 @@ func (s *Server) markSuspect(a *accel) {
 			a.notified = true
 			s.notify(a.owner, NoticeSuspect, a)
 		}
+	case acShared:
+		if !a.notified {
+			a.notified = true
+			for _, rank := range sortedSharerRanks(a) {
+				s.notify(rank, NoticeSuspect, a)
+			}
+		}
 	}
 }
 
@@ -227,7 +252,14 @@ func (s *Server) markDead(a *accel) {
 		s.accrue(s.now())
 		s.notify(a.owner, NoticeDead, a)
 		a.owner = 0
-		s.assignedNow--
+		a.state = acFailed
+		s.settleDrainer(a)
+	case acShared:
+		s.accrue(s.now())
+		for _, rank := range sortedSharerRanks(a) {
+			s.notify(rank, NoticeDead, a)
+		}
+		a.sharers = nil
 		a.state = acFailed
 		s.settleDrainer(a)
 	}
@@ -256,7 +288,7 @@ func (s *Server) heartbeat(src int, active []int) {
 				a.dirty = false
 				a.state = acFree
 			}
-		case acAssigned:
+		case acAssigned, acShared:
 			a.notified = false // suspicion episode over
 		}
 		// Detector-declared deaths (acFailed) do NOT auto-recover on
@@ -279,6 +311,11 @@ func (s *Server) touchClient(src int) {
 		if a.state == acAssigned && a.owner == src {
 			a.lease = exp
 		}
+		if a.state == acShared {
+			if _, held := a.sharers[src]; held {
+				a.sharers[src] = exp
+			}
+		}
 	}
 }
 
@@ -288,10 +325,37 @@ func (s *Server) reclaim(a *accel) {
 	s.accrue(s.now())
 	s.notify(a.owner, NoticeRevoked, a)
 	a.owner = 0
-	s.assignedNow--
 	a.dirty = true
 	s.reclaimedCount++
 	s.sanitizeOrSettle(a)
+}
+
+// reclaimShared revokes one expired sharer lease. The accelerator is not
+// sanitized wholesale — the surviving tenants' state must stay intact —
+// so instead the session reaper tears down just the dead tenant's
+// sessions on the daemon. Only when the last sharer leaves does the
+// accelerator return to the free pool.
+func (s *Server) reclaimShared(a *accel, client int) {
+	s.accrue(s.now())
+	s.notify(client, NoticeRevoked, a)
+	delete(a.sharers, client)
+	s.reclaimedCount++
+	if s.reaper != nil {
+		rank := a.rank
+		s.sim.Spawn(fmt.Sprintf("arm-reap-ac%d-cn%d", a.id, client), func(p *sim.Proc) {
+			// Best effort: the daemon may be dead too, in which case the
+			// detector handles the accelerator itself.
+			_ = s.reaper(p, rank, client)
+		})
+	}
+	if len(a.sharers) == 0 {
+		if a.draining {
+			s.retire(a)
+		} else {
+			a.state = acFree
+		}
+		s.drainQueue()
+	}
 }
 
 // sanitizeOrSettle wipes a just-revoked accelerator's device when a
@@ -383,7 +447,7 @@ func (s *Server) drain(src int, reqID uint64, id int, deadline sim.Duration) {
 		// freeing, and answer then.
 		a.draining = true
 		a.drainer = &drainWait{src: src, reqID: reqID}
-	case acAssigned:
+	case acAssigned, acShared:
 		s.accrue(s.now())
 		a.draining = true
 		a.drainer = &drainWait{src: src, reqID: reqID}
@@ -393,19 +457,26 @@ func (s *Server) drain(src int, reqID uint64, id int, deadline sim.Duration) {
 	}
 }
 
-// forceDrain fires when a drain deadline expires with the holder still
-// attached: the lease is revoked and the accelerator sanitized into
+// forceDrain fires when a drain deadline expires with holders still
+// attached: the lease(s) are revoked and the accelerator sanitized into
 // retirement.
 func (s *Server) forceDrain(a *accel) {
-	if a.state != acAssigned || !a.draining {
+	if (a.state != acAssigned && a.state != acShared) || !a.draining {
 		return
 	}
 	s.accrue(s.now())
-	s.notify(a.owner, NoticeRevoked, a)
-	a.owner = 0
-	s.assignedNow--
+	if a.state == acShared {
+		for _, rank := range sortedSharerRanks(a) {
+			s.notify(rank, NoticeRevoked, a)
+			s.reclaimedCount++
+		}
+		a.sharers = nil
+	} else {
+		s.notify(a.owner, NoticeRevoked, a)
+		a.owner = 0
+		s.reclaimedCount++
+	}
 	a.dirty = true
-	s.reclaimedCount++
 	s.sanitizeOrSettle(a)
 	s.drainQueue()
 }
@@ -417,7 +488,10 @@ func (s *Server) forceDrain(a *accel) {
 // silence lets the detector declare it dead — and a spare is granted
 // non-blocking, with the same reply shape as acquire. When no spare can
 // be granted right now the old assignment is kept: limping on a suspect
-// node beats holding nothing.
+// node beats holding nothing. Migration is exclusive-only: a shared
+// lease has no device state the ARM could hand over wholesale, so a
+// tenant on a suspect shared accelerator releases and re-acquires
+// instead (the client fails with ErrBadRequest here).
 func (s *Server) migrate(src int, reqID uint64, rank int) {
 	var old *accel
 	for _, a := range s.accels {
@@ -436,7 +510,6 @@ func (s *Server) migrate(src int, reqID uint64, rank int) {
 	}
 	s.accrue(s.now())
 	old.owner = 0
-	s.assignedNow--
 	old.state = acSuspect
 	old.dirty = true
 	old.notified = false

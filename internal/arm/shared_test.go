@@ -1,0 +1,331 @@
+package arm
+
+// Shared-lease (multi-tenant) behavior: capacity enforcement, least-
+// loaded spread, exclusive/shared mutual exclusion, FIFO fairness across
+// mixed request kinds, and the extended per-accelerator stats.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynacc/internal/minimpi"
+	"dynacc/internal/netmodel"
+	"dynacc/internal/sim"
+)
+
+// poolOpts is pool with full server options (sharing capacity).
+func poolOpts(t *testing.T, nAC, nCN int, opts Options, client func(p *sim.Proc, c *Client, rank int)) {
+	t.Helper()
+	s := sim.New()
+	w, err := minimpi.NewWorld(s, nCN+1, netmodel.QDRInfiniBand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inventory []Handle
+	for i := 0; i < nAC; i++ {
+		inventory = append(inventory, Handle{ID: i, Rank: 100 + i})
+	}
+	srv, err := NewServerOpts(w.Comm(0), inventory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Spawn("arm", srv.Run)
+	var procs []*sim.Proc
+	for r := 1; r <= nCN; r++ {
+		r := r
+		procs = append(procs, s.Spawn(fmt.Sprintf("cn%d", r), func(p *sim.Proc) {
+			client(p, NewClient(w.Comm(r), 0), r)
+		}))
+	}
+	s.Spawn("closer", func(p *sim.Proc) {
+		for _, cp := range procs {
+			cp.Done().Await(p)
+		}
+		if err := NewClient(w.Comm(1), 0).Shutdown(p); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedDisabledByDefault(t *testing.T) {
+	pool(t, 2, 1, FIFO, func(p *sim.Proc, c *Client, rank int) {
+		if _, err := c.AcquireShared(p, 1, false); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("AcquireShared without ShareCapacity: %v, want ErrBadRequest", err)
+		}
+		// Exclusive behavior is untouched.
+		hs, err := c.Acquire(p, 2, false)
+		if err != nil {
+			t.Fatalf("acquire: %v", err)
+		}
+		if err := c.Release(p, hs); err != nil {
+			t.Fatalf("release: %v", err)
+		}
+	})
+}
+
+func TestNegativeShareCapacityRejected(t *testing.T) {
+	s := sim.New()
+	w, err := minimpi.NewWorld(s, 2, netmodel.QDRInfiniBand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServerOpts(w.Comm(0), nil, Options{ShareCapacity: -1}); err == nil {
+		t.Fatal("negative ShareCapacity accepted")
+	}
+}
+
+// TestSharedSpreadCapacityAndStats drives one tenant across a two-
+// accelerator pool: leases spread least-loaded, a tenant never holds two
+// leases on one accelerator, and StatsEx reports the sharing state.
+func TestSharedSpreadCapacityAndStats(t *testing.T) {
+	poolOpts(t, 2, 1, Options{ShareCapacity: 2}, func(p *sim.Proc, c *Client, rank int) {
+		h1, err := c.AcquireShared(p, 1, false)
+		if err != nil {
+			t.Fatalf("first shared acquire: %v", err)
+		}
+		if len(h1) != 1 || !h1[0].Shared {
+			t.Fatalf("handles %+v, want one shared handle", h1)
+		}
+		h2, err := c.AcquireShared(p, 1, false)
+		if err != nil {
+			t.Fatalf("second shared acquire: %v", err)
+		}
+		if h2[0].ID == h1[0].ID {
+			t.Errorf("both leases landed on accel %d; want least-loaded spread", h1[0].ID)
+		}
+		// One lease per tenant per accelerator: both accels already carry
+		// this client, so a third lease is impossible for it (only its own
+		// releases could make room — blocking would deadlock), and a
+		// 3-wide request can never be satisfied either.
+		if _, err := c.AcquireShared(p, 1, false); !errors.Is(err, ErrImpossible) {
+			t.Errorf("third lease: %v, want ErrImpossible", err)
+		}
+		if _, err := c.AcquireShared(p, 3, true); !errors.Is(err, ErrImpossible) {
+			t.Errorf("3-wide shared acquire on 2 accels: %v, want ErrImpossible", err)
+		}
+		p.Wait(2 * sim.Millisecond) // accrue some busy time
+
+		st, err := c.StatsEx(p)
+		if err != nil {
+			t.Fatalf("statsex: %v", err)
+		}
+		if st.Shared != 2 || st.Sessions != 2 {
+			t.Errorf("Shared=%d Sessions=%d, want 2/2", st.Shared, st.Sessions)
+		}
+		// Legacy partition: shared accels count as assigned.
+		if st.Assigned != 2 || st.Free != 0 || st.Total != 2 {
+			t.Errorf("legacy partition %+v", st)
+		}
+		if len(st.PerAccel) != 2 {
+			t.Fatalf("PerAccel has %d entries", len(st.PerAccel))
+		}
+		for _, as := range st.PerAccel {
+			if as.State != "shared" || as.Sessions != 1 || as.Grants != 1 {
+				t.Errorf("accel %d: %+v, want shared/1 session/1 grant", as.ID, as)
+			}
+			if as.BusySeconds <= 0 {
+				t.Errorf("accel %d busy %v, want > 0", as.ID, as.BusySeconds)
+			}
+		}
+		// The plain Stats reply must not know about sharing (layout pin).
+		lst, err := c.Stats(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lst.Shared != 0 || lst.Sessions != 0 || lst.PerAccel != nil {
+			t.Errorf("legacy Stats leaked sharing fields: %+v", lst)
+		}
+
+		if err := c.Release(p, h1); err != nil {
+			t.Fatalf("release h1: %v", err)
+		}
+		st, err = c.StatsEx(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Shared != 1 || st.Free != 1 {
+			t.Errorf("after release: %+v, want 1 shared 1 free", st)
+		}
+		if err := c.Release(p, h2); err != nil {
+			t.Fatalf("release h2: %v", err)
+		}
+	})
+}
+
+// TestSharedCapacityAcrossTenants fills one accelerator to ShareCapacity
+// with distinct tenants and verifies the next tenant blocks until a
+// sharer leaves.
+func TestSharedCapacityAcrossTenants(t *testing.T) {
+	var grantedAt sim.Time
+	poolOpts(t, 1, 3, Options{ShareCapacity: 2}, func(p *sim.Proc, c *Client, rank int) {
+		p.Wait(sim.Duration(rank) * 100 * sim.Microsecond)
+		switch rank {
+		case 1, 2:
+			hs, err := c.AcquireShared(p, 1, false)
+			if err != nil {
+				t.Errorf("rank %d shared acquire: %v", rank, err)
+				return
+			}
+			// Rank 1 leaves at 5ms, making room for rank 3; rank 2 stays
+			// until 8ms.
+			hold := 5 * sim.Millisecond
+			if rank == 2 {
+				hold = 8 * sim.Millisecond
+			}
+			p.Wait(hold)
+			if err := c.Release(p, hs); err != nil {
+				t.Errorf("rank %d release: %v", rank, err)
+			}
+		case 3:
+			// Capacity 2 is full: non-blocking fails, blocking waits for
+			// rank 1's release.
+			if _, err := c.AcquireShared(p, 1, false); !errors.Is(err, ErrUnavailable) {
+				t.Errorf("over-capacity acquire: %v, want ErrUnavailable", err)
+			}
+			hs, err := c.AcquireShared(p, 1, true)
+			if err != nil {
+				t.Errorf("blocking shared acquire: %v", err)
+				return
+			}
+			grantedAt = sim.Time(p.Sim().Now())
+			if err := c.Release(p, hs); err != nil {
+				t.Errorf("rank 3 release: %v", err)
+			}
+		}
+	})
+	if grantedAt < sim.Time(5*sim.Millisecond) {
+		t.Errorf("third tenant granted at %v, before any sharer released", grantedAt)
+	}
+}
+
+// TestSharedExclusiveMutualExclusion: an accelerator under shared leases
+// is not exclusively grantable and vice versa.
+func TestSharedExclusiveMutualExclusion(t *testing.T) {
+	poolOpts(t, 1, 2, Options{ShareCapacity: 4}, func(p *sim.Proc, c *Client, rank int) {
+		switch rank {
+		case 1:
+			hs, err := c.AcquireShared(p, 1, false)
+			if err != nil {
+				t.Errorf("shared acquire: %v", err)
+				return
+			}
+			p.Wait(2 * sim.Millisecond)
+			if err := c.Release(p, hs); err != nil {
+				t.Errorf("release: %v", err)
+				return
+			}
+			p.Wait(2 * sim.Millisecond)
+			// Now rank 2 holds it exclusively: no shared lease fits.
+			if _, err := c.AcquireShared(p, 1, false); !errors.Is(err, ErrUnavailable) {
+				t.Errorf("shared acquire on exclusive accel: %v, want ErrUnavailable", err)
+			}
+		case 2:
+			p.Wait(sim.Millisecond)
+			// Rank 1 shares the only accel: exclusive must wait.
+			if _, err := c.Acquire(p, 1, false); !errors.Is(err, ErrUnavailable) {
+				t.Errorf("exclusive acquire on shared accel: %v, want ErrUnavailable", err)
+			}
+			hs, err := c.Acquire(p, 1, true) // granted once rank 1 releases
+			if err != nil {
+				t.Errorf("blocking exclusive acquire: %v", err)
+				return
+			}
+			p.Wait(4 * sim.Millisecond)
+			if err := c.Release(p, hs); err != nil {
+				t.Errorf("release: %v", err)
+			}
+		}
+	})
+}
+
+// TestSharedReleaseValidation: a tenant cannot release a shared
+// accelerator it has no lease on, and the failed attempt changes nothing.
+func TestSharedReleaseValidation(t *testing.T) {
+	poolOpts(t, 1, 2, Options{ShareCapacity: 2}, func(p *sim.Proc, c *Client, rank int) {
+		switch rank {
+		case 1:
+			hs, err := c.AcquireShared(p, 1, false)
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			p.Wait(3 * sim.Millisecond)
+			if err := c.Release(p, hs); err != nil {
+				t.Errorf("owner release after foreign attempt: %v", err)
+			}
+		case 2:
+			p.Wait(sim.Millisecond)
+			if err := c.Release(p, []Handle{{ID: 0, Rank: 100}}); !errors.Is(err, ErrBadRequest) {
+				t.Errorf("foreign release: %v, want ErrBadRequest", err)
+			}
+			st, err := c.StatsEx(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if st.Sessions != 1 {
+				t.Errorf("foreign release changed the books: %+v", st)
+			}
+		}
+	})
+}
+
+// TestPropertySharedExclusiveFIFO is the grant-fairness property: under
+// the FIFO policy, any mix of pending shared and exclusive acquires is
+// granted strictly in arrival order, and every request is eventually
+// granted (no starvation).
+func TestPropertySharedExclusiveFIFO(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nCN := 3 + rng.Intn(5)
+		shared := make([]bool, nCN)
+		for i := range shared {
+			shared[i] = rng.Intn(2) == 0
+		}
+		delays := rng.Perm(nCN)
+		var order []int
+		ok := true
+		poolOpts(t, 2, nCN, Options{Policy: FIFO, ShareCapacity: 2}, func(p *sim.Proc, c *Client, rank int) {
+			d := delays[rank-1]
+			p.Wait(sim.Duration(d+1) * sim.Millisecond)
+			var hs []Handle
+			var err error
+			if shared[rank-1] {
+				hs, err = c.AcquireShared(p, 1, true)
+			} else {
+				hs, err = c.Acquire(p, 1, true)
+			}
+			if err != nil {
+				t.Errorf("rank %d (shared=%v): %v", rank, shared[rank-1], err)
+				ok = false
+				return
+			}
+			order = append(order, d)
+			p.Wait(500 * sim.Microsecond)
+			if err := c.Release(p, hs); err != nil {
+				t.Errorf("rank %d release: %v", rank, err)
+				ok = false
+			}
+		})
+		if len(order) != nCN {
+			t.Errorf("seed %d: %d of %d requests granted (starvation)", seed, len(order), nCN)
+			return false
+		}
+		for i := 1; i < len(order); i++ {
+			if order[i] < order[i-1] {
+				t.Errorf("seed %d: FIFO violated across kinds %v: grant order %v", seed, shared, order)
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -31,6 +31,27 @@ func NewContext(ac *core.Accel) *Context {
 	return &Context{ac: ac}
 }
 
+// NewSessionContext opens a session-scoped context on the daemon at
+// daemonRank: the accelerator may be shared with other tenants (an
+// arm.AcquireShared lease), and this context's buffers are namespaced,
+// quota-checked (core.Options.SessionQuota), and sanitized on Release
+// without touching the other tenants. The OpenCL analogy holds up —
+// contexts are exactly OpenCL's isolation boundary.
+func NewSessionContext(p *sim.Proc, c *core.Client, daemonRank int) (*Context, error) {
+	ac, err := c.AttachSession(p, daemonRank)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{ac: ac}, nil
+}
+
+// Release closes the context's session, freeing every allocation it
+// still owns on the daemon (clReleaseContext). A no-op for contexts
+// created over a plain attachment with NewContext.
+func (c *Context) Release(p *sim.Proc) error {
+	return c.ac.CloseSession(p)
+}
+
 // Accel exposes the underlying middleware handle.
 func (c *Context) Accel() *core.Accel { return c.ac }
 

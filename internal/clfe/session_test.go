@@ -1,0 +1,91 @@
+package clfe
+
+import (
+	"bytes"
+	"testing"
+
+	"dynacc/internal/cluster"
+	"dynacc/internal/gpu"
+	"dynacc/internal/sim"
+)
+
+// TestSessionContextsShareAccelerator runs two tenants' OpenCL-style
+// contexts against one shared accelerator: each works in its own session
+// namespace, and releasing one context frees only its buffers.
+func TestSessionContextsShareAccelerator(t *testing.T) {
+	reg := gpu.NewRegistry()
+	reg.Register(gpu.FuncKernel{
+		KernelName: "bump",
+		CostFn:     func(gpu.Launch, gpu.Model) sim.Duration { return 10 * sim.Microsecond },
+		ExecFn: func(l gpu.Launch, dev *gpu.Device) error {
+			ptr := l.Arg(0).Ptr
+			n := int(l.Arg(1).Int)
+			vals, err := dev.ReadFloat64s(ptr, 0, n)
+			if err != nil {
+				return err
+			}
+			for i := range vals {
+				vals[i]++
+			}
+			return dev.WriteFloat64s(ptr, 0, vals)
+		},
+	})
+	cl, err := cluster.New(cluster.Config{
+		ComputeNodes:  2,
+		Accelerators:  1,
+		Registry:      reg,
+		Execute:       true,
+		ShareCapacity: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SpawnAll(func(p *sim.Proc, node *cluster.Node) {
+		handles, err := node.ARM.AcquireShared(p, 1, true)
+		if err != nil {
+			t.Errorf("cn%d shared acquire: %v", node.Rank, err)
+			return
+		}
+		defer node.ARM.Release(p, handles)
+		ctx, err := NewSessionContext(p, node.FE, handles[0].Rank)
+		if err != nil {
+			t.Errorf("cn%d session context: %v", node.Rank, err)
+			return
+		}
+		defer ctx.Release(p)
+
+		const n = 64
+		buf, err := ctx.CreateBuffer(p, n*8)
+		if err != nil {
+			t.Errorf("cn%d buffer: %v", node.Rank, err)
+			return
+		}
+		q := ctx.CreateQueue(uint8(1))
+		host := make([]byte, n*8)
+		for i := range host {
+			host[i] = byte(node.Rank + 1)
+		}
+		if _, err := q.EnqueueWriteBuffer(buf, 0, host, len(host)); err != nil {
+			t.Errorf("cn%d write: %v", node.Rank, err)
+			return
+		}
+		got := make([]byte, n*8)
+		if _, err := q.EnqueueReadBuffer(buf, 0, got, len(got)); err != nil {
+			t.Errorf("cn%d read: %v", node.Rank, err)
+			return
+		}
+		if err := q.Finish(p); err != nil {
+			t.Errorf("cn%d finish: %v", node.Rank, err)
+			return
+		}
+		if !bytes.Equal(got, host) {
+			t.Errorf("cn%d read back foreign or corrupt data", node.Rank)
+		}
+	})
+	if _, err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if used := cl.Daemons[0].Device().MemUsed(); used != 0 {
+		t.Errorf("%d bytes leaked after both contexts released", used)
+	}
+}

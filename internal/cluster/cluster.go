@@ -14,6 +14,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -53,6 +54,12 @@ type Config struct {
 
 	// Policy is the ARM queueing policy.
 	Policy arm.Policy
+
+	// ShareCapacity, when positive, lets the ARM grant shared leases
+	// (arm.Client.AcquireShared): up to this many tenants per
+	// accelerator, each isolated in its own daemon session. Zero keeps
+	// the exclusive-only behavior.
+	ShareCapacity int
 
 	// LocalGPUs attaches this many node-local GPUs to every compute node
 	// (the static-architecture baseline).
@@ -99,6 +106,11 @@ type Node struct {
 	FE *core.Client
 	// Local holds the node-local GPUs (empty unless Config.LocalGPUs).
 	Local []*gpu.Device
+
+	// sessions records the session-scoped attachments made through
+	// AttachSession, so teardown can close them without device-resetting
+	// shared accelerators under other tenants.
+	sessions []*core.Accel
 }
 
 // NodeARM wraps the resource-management client with acquisition
@@ -115,6 +127,16 @@ type NodeARM struct {
 // records them for end-of-job cleanup.
 func (na *NodeARM) Acquire(p *sim.Proc, n int, blocking bool) ([]arm.Handle, error) {
 	handles, err := na.Client.Acquire(p, n, blocking)
+	for _, h := range handles {
+		na.held[h.ID] = h
+	}
+	return handles, err
+}
+
+// AcquireShared requests shared leases on n accelerators (see
+// arm.Client.AcquireShared) and records them for end-of-job cleanup.
+func (na *NodeARM) AcquireShared(p *sim.Proc, n int, blocking bool) ([]arm.Handle, error) {
+	handles, err := na.Client.AcquireShared(p, n, blocking)
 	for _, h := range handles {
 		na.held[h.ID] = h
 	}
@@ -191,6 +213,21 @@ func (na *NodeARM) Held() []arm.Handle {
 
 // Attach wraps an ARM handle with this node's front-end.
 func (n *Node) Attach(h arm.Handle) *core.Accel { return n.FE.Attach(h.Rank) }
+
+// AttachSession wraps an ARM handle with a session-scoped attachment:
+// the daemon namespaces this node's device pointers, charges its
+// allocations against core.Options.SessionQuota, and sanitizes only this
+// session's state when it closes. Required for handles acquired with
+// AcquireShared; also usable on exclusive ones. The session is closed
+// automatically at teardown if still open.
+func (n *Node) AttachSession(p *sim.Proc, h arm.Handle) (*core.Accel, error) {
+	ac, err := n.FE.AttachSession(p, h.Rank)
+	if err != nil {
+		return nil, err
+	}
+	n.sessions = append(n.sessions, ac)
+	return ac, nil
+}
 
 // MigrateRank live-migrates this node's state off the daemon at oldRank:
 // the ARM trades the assignment for a spare, then every attached handle
@@ -300,7 +337,8 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	// The ARM.
-	srv, err := arm.NewServer(w.Comm(cl.armRank), inventory, cfg.Policy)
+	srv, err := arm.NewServerOpts(w.Comm(cl.armRank), inventory,
+		arm.Options{Policy: cfg.Policy, ShareCapacity: cfg.ShareCapacity})
 	if err != nil {
 		return nil, err
 	}
@@ -331,6 +369,14 @@ func New(cfg Config) (*Cluster, error) {
 		srv.SetSanitizer(func(p *sim.Proc, rank int) error {
 			return sanFE.Attach(rank).Reset(p)
 		})
+		if cfg.ShareCapacity > 0 {
+			// Expired sharer leases must not device-reset the accelerator
+			// under the surviving tenants: reap only the dead client's
+			// sessions instead.
+			srv.SetSessionReaper(func(p *sim.Proc, rank, client int) error {
+				return sanFE.Attach(rank).ReapSessions(p, client)
+			})
+		}
 	}
 	s.Spawn("arm", srv.Run)
 
@@ -450,6 +496,18 @@ func (cl *Cluster) Run() (sim.Time, error) {
 		// the wire; they are reported failed instead so the ARM's books
 		// stay consistent.
 		for _, n := range cl.nodes {
+			// Close leftover sessions first: a session close sanitizes only
+			// that session's allocations, so shared accelerators are never
+			// device-reset under surviving tenants.
+			for _, ac := range n.sessions {
+				d := cl.daemonAt(ac.Rank())
+				if d == nil || !d.Alive() || d.Device().Failed() != nil {
+					continue
+				}
+				if err := ac.CloseSession(p); err != nil && !errors.Is(err, core.ErrNoSession) {
+					panic(fmt.Sprintf("cluster: auto-release session close: %v", err))
+				}
+			}
 			leftovers := n.ARM.Held()
 			if len(leftovers) == 0 {
 				continue
@@ -460,6 +518,12 @@ func (cl *Cluster) Run() (sim.Time, error) {
 					if err := n.ARM.Fail(p, h.ID); err != nil && err != arm.ErrBadRequest {
 						panic(fmt.Sprintf("cluster: auto-release fail report: %v", err))
 					}
+					continue
+				}
+				if h.Shared {
+					// The node's state on a shared accelerator lives in its
+					// sessions, wiped above; a device-wide reset would take
+					// the other tenants' memory with it.
 					continue
 				}
 				if err := n.FE.Attach(h.Rank).Reset(p); err != nil {
@@ -523,8 +587,10 @@ func (cl *Cluster) KillClient(i int) {
 		m.Kill()
 	}
 	// The crashed process's bookkeeping dies with it: teardown must not
-	// try to release handles on the dead node's behalf.
+	// try to release handles (or close sessions) on the dead node's
+	// behalf — with the health subsystem on, lease expiry reaps them.
 	cl.nodes[i].ARM.held = make(map[int]arm.Handle)
+	cl.nodes[i].sessions = nil
 }
 
 // DrainDaemon gracefully retires accelerator daemon i via node n's ARM

@@ -74,6 +74,11 @@ type Options struct {
 	// this many bytes ride inside the command buffer instead of opening a
 	// block-stream exchange. Only effective with batching on.
 	InlineCopy int
+	// SessionQuota is the per-session device-memory budget in bytes for
+	// handles opened with AttachSession: allocations past it fail with
+	// ErrQuotaExceeded. Zero means unlimited. Exclusive (session-less)
+	// attachments ignore it.
+	SessionQuota int64
 }
 
 // DefaultBatchBytes bounds one command buffer's wire size when
@@ -114,6 +119,9 @@ func (o Options) Validate() error {
 	if o.BatchOps > maxBatchOps {
 		return fmt.Errorf("core: BatchOps %d exceeds protocol limit %d", o.BatchOps, maxBatchOps)
 	}
+	if o.SessionQuota < 0 {
+		return fmt.Errorf("core: negative session quota %d", o.SessionQuota)
+	}
 	return o.D2H.Validate()
 }
 
@@ -137,6 +145,7 @@ type Client struct {
 	comm     *minimpi.Comm
 	opts     Options
 	nextReq  uint64
+	nextSess uint64
 	replacer Replacer
 
 	// attached lists every handle this client created, so rank-wide
@@ -178,6 +187,58 @@ func (c *Client) Attach(daemonRank int) *Accel {
 	return a
 }
 
+// AttachSession binds a daemon rank like Attach and opens a private
+// tenant session on it: the handle's allocations live in their own
+// namespace (no other session can read, write or free them), count
+// against Options.SessionQuota, and are freed together by CloseSession.
+// Use it with shared ARM leases (arm.AcquireShared) to time-share one
+// accelerator among several clients; plain Attach keeps the exclusive
+// session-less protocol bit for bit.
+func (c *Client) AttachSession(p *sim.Proc, daemonRank int) (*Accel, error) {
+	a := c.Attach(daemonRank)
+	if err := a.openSession(p); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// openSession establishes a fresh session id on the handle's current
+// rank. Failover/Migrate reuse it to re-home a sessioned handle.
+func (a *Accel) openSession(p *sim.Proc) error {
+	a.c.nextSess++
+	a.session = a.c.nextSess
+	return a.newCall(&request{op: OpSessionOpen, quota: a.c.opts.SessionQuota}, true).statusOnly(p)
+}
+
+// Session returns the handle's session id; zero means the exclusive
+// session-less mode.
+func (a *Accel) Session() uint64 { return a.session }
+
+// CloseSession flushes the handle and closes its session: the daemon
+// drains the session's in-flight work and frees every allocation it
+// still owns, leaving other tenants untouched. Closing is idempotent;
+// the handle is dead afterwards (further calls fail with ErrNoSession).
+// A no-op on session-less handles.
+func (a *Accel) CloseSession(p *sim.Proc) error {
+	if a.session == 0 {
+		return nil
+	}
+	a.flushAll()
+	err := a.newCall(&request{op: OpSessionClose}, true).statusOnly(p)
+	if err == nil {
+		a.allocs = make(map[gpu.Ptr]*allocRecord)
+		a.remap = make(map[gpu.Ptr]gpu.Ptr)
+	}
+	return err
+}
+
+// ReapSessions closes every session a given client rank holds on this
+// handle's daemon: the ARM's reclaim path after a tenant death. Only the
+// dead tenant's allocations are freed.
+func (a *Accel) ReapSessions(p *sim.Proc, clientRank int) error {
+	return a.newCall(&request{op: OpSessionReap, peer: clientRank}, true).statusOnly(p)
+}
+
 // allocRecord is the front-end's failover ledger entry for one device
 // allocation: its size, and a lazily created host mirror of everything
 // the front-end itself put there (uploads and memsets). The mirror is
@@ -212,6 +273,11 @@ type Accel struct {
 	// instead of interleaving with rebuild traffic.
 	recs    map[uint8]*recorder
 	noFlush bool
+
+	// session is the tenant session id every request of this handle
+	// carries (AttachSession); zero is the exclusive session-less mode,
+	// whose wire traffic is identical to the pre-session protocol.
+	session uint64
 }
 
 // Rank returns the communicator rank of the accelerator's daemon.
@@ -307,6 +373,7 @@ func (a *Accel) newCall(q *request, retry bool) *call {
 func (a *Accel) newCallPadded(q *request, retry bool, pad int) *call {
 	a.c.nextReq++
 	q.reqID = a.c.nextReq
+	q.session = a.session
 	a.translateReq(q)
 	cl := &call{a: a, q: q, enc: encodeRequest(q), retry: retry, pad: pad}
 	cl.resp = a.c.comm.Irecv(a.rank, respTag(q.reqID))
@@ -1001,6 +1068,14 @@ func (c *Client) Failover(p *sim.Proc, a *Accel) error {
 	// together, never half.
 	a.noFlush = true
 	defer func() { a.noFlush = false }()
+	// A sessioned handle needs a session on the replacement before any
+	// rebuild traffic: open a fresh id there (the dead daemon's session
+	// died with it; the ARM reaps whatever survives a partial failure).
+	if a.session != 0 {
+		if err := a.openSession(p); err != nil {
+			return fmt.Errorf("core: failover %d->%d: open session: %w", oldRank, newRank, err)
+		}
+	}
 	// Deterministic rebuild order: sorted app-visible pointers.
 	ptrs := make([]gpu.Ptr, 0, len(a.allocs))
 	for ptr := range a.allocs {
@@ -1054,8 +1129,15 @@ func (c *Client) Migrate(p *sim.Proc, a *Accel, newRank int) error {
 	oldRank := a.rank
 	// A raw handle for the destination: allocations land in its ledger,
 	// which is discarded — the migrated handle keeps the original
-	// app-visible pointers and records.
+	// app-visible pointers and records. A sessioned handle gets a fresh
+	// session on the destination; the allocations made below belong to it,
+	// and the handle adopts it when the swap commits.
 	tmp := c.Attach(newRank)
+	if a.session != 0 {
+		if err := tmp.openSession(p); err != nil {
+			return fmt.Errorf("core: migrate %d->%d: open session: %w", oldRank, newRank, err)
+		}
+	}
 	ptrs := make([]gpu.Ptr, 0, len(a.allocs))
 	for ptr := range a.allocs {
 		ptrs = append(ptrs, ptr)
@@ -1080,8 +1162,18 @@ func (c *Client) Migrate(p *sim.Proc, a *Accel, newRank int) error {
 		}
 		newRemap[ptr] = phys
 	}
+	oldSession := a.session
 	a.rank = newRank
 	a.remap = newRemap
+	if oldSession != 0 {
+		// Adopt the destination session, then close the old one so the old
+		// daemon frees the migrated-away allocations (best effort: the old
+		// daemon is suspect and may be gone).
+		a.session = tmp.session
+		old := c.Attach(oldRank)
+		old.session = oldSession
+		_ = old.CloseSession(p)
+	}
 	return nil
 }
 

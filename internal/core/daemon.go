@@ -58,6 +58,9 @@ type DaemonStats struct {
 	// the commands they carried (each batch is one entry in Requests).
 	Batches    int64
 	BatchedOps int64
+	// SessionsOpened counts tenant sessions ever opened (multi-tenant
+	// sharing; zero in exclusive mode).
+	SessionsOpened int64
 }
 
 // dedupKey identifies a request for idempotency: the sender's rank plus
@@ -103,6 +106,13 @@ type Daemon struct {
 	// encoded response afterwards (duplicates are re-answered from cache).
 	seen      map[dedupKey][]byte
 	seenOrder []dedupKey
+
+	// Tenant sessions (multi-tenant sharing). sessOrder is the open order
+	// the round-robin scheduler walks; sessRR is its cursor. Empty in
+	// exclusive mode.
+	sessions  map[sessKey]*session
+	sessOrder []sessKey
+	sessRR    int
 }
 
 // NewDaemon creates a daemon serving the device on the given communicator
@@ -113,11 +123,15 @@ func NewDaemon(comm *minimpi.Comm, dev *gpu.Device, cfg DaemonConfig) *Daemon {
 		dev:     dev,
 		cfg:     cfg,
 		sim:     comm.World().Sim(),
-		streams: make(map[uint8]*sim.Mailbox),
-		seen:    make(map[dedupKey][]byte),
-		active:  make(map[int]struct{}),
+		streams:  make(map[uint8]*sim.Mailbox),
+		seen:     make(map[dedupKey][]byte),
+		active:   make(map[int]struct{}),
+		sessions: make(map[sessKey]*session),
 	}
 }
+
+// OpenSessions returns the number of tenant sessions currently open.
+func (d *Daemon) OpenSessions() int { return len(d.sessions) }
 
 // Stats returns cumulative counters.
 func (d *Daemon) Stats() DaemonStats { return d.stats }
@@ -235,17 +249,14 @@ func (d *Daemon) Run(p *sim.Proc) {
 		}
 		d.admit(key)
 		d.stats.Requests++
-		switch q.op {
-		case OpShutdown:
+		switch {
+		case q.op == OpShutdown:
 			g := d.barrier(true)
 			g.done.Await(p)
+			d.drainSessions(p)
 			d.respond(st.Source, q.reqID, nil, 0)
 			return
-		case OpSync:
-			src, reqID := st.Source, q.reqID
-			g := d.barrier(false)
-			g.done.OnTrigger(func() { d.respond(src, reqID, nil, 0) })
-		case OpDeviceInfo:
+		case q.op == OpDeviceInfo:
 			di := DeviceInfo{
 				ModelName: d.dev.Model().Name,
 				MemBytes:  d.dev.Model().MemBytes,
@@ -254,6 +265,14 @@ func (d *Daemon) Run(p *sim.Proc) {
 				Kernels:   d.dev.Registry().Names(),
 			}
 			d.sendResponse(st.Source, q.reqID, &response{status: statusOK, payload: encodeDeviceInfo(di)})
+		case q.op == OpSessionReap:
+			d.reapSessions(st.Source, q)
+		case q.session != 0:
+			d.handleSession(st.Source, q)
+		case q.op == OpSync:
+			src, reqID := st.Source, q.reqID
+			g := d.barrier(false)
+			g.done.OnTrigger(func() { d.respond(src, reqID, nil, 0) })
 		default:
 			d.stream(q.stream).Send(workItem{src: st.Source, q: q})
 		}
@@ -331,11 +350,11 @@ func (d *Daemon) stream(id uint8) *sim.Mailbox {
 	return mbox
 }
 
-// respond sends a status-only response.
+// respond sends a status-only response; typed session errors map to
+// their wire status codes.
 func (d *Daemon) respond(src int, reqID uint64, err error, ptr gpu.Ptr) {
-	rsp := &response{status: statusOK, ptr: ptr}
+	rsp := &response{status: statusForErr(err), ptr: ptr}
 	if err != nil {
-		rsp.status = statusError
 		rsp.errmsg = err.Error()
 	}
 	d.sendResponse(src, reqID, rsp)
@@ -366,26 +385,26 @@ func (d *Daemon) execute(p *sim.Proc, src int, q *request) {
 	case OpMemset:
 		d.respond(src, q.reqID, d.dev.Memset(p, q.ptr, q.off, q.size, q.value), 0)
 	case OpBatch:
-		d.executeBatch(p, src, q)
+		d.executeBatch(p, src, q, nil)
 	case OpReset:
 		d.dev.Reset(p)
 		d.respond(src, q.reqID, nil, 0)
 	case OpMemcpyH2D:
-		d.recvToDevice(p, src, q, src, dataTag(q.reqID))
+		d.recvToDevice(p, src, q, src, dataTag(q.reqID), nil)
 	case OpMemcpyD2H:
-		d.sendFromDevice(p, src, q, src, dataTag(q.reqID))
+		d.sendFromDevice(p, src, q, src, dataTag(q.reqID), nil)
 	case OpD2DRecv:
 		if q.peer >= d.comm.Size() {
 			d.respond(src, q.reqID, fmt.Errorf("core: D2D peer rank %d out of range", q.peer), 0)
 			return
 		}
-		d.recvToDevice(p, src, q, q.peer, d2dTag(q.xferID))
+		d.recvToDevice(p, src, q, q.peer, d2dTag(q.xferID), nil)
 	case OpD2DSend:
 		if q.peer >= d.comm.Size() {
 			d.respond(src, q.reqID, fmt.Errorf("core: D2D peer rank %d out of range", q.peer), 0)
 			return
 		}
-		d.sendFromDevice(p, src, q, q.peer, d2dTag(q.xferID))
+		d.sendFromDevice(p, src, q, q.peer, d2dTag(q.xferID), nil)
 	default:
 		d.respond(src, q.reqID, fmt.Errorf("op %d not executable on a stream", q.op), 0)
 	}
@@ -396,8 +415,10 @@ func (d *Daemon) execute(p *sim.Proc, src int, q *request) {
 // violated by executing past an error); the rest are marked skipped. The
 // single response carries the per-command status vector, and — like any
 // response — is recorded in the dedup table, so a retransmitted batch is
-// replayed atomically: executed once, answered twice.
-func (d *Daemon) executeBatch(p *sim.Proc, src int, q *request) {
+// replayed atomically: executed once, answered twice. Under a session
+// (sess non-nil) every command passes the ownership check first and
+// frees update the session's allocator view.
+func (d *Daemon) executeBatch(p *sim.Proc, src int, q *request, sess *session) {
 	sts := make([]cmdStatus, len(q.batch))
 	failed := false
 	// The buffer arrived through one driver submission: its first kernel
@@ -410,22 +431,30 @@ func (d *Daemon) executeBatch(p *sim.Proc, src int, q *request) {
 			continue
 		}
 		var err error
-		switch sub.op {
-		case OpKernelRun:
-			if submitPaid {
-				err = d.dev.LaunchKernelQueued(p, sub.kernel, sub.launch)
-			} else {
-				err = d.dev.LaunchKernel(p, sub.kernel, sub.launch)
-				submitPaid = true
+		if sess != nil {
+			err = sess.checkOwned(sub)
+		}
+		if err == nil {
+			switch sub.op {
+			case OpKernelRun:
+				if submitPaid {
+					err = d.dev.LaunchKernelQueued(p, sub.kernel, sub.launch)
+				} else {
+					err = d.dev.LaunchKernel(p, sub.kernel, sub.launch)
+					submitPaid = true
+				}
+			case OpMemset:
+				err = d.dev.Memset(p, sub.ptr, sub.off, sub.size, sub.value)
+			case OpMemFree:
+				err = d.dev.MemFree(p, sub.ptr)
+				if err == nil && sess != nil {
+					sess.view.NoteFree(sub.ptr)
+				}
+			case OpWriteInline:
+				err = d.writeInline(p, sub)
+			default:
+				err = fmt.Errorf("core: op %d not executable in a batch", sub.op)
 			}
-		case OpMemset:
-			err = d.dev.Memset(p, sub.ptr, sub.off, sub.size, sub.value)
-		case OpMemFree:
-			err = d.dev.MemFree(p, sub.ptr)
-		case OpWriteInline:
-			err = d.writeInline(p, sub)
-		default:
-			err = fmt.Errorf("core: op %d not executable in a batch", sub.op)
 		}
 		if err != nil {
 			sts[i] = cmdStatus{status: batchCmdFailed, errmsg: err.Error()}
@@ -488,15 +517,21 @@ func (q *request) geometry() (colBytes, cols, pitch int) {
 // buffers, and each block is DMA-copied to the GPU while later blocks are
 // still on the wire. The payload describes a strided device window
 // (cudaMemcpy2D style); timing flows through the per-block DMAs and the
-// bytes are placed once the payload is complete.
-func (d *Daemon) recvToDevice(p *sim.Proc, respDst int, q *request, dataSrc int, tag minimpi.Tag) {
+// bytes are placed once the payload is complete. A non-nil preErr (e.g.
+// a session ownership failure) takes the place of the range check: the
+// payload still drains so the sender winds down in lockstep, but the
+// device is never touched and preErr travels in the response.
+func (d *Daemon) recvToDevice(p *sim.Proc, respDst int, q *request, dataSrc int, tag minimpi.Tag, preErr error) {
 	nb := numBlocks(q.size, q.block)
 	if nb == 0 {
-		d.respond(respDst, q.reqID, nil, 0)
+		d.respond(respDst, q.reqID, preErr, 0)
 		return
 	}
 	colBytes, cols, pitch := q.geometry()
-	rangeErr := d.dev.ValidRange(q.ptr, q.off, (cols-1)*pitch+colBytes)
+	rangeErr := preErr
+	if rangeErr == nil {
+		rangeErr = d.dev.ValidRange(q.ptr, q.off, (cols-1)*pitch+colBytes)
+	}
 	d.noteStaging(q.block, q.depth, nb)
 	bufs := sim.NewResource(d.sim, "staging", q.depth)
 	reqs := make([]*minimpi.Request, nb)
@@ -582,11 +617,13 @@ func (d *Daemon) recvToDevice(p *sim.Proc, respDst int, q *request, dataSrc int,
 
 // sendFromDevice implements the sending half: blocks are DMA-copied from
 // the GPU into staging buffers and sent to dataDst while the next block's
-// DMA proceeds.
-func (d *Daemon) sendFromDevice(p *sim.Proc, respDst int, q *request, dataDst int, tag minimpi.Tag) {
+// DMA proceeds. A non-nil preErr (e.g. a session ownership failure)
+// replaces the range check: nb empty blocks still ship so the receiver
+// stays in lockstep, and the device is never read.
+func (d *Daemon) sendFromDevice(p *sim.Proc, respDst int, q *request, dataDst int, tag minimpi.Tag, preErr error) {
 	nb := numBlocks(q.size, q.block)
 	if nb == 0 {
-		d.respond(respDst, q.reqID, nil, 0)
+		d.respond(respDst, q.reqID, preErr, 0)
 		return
 	}
 	colBytes, cols, pitch := q.geometry()
@@ -595,7 +632,10 @@ func (d *Daemon) sendFromDevice(p *sim.Proc, respDst int, q *request, dataDst in
 	// when the range is bad, the protocol still ships nb empty blocks so
 	// the receiver stays in lockstep, and the error travels in the
 	// response. Timing flows through the per-block DMA+send pipeline.
-	firstErr := d.dev.ValidRange(q.ptr, q.off, (cols-1)*pitch+colBytes)
+	firstErr := preErr
+	if firstErr == nil {
+		firstErr = d.dev.ValidRange(q.ptr, q.off, (cols-1)*pitch+colBytes)
+	}
 	var gathered []byte
 	if firstErr == nil {
 		var err error

@@ -76,6 +76,20 @@ const (
 	// inside the request header instead of a separate block stream. Only
 	// valid inside an OpBatch.
 	OpWriteInline
+	// Session layer (multi-tenant sharing). OpSessionOpen establishes a
+	// per-client session on the daemon (carrying its memory quota),
+	// OpSessionClose tears it down and frees every allocation it still
+	// owns, and OpSessionReap — sent by the ARM's reclaim path — closes
+	// all sessions a given client rank holds, so one tenant's death never
+	// requires a device-wide reset.
+	OpSessionOpen
+	OpSessionClose
+	OpSessionReap
+	// OpSessionPrefix is not an op: it is the wire marker that prefixes a
+	// request header with a session id. Session-less requests (the
+	// default, exclusive mode) omit it entirely, keeping their encoding
+	// bit-for-bit identical to the pre-session protocol.
+	OpSessionPrefix
 )
 
 // maxBatchOps bounds the command count one OpBatch may claim; anything
@@ -94,11 +108,59 @@ func batchable(op uint8) bool {
 	return false
 }
 
-// Response status codes.
+// Response status codes. The typed codes map to exported sentinel
+// errors on the client side so callers can dispatch with errors.Is;
+// they ride in the existing status byte, so responses are the same size
+// whether or not sessions are in play.
 const (
 	statusOK uint8 = iota
 	statusError
+	statusNotOwner  // ErrNotOwner: pointer not owned by the requesting session
+	statusQuota     // ErrQuotaExceeded: allocation would exceed the session quota
+	statusNoSession // ErrNoSession: request named an unknown or closed session
 )
+
+// Typed errors of the session layer.
+var (
+	// ErrNotOwner is returned when a request names a device pointer that
+	// the requesting session does not own. The allocation is untouched.
+	ErrNotOwner = errors.New("core: device pointer not owned by this session")
+	// ErrQuotaExceeded is returned when an allocation would push a
+	// session past its memory quota.
+	ErrQuotaExceeded = errors.New("core: session memory quota exceeded")
+	// ErrNoSession is returned when a request carries a session id the
+	// daemon does not know (never opened, already closed, or reaped).
+	ErrNoSession = errors.New("core: unknown or closed session")
+)
+
+// statusForErr maps a daemon-side error to its wire status code.
+func statusForErr(err error) uint8 {
+	switch {
+	case err == nil:
+		return statusOK
+	case errors.Is(err, ErrNotOwner):
+		return statusNotOwner
+	case errors.Is(err, ErrQuotaExceeded):
+		return statusQuota
+	case errors.Is(err, ErrNoSession):
+		return statusNoSession
+	}
+	return statusError
+}
+
+// sentinelFor maps a wire status code back to the sentinel it carries
+// (nil for plain errors).
+func sentinelFor(status uint8) error {
+	switch status {
+	case statusNotOwner:
+		return ErrNotOwner
+	case statusQuota:
+		return ErrQuotaExceeded
+	case statusNoSession:
+		return ErrNoSession
+	}
+	return nil
+}
 
 // ProtocolKind selects the memory-copy protocol.
 type ProtocolKind uint8
@@ -227,6 +289,15 @@ type request struct {
 	reqID  uint64
 	stream uint8
 
+	// session is the tenant session the request executes under; 0 is the
+	// session-less exclusive mode (the default, and the privileged path
+	// the ARM's sanitizer uses). Non-zero ids travel as an OpSessionPrefix
+	// before the normal header.
+	session uint64
+	// quota is the session memory quota in bytes (OpSessionOpen only;
+	// 0 = unlimited).
+	quota int64
+
 	// memory ops; size is the total payload in bytes. A copy is a strided
 	// window of cols columns of size/cols bytes each, pitch bytes apart on
 	// the device (cols == 1 means contiguous).
@@ -257,9 +328,14 @@ type request struct {
 	inline []byte
 }
 
-// encodeRequest serializes a request header.
+// encodeRequest serializes a request header. A non-zero session id is
+// emitted as an OpSessionPrefix marker ahead of the header; session-less
+// requests encode exactly as they did before the session layer existed.
 func encodeRequest(q *request) []byte {
 	w := wire.NewWriter(64)
+	if q.session != 0 {
+		w.U8(OpSessionPrefix).U64(q.session)
+	}
 	w.U8(q.op).U64(q.reqID).U8(q.stream)
 	if q.op == OpBatch {
 		w.U32(uint32(len(q.batch)))
@@ -306,7 +382,11 @@ func encodeBody(w *wire.Writer, q *request) {
 		w.U64(uint64(q.ptr)).Int(q.off).Int(q.size).U8(q.value)
 	case OpWriteInline:
 		w.U64(uint64(q.ptr)).Int(q.off).Int(q.size).Int(q.cols).Int(q.pitch).Blob(q.inline)
-	case OpSync, OpDeviceInfo, OpReset, OpShutdown:
+	case OpSessionOpen:
+		w.I64(q.quota)
+	case OpSessionReap:
+		w.Int(q.peer)
+	case OpSync, OpDeviceInfo, OpReset, OpShutdown, OpSessionClose:
 		// header only
 	}
 }
@@ -314,7 +394,19 @@ func encodeBody(w *wire.Writer, q *request) {
 // decodeRequest parses a request header.
 func decodeRequest(data []byte) (*request, error) {
 	r := wire.NewReader(data)
-	q := &request{op: r.U8(), reqID: r.U64(), stream: r.U8()}
+	op := r.U8()
+	var session uint64
+	if op == OpSessionPrefix {
+		session = r.U64()
+		op = r.U8()
+		if op == OpSessionPrefix {
+			return nil, fmt.Errorf("core: malformed request: nested session prefix")
+		}
+		if session == 0 && r.Err() == nil {
+			return nil, fmt.Errorf("core: malformed request: zero session id")
+		}
+	}
+	q := &request{op: op, session: session, reqID: r.U64(), stream: r.U8()}
 	if q.op == OpBatch {
 		n := int(r.U32())
 		if r.Err() == nil && (n < 1 || n > maxBatchOps) {
@@ -414,7 +506,11 @@ func decodeBody(r *wire.Reader, q *request) error {
 		q.cols = r.Int()
 		q.pitch = r.Int()
 		q.inline = append([]byte(nil), r.Blob()...)
-	case OpSync, OpDeviceInfo, OpReset, OpShutdown:
+	case OpSessionOpen:
+		q.quota = r.I64()
+	case OpSessionReap:
+		q.peer = r.Int()
+	case OpSync, OpDeviceInfo, OpReset, OpShutdown, OpSessionClose:
 	default:
 		return fmt.Errorf("core: unknown op %d", q.op)
 	}
@@ -468,6 +564,21 @@ func (q *request) validate() error {
 				return fmt.Errorf("core: batch command %d: %w", i, err)
 			}
 		}
+	case OpSessionOpen:
+		if q.quota < 0 || q.quota > maxPayload {
+			return fmt.Errorf("core: malformed request: session quota %d", q.quota)
+		}
+		if q.session == 0 {
+			return fmt.Errorf("core: malformed request: session open without session id")
+		}
+	case OpSessionClose:
+		if q.session == 0 {
+			return fmt.Errorf("core: malformed request: session close without session id")
+		}
+	case OpSessionReap:
+		if q.peer < 0 {
+			return fmt.Errorf("core: malformed request: negative reap target rank %d", q.peer)
+		}
 	}
 	return nil
 }
@@ -488,7 +599,10 @@ func (q *request) modelPad() int {
 // of leaving the caller waiting for a response that will never come.
 func peekReqID(data []byte) (uint64, bool) {
 	r := wire.NewReader(data)
-	r.U8()
+	if r.U8() == OpSessionPrefix {
+		r.U64() // session id
+		r.U8()  // real op
+	}
 	id := r.U64()
 	return id, r.Err() == nil
 }
@@ -591,16 +705,25 @@ func (e *BatchError) Unwrap() error { return e.Err }
 // order is never violated.
 var ErrBatchAborted = errors.New("core: command skipped after earlier batch error")
 
-// remoteError is an error reported by a daemon.
-type remoteError struct{ msg string }
+// remoteError is an error reported by a daemon. When the response
+// carried a typed status code, sentinel is set and errors.Is matches it
+// (ErrNotOwner, ErrQuotaExceeded, ErrNoSession).
+type remoteError struct {
+	msg      string
+	sentinel error
+}
 
 func (e *remoteError) Error() string { return "core: accelerator error: " + e.msg }
+
+func (e *remoteError) Is(target error) bool {
+	return e.sentinel != nil && target == e.sentinel
+}
 
 func (rsp *response) err() error {
 	if rsp.status == statusOK {
 		return nil
 	}
-	return &remoteError{msg: rsp.errmsg}
+	return &remoteError{msg: rsp.errmsg, sentinel: sentinelFor(rsp.status)}
 }
 
 // DeviceInfo describes an attached accelerator, as reported by its

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dynacc/internal/gpu"
+	"dynacc/internal/minimpi"
+	"dynacc/internal/sim"
+)
+
+// TestSessionPrefixWire pins the tentpole's compatibility contract: a
+// session-less request encodes byte for byte as before (no prefix), and a
+// sessioned one differs only by the 9-byte [OpSessionPrefix][id] marker
+// in front of the same header.
+func TestSessionPrefixWire(t *testing.T) {
+	plain := &request{op: OpSync, reqID: 7, stream: 3}
+	sessioned := &request{op: OpSync, reqID: 7, stream: 3, session: 42}
+	pb := encodeRequest(plain)
+	sb := encodeRequest(sessioned)
+	if pb[0] != OpSync {
+		t.Fatalf("session-less request starts with %#x, want the op byte", pb[0])
+	}
+	if sb[0] != OpSessionPrefix {
+		t.Fatalf("sessioned request starts with %#x, want OpSessionPrefix", sb[0])
+	}
+	if len(sb) != len(pb)+9 {
+		t.Fatalf("prefix adds %d bytes, want 9", len(sb)-len(pb))
+	}
+	if !bytes.Equal(sb[9:], pb) {
+		t.Fatal("sessioned request body differs beyond the prefix")
+	}
+	for _, q := range []*request{plain, sessioned} {
+		got, err := decodeRequest(encodeRequest(q))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.op != q.op || got.reqID != q.reqID || got.stream != q.stream || got.session != q.session {
+			t.Errorf("round trip %+v -> %+v", q, got)
+		}
+	}
+	// A zero session id must never appear behind a prefix.
+	w := encodeRequest(&request{op: OpSync, reqID: 1, session: 9})
+	w[1], w[2], w[3], w[4], w[5], w[6], w[7], w[8] = 0, 0, 0, 0, 0, 0, 0, 0
+	if _, err := decodeRequest(w); err == nil {
+		t.Error("zero session id behind a prefix accepted")
+	}
+}
+
+// TestSessionIsolation is the satellite bugfix's contract: a session
+// touching another session's pointer gets ErrNotOwner and the victim's
+// allocation is untouched.
+func TestSessionIsolation(t *testing.T) {
+	runTestbed(t, 1, true, fastNet(), DefaultOptions(), func(p *sim.Proc, tb *testbed) {
+		s1, err := tb.client.AttachSession(p, 1)
+		if err != nil {
+			t.Fatalf("attach session 1: %v", err)
+		}
+		s2, err := tb.client.AttachSession(p, 1)
+		if err != nil {
+			t.Fatalf("attach session 2: %v", err)
+		}
+		if s1.Session() == s2.Session() || s1.Session() == 0 {
+			t.Fatalf("session ids %d, %d not distinct and non-zero", s1.Session(), s2.Session())
+		}
+
+		const n = 1024
+		ptr, err := s1.MemAlloc(p, n)
+		if err != nil {
+			t.Fatalf("alloc: %v", err)
+		}
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = byte(i * 7)
+		}
+		if err := s1.MemcpyH2D(p, ptr, 0, want, n); err != nil {
+			t.Fatalf("upload: %v", err)
+		}
+
+		// Every access path must fail typed and leave the bytes alone.
+		if err := s2.MemFree(p, ptr); !errors.Is(err, ErrNotOwner) {
+			t.Errorf("cross-session free: %v, want ErrNotOwner", err)
+		}
+		if err := s2.Memset(p, ptr, 0, n, 0xFF); !errors.Is(err, ErrNotOwner) {
+			t.Errorf("cross-session memset: %v, want ErrNotOwner", err)
+		}
+		if err := s2.MemcpyH2D(p, ptr, 0, make([]byte, n), n); !errors.Is(err, ErrNotOwner) {
+			t.Errorf("cross-session upload: %v, want ErrNotOwner", err)
+		}
+		got := make([]byte, n)
+		if err := s2.MemcpyD2H(p, got, ptr, 0, n); !errors.Is(err, ErrNotOwner) {
+			t.Errorf("cross-session download: %v, want ErrNotOwner", err)
+		}
+		k := s2.KernelCreate("vadd").SetArgs(gpu.PtrArg(ptr), gpu.PtrArg(ptr), gpu.PtrArg(ptr), gpu.IntArg(8))
+		if err := k.Run(p, gpu.Dim3{X: 1}, gpu.Dim3{X: 1}); !errors.Is(err, ErrNotOwner) {
+			t.Errorf("cross-session kernel: %v, want ErrNotOwner", err)
+		}
+
+		if err := s1.MemcpyD2H(p, got, ptr, 0, n); err != nil {
+			t.Fatalf("victim download: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Error("victim allocation modified by rejected cross-session ops")
+		}
+		// The owner can still free it: the failed accesses left no residue.
+		if err := s1.MemFree(p, ptr); err != nil {
+			t.Errorf("owner free after attacks: %v", err)
+		}
+		for _, s := range []*Accel{s1, s2} {
+			if err := s.CloseSession(p); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}
+	})
+}
+
+// TestSessionQuota exercises the per-session memory budget.
+func TestSessionQuota(t *testing.T) {
+	opts := DefaultOptions()
+	opts.SessionQuota = 1 << 20
+	runTestbed(t, 1, false, fastNet(), opts, func(p *sim.Proc, tb *testbed) {
+		s1, err := tb.client.AttachSession(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := s1.MemAlloc(p, 768<<10)
+		if err != nil {
+			t.Fatalf("first alloc under quota: %v", err)
+		}
+		if _, err := s1.MemAlloc(p, 512<<10); !errors.Is(err, ErrQuotaExceeded) {
+			t.Fatalf("over-quota alloc: %v, want ErrQuotaExceeded", err)
+		}
+		// Freeing restores headroom.
+		if err := s1.MemFree(p, a); err != nil {
+			t.Fatal(err)
+		}
+		b, err := s1.MemAlloc(p, 1<<20)
+		if err != nil {
+			t.Fatalf("alloc after free: %v", err)
+		}
+		// Another session has its own budget, and the device-wide
+		// allocator still backs both.
+		s2, err := tb.client.AttachSession(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s2.MemAlloc(p, 1<<20); err != nil {
+			t.Fatalf("second session alloc: %v", err)
+		}
+		_ = b
+		if err := s1.CloseSession(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.CloseSession(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSessionCloseReclaimsOnlyOwn verifies sanitize-on-release is scoped:
+// closing one session frees exactly its footprint, and further use of
+// the closed handle fails with ErrNoSession instead of silently becoming
+// privileged.
+func TestSessionCloseReclaimsOnlyOwn(t *testing.T) {
+	runTestbed(t, 1, false, fastNet(), DefaultOptions(), func(p *sim.Proc, tb *testbed) {
+		dev := tb.daemons[0].Device()
+		s1, err := tb.client.AttachSession(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := tb.client.AttachSession(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s1.MemAlloc(p, 4096); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s1.MemAlloc(p, 8192); err != nil {
+			t.Fatal(err)
+		}
+		keep, err := s2.MemAlloc(p, 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := dev.MemUsed()
+		if err := s1.CloseSession(p); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		if got := dev.MemUsed(); got != before-4096-8192 {
+			t.Errorf("device uses %d after close, want %d", got, before-4096-8192)
+		}
+		if tb.daemons[0].OpenSessions() != 1 {
+			t.Errorf("%d open sessions, want 1", tb.daemons[0].OpenSessions())
+		}
+		// The dead handle stays dead.
+		if _, err := s1.MemAlloc(p, 64); !errors.Is(err, ErrNoSession) {
+			t.Errorf("alloc on closed session: %v, want ErrNoSession", err)
+		}
+		// Closing again is idempotent.
+		if err := s1.CloseSession(p); err != nil {
+			t.Errorf("re-close: %v", err)
+		}
+		// The survivor is untouched and still owns its memory.
+		if err := s2.MemFree(p, keep); err != nil {
+			t.Errorf("survivor free: %v", err)
+		}
+		if err := s2.CloseSession(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSessionFairScheduling drives two sessions' kernel streams through
+// one daemon and asserts the round-robin pump interleaves them rather
+// than letting the first-attached session run its whole queue first.
+func TestSessionFairScheduling(t *testing.T) {
+	var order []uint64
+	reg := gpu.NewRegistry()
+	reg.Register(gpu.FuncKernel{
+		KernelName: "tag",
+		CostFn:     func(gpu.Launch, gpu.Model) sim.Duration { return 10 * sim.Microsecond },
+		ExecFn: func(l gpu.Launch, dev *gpu.Device) error {
+			order = append(order, uint64(l.Arg(0).Int))
+			return nil
+		},
+	})
+
+	s := sim.New()
+	tbRun(t, s, reg, func(p *sim.Proc, c *Client) {
+		s1, err := c.AttachSession(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := c.AttachSession(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const rounds = 8
+		var pends []*Pending
+		// Session 1 floods its queue first; session 2 enqueues after.
+		// With FIFO-by-arrival the daemon would run all of session 1
+		// before session 2; fair scheduling alternates them.
+		for i := 0; i < rounds; i++ {
+			k := s1.KernelCreate("tag").SetArgs(gpu.IntArg(1))
+			pends = append(pends, k.RunAsync(gpu.Dim3{X: 1}, gpu.Dim3{X: 1}, 1))
+		}
+		for i := 0; i < rounds; i++ {
+			k := s2.KernelCreate("tag").SetArgs(gpu.IntArg(2))
+			pends = append(pends, k.RunAsync(gpu.Dim3{X: 1}, gpu.Dim3{X: 1}, 1))
+		}
+		for _, pd := range pends {
+			if err := pd.Wait(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(order) != 2*rounds {
+			t.Fatalf("%d kernels ran, want %d", len(order), 2*rounds)
+		}
+		// Both sessions must appear in the first quarter of the schedule,
+		// and no session may run more than 2 in a row once both are queued.
+		quarter := order[:rounds/2]
+		seen := map[uint64]bool{}
+		for _, tag := range quarter {
+			seen[tag] = true
+		}
+		if !seen[1] || !seen[2] {
+			t.Fatalf("first %d executions %v served one session only", len(quarter), quarter)
+		}
+		run := 1
+		for i := 1; i < len(order)-2; i++ {
+			if order[i] == order[i-1] {
+				run++
+				if run > 2 {
+					t.Fatalf("session %d ran %d kernels back to back: %v", order[i], run, order)
+				}
+			} else {
+				run = 1
+			}
+		}
+		for _, h := range []*Accel{s1, s2} {
+			if err := h.CloseSession(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+// tbRun is a slim single-daemon testbed for tests that need their own
+// registry (runTestbed hardwires the shared one).
+func tbRun(t *testing.T, s *sim.Simulation, reg *gpu.Registry, fn func(p *sim.Proc, c *Client)) {
+	t.Helper()
+	w, err := minimpi.NewWorld(s, 2, fastNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := gpu.TeslaC1060()
+	model.MemBytes = 64 << 20
+	dev, err := gpu.NewDevice(s, gpu.Config{Name: "ac0", Model: model, Registry: reg, Execute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDaemon(w.Comm(1), dev, DefaultDaemonConfig())
+	s.Spawn("daemon0", d.Run)
+	c, err := NewClient(w.Comm(0), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Spawn("cn", func(p *sim.Proc) {
+		fn(p, c)
+		if err := c.Attach(1).Shutdown(p); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionReap covers OpSessionReap: one call tears down every
+// session a given client rank holds, and only those.
+func TestSessionReap(t *testing.T) {
+	runTestbed(t, 1, false, fastNet(), DefaultOptions(), func(p *sim.Proc, tb *testbed) {
+		s1, err := tb.client.AttachSession(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := tb.client.AttachSession(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s1.MemAlloc(p, 4096); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s2.MemAlloc(p, 4096); err != nil {
+			t.Fatal(err)
+		}
+		dev := tb.daemons[0].Device()
+		// Reap a rank with no sessions: a no-op, not an error.
+		if err := tb.accels[0].ReapSessions(p, 7); err != nil {
+			t.Fatalf("reap of session-less rank: %v", err)
+		}
+		if tb.daemons[0].OpenSessions() != 2 {
+			t.Fatalf("no-op reap closed sessions: %d open", tb.daemons[0].OpenSessions())
+		}
+		// Reap this client: both sessions and all their memory go.
+		if err := tb.accels[0].ReapSessions(p, 0); err != nil {
+			t.Fatalf("reap: %v", err)
+		}
+		if tb.daemons[0].OpenSessions() != 0 {
+			t.Errorf("%d sessions survive their owner's reap", tb.daemons[0].OpenSessions())
+		}
+		if got := dev.MemUsed(); got != 0 {
+			t.Errorf("%d bytes survive the reap", got)
+		}
+		if _, err := s1.MemAlloc(p, 64); !errors.Is(err, ErrNoSession) {
+			t.Errorf("alloc on reaped session: %v, want ErrNoSession", err)
+		}
+	})
+}
