@@ -107,3 +107,21 @@ func BenchmarkSimQRThreeGPUsN2048(b *testing.B) {
 		bench.RunFactorizationQR(3, 2048, cfg)
 	}
 }
+
+// BenchmarkFleetScale simulates the full CI rack — 32 network-attached
+// accelerator daemons time-shared by 96 tenants running a mixed
+// session/copy/launch workload — and reports the engine's own cost per
+// completed virtual operation. This is the workload `acbench -fleet-json`
+// snapshots into BENCH_core.json.
+func BenchmarkFleetScale(b *testing.B) {
+	var r bench.FleetResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.MeasureFleet(bench.DefaultFleetConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.PerOp, "allocs/virtop")
+	b.ReportMetric(r.OpsPerVirtualSec, "virtops/s")
+}

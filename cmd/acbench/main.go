@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,7 +30,56 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced parameter grids")
 	batchJSON := flag.String("batching-json", "", "run the command-batching launch storm and write the report to this file")
 	armJSON := flag.String("arm-json", "", "run the multi-tenant sharing workload and write the ARM's per-accelerator stats to this file")
+	fleetJSON := flag.String("fleet-json", "", "run the 32-daemon/96-tenant fleet benchmark and write the engine-cost report to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
+	if *fleetJSON != "" {
+		r, err := bench.WriteFleetJSON(*fleetJSON, bench.DefaultFleetConfig())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fl := r.Fleet
+		fmt.Printf("fleet (%d daemons, %d tenants): %d ops in %.0f ms wall, %.0f allocs/op, %.1f ops per virtual second\n",
+			fl.Daemons, fl.Tenants, fl.Ops, float64(fl.WallNS)/1e6, fl.PerOp, fl.OpsPerVirtualSec)
+		for _, hp := range r.HotPaths {
+			fmt.Printf("  %s: %.0f ms wall (%.2fx vs seed), %d allocs (%.2fx fewer than seed)\n",
+				hp.Name, float64(hp.WallNS)/1e6, hp.WallSpeedup, hp.Allocs, hp.AllocRatio)
+		}
+		return
+	}
 
 	if *armJSON != "" {
 		r, err := bench.WriteARMJSON(*armJSON, 3, 200)

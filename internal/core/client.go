@@ -9,6 +9,7 @@ import (
 	"dynacc/internal/gpu"
 	"dynacc/internal/minimpi"
 	"dynacc/internal/sim"
+	"dynacc/internal/wire"
 )
 
 // ErrTimeout reports that an accelerator stopped answering within the
@@ -148,6 +149,12 @@ type Client struct {
 	nextSess uint64
 	replacer Replacer
 
+	// encw is the scratch encoder every request reuses: encoding costs one
+	// exact-size CopyBytes allocation (the encoding is retained for
+	// retransmission, so the copy is mandatory anyway). Safe without
+	// locking — encodes never block, and the simulation is cooperative.
+	encw *wire.Writer
+
 	// attached lists every handle this client created, so rank-wide
 	// operations (MigrateRank) can find the handles pointing at a daemon.
 	attached []*Accel
@@ -158,7 +165,7 @@ func NewClient(comm *minimpi.Comm, opts Options) (*Client, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	return &Client{comm: comm, opts: opts, nextReq: clientEpoch.Add(1) << 40}, nil
+	return &Client{comm: comm, opts: opts, nextReq: clientEpoch.Add(1) << 40, encw: wire.NewWriter(64)}, nil
 }
 
 // Options returns the client's protocol configuration.
@@ -375,7 +382,7 @@ func (a *Accel) newCallPadded(q *request, retry bool, pad int) *call {
 	q.reqID = a.c.nextReq
 	q.session = a.session
 	a.translateReq(q)
-	cl := &call{a: a, q: q, enc: encodeRequest(q), retry: retry, pad: pad}
+	cl := &call{a: a, q: q, enc: encodeRequestTo(a.c.encw, q), retry: retry, pad: pad}
 	cl.resp = a.c.comm.Irecv(a.rank, respTag(q.reqID))
 	cl.send()
 	return cl
@@ -885,7 +892,8 @@ func (a *Accel) MemcpyD2H2DAsync(dst []byte, src gpu.Ptr, off, colBytes, cols, p
 	a.sim().Spawn("d2h-receiver", func(hp *sim.Proc) {
 		nb := numBlocks(n, block)
 		for i := 0; i < nb; i++ {
-			data, _, err := a.awaitReq(hp, a.c.comm.Irecv(a.rank, tag))
+			req := a.c.comm.Irecv(a.rank, tag)
+			data, _, err := a.awaitReq(hp, req)
 			if err != nil {
 				pd.err = err
 				pd.done.Trigger()
@@ -894,6 +902,9 @@ func (a *Accel) MemcpyD2H2DAsync(dst []byte, src gpu.Ptr, off, colBytes, cols, p
 			if dst != nil && data != nil {
 				copy(dst[i*block:], data)
 			}
+			// The daemon ships blocks in pooled buffers (ownership
+			// handoff); the bytes are copied out, so recycle.
+			req.Free()
 		}
 		pd.err = cl.statusOnly(hp)
 		if pd.err == nil && dst != nil {

@@ -7,6 +7,7 @@ import (
 	"dynacc/internal/gpu"
 	"dynacc/internal/minimpi"
 	"dynacc/internal/sim"
+	"dynacc/internal/wire"
 )
 
 // DaemonConfig tunes the back-end daemon.
@@ -104,8 +105,23 @@ type Daemon struct {
 	// seen is the idempotent-request table: nil value while the request is
 	// executing (duplicates are dropped — the original will answer),
 	// encoded response afterwards (duplicates are re-answered from cache).
+	// seenOrder is a ring over its backing array (seenHead is the oldest
+	// live entry) so window eviction never reallocates.
 	seen      map[dedupKey][]byte
 	seenOrder []dedupKey
+	seenHead  int
+
+	// encw is the scratch encoder for responses: every response encode
+	// reuses its backing array and pays one exact-size CopyBytes
+	// allocation (the copy must exist anyway — responses are retained by
+	// the dedup table and by in-flight messages).
+	encw *wire.Writer
+
+	// scratches recycles copy-pipeline state (staging resource, per-block
+	// request/event slices, the reassembly buffer) between transfers. A
+	// transfer in flight holds its scratch exclusively; steady state runs
+	// allocation-free.
+	scratches []*pipeScratch
 
 	// Tenant sessions (multi-tenant sharing). sessOrder is the open order
 	// the round-robin scheduler walks; sessRR is its cursor. Empty in
@@ -127,6 +143,7 @@ func NewDaemon(comm *minimpi.Comm, dev *gpu.Device, cfg DaemonConfig) *Daemon {
 		seen:     make(map[dedupKey][]byte),
 		active:   make(map[int]struct{}),
 		sessions: make(map[sessKey]*session),
+		encw:     wire.NewWriter(64),
 	}
 }
 
@@ -167,7 +184,7 @@ func (d *Daemon) track(p *sim.Proc) {
 	if len(d.procs) > 64 {
 		live := d.procs[:0]
 		for _, q := range d.procs {
-			if !q.Done().Triggered() {
+			if !q.Terminated() {
 				live = append(live, q)
 			}
 		}
@@ -297,9 +314,18 @@ func (d *Daemon) takeActive() []int {
 // admit records a request as in flight and evicts the oldest entry once
 // the table outgrows the dedup window.
 func (d *Daemon) admit(key dedupKey) {
-	if len(d.seenOrder) >= dedupWindow {
-		delete(d.seen, d.seenOrder[0])
-		d.seenOrder = d.seenOrder[1:]
+	if len(d.seenOrder)-d.seenHead >= dedupWindow {
+		delete(d.seen, d.seenOrder[d.seenHead])
+		d.seenOrder[d.seenHead] = dedupKey{}
+		d.seenHead++
+		// Slide the live window down once the dead prefix reaches a full
+		// window, so the backing array settles at twice the window and the
+		// table never reallocates again.
+		if d.seenHead >= dedupWindow {
+			n := copy(d.seenOrder, d.seenOrder[d.seenHead:])
+			d.seenOrder = d.seenOrder[:n]
+			d.seenHead = 0
+		}
 	}
 	d.seen[key] = nil
 	d.seenOrder = append(d.seenOrder, key)
@@ -364,7 +390,7 @@ func (d *Daemon) respond(src int, reqID uint64, err error, ptr gpu.Ptr) {
 // response.
 func (d *Daemon) sendResponse(src int, reqID uint64, rsp *response) {
 	rsp.reqID = reqID
-	enc := encodeResponse(rsp)
+	enc := encodeResponseTo(d.encw, rsp)
 	key := dedupKey{src: src, reqID: reqID}
 	if _, ok := d.seen[key]; ok {
 		d.seen[key] = enc
@@ -488,6 +514,67 @@ func (d *Daemon) writeInline(p *sim.Proc, q *request) error {
 	return nil
 }
 
+// pipeScratch is the reusable state of one copy pipeline: the staging
+// resource, the per-block request and event slots, the per-block pooled
+// payload buffers of the send path and the receive path's reassembly
+// buffer. A transfer holds a scratch exclusively from prepare to release;
+// everything is quiescent in between (all events fired and awaited, every
+// staging slot released), so reuse is invisible to the simulation.
+type pipeScratch struct {
+	staging *sim.Resource
+	depth   int
+
+	reqs      []*minimpi.Request
+	posted    []sim.Event
+	done      []sim.Event
+	blockBufs [][]byte
+	assembled []byte
+}
+
+// prepare sizes the scratch for a transfer of nb blocks at the given
+// staging depth, re-initializing the per-block events in place.
+func (ps *pipeScratch) prepare(s *sim.Simulation, depth, nb int) {
+	if ps.staging == nil || ps.depth != depth {
+		ps.staging = sim.NewResource(s, "staging", depth)
+		ps.depth = depth
+	}
+	if cap(ps.reqs) < nb {
+		// The old event arrays are fully consumed (no registered waiters),
+		// so replacing them wholesale is safe despite Events being
+		// address-pinned after Init.
+		ps.reqs = make([]*minimpi.Request, nb)
+		ps.posted = make([]sim.Event, nb)
+		ps.done = make([]sim.Event, nb)
+		ps.blockBufs = make([][]byte, nb)
+	}
+	ps.reqs = ps.reqs[:nb]
+	ps.posted = ps.posted[:nb]
+	ps.done = ps.done[:nb]
+	ps.blockBufs = ps.blockBufs[:nb]
+	for i := 0; i < nb; i++ {
+		ps.reqs[i] = nil
+		ps.posted[i].Init(s)
+		ps.done[i].Init(s)
+		ps.blockBufs[i] = nil
+	}
+	ps.assembled = ps.assembled[:0]
+}
+
+// getScratch pops a pipeline scratch from the daemon's free list. A
+// transfer killed mid-flight never returns its scratch — it simply falls
+// out of the pool, like every other pooled object in a killed process.
+func (d *Daemon) getScratch() *pipeScratch {
+	if n := len(d.scratches); n > 0 {
+		ps := d.scratches[n-1]
+		d.scratches[n-1] = nil
+		d.scratches = d.scratches[:n-1]
+		return ps
+	}
+	return &pipeScratch{}
+}
+
+func (d *Daemon) putScratch(ps *pipeScratch) { d.scratches = append(d.scratches, ps) }
+
 func (d *Daemon) noteStaging(block, depth, nb int) {
 	if nb < depth {
 		depth = nb
@@ -533,12 +620,10 @@ func (d *Daemon) recvToDevice(p *sim.Proc, respDst int, q *request, dataSrc int,
 		rangeErr = d.dev.ValidRange(q.ptr, q.off, (cols-1)*pitch+colBytes)
 	}
 	d.noteStaging(q.block, q.depth, nb)
-	bufs := sim.NewResource(d.sim, "staging", q.depth)
-	reqs := make([]*minimpi.Request, nb)
-	posted := make([]*sim.Event, nb)
-	for i := range posted {
-		posted[i] = sim.NewEvent(d.sim)
-	}
+	ps := d.getScratch()
+	ps.prepare(d.sim, q.depth, nb)
+	bufs := ps.staging
+	reqs := ps.reqs
 	// The poster keeps `depth` receives outstanding: a receive is posted
 	// as soon as a staging buffer frees up, which is what grants the
 	// sender's rendezvous clearance (flow control comes for free).
@@ -546,15 +631,13 @@ func (d *Daemon) recvToDevice(p *sim.Proc, respDst int, q *request, dataSrc int,
 		for i := 0; i < nb; i++ {
 			bufs.Acquire(pp, 1)
 			reqs[i] = d.comm.Irecv(dataSrc, tag)
-			posted[i].Trigger()
+			ps.posted[i].Trigger()
 		}
 	})
-	var assembled []byte
 	var dmaErr, recvErr error
 	deadline := d.cfg.PayloadTimeout
-	dmaDone := make([]*sim.Event, nb)
 	for i := 0; i < nb; i++ {
-		posted[i].Await(p)
+		ps.posted[i].Await(p)
 		var data []byte
 		var st minimpi.Status
 		if deadline > 0 {
@@ -562,12 +645,14 @@ func (d *Daemon) recvToDevice(p *sim.Proc, respDst int, q *request, dataSrc int,
 			data, st, arrived = reqs[i].WaitTimeout(p, deadline)
 			if !arrived {
 				// Peer presumed dead: the block never arrived. Return the
-				// staging buffer (no DMA will) and keep draining so the
-				// pipeline winds down; the error travels in the response.
+				// staging buffer (no DMA will fire this block's done event)
+				// and keep draining so the pipeline winds down; the error
+				// travels in the response.
 				if recvErr == nil {
 					recvErr = fmt.Errorf("core: payload block %d/%d from rank %d timed out", i+1, nb, dataSrc)
 				}
 				bufs.Release(1)
+				ps.done[i].Trigger()
 				continue
 			}
 		} else {
@@ -575,15 +660,14 @@ func (d *Daemon) recvToDevice(p *sim.Proc, respDst int, q *request, dataSrc int,
 		}
 		d.stats.BlocksIn++
 		if data != nil && rangeErr == nil {
-			if assembled == nil {
-				assembled = make([]byte, 0, q.size)
-			}
-			assembled = append(assembled, data...)
+			ps.assembled = append(ps.assembled, data...)
 		}
+		// The block's bytes are copied out; a pooled payload buffer (an
+		// ownership-handoff send from a peer daemon) goes back to the pool.
+		reqs[i].Free()
 		// Per-block CPU work: progress the receive, post the async DMA.
 		p.Wait(d.cfg.PostCost + d.dev.AsyncSetupCost())
-		ev := sim.NewEvent(d.sim)
-		dmaDone[i] = ev
+		ev := &ps.done[i]
 		sz := st.Size
 		d.spawn(p, "pipeline-dma", func(dp *sim.Proc) {
 			// GPUDirect: the staging buffer is registered with both the
@@ -595,10 +679,8 @@ func (d *Daemon) recvToDevice(p *sim.Proc, respDst int, q *request, dataSrc int,
 			ev.Trigger()
 		})
 	}
-	for _, ev := range dmaDone {
-		if ev != nil {
-			ev.Await(p)
-		}
+	for i := range ps.done {
+		ps.done[i].Await(p)
 	}
 	firstErr := rangeErr
 	if firstErr == nil {
@@ -607,11 +689,12 @@ func (d *Daemon) recvToDevice(p *sim.Proc, respDst int, q *request, dataSrc int,
 	if firstErr == nil {
 		firstErr = dmaErr
 	}
-	if firstErr == nil && assembled != nil {
-		if err := d.dev.ScatterColumns(q.ptr, q.off, colBytes, cols, pitch, assembled); err != nil {
+	if firstErr == nil && len(ps.assembled) > 0 {
+		if err := d.dev.ScatterColumns(q.ptr, q.off, colBytes, cols, pitch, ps.assembled); err != nil {
 			firstErr = err
 		}
 	}
+	d.putScratch(ps)
 	d.respond(respDst, q.reqID, firstErr, 0)
 }
 
@@ -628,47 +711,66 @@ func (d *Daemon) sendFromDevice(p *sim.Proc, respDst int, q *request, dataDst in
 	}
 	colBytes, cols, pitch := q.geometry()
 	d.noteStaging(q.block, q.depth, nb)
-	// Validate the device range and gather the (execute-mode) bytes once:
-	// when the range is bad, the protocol still ships nb empty blocks so
-	// the receiver stays in lockstep, and the error travels in the
-	// response. Timing flows through the per-block DMA+send pipeline.
+	ps := d.getScratch()
+	ps.prepare(d.sim, q.depth, nb)
+	// Validate the device range and snapshot the (execute-mode) bytes once,
+	// before any block ships: when the range is bad, the protocol still
+	// ships nb empty blocks so the receiver stays in lockstep, and the
+	// error travels in the response. The snapshot is gathered one block at
+	// a time into pooled payload buffers whose ownership travels with the
+	// send (Request.Free on the receiving side recycles them), so a
+	// steady-state transfer allocates nothing and copies nothing extra.
+	// Timing flows through the per-block DMA+send pipeline.
 	firstErr := preErr
 	if firstErr == nil {
 		firstErr = d.dev.ValidRange(q.ptr, q.off, (cols-1)*pitch+colBytes)
 	}
-	var gathered []byte
-	if firstErr == nil {
-		var err error
-		if gathered, err = d.dev.GatherColumns(q.ptr, q.off, colBytes, cols, pitch); err != nil {
-			firstErr = err
+	if firstErr == nil && d.dev.ExecuteMode() {
+		world := d.comm.World()
+		for i := 0; i < nb; i++ {
+			lo := i * q.block
+			hi := lo + q.block
+			if hi > q.size {
+				hi = q.size
+			}
+			buf := world.GetBuf(hi - lo)
+			if err := d.dev.GatherColumnsInto(buf, q.ptr, q.off, colBytes, cols, pitch, lo); err != nil {
+				world.PutBuf(buf)
+				for j := 0; j < i; j++ {
+					world.PutBuf(ps.blockBufs[j])
+					ps.blockBufs[j] = nil
+				}
+				firstErr = err
+				break
+			}
+			ps.blockBufs[i] = buf
 		}
 	}
 	rangeErr := firstErr
 	var dmaErr, sendErr error
 	deadline := d.cfg.PayloadTimeout
-	bufs := sim.NewResource(d.sim, "staging", q.depth)
-	done := make([]*sim.Event, nb)
+	bufs := ps.staging
 	for i := 0; i < nb; i++ {
 		bufs.Acquire(p, 1)
 		p.Wait(d.cfg.PostCost + d.dev.AsyncSetupCost())
-		ev := sim.NewEvent(d.sim)
-		done[i] = ev
+		ev := &ps.done[i]
 		lo := i * q.block
 		hi := lo + q.block
 		if hi > q.size {
 			hi = q.size
 		}
 		sz := hi - lo
+		blockBuf := ps.blockBufs[i]
 		d.spawn(p, "pipeline-d2h", func(dp *sim.Proc) {
 			var sendReq *minimpi.Request
 			switch {
 			case rangeErr != nil:
 				sendReq = d.comm.IsendSized(dataDst, tag, 0)
-			case gathered != nil:
+			case blockBuf != nil:
 				if err := d.dev.CopyEngineTransfer(dp, sz, false, true); err != nil && dmaErr == nil {
 					dmaErr = err
 				}
-				sendReq = d.comm.Isend(dataDst, tag, gathered[lo:hi])
+				sendReq = d.comm.IsendOwned(dataDst, tag, blockBuf)
 			default:
 				if err := d.dev.CopyEngineTransfer(dp, sz, false, true); err != nil && dmaErr == nil {
 					dmaErr = err
@@ -692,8 +794,8 @@ func (d *Daemon) sendFromDevice(p *sim.Proc, respDst int, q *request, dataDst in
 			ev.Trigger()
 		})
 	}
-	for _, ev := range done {
-		ev.Await(p)
+	for i := range ps.done {
+		ps.done[i].Await(p)
 	}
 	if firstErr == nil {
 		firstErr = dmaErr
@@ -701,5 +803,6 @@ func (d *Daemon) sendFromDevice(p *sim.Proc, respDst int, q *request, dataDst in
 	if firstErr == nil {
 		firstErr = sendErr
 	}
+	d.putScratch(ps)
 	d.respond(respDst, q.reqID, firstErr, 0)
 }

@@ -332,7 +332,15 @@ type request struct {
 // emitted as an OpSessionPrefix marker ahead of the header; session-less
 // requests encode exactly as they did before the session layer existed.
 func encodeRequest(q *request) []byte {
-	w := wire.NewWriter(64)
+	return encodeRequestTo(wire.NewWriter(64), q)
+}
+
+// encodeRequestTo encodes into a reusable scratch writer and returns an
+// exact-size copy of the encoding (the copy must be taken regardless: the
+// encoding is retained for retransmission). The client's hot path reuses
+// one writer for every request it ever sends.
+func encodeRequestTo(w *wire.Writer, q *request) []byte {
+	w.Reset()
 	if q.session != 0 {
 		w.U8(OpSessionPrefix).U64(q.session)
 	}
@@ -343,10 +351,10 @@ func encodeRequest(q *request) []byte {
 			w.U8(sub.op)
 			encodeBody(w, sub)
 		}
-		return w.Bytes()
+		return w.CopyBytes()
 	}
 	encodeBody(w, q)
-	return w.Bytes()
+	return w.CopyBytes()
 }
 
 // encodeBody serializes the op-specific fields of a request (everything
@@ -459,7 +467,7 @@ func decodeBody(r *wire.Reader, q *request) error {
 		q.depth = r.Int()
 	case OpKernelRun:
 		q.kernel = r.Str()
-		dims := make([]int, 6)
+		var dims [6]int
 		for i := range dims {
 			dims[i] = r.Int()
 		}
@@ -620,9 +628,16 @@ type response struct {
 }
 
 func encodeResponse(rsp *response) []byte {
-	w := wire.NewWriter(32)
+	return encodeResponseTo(wire.NewWriter(32), rsp)
+}
+
+// encodeResponseTo is encodeResponse against a reusable scratch writer;
+// the returned copy is exact-size (responses are retained by the daemon's
+// dedup table, so a copy is mandatory anyway).
+func encodeResponseTo(w *wire.Writer, rsp *response) []byte {
+	w.Reset()
 	w.U64(rsp.reqID).U8(rsp.status).Str(rsp.errmsg).U64(uint64(rsp.ptr)).Blob(rsp.payload)
-	return w.Bytes()
+	return w.CopyBytes()
 }
 
 func decodeResponse(data []byte) (*response, error) {

@@ -452,6 +452,36 @@ func (d *Device) GatherColumns(ptr Ptr, off, colBytes, cols, pitchBytes int) ([]
 	return out, nil
 }
 
+// GatherColumnsInto reads the packed-byte subrange [lo, lo+len(dst)) of
+// the strided window into dst, where lo indexes the packed layout
+// GatherColumns would produce. The pipelined D2H path uses it to gather
+// one transfer block at a time directly into a pooled buffer instead of
+// materializing the whole payload. Execute mode only.
+func (d *Device) GatherColumnsInto(dst []byte, ptr Ptr, off, colBytes, cols, pitchBytes, lo int) error {
+	if colBytes <= 0 || cols < 0 || pitchBytes < colBytes {
+		return fmt.Errorf("gpu: gather: invalid geometry colBytes=%d cols=%d pitch=%d", colBytes, cols, pitchBytes)
+	}
+	if lo < 0 || lo+len(dst) > colBytes*cols {
+		return fmt.Errorf("gpu: gather: range [%d,%d) outside %d packed bytes", lo, lo+len(dst), colBytes*cols)
+	}
+	for n := 0; n < len(dst); {
+		b := lo + n
+		c := b / colBytes
+		r := b % colBytes
+		take := colBytes - r
+		if rem := len(dst) - n; take > rem {
+			take = rem
+		}
+		buf, err := d.alloc.slice(ptr, off+c*pitchBytes+r, take)
+		if err != nil {
+			return err
+		}
+		copy(dst[n:n+take], buf)
+		n += take
+	}
+	return nil
+}
+
 // Execute-mode data accessors, used by kernel implementations and tests.
 
 // Bytes returns the backing bytes of [ptr+off, ptr+off+n). Execute mode

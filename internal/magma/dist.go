@@ -18,6 +18,36 @@ type Dist struct {
 	ptrs     []gpu.Ptr
 	widths   []int // local columns per GPU
 	exec     bool
+
+	// scratch recycles the byte staging buffers f64bytes/copyBack encode
+	// through (execute mode only): a buffer is taken when a transfer is
+	// issued and returned once its Pending completes and the bytes are
+	// decoded, so concurrent in-flight transfers each hold their own and
+	// the per-panel loops of the solvers stop allocating. A transfer that
+	// fails simply never returns its buffer — correctness does not depend
+	// on the return happening.
+	scratch [][]byte
+}
+
+// getScratch returns an n-byte staging buffer, recycling a retired one
+// whose capacity fits.
+func (d *Dist) getScratch(n int) []byte {
+	for i, b := range d.scratch {
+		if cap(b) >= n {
+			last := len(d.scratch) - 1
+			d.scratch[i] = d.scratch[last]
+			d.scratch[last] = nil
+			d.scratch = d.scratch[:last]
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func (d *Dist) putScratch(b []byte) {
+	if cap(b) > 0 {
+		d.scratch = append(d.scratch, b)
+	}
 }
 
 // NewDist allocates device storage for an m×n matrix with block width nb
@@ -98,9 +128,14 @@ func (d *Dist) Upload(p *sim.Proc, hostA []float64) error {
 		nbytes := 8 * d.M * w
 		var src []byte
 		if hostA != nil {
-			src = f64bytes(hostA[b*d.NB*d.M : b*d.NB*d.M+d.M*w])
+			src = f64bytesTo(d.getScratch(nbytes), hostA[b*d.NB*d.M:b*d.NB*d.M+d.M*w])
 		}
-		pends = append(pends, dev.CopyH2DAsync(ptr, 8*d.elemOff(b, 0, 0), src, nbytes, 0))
+		pd := dev.CopyH2DAsync(ptr, 8*d.elemOff(b, 0, 0), src, nbytes, 0)
+		if src != nil {
+			src := src
+			pd = pendFunc{pd: pd, after: func() { d.putScratch(src) }}
+		}
+		pends = append(pends, pd)
 	}
 	return waitAllPending(p, pends)
 }
@@ -115,13 +150,16 @@ func (d *Dist) Download(p *sim.Proc, hostA []float64) error {
 		nbytes := 8 * d.M * w
 		var dst []byte
 		if hostA != nil {
-			dst = f64bytes(hostA[b*d.NB*d.M : b*d.NB*d.M+d.M*w])
+			dst = d.getScratch(nbytes)
 		}
 		pd := dev.CopyD2HAsync(dst, ptr, 8*d.elemOff(b, 0, 0), nbytes, 0)
 		if hostA != nil {
 			b := b
 			dstF := hostA[b*d.NB*d.M : b*d.NB*d.M+d.M*w]
-			pends = append(pends, pendFunc{pd: pd, after: func() { copyBack(dstF, dst) }})
+			pends = append(pends, pendFunc{pd: pd, after: func() {
+				copyBack(dstF, dst)
+				d.putScratch(dst)
+			}})
 		} else {
 			pends = append(pends, pd)
 		}
@@ -136,14 +174,17 @@ func (d *Dist) downloadCols(p *sim.Proc, b, row0, rows, c0, cols int, host []flo
 	dev, ptr := d.devPtr(b)
 	var dst []byte
 	if host != nil {
-		dst = make([]byte, 8*rows*cols)
+		dst = d.getScratch(8 * rows * cols)
 	}
 	pd := dev.CopyD2H2DAsync(dst, ptr, 8*d.elemOff(b, row0, c0), 8*rows, cols, 8*d.M, stream)
 	if host == nil {
 		return []Pending{pd}
 	}
 	h := host[:rows*cols]
-	return []Pending{pendFunc{pd: pd, after: func() { copyBack(h, dst) }}}
+	return []Pending{pendFunc{pd: pd, after: func() {
+		copyBack(h, dst)
+		d.putScratch(dst)
+	}}}
 }
 
 // uploadCols pushes host (leading dimension rows) into rows
@@ -153,9 +194,14 @@ func (d *Dist) uploadCols(b, row0, rows, c0, cols int, host []float64, stream ui
 	dev, ptr := d.devPtr(b)
 	var src []byte
 	if host != nil {
-		src = f64bytes(host[:rows*cols])
+		src = f64bytesTo(d.getScratch(8*rows*cols), host[:rows*cols])
 	}
-	return []Pending{dev.CopyH2D2DAsync(ptr, 8*d.elemOff(b, row0, c0), 8*rows, cols, 8*d.M, src, stream)}
+	pd := dev.CopyH2D2DAsync(ptr, 8*d.elemOff(b, row0, c0), 8*rows, cols, 8*d.M, src, stream)
+	if src != nil {
+		src := src
+		pd = pendFunc{pd: pd, after: func() { d.putScratch(src) }}
+	}
+	return []Pending{pd}
 }
 
 // pendFunc runs a fix-up after an async op completes (decoding a raw
@@ -186,7 +232,12 @@ func waitAllPending(p *sim.Proc, pends []Pending) error {
 // f64bytes encodes float64s as the little-endian byte payload the copy
 // layer carries. copyBack decodes a destination buffer in place.
 func f64bytes(vals []float64) []byte {
-	buf := make([]byte, 8*len(vals))
+	return f64bytesTo(make([]byte, 8*len(vals)), vals)
+}
+
+// f64bytesTo encodes into a caller-provided buffer of exactly
+// 8*len(vals) bytes (typically a recycled Dist scratch buffer).
+func f64bytesTo(buf []byte, vals []float64) []byte {
 	for i, v := range vals {
 		putF64(buf[8*i:], v)
 	}

@@ -35,7 +35,7 @@ func (c *Comm) Barrier(p *sim.Proc) {
 	for dist := 1; dist < n; dist *= 2 {
 		to := (c.rank + dist) % n
 		from := (c.rank - dist + n) % n
-		sreq := c.isendAnyTag(to, tagBarrier, nil, 1)
+		sreq := c.isendAnyTag(to, tagBarrier, nil, 1, false)
 		rreq := c.irecvAnyTag(from, tagBarrier)
 		sreq.Wait(p)
 		rreq.Wait(p)
@@ -67,7 +67,7 @@ func (c *Comm) Bcast(p *sim.Proc, root int, data []byte) []byte {
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		if vrank+mask < n {
 			child := (vrank + mask + root) % n
-			c.isendAnyTag(child, tagBcast, data, len(data)).Wait(p)
+			c.isendAnyTag(child, tagBcast, data, len(data), false).Wait(p)
 		}
 	}
 	return data
@@ -92,7 +92,7 @@ func (c *Comm) Reduce(p *sim.Proc, root int, contrib []byte, op ReduceOp) []byte
 		if vrank&bit != 0 {
 			// Send accumulated value to the subtree parent and stop.
 			parent := ((vrank &^ bit) + root) % n
-			c.isendAnyTag(parent, tagReduce, acc, len(acc)).Wait(p)
+			c.isendAnyTag(parent, tagReduce, acc, len(acc), false).Wait(p)
 			return nil
 		}
 		child := vrank | bit
@@ -120,7 +120,7 @@ func (c *Comm) Allreduce(p *sim.Proc, contrib []byte, op ReduceOp) []byte {
 func (c *Comm) Gather(p *sim.Proc, root int, contrib []byte) [][]byte {
 	c.checkRank(root, "Gather")
 	if c.rank != root {
-		c.isendAnyTag(root, tagGather, contrib, len(contrib)).Wait(p)
+		c.isendAnyTag(root, tagGather, contrib, len(contrib), false).Wait(p)
 		return nil
 	}
 	out := make([][]byte, c.Size())
@@ -166,7 +166,7 @@ func (c *Comm) Scatter(p *sim.Proc, root int, parts [][]byte) []byte {
 			if r == root {
 				continue
 			}
-			reqs = append(reqs, c.isendAnyTag(r, tagScatter, part, len(part)))
+			reqs = append(reqs, c.isendAnyTag(r, tagScatter, part, len(part), false))
 		}
 		WaitAll(p, reqs...)
 		return append([]byte(nil), parts[root]...)

@@ -42,7 +42,7 @@ func (c *Comm) Alltoall(p *sim.Proc, parts [][]byte) [][]byte {
 		if r == c.rank {
 			continue
 		}
-		sends = append(sends, c.isendAnyTag(r, tagAlltoall, parts[r], len(parts[r])))
+		sends = append(sends, c.isendAnyTag(r, tagAlltoall, parts[r], len(parts[r]), false))
 	}
 	for i, rr := range recvs {
 		data, _ := rr.Wait(p)

@@ -57,6 +57,9 @@ type World struct {
 	// linkFilter, when set, decides the fate of every message (fault
 	// injection). See SetLinkFilter.
 	linkFilter LinkFilter
+	// pool recycles payload block buffers for the ownership-handoff send
+	// path (IsendOwned / Request.Free).
+	pool bufPool
 }
 
 type splitKey struct {
@@ -65,13 +68,15 @@ type splitKey struct {
 	color     int
 }
 
-// endpoint is the per-rank network attachment point.
+// endpoint is the per-rank network attachment point. Posted receives are
+// the Requests themselves (matching state lives on the Request), so
+// posting a receive costs one allocation.
 type endpoint struct {
 	world      *World
 	rank       int // world rank
 	tx, rx     *sim.Resource
 	unexpected []*message
-	posted     []*postedRecv
+	posted     []*Request
 	probers    []*prober
 	traffic    TrafficStats
 }

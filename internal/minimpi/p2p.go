@@ -8,7 +8,9 @@ import (
 
 // message is an in-flight transfer. The envelope (matching metadata)
 // travels ahead of the payload; bodyArrived fires when the payload has
-// fully landed at the receiver.
+// fully landed at the receiver. The record also carries the send process's
+// state (endpoints, requests, world), so the per-message transfer process
+// and completion callbacks run closure-free: one message, one allocation.
 type message struct {
 	ctx         int
 	srcWorld    int // world rank of sender
@@ -16,17 +18,15 @@ type message struct {
 	tag         Tag
 	size        int
 	data        []byte
+	owned       bool // data came from the world pool; receiver frees it
+	w           *World
+	srcEp       *endpoint
+	dstEp       *endpoint
+	sreq        *Request // sender's request
+	rreq        *Request // receiver's request, once matched
 	bodyArrived *sim.Event
+	bodyEv      sim.Event  // backing storage for bodyArrived
 	cts         *sim.Event // rendezvous clear-to-send; nil for eager sends
-}
-
-type postedRecv struct {
-	ctx int
-	src int // communicator rank or AnySource
-	tag Tag
-	req *Request
-	// comm resolves world source ranks to communicator ranks for Status.
-	comm *Comm
 }
 
 type prober struct {
@@ -42,12 +42,21 @@ type prober struct {
 // Wait* helpers) block until completion; Done exposes the underlying
 // completion event for select-style composition with sim.AwaitAny.
 type Request struct {
+	doneEv   sim.Event // backing storage for done
 	done     *sim.Event
-	cancel   *sim.Event
+	cancel   *sim.Event // created only for rendezvous sends (lazy)
 	isSend   bool
 	canceled bool
 	status   Status
 	data     []byte
+	owned    bool   // data is a pool buffer; Free returns it
+	world    *World // pool owner for Free
+	// Posted-receive matching state, filled by irecvAnyTag: folding the
+	// queue entry into the request saves an allocation per receive.
+	prComm *Comm
+	prCtx  int
+	prSrc  int
+	prTag  Tag
 }
 
 // Done returns the completion event.
@@ -60,9 +69,11 @@ func (r *Request) Done() *sim.Event { return r.done }
 // leaves the peer's receive pending forever — cancellation is for
 // unreachable peers.
 func (r *Request) Cancel() {
-	if r.isSend && r.cancel != nil && !r.done.Triggered() {
+	if r.isSend && !r.done.Triggered() {
 		r.canceled = true
-		r.cancel.Trigger()
+		if r.cancel != nil {
+			r.cancel.Trigger()
+		}
 	}
 }
 
@@ -99,6 +110,19 @@ func (r *Request) WaitTimeout(p *sim.Proc, d sim.Duration) ([]byte, Status, bool
 	return r.data, r.status, true
 }
 
+// Free returns an ownership-transferred payload (see IsendOwned) to the
+// world's buffer pool. The caller must be done with the data: after Free
+// the bytes may be recycled into a future message (and are scribbled over
+// first when poisoning is enabled). Free on a request whose payload was
+// not pool-owned is a no-op.
+func (r *Request) Free() {
+	if r.owned && r.data != nil && r.world != nil {
+		r.world.PutBuf(r.data)
+		r.data = nil
+		r.owned = false
+	}
+}
+
 // matches reports whether an envelope satisfies a posted (src, tag) pair,
 // where src is a communicator rank or AnySource.
 func envelopeMatches(m *message, ctx int, src int, tag Tag) bool {
@@ -118,7 +142,16 @@ func envelopeMatches(m *message, ctx int, src int, tag Tag) bool {
 // not modify data until the request completes. The send completes once the
 // payload has left the sender's NIC (local completion).
 func (c *Comm) Isend(dst int, tag Tag, data []byte) *Request {
-	return c.isend(dst, tag, data, len(data))
+	return c.isend(dst, tag, data, len(data), false)
+}
+
+// IsendOwned is Isend with buffer ownership transferred to the transport:
+// data must come from World.GetBuf, the caller must not touch it after the
+// call, and the receiver releases it back to the pool with Request.Free
+// once the payload has been consumed. This is the zero-copy handoff path
+// for pipelined transfer blocks.
+func (c *Comm) IsendOwned(dst int, tag Tag, data []byte) *Request {
+	return c.isend(dst, tag, data, len(data), true)
 }
 
 // IsendSized starts a nonblocking send of size metadata-only bytes: it
@@ -128,15 +161,15 @@ func (c *Comm) IsendSized(dst int, tag Tag, size int) *Request {
 	if size < 0 {
 		panic(fmt.Sprintf("minimpi: IsendSized: negative size %d", size))
 	}
-	return c.isend(dst, tag, nil, size)
+	return c.isend(dst, tag, nil, size, false)
 }
 
-func (c *Comm) isend(dst int, tag Tag, data []byte, size int) *Request {
+func (c *Comm) isend(dst int, tag Tag, data []byte, size int, owned bool) *Request {
 	c.checkRank(dst, "Isend")
 	if tag < 0 {
 		panic(fmt.Sprintf("minimpi: Isend: user tags must be non-negative, got %d", tag))
 	}
-	return c.isendAnyTag(dst, tag, data, size)
+	return c.isendAnyTag(dst, tag, data, size, owned)
 }
 
 // IsendPadded starts a nonblocking send of data whose wire cost is that
@@ -148,77 +181,92 @@ func (c *Comm) IsendPadded(dst int, tag Tag, data []byte, size int) *Request {
 	if size < len(data) {
 		panic(fmt.Sprintf("minimpi: IsendPadded: size %d < len(data) %d", size, len(data)))
 	}
-	return c.isend(dst, tag, data, size)
+	return c.isend(dst, tag, data, size, false)
 }
 
 // isendAnyTag is the internal send path; collectives use negative tags.
-func (c *Comm) isendAnyTag(dst int, tag Tag, data []byte, size int) *Request {
+func (c *Comm) isendAnyTag(dst int, tag Tag, data []byte, size int, owned bool) *Request {
 	c.wire.Msgs++
 	c.wire.Bytes += int64(size)
 	w := c.world
-	params := w.params
 	srcEp := c.ep()
-	dstEp := w.eps[c.group[dst]]
-	req := &Request{done: sim.NewEvent(w.sim), cancel: sim.NewEvent(w.sim), isSend: true,
-		status: Status{Source: dst, Tag: tag, Size: size}}
+	req := &Request{isSend: true, status: Status{Source: dst, Tag: tag, Size: size}}
+	req.doneEv.Init(w.sim)
+	req.done = &req.doneEv
 	m := &message{
-		ctx:         c.ctx,
-		srcWorld:    srcEp.rank,
-		srcComm:     c.rank,
-		tag:         tag,
-		size:        size,
-		data:        data,
-		bodyArrived: sim.NewEvent(w.sim),
+		ctx:      c.ctx,
+		srcWorld: srcEp.rank,
+		srcComm:  c.rank,
+		tag:      tag,
+		size:     size,
+		data:     data,
+		owned:    owned,
+		w:        w,
+		srcEp:    srcEp,
+		dstEp:    w.eps[c.group[dst]],
+		sreq:     req,
 	}
-	if params.Rendezvous(size) {
+	m.bodyEv.Init(w.sim)
+	m.bodyArrived = &m.bodyEv
+	if w.params.Rendezvous(size) {
 		m.cts = sim.NewEvent(w.sim)
+		req.cancel = sim.NewEvent(w.sim)
 	}
-	w.sim.Spawn(fmt.Sprintf("mpi-send %d->%d t%d", srcEp.rank, dstEp.rank, tag), func(p *sim.Proc) {
-		p.Wait(params.SendOverhead)
-		v := w.verdict(srcEp.rank, dstEp.rank, tag, size)
-		if v.Delay > 0 {
-			p.Wait(v.Delay)
-		}
-		p.Wait(params.Latency) // envelope flight
-		if v.Drop {
-			// Lost on the wire: the sender sees local completion (it
-			// cannot tell), the receiver never sees the envelope, and a
-			// rendezvous payload is silently abandoned.
+	w.sim.SpawnArg("mpi-send", runSend, m)
+	return req
+}
+
+// runSend is the per-message transfer process: overheads, fault verdict,
+// envelope flight, optional rendezvous, then payload serialization across
+// both NICs. Top-level (not a closure) so spawning it allocates nothing
+// beyond the message itself.
+func runSend(p *sim.Proc, v any) {
+	m := v.(*message)
+	w, params := m.w, m.w.params
+	srcEp, dstEp, req := m.srcEp, m.dstEp, m.sreq
+	p.Wait(params.SendOverhead)
+	verdict := w.verdict(srcEp.rank, dstEp.rank, m.tag, m.size)
+	if verdict.Delay > 0 {
+		p.Wait(verdict.Delay)
+	}
+	p.Wait(params.Latency) // envelope flight
+	if verdict.Drop {
+		// Lost on the wire: the sender sees local completion (it
+		// cannot tell), the receiver never sees the envelope, and a
+		// rendezvous payload is silently abandoned.
+		req.done.Trigger()
+		srcEp.traffic.MsgsSent++
+		return
+	}
+	dstEp.deliverEnvelope(m)
+	if m.cts != nil {
+		if sim.AwaitAny(p, m.cts, req.cancel) == 1 && !m.cts.Triggered() {
+			// Canceled while waiting for the receiver's clearance: the
+			// payload never flows.
 			req.done.Trigger()
-			srcEp.traffic.MsgsSent++
 			return
 		}
-		dstEp.deliverEnvelope(m)
-		if m.cts != nil {
-			if sim.AwaitAny(p, m.cts, req.cancel) == 1 && !m.cts.Triggered() {
-				// Canceled while waiting for the receiver's clearance: the
-				// payload never flows.
-				req.done.Trigger()
-				return
-			}
-			p.Wait(params.RendezvousRTT)
-		}
-		// Payload occupies the sender's transmit path and the receiver's
-		// receive path for the serialization time.
-		srcEp.tx.Acquire(p, 1)
-		dstEp.rx.Acquire(p, 1)
-		p.Wait(params.TransferTime(m.size))
-		req.done.Trigger() // local completion at the sender
-		m.bodyArrived.Trigger()
-		// Per-message completion processing occupies both endpoints a
-		// little longer, bounding the achievable message rate.
-		p.Wait(params.MessageGap)
-		srcEp.tx.Release(1)
-		dstEp.rx.Release(1)
-		occupancy := params.TransferTime(m.size) + params.MessageGap
-		srcEp.traffic.MsgsSent++
-		srcEp.traffic.BytesSent += int64(m.size)
-		srcEp.traffic.TxBusy += occupancy
-		dstEp.traffic.MsgsReceived++
-		dstEp.traffic.BytesReceived += int64(m.size)
-		dstEp.traffic.RxBusy += occupancy
-	})
-	return req
+		p.Wait(params.RendezvousRTT)
+	}
+	// Payload occupies the sender's transmit path and the receiver's
+	// receive path for the serialization time.
+	srcEp.tx.Acquire(p, 1)
+	dstEp.rx.Acquire(p, 1)
+	p.Wait(params.TransferTime(m.size))
+	req.done.Trigger() // local completion at the sender
+	m.bodyArrived.Trigger()
+	// Per-message completion processing occupies both endpoints a
+	// little longer, bounding the achievable message rate.
+	p.Wait(params.MessageGap)
+	srcEp.tx.Release(1)
+	dstEp.rx.Release(1)
+	occupancy := params.TransferTime(m.size) + params.MessageGap
+	srcEp.traffic.MsgsSent++
+	srcEp.traffic.BytesSent += int64(m.size)
+	srcEp.traffic.TxBusy += occupancy
+	dstEp.traffic.MsgsReceived++
+	dstEp.traffic.BytesReceived += int64(m.size)
+	dstEp.traffic.RxBusy += occupancy
 }
 
 // Send is the blocking form of Isend.
@@ -248,7 +296,9 @@ func (c *Comm) Irecv(src int, tag Tag) *Request {
 func (c *Comm) irecvAnyTag(src int, tag Tag) *Request {
 	w := c.world
 	ep := c.ep()
-	req := &Request{done: sim.NewEvent(w.sim)}
+	req := &Request{}
+	req.doneEv.Init(w.sim)
+	req.done = &req.doneEv
 	// First try the unexpected queue, in envelope-arrival order.
 	for i, m := range ep.unexpected {
 		if envelopeMatches(m, c.ctx, src, tag) {
@@ -257,7 +307,8 @@ func (c *Comm) irecvAnyTag(src int, tag Tag) *Request {
 			return req
 		}
 	}
-	ep.posted = append(ep.posted, &postedRecv{ctx: c.ctx, src: src, tag: tag, req: req, comm: c})
+	req.prComm, req.prCtx, req.prSrc, req.prTag = c, c.ctx, src, tag
+	ep.posted = append(ep.posted, req)
 	return req
 }
 
@@ -274,14 +325,23 @@ func (c *Comm) completeRecv(req *Request, m *message) {
 	if m.cts != nil {
 		m.cts.Trigger()
 	}
-	w := c.world
-	m.bodyArrived.OnTrigger(func() {
-		w.sim.After(w.params.RecvOverhead, func() {
-			req.data = m.data
-			req.status = Status{Source: m.srcComm, Tag: m.tag, Size: m.size}
-			req.done.Trigger()
-		})
-	})
+	m.rreq = req
+	req.world = c.world
+	m.bodyArrived.OnTriggerCall(recvBodyArrived, m)
+}
+
+func recvBodyArrived(v any) {
+	m := v.(*message)
+	m.w.sim.AfterCall(m.w.params.RecvOverhead, recvComplete, m)
+}
+
+func recvComplete(v any) {
+	m := v.(*message)
+	req := m.rreq
+	req.data = m.data
+	req.owned = m.owned
+	req.status = Status{Source: m.srcComm, Tag: m.tag, Size: m.size}
+	req.done.Trigger()
 }
 
 // deliverEnvelope lands an envelope at the endpoint: match a posted
@@ -289,9 +349,9 @@ func (c *Comm) completeRecv(req *Request, m *message) {
 // are satisfied either way.
 func (ep *endpoint) deliverEnvelope(m *message) {
 	for i, pr := range ep.posted {
-		if envelopeMatches(m, pr.ctx, pr.src, pr.tag) {
+		if envelopeMatches(m, pr.prCtx, pr.prSrc, pr.prTag) {
 			ep.posted = append(ep.posted[:i], ep.posted[i+1:]...)
-			pr.comm.completeRecv(pr.req, m)
+			pr.prComm.completeRecv(pr, m)
 			ep.notifyProbers(m)
 			return
 		}

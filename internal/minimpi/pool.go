@@ -1,0 +1,67 @@
+package minimpi
+
+import "os"
+
+// Payload buffer pool. Pipelined transfers move bounded windows of
+// uniformly-sized blocks, so recycling buffers by exact capacity keeps the
+// steady-state transfer path allocation-free: the sender takes a block
+// with World.GetBuf, ships it with Comm.IsendOwned (ownership travels with
+// the message), and the receiver returns it with Request.Free once the
+// bytes are consumed. A buffer whose message is dropped, canceled or never
+// received simply falls out of the pool — correctness never depends on a
+// Free happening.
+
+// poisonFreed enables the chaos guard: freed pool buffers are scribbled
+// with a sentinel so any consumer that wrongly held on to a released
+// buffer reads garbage (and data-integrity checks fail loudly) instead of
+// silently aliasing recycled memory. Enabled by DYNACC_POISON=1; CI runs
+// the chaos suite with it set.
+var poisonFreed = os.Getenv("DYNACC_POISON") == "1"
+
+const poisonByte = 0xDB
+
+// bufPool recycles byte buffers keyed by exact capacity. Not safe for
+// concurrent use; like everything else in a World it runs under the
+// simulation's cooperative scheduling.
+type bufPool struct {
+	buckets map[int][][]byte
+}
+
+func (bp *bufPool) get(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	if list := bp.buckets[n]; len(list) > 0 {
+		b := list[len(list)-1]
+		list[len(list)-1] = nil
+		bp.buckets[n] = list[:len(list)-1]
+		return b
+	}
+	return make([]byte, n)
+}
+
+func (bp *bufPool) put(b []byte) {
+	n := cap(b)
+	if n == 0 {
+		return
+	}
+	b = b[:n]
+	if poisonFreed {
+		for i := range b {
+			b[i] = poisonByte
+		}
+	}
+	if bp.buckets == nil {
+		bp.buckets = make(map[int][][]byte)
+	}
+	bp.buckets[n] = append(bp.buckets[n], b)
+}
+
+// GetBuf returns an n-byte buffer from the world's payload pool,
+// allocating only when no recycled buffer of that exact size exists. The
+// contents are unspecified — callers overwrite the whole buffer.
+func (w *World) GetBuf(n int) []byte { return w.pool.get(n) }
+
+// PutBuf returns a buffer obtained from GetBuf to the pool. The caller
+// must hold the only live reference.
+func (w *World) PutBuf(b []byte) { w.pool.put(b) }

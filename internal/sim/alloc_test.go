@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// Allocation regression tests for the scheduler hot paths. The free
+// lists (events, waiters, mailbox rings) mean the steady state after a
+// short warmup is zero heap allocations per operation; these tests pin
+// that so a stray closure or slice growth on a hot path fails CI rather
+// than silently regressing fleet-scale runs.
+
+func triggerEventArg(a any) { a.(*Event).Trigger() }
+
+// mallocsAround reports the Mallocs delta across fn. Called from inside
+// a running simulation, only sim goroutines execute between the reads,
+// so the delta is exactly the simulation's own allocation count.
+func mallocsAround(fn func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// TestSchedulerStepAllocFree pins the closure-free schedule/dispatch
+// cycle: AfterCall with a top-level function and a pre-boxed argument,
+// executed via Step, must not allocate once the event free list is warm.
+func TestSchedulerStepAllocFree(t *testing.T) {
+	s := New()
+	n := 0
+	arg := any(&n)
+	bump := func(a any) { *a.(*int)++ }
+	step := func() {
+		s.AfterCall(0, bump, arg)
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ { // warm the event free list
+		step()
+	}
+	if avg := testing.AllocsPerRun(1000, step); avg != 0 {
+		t.Errorf("schedule+dispatch allocates %.2f per op, want 0", avg)
+	}
+}
+
+// TestEventTriggerAwaitAllocFree pins the embedded-event cycle used by
+// the pipeline scratch buffers: Init, a scheduled Trigger, and an Await
+// must be allocation-free in steady state.
+func TestEventTriggerAwaitAllocFree(t *testing.T) {
+	s := New()
+	var delta uint64
+	s.Spawn("waiter", func(p *Proc) {
+		var ev Event
+		arg := any(&ev)
+		cycle := func(rounds int) {
+			for i := 0; i < rounds; i++ {
+				ev.Init(s)
+				s.AfterCall(1, triggerEventArg, arg)
+				ev.Await(p)
+			}
+		}
+		cycle(100) // warm waiter and event pools
+		delta = mallocsAround(func() { cycle(1000) })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delta != 0 {
+		t.Errorf("event Init/Trigger/Await cycle allocated %d times over 1000 rounds, want 0", delta)
+	}
+}
+
+// TestTimedWaitAllocFree pins the process suspend/resume path.
+func TestTimedWaitAllocFree(t *testing.T) {
+	s := New()
+	var delta uint64
+	s.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Wait(Microsecond)
+		}
+		delta = mallocsAround(func() {
+			for i := 0; i < 1000; i++ {
+				p.Wait(Microsecond)
+			}
+		})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delta != 0 {
+		t.Errorf("timed Wait allocated %d times over 1000 rounds, want 0", delta)
+	}
+}
+
+// TestMailboxSendRecvAllocFree pins mailbox round trips between two
+// processes. Values stay in the runtime's small-int interface cache so
+// the ring itself is the only possible allocator.
+func TestMailboxSendRecvAllocFree(t *testing.T) {
+	const warmup, rounds = 100, 1000
+	s := New()
+	m := NewMailbox(s, "m")
+	var delta uint64
+	s.Spawn("producer", func(p *Proc) {
+		for i := 0; i < warmup+rounds; i++ {
+			m.Send(7)
+			p.Wait(1)
+		}
+	})
+	s.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < warmup; i++ {
+			m.Recv(p)
+		}
+		delta = mallocsAround(func() {
+			for i := 0; i < rounds; i++ {
+				m.Recv(p)
+			}
+		})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delta != 0 {
+		t.Errorf("mailbox send/recv allocated %d times over %d rounds, want 0", delta, rounds)
+	}
+}

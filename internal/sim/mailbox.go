@@ -7,71 +7,143 @@ import "fmt"
 // never block; receivers block until a value is available. Values are
 // delivered in send order, and competing receivers are served in arrival
 // order.
+//
+// Both the item queue and the receiver queue are head-indexed slices that
+// reuse their backing arrays, so a mailbox in steady state allocates
+// nothing per send/receive cycle.
 type Mailbox struct {
-	sim     *Simulation
-	name    string
-	items   []any
-	waiters []*boxWaiter
+	sim            *Simulation
+	name           string
+	recvState      string // precomputed block() labels: building them per
+	recvTimedState string // receive was a measurable share of the hot path
+	items          []any
+	ihead          int
+	waiters        []boxRef
+	whead          int
 }
 
+// boxWaiter is a pooled receiver registration; gen works exactly like
+// eventWaiter.gen (see event.go).
 type boxWaiter struct {
 	p     *Proc
 	woken bool
 	val   any
 	got   bool
+	gen   uint32
+}
+
+type boxRef struct {
+	w   *boxWaiter
+	gen uint32
+}
+
+func (s *Simulation) getBoxWaiter(p *Proc) *boxWaiter {
+	if n := len(s.freeBoxWaiters); n > 0 {
+		w := s.freeBoxWaiters[n-1]
+		s.freeBoxWaiters = s.freeBoxWaiters[:n-1]
+		w.p = p
+		return w
+	}
+	return &boxWaiter{p: p}
+}
+
+func (s *Simulation) putBoxWaiter(w *boxWaiter) {
+	w.gen++
+	w.p = nil
+	w.woken = false
+	w.val = nil
+	w.got = false
+	s.freeBoxWaiters = append(s.freeBoxWaiters, w)
 }
 
 // NewMailbox creates an empty mailbox.
 func NewMailbox(s *Simulation, name string) *Mailbox {
-	return &Mailbox{sim: s, name: name}
+	return &Mailbox{
+		sim:            s,
+		name:           name,
+		recvState:      "receiving from mailbox " + name,
+		recvTimedState: "receiving from mailbox " + name + " (timed)",
+	}
 }
 
 // Len reports the number of queued values.
-func (m *Mailbox) Len() int { return len(m.items) }
+func (m *Mailbox) Len() int { return len(m.items) - m.ihead }
+
+func (m *Mailbox) pushItem(v any) {
+	if m.ihead > 0 {
+		if m.ihead == len(m.items) {
+			m.items = m.items[:0]
+			m.ihead = 0
+		} else if m.ihead >= 32 && 2*m.ihead >= len(m.items) {
+			// Slide the live tail down so a never-empty mailbox still
+			// reuses its backing array instead of growing forever.
+			n := copy(m.items, m.items[m.ihead:])
+			for i := n; i < len(m.items); i++ {
+				m.items[i] = nil
+			}
+			m.items = m.items[:n]
+			m.ihead = 0
+		}
+	}
+	m.items = append(m.items, v)
+}
+
+func (m *Mailbox) popItem() any {
+	v := m.items[m.ihead]
+	m.items[m.ihead] = nil
+	m.ihead++
+	if m.ihead == len(m.items) {
+		m.items = m.items[:0]
+		m.ihead = 0
+	}
+	return v
+}
 
 // Send enqueues v. If a receiver is blocked, the value is handed to the
 // oldest one and it is woken at the current virtual time.
 func (m *Mailbox) Send(v any) {
-	for len(m.waiters) > 0 {
-		w := m.waiters[0]
-		m.waiters[0] = nil
-		m.waiters = m.waiters[1:]
-		if w.woken || w.p.gone() {
-			continue // timed out or killed concurrently; skip
+	for m.whead < len(m.waiters) {
+		ref := m.waiters[m.whead]
+		m.waiters[m.whead] = boxRef{}
+		m.whead++
+		if m.whead == len(m.waiters) {
+			m.waiters = m.waiters[:0]
+			m.whead = 0
+		}
+		w := ref.w
+		if w.gen != ref.gen || w.woken || w.p.gone() {
+			continue // wait already over, timed out, or killed concurrently
 		}
 		w.val, w.got, w.woken = v, true, true
 		w.p.wake()
 		return
 	}
-	m.items = append(m.items, v)
+	m.pushItem(v)
 }
 
 // Recv blocks until a value is available and returns it.
 func (m *Mailbox) Recv(p *Proc) any {
-	if len(m.items) > 0 {
-		v := m.items[0]
-		m.items[0] = nil
-		m.items = m.items[1:]
-		return v
+	if m.Len() > 0 {
+		return m.popItem()
 	}
-	w := &boxWaiter{p: p}
-	m.waiters = append(m.waiters, w)
-	p.block(fmt.Sprintf("receiving from mailbox %s", m.name))
+	s := m.sim
+	w := s.getBoxWaiter(p)
+	m.waiters = append(m.waiters, boxRef{w: w, gen: w.gen})
+	p.block(m.recvState)
 	if !w.got {
 		panic(fmt.Sprintf("sim: mailbox %s: receiver woken without value", m.name))
 	}
-	return w.val
+	v := w.val
+	s.putBoxWaiter(w)
+	return v
 }
 
 // TryRecv returns a queued value if one is available.
 func (m *Mailbox) TryRecv() (any, bool) {
-	if len(m.items) == 0 {
+	if m.Len() == 0 {
 		return nil, false
 	}
-	v := m.items[0]
-	m.items[0] = nil
-	m.items = m.items[1:]
-	return v, true
+	return m.popItem(), true
 }
 
 // RecvTimeout blocks until a value arrives or d elapses. The boolean
@@ -83,15 +155,18 @@ func (m *Mailbox) RecvTimeout(p *Proc, d Duration) (any, bool) {
 	if d < 0 {
 		d = 0
 	}
-	w := &boxWaiter{p: p}
-	m.waiters = append(m.waiters, w)
-	s := p.sim
+	s := m.sim
+	w := s.getBoxWaiter(p)
+	m.waiters = append(m.waiters, boxRef{w: w, gen: w.gen})
+	gen := w.gen
 	s.schedule(s.now.Add(d), func() {
-		if !w.woken {
+		if w.gen == gen && !w.woken {
 			w.woken = true
 			w.p.wake()
 		}
 	})
-	p.block(fmt.Sprintf("receiving from mailbox %s (timed)", m.name))
-	return w.val, w.got
+	p.block(m.recvTimedState)
+	v, got := w.val, w.got
+	s.putBoxWaiter(w)
+	return v, got
 }

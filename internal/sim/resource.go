@@ -12,15 +12,35 @@ import "fmt"
 type Resource struct {
 	sim      *Simulation
 	name     string
+	acqState string // precomputed block() label
 	capacity int
 	inUse    int
 	waiters  []*resWaiter
+	whead    int
 }
 
+// resWaiter is a pooled acquire registration. Ownership is simple — grant
+// pops a waiter before waking it — so no generation counter is needed: a
+// waiter is recycled either by the Acquire that blocked on it (normal
+// return) or by grant when it drops a killed process's entry.
 type resWaiter struct {
-	p     *Proc
-	n     int
-	woken bool
+	p *Proc
+	n int
+}
+
+func (s *Simulation) getResWaiter(p *Proc, n int) *resWaiter {
+	if k := len(s.freeResWaiters); k > 0 {
+		w := s.freeResWaiters[k-1]
+		s.freeResWaiters = s.freeResWaiters[:k-1]
+		w.p, w.n = p, n
+		return w
+	}
+	return &resWaiter{p: p, n: n}
+}
+
+func (s *Simulation) putResWaiter(w *resWaiter) {
+	w.p = nil
+	s.freeResWaiters = append(s.freeResWaiters, w)
 }
 
 // NewResource creates a resource with the given capacity (> 0).
@@ -28,7 +48,7 @@ func NewResource(s *Simulation, name string, capacity int) *Resource {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("sim: resource %q: capacity must be positive, got %d", name, capacity))
 	}
-	return &Resource{sim: s, name: name, capacity: capacity}
+	return &Resource{sim: s, name: name, acqState: "acquiring resource " + name, capacity: capacity}
 }
 
 // Capacity returns the total number of units.
@@ -43,13 +63,17 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	if n <= 0 || n > r.capacity {
 		panic(fmt.Sprintf("sim: resource %q: acquire %d of capacity %d", r.name, n, r.capacity))
 	}
-	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+	if r.QueueLen() == 0 && r.inUse+n <= r.capacity {
 		r.inUse += n
 		return
 	}
-	w := &resWaiter{p: p, n: n}
+	w := r.sim.getResWaiter(p, n)
 	r.waiters = append(r.waiters, w)
-	p.block(fmt.Sprintf("acquiring %d of resource %s", n, r.name))
+	p.block(r.acqState)
+	// grant popped w before waking us, so we are its sole owner now. A
+	// killed process unwinds in block and never reaches this; its waiter is
+	// recycled (or dropped) by grant instead.
+	r.sim.putResWaiter(w)
 }
 
 // TryAcquire takes n units if immediately available, reporting success.
@@ -57,7 +81,7 @@ func (r *Resource) TryAcquire(n int) bool {
 	if n <= 0 || n > r.capacity {
 		panic(fmt.Sprintf("sim: resource %q: try-acquire %d of capacity %d", r.name, n, r.capacity))
 	}
-	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+	if r.QueueLen() == 0 && r.inUse+n <= r.capacity {
 		r.inUse += n
 		return true
 	}
@@ -73,24 +97,32 @@ func (r *Resource) Release(n int) {
 	r.grant()
 }
 
+func (r *Resource) popWaiter() {
+	r.waiters[r.whead] = nil
+	r.whead++
+	if r.whead == len(r.waiters) {
+		r.waiters = r.waiters[:0]
+		r.whead = 0
+	}
+}
+
 // grant wakes queued waiters, head first, while capacity allows. Waiters
 // whose process was killed while queued are dropped instead of granted, so
 // a crashed holder-to-be does not strand capacity.
 func (r *Resource) grant() {
-	for len(r.waiters) > 0 {
-		w := r.waiters[0]
+	for r.whead < len(r.waiters) {
+		w := r.waiters[r.whead]
 		if w.p.gone() {
-			r.waiters[0] = nil
-			r.waiters = r.waiters[1:]
+			r.popWaiter()
+			// The dead process's Acquire frame unwinds without touching w.
+			r.sim.putResWaiter(w)
 			continue
 		}
 		if r.inUse+w.n > r.capacity {
 			return
 		}
 		r.inUse += w.n
-		r.waiters[0] = nil
-		r.waiters = r.waiters[1:]
-		w.woken = true
+		r.popWaiter()
 		w.p.wake()
 	}
 }
@@ -104,4 +136,4 @@ func (r *Resource) Use(p *Proc, n int, d Duration) {
 }
 
 // QueueLen reports the number of blocked acquirers.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return len(r.waiters) - r.whead }

@@ -13,6 +13,11 @@
 // on: timed waits, one-shot events (completions), counted resources
 // (semaphores modelling links, DMA engines, CPUs) and mailboxes (FIFO
 // message queues with blocking receive).
+//
+// The scheduler is allocation-free in steady state: event records, process
+// waiter records and worker goroutines are recycled through free lists
+// owned by the Simulation. Recycling never changes execution order — see
+// the comment on push for the ordering argument.
 package sim
 
 import (
@@ -62,12 +67,21 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 // Sub returns the duration t-u.
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
-// event is a scheduled callback. Events are executed by the scheduler
-// goroutine in (at, seq) order.
+// event is a scheduled callback or process resumption. Events are executed
+// by the scheduler goroutine in (at, seq) order; events for the current
+// instant bypass the heap (see push). Exactly one of fn and p is set: fn
+// runs in scheduler context, p is dispatched. Executed events return to the
+// simulation's free list.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	p   *Proc
+	// afn/arg is the closure-free callback form: afn is typically a
+	// top-level function and arg its state, so hot paths schedule work
+	// without capturing.
+	afn func(any)
+	arg any
 }
 
 type eventHeap []*event
@@ -89,7 +103,6 @@ func (h *eventHeap) Pop() (v any) {
 	*h = old[:n-1]
 	return
 }
-func (h eventHeap) Peek() *event        { return h[0] }
 func (h *eventHeap) pushEvent(e *event) { heap.Push(h, e) }
 
 // Simulation is a discrete-event simulation instance. The zero value is not
@@ -99,11 +112,27 @@ type Simulation struct {
 	seq    uint64
 	events eventHeap
 
+	// ready is the same-instant fast path: events scheduled for the current
+	// instant are appended here in schedule order and run FIFO, skipping
+	// the heap entirely. readyHead indexes the next entry to run; the slice
+	// resets (keeping capacity) whenever it drains.
+	ready     []*event
+	readyHead int
+
 	yield chan struct{} // processes signal the scheduler here when blocking
 
 	procs   map[*Proc]struct{} // live (spawned, not yet terminated) processes
 	nprocs  int                // total processes ever spawned, for naming
 	failure error              // first process panic, if any
+
+	// Free lists. Items are recycled only once no live reference remains
+	// (see the ownership comments at each put site); generation counters on
+	// waiter records invalidate any registration that outlives its wait.
+	freeEvents     []*event
+	freeWorkers    []*worker
+	freeWaiters    []*eventWaiter
+	freeBoxWaiters []*boxWaiter
+	freeResWaiters []*resWaiter
 }
 
 // New creates an empty simulation with the clock at zero.
@@ -129,25 +158,96 @@ func (s *Simulation) After(d Duration, fn func()) {
 
 // schedule enqueues fn to run at time at (>= now).
 func (s *Simulation) schedule(at Time, fn func()) {
-	if at < s.now {
-		at = s.now
+	e := s.getEvent()
+	e.fn = fn
+	s.push(e, at)
+}
+
+// scheduleProc enqueues a resumption of p at time at without allocating a
+// dispatch closure.
+func (s *Simulation) scheduleProc(at Time, p *Proc) {
+	e := s.getEvent()
+	e.p = p
+	s.push(e, at)
+}
+
+// AfterCall schedules fn(arg) to run in scheduler context d from now.
+// Equivalent to After with a closure over arg, but allocation-free when fn
+// is a top-level function and arg a pointer.
+func (s *Simulation) AfterCall(d Duration, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
 	}
+	e := s.getEvent()
+	e.afn, e.arg = fn, arg
+	s.push(e, s.now.Add(d))
+}
+
+// push routes an event to the ready queue (same instant) or the heap
+// (future). This preserves the execution order of the plain-heap scheduler
+// exactly: under a global sequence number, events already in the heap for
+// the current instant were scheduled before "now" was reached, so they
+// precede — in seq order — anything scheduled during the current instant,
+// and events scheduled during the current instant run in schedule order,
+// which is ready-queue FIFO order. The run loop drains heap entries for
+// the current instant before the ready queue, and the ready queue before
+// advancing time.
+func (s *Simulation) push(e *event, at Time) {
+	if at <= s.now {
+		e.at = s.now
+		s.ready = append(s.ready, e)
+		return
+	}
+	e.at = at
 	s.seq++
-	s.events.pushEvent(&event{at: at, seq: s.seq, fn: fn})
+	e.seq = s.seq
+	s.events.pushEvent(e)
+}
+
+func (s *Simulation) getEvent() *event {
+	if n := len(s.freeEvents); n > 0 {
+		e := s.freeEvents[n-1]
+		s.freeEvents = s.freeEvents[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// putEvent recycles an executed event. Safe because events are owned
+// exclusively by the queue that pops them.
+func (s *Simulation) putEvent(e *event) {
+	e.fn = nil
+	e.p = nil
+	e.afn = nil
+	e.arg = nil
+	s.freeEvents = append(s.freeEvents, e)
 }
 
 // Proc is the handle a process function uses to interact with the
 // simulation: waiting, spawning children, and querying the clock. A Proc is
 // only valid inside the goroutine of the process it belongs to, except for
-// Kill, Killed and Done, which other processes use to manage it.
+// Kill, Killed, Terminated and Done, which other processes use to manage it.
 type Proc struct {
 	sim        *Simulation
 	name       string
+	w          *worker
 	resume     chan struct{}
 	state      string // human-readable description of what the process waits on
-	done       *Event // triggered when the process function returns
+	done       *Event // created lazily by Done; triggered at termination
 	killed     bool   // Kill was called; unwind at the next scheduling point
 	terminated bool   // the process function has returned or unwound
+}
+
+// worker is a reusable process shell: a goroutine plus its resume channel.
+// When its process terminates the worker parks on resume and returns to
+// the simulation's free list, so steady-state Spawn starts no goroutine.
+type worker struct {
+	resume  chan struct{}
+	started bool // the goroutine exists (created lazily at first dispatch)
+	p       *Proc
+	fn      func(*Proc)
+	fnArg   func(*Proc, any) // SpawnArg form; exactly one of fn/fnArg is set
+	arg     any
 }
 
 // killSignal is the panic value that unwinds a killed process. It is
@@ -165,8 +265,21 @@ func (p *Proc) Now() Time { return p.sim.now }
 func (p *Proc) Sim() *Simulation { return p.sim }
 
 // Done returns an event triggered when the process terminates. Other
-// processes can Await it to join.
-func (p *Proc) Done() *Event { return p.done }
+// processes can Await it to join. The event is created on first call; for
+// an already-terminated process it is returned pre-fired.
+func (p *Proc) Done() *Event {
+	if p.done == nil {
+		p.done = NewEvent(p.sim)
+		if p.terminated {
+			p.done.fired = true
+		}
+	}
+	return p.done
+}
+
+// Terminated reports whether the process function has returned or unwound.
+// Cheaper than Done().Triggered() when no join is needed.
+func (p *Proc) Terminated() bool { return p.terminated }
 
 // Kill terminates the process at its next scheduling point: the victim
 // unwinds (running its defers) the next time it would resume, without
@@ -203,8 +316,7 @@ func (p *Proc) block(state string) {
 
 // wake schedules p to resume at the current virtual time.
 func (p *Proc) wake() {
-	s := p.sim
-	s.schedule(s.now, func() { s.dispatch(p) })
+	p.sim.scheduleProc(p.sim.now, p)
 }
 
 // dispatch resumes process p and waits until it blocks again or terminates.
@@ -214,9 +326,15 @@ func (s *Simulation) dispatch(p *Proc) {
 	if p.terminated {
 		return
 	}
+	if w := p.w; !w.started {
+		w.started = true
+		go w.loop(s)
+	}
 	p.resume <- struct{}{}
 	<-s.yield
 }
+
+const stateWaiting = "waiting"
 
 // Wait advances the process by d of virtual time. Negative durations are
 // treated as zero (yield to other processes scheduled at the same instant).
@@ -225,9 +343,8 @@ func (p *Proc) Wait(d Duration) {
 		d = 0
 	}
 	s := p.sim
-	self := p
-	s.schedule(s.now.Add(d), func() { s.dispatch(self) })
-	p.block(fmt.Sprintf("waiting %v", d))
+	s.scheduleProc(s.now.Add(d), p)
+	p.block(stateWaiting)
 }
 
 // Spawn starts a new process at the current virtual time. The child runs
@@ -241,39 +358,98 @@ func (p *Proc) Spawn(name string, fn func(p *Proc)) *Proc {
 // returns its handle. The process function runs in its own goroutine under
 // the cooperative scheduling discipline described in the package comment.
 func (s *Simulation) Spawn(name string, fn func(p *Proc)) *Proc {
+	return s.spawn(name, fn, nil, nil)
+}
+
+// SpawnArg is Spawn without the closure: the process body runs fn(p, arg).
+// Hot paths that spawn per-message processes use it with a top-level fn and
+// a pointer arg so spawning allocates only the Proc itself.
+func (s *Simulation) SpawnArg(name string, fn func(p *Proc, arg any), arg any) *Proc {
+	return s.spawn(name, nil, fn, arg)
+}
+
+func (s *Simulation) spawn(name string, fn func(*Proc), fnArg func(*Proc, any), arg any) *Proc {
 	s.nprocs++
 	if name == "" {
 		name = fmt.Sprintf("proc-%d", s.nprocs)
 	}
+	w := s.getWorker()
 	p := &Proc{
 		sim:    s,
 		name:   name,
-		resume: make(chan struct{}),
+		w:      w,
+		resume: w.resume,
 	}
-	p.done = NewEvent(s)
+	w.p, w.fn, w.fnArg, w.arg = p, fn, fnArg, arg
 	s.procs[p] = struct{}{}
-	s.schedule(s.now, func() {
-		go func() {
-			<-p.resume // wait for first dispatch
-			defer func() {
-				if r := recover(); r != nil {
-					if _, wasKilled := r.(killSignal); !wasKilled && s.failure == nil {
-						s.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
-					}
-				}
-				p.terminated = true
-				delete(s.procs, p)
-				p.done.Trigger()
-				p.state = "terminated"
-				s.yield <- struct{}{}
-			}()
-			if !p.killed { // killed before ever running: skip the body
-				fn(p)
-			}
-		}()
-		s.dispatch(p)
-	})
+	s.scheduleProc(s.now, p)
 	return p
+}
+
+func (s *Simulation) getWorker() *worker {
+	if n := len(s.freeWorkers); n > 0 {
+		w := s.freeWorkers[n-1]
+		s.freeWorkers = s.freeWorkers[:n-1]
+		return w
+	}
+	return &worker{resume: make(chan struct{})}
+}
+
+// loop is the worker goroutine body: run one process per resume, park in
+// between. A resume with no pending assignment (fn == nil) is the stop
+// signal from drainWorkers.
+func (w *worker) loop(s *Simulation) {
+	for {
+		<-w.resume
+		if w.fn == nil && w.fnArg == nil {
+			return
+		}
+		w.runProc(s)
+	}
+}
+
+// runProc executes one process function inside the recover shell, then
+// returns the worker to the free list. The scheduler is parked in dispatch
+// while this runs, so the free list and process table are never touched
+// concurrently.
+func (w *worker) runProc(s *Simulation) {
+	p, fn, fnArg, arg := w.p, w.fn, w.fnArg, w.arg
+	w.p, w.fn, w.fnArg, w.arg = nil, nil, nil, nil
+	defer func() {
+		if r := recover(); r != nil {
+			if _, wasKilled := r.(killSignal); !wasKilled && s.failure == nil {
+				s.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+			}
+		}
+		p.terminated = true
+		delete(s.procs, p)
+		if p.done != nil {
+			p.done.Trigger()
+		}
+		p.state = "terminated"
+		p.w = nil
+		s.freeWorkers = append(s.freeWorkers, w)
+		s.yield <- struct{}{}
+	}()
+	if !p.killed { // killed before ever running: skip the body
+		if fnArg != nil {
+			fnArg(p, arg)
+		} else {
+			fn(p)
+		}
+	}
+}
+
+// drainWorkers stops the goroutines of all idle pooled workers. Called when
+// the simulation quiesces with no live processes, so a finished Simulation
+// leaves no parked goroutines behind.
+func (s *Simulation) drainWorkers() {
+	for _, w := range s.freeWorkers {
+		if w.started {
+			w.resume <- struct{}{} // fn == nil: worker exits
+		}
+	}
+	s.freeWorkers = s.freeWorkers[:0]
 }
 
 // Run executes events until none remain or until a process panics. It
@@ -286,16 +462,62 @@ func (s *Simulation) Run() error { return s.run(Time(1<<62-1), false) }
 // clock to exactly limit on return (even if the queue drained earlier).
 func (s *Simulation) RunUntil(limit Time) error { return s.run(limit, true) }
 
+// next selects the next event to execute, honouring the order argument in
+// the push comment: heap entries for the current instant first, then the
+// ready queue, then the earliest future heap entry. The returned event is
+// still queued; the caller pops it after the limit check.
+func (s *Simulation) next() (e *event, fromReady bool) {
+	if len(s.events) > 0 && s.events[0].at <= s.now {
+		return s.events[0], false
+	}
+	if s.readyHead < len(s.ready) {
+		return s.ready[s.readyHead], true
+	}
+	if len(s.events) > 0 {
+		return s.events[0], false
+	}
+	return nil, false
+}
+
+func (s *Simulation) pop(fromReady bool) {
+	if fromReady {
+		s.ready[s.readyHead] = nil
+		s.readyHead++
+		if s.readyHead == len(s.ready) {
+			s.ready = s.ready[:0]
+			s.readyHead = 0
+		}
+		return
+	}
+	heap.Pop(&s.events)
+}
+
+// exec runs one popped event and recycles it.
+func (s *Simulation) exec(e *event) {
+	s.now = e.at
+	switch {
+	case e.p != nil:
+		s.dispatch(e.p)
+	case e.afn != nil:
+		e.afn(e.arg)
+	default:
+		e.fn()
+	}
+	s.putEvent(e)
+}
+
 func (s *Simulation) run(limit Time, advance bool) error {
-	for len(s.events) > 0 {
-		e := s.events.Peek()
+	for {
+		e, fromReady := s.next()
+		if e == nil {
+			break
+		}
 		if e.at > limit {
 			s.now = limit
 			return nil
 		}
-		heap.Pop(&s.events)
-		s.now = e.at
-		e.fn()
+		s.pop(fromReady)
+		s.exec(e)
 		if s.failure != nil {
 			return s.failure
 		}
@@ -303,6 +525,7 @@ func (s *Simulation) run(limit Time, advance bool) error {
 	if len(s.procs) > 0 {
 		return s.deadlockError()
 	}
+	s.drainWorkers()
 	if advance && s.now < limit {
 		s.now = limit
 	}
@@ -312,12 +535,12 @@ func (s *Simulation) run(limit Time, advance bool) error {
 // Step executes a single pending event. It reports whether an event was
 // executed and any process failure.
 func (s *Simulation) Step() (bool, error) {
-	if len(s.events) == 0 {
+	e, fromReady := s.next()
+	if e == nil {
 		return false, nil
 	}
-	e := heap.Pop(&s.events).(*event)
-	s.now = e.at
-	e.fn()
+	s.pop(fromReady)
+	s.exec(e)
 	return true, s.failure
 }
 
@@ -332,7 +555,9 @@ func (s *Simulation) deadlockError() error {
 }
 
 // Pending reports the number of scheduled events.
-func (s *Simulation) Pending() int { return len(s.events) }
+func (s *Simulation) Pending() int {
+	return len(s.events) + len(s.ready) - s.readyHead
+}
 
 // LiveProcs reports the number of spawned, unterminated processes.
 func (s *Simulation) LiveProcs() int { return len(s.procs) }

@@ -24,6 +24,25 @@ func NewWriter(capacity int) *Writer {
 // Bytes returns the encoded buffer.
 func (w *Writer) Bytes() []byte { return w.buf }
 
+// Reset empties the writer for reuse, keeping the allocated capacity.
+// Bytes returned before the Reset remain valid only if the caller copied
+// them (see CopyBytes): further appends reuse the same backing array.
+func (w *Writer) Reset() *Writer {
+	w.buf = w.buf[:0]
+	return w
+}
+
+// CopyBytes returns an exact-size copy of the encoded buffer. Encode paths
+// that retain encodings (retransmit queues, dedup caches) use a persistent
+// writer with Reset plus CopyBytes: the writer's grown backing array is
+// reused forever and each encoding costs exactly one right-sized
+// allocation.
+func (w *Writer) CopyBytes() []byte {
+	out := make([]byte, len(w.buf))
+	copy(out, w.buf)
+	return out
+}
+
 // Len returns the number of encoded bytes.
 func (w *Writer) Len() int { return len(w.buf) }
 

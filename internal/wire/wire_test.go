@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
 )
@@ -104,5 +105,41 @@ func TestPropertyRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWriterResetReuse pins the scratch-writer contract the protocol
+// layer relies on: a Reset writer re-encoding the same fields produces
+// bytes identical to a fresh writer's, and CopyBytes snapshots are
+// independent of later writes to the writer.
+func TestWriterResetReuse(t *testing.T) {
+	encode := func(w *Writer) []byte {
+		w.U8(3).U32(0xdeadbeef).U64(1<<40 + 7).I64(-42).Int(123456).
+			F64(3.14159).Str("reuse").Blob([]byte{9, 8, 7})
+		return w.CopyBytes()
+	}
+	fresh := encode(NewWriter(0))
+
+	w := NewWriter(8)
+	// Dirty the writer with unrelated content, then Reset and re-encode
+	// several times: every round must be byte-identical to the fresh
+	// encoding and to each other.
+	w.Str("garbage that should vanish on Reset").U64(0xffffffffffffffff)
+	for round := 0; round < 3; round++ {
+		got := encode(w.Reset())
+		if !bytes.Equal(got, fresh) {
+			t.Fatalf("round %d: reused writer encoded %x, fresh writer %x", round, got, fresh)
+		}
+	}
+
+	// CopyBytes must detach from the writer's buffer: mutate the writer
+	// afterwards and check the earlier snapshot is untouched.
+	snap := encode(w.Reset())
+	w.Reset().U64(0).U64(0).U64(0).Str("overwrite the backing array")
+	if !bytes.Equal(snap, fresh) {
+		t.Fatalf("CopyBytes snapshot changed after writer reuse: %x != %x", snap, fresh)
+	}
+	if w.Len() == len(fresh) {
+		t.Fatal("sanity: overwrite encoding unexpectedly same length")
 	}
 }
