@@ -125,3 +125,24 @@ func BenchmarkFleetScale(b *testing.B) {
 	b.ReportMetric(r.PerOp, "allocs/virtop")
 	b.ReportMetric(r.OpsPerVirtualSec, "virtops/s")
 }
+
+// BenchmarkFleetScaleSharded is the same rack with the ARM split into 3
+// replicated shards: the 96 tenants route through the shard directory,
+// acquires forward across shards, and every mutation is log-shipped to
+// a follower — measuring what the sharded control plane costs the
+// engine at fleet scale.
+func BenchmarkFleetScaleSharded(b *testing.B) {
+	cfg := bench.DefaultFleetConfig()
+	cfg.Shards = 3
+	cfg.Replicas = true
+	var r bench.FleetResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.MeasureFleet(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.PerOp, "allocs/virtop")
+	b.ReportMetric(r.OpsPerVirtualSec, "virtops/s")
+}

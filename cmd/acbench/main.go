@@ -31,6 +31,7 @@ func main() {
 	batchJSON := flag.String("batching-json", "", "run the command-batching launch storm and write the report to this file")
 	armJSON := flag.String("arm-json", "", "run the multi-tenant sharing workload and write the ARM's per-accelerator stats to this file")
 	fleetJSON := flag.String("fleet-json", "", "run the 32-daemon/96-tenant fleet benchmark and write the engine-cost report to this file")
+	shards := flag.Int("shards", 1, "ARM shard count for -arm-json and -fleet-json workloads (<2 = single legacy ARM)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()
@@ -66,14 +67,16 @@ func main() {
 	}
 
 	if *fleetJSON != "" {
-		r, err := bench.WriteFleetJSON(*fleetJSON, bench.DefaultFleetConfig())
+		cfg := bench.DefaultFleetConfig()
+		cfg.Shards = *shards
+		r, err := bench.WriteFleetJSON(*fleetJSON, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fl := r.Fleet
-		fmt.Printf("fleet (%d daemons, %d tenants): %d ops in %.0f ms wall, %.0f allocs/op, %.1f ops per virtual second\n",
-			fl.Daemons, fl.Tenants, fl.Ops, float64(fl.WallNS)/1e6, fl.PerOp, fl.OpsPerVirtualSec)
+		fmt.Printf("fleet (%d daemons, %d tenants, %d ARM shard(s)): %d ops in %.0f ms wall, %.0f allocs/op, %.1f ops per virtual second\n",
+			fl.Daemons, fl.Tenants, fl.Shards, fl.Ops, float64(fl.WallNS)/1e6, fl.PerOp, fl.OpsPerVirtualSec)
 		for _, hp := range r.HotPaths {
 			fmt.Printf("  %s: %.0f ms wall (%.2fx vs seed), %d allocs (%.2fx fewer than seed)\n",
 				hp.Name, float64(hp.WallNS)/1e6, hp.WallSpeedup, hp.Allocs, hp.AllocRatio)
@@ -82,13 +85,13 @@ func main() {
 	}
 
 	if *armJSON != "" {
-		r, err := bench.WriteARMJSON(*armJSON, 3, 200)
+		r, err := bench.WriteARMJSON(*armJSON, 3, 200, *shards)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("sharing (%d tenants x %d ops, capacity %d): %d session(s) on %d shared accelerator(s)\n",
-			r.Tenants, r.OpsPerTenant, r.ShareCapacity, r.Sessions, r.SharedAccels)
+		fmt.Printf("sharing (%d tenants x %d ops, capacity %d, %d ARM shard(s)): %d session(s) on %d shared accelerator(s)\n",
+			r.Tenants, r.OpsPerTenant, r.ShareCapacity, r.Shards, r.Sessions, r.SharedAccels)
 		for _, a := range r.PerAccel {
 			fmt.Printf("  ac%d (rank %d, %s): %d sessions, %d grants, busy %.1f%%\n",
 				a.ID, a.Rank, a.State, a.Sessions, a.Grants, 100*a.Utilization)

@@ -54,6 +54,9 @@ const (
 	TagRequest   minimpi.Tag = 1 << 20
 	tagReplyBase minimpi.Tag = TagRequest + 1
 	TagNotify    minimpi.Tag = TagRequest - 1
+	// TagReplicate carries a shard leader's log-shipping stream to its
+	// follower replica (see replica.go).
+	TagReplicate minimpi.Tag = TagRequest - 2
 )
 
 // Request op codes.
@@ -73,6 +76,12 @@ const (
 	// Multi-tenant sharing (PR 4).
 	opAcquireShared // like opAcquire, but a capacity-N shared lease
 	opStatsEx       // opStats plus per-accelerator utilization
+	// Sharded, replicated ARM with elastic membership (PR 6).
+	opRegister // admit a new accelerator into the live inventory
+	opRetire   // drain an accelerator, then remove it from the inventory
+	opForward  // peer→peer: a client request relayed to the owning shard
+	opLoad     // peer→peer: free/operational gossip for fallback placement
+	opRecall   // peer→peer: dedup-cache query while serving a replay
 )
 
 // Reply status codes.
@@ -248,6 +257,7 @@ type accel struct {
 	lease    sim.Time   // assignment expires when now passes this (0 = no lease)
 	dirty    bool       // device may hold residue; sanitize before re-granting
 	draining bool       // retire instead of freeing on next un-assignment
+	removing bool       // opRetire: leave the inventory once out of service
 	notified bool       // owner has been sent a suspect notice
 	drainer  *drainWait // pending opDrain reply
 
@@ -287,6 +297,10 @@ type pendingAcquire struct {
 	n        int
 	shared   bool // capacity-N shared leases instead of exclusive
 	enqueued sim.Time
+	// forwarded marks a request relayed by a peer shard: it executes
+	// non-blocking, never re-forwards (no routing loops), and the reply
+	// goes straight to the original client at src.
+	forwarded bool
 }
 
 // Options configures an ARM server beyond the queueing policy.
@@ -298,6 +312,22 @@ type Options struct {
 	// entirely: AcquireShared fails with ErrBadRequest and the ARM behaves
 	// exactly as the exclusive-only manager.
 	ShareCapacity int
+	// Shards is the total number of ARM shards this server is part of;
+	// 0 or 1 (the default) is the classic single manager with every
+	// sharding code path dormant. When > 1, Directory is required and
+	// Shard names this server's index. Accelerator ownership is
+	// partitioned by the directory's consistent-hash ring; requests for
+	// accelerators owned elsewhere are forwarded to the owning peer, and
+	// acquires the local pool cannot satisfy fall back to the
+	// least-loaded peer (see shard.go).
+	Shards int
+	// Shard is this server's shard index in [0, Shards).
+	Shard int
+	// Directory supplies the ownership ring and the leader/follower rank
+	// table shared by every shard and client. Setting it (even with one
+	// shard) also arms the reply-dedup cache, and a follower rank in the
+	// directory enables log-shipping replication to it.
+	Directory *Directory
 }
 
 // Server is the ARM service state machine.
@@ -318,6 +348,26 @@ type Server struct {
 	reaper    func(p *sim.Proc, rank, client int) error
 	lastBeat  map[int]sim.Time // daemon rank → last heartbeat arrival
 	closed    bool             // stops the detector tick after shutdown
+
+	// Sharding and replication (shard.go, replica.go). dir == nil is the
+	// classic single manager: none of this machinery runs and the wire
+	// traffic is byte-identical to the unsharded ARM.
+	dir          *Directory
+	shard        int
+	sharded      bool // dir has more than one shard
+	replicated   bool // ship the effect log to followerRank
+	followerRank int
+	peerFree     []int  // per-shard free counts from opLoad gossip
+	peerOper     []int  // per-shard operational counts
+	peerSeen     []bool // which peers have gossiped at least once
+	fwdSeq       uint64 // reply-tag sequence for server-to-server calls
+	fwdW         *wire.Writer
+	replies      map[int]map[uint64][]byte // client → reqID → sent reply (dedup)
+	repW         *wire.Writer
+	repSeq       uint64
+	repReplies   []repReply
+	mainProc     *sim.Proc
+	spawned      []*sim.Proc // helper procs that die with the server (Kill)
 
 	// accounting
 	lastChange     sim.Time
@@ -347,9 +397,16 @@ func NewServerOpts(comm *minimpi.Comm, inventory []Handle, opts Options) (*Serve
 		shareCap: opts.ShareCapacity,
 		byID:     make(map[int]*accel),
 	}
+	if err := s.configureShard(opts); err != nil {
+		return nil, err
+	}
 	for _, h := range inventory {
 		if _, dup := s.byID[h.ID]; dup {
 			return nil, fmt.Errorf("arm: duplicate accelerator id %d", h.ID)
+		}
+		if s.sharded && s.dir.OwnerOf(h.ID) != s.shard {
+			return nil, fmt.Errorf("arm: accelerator %d belongs to shard %d, not %d",
+				h.ID, s.dir.OwnerOf(h.ID), s.shard)
 		}
 		a := &accel{id: h.ID, rank: h.Rank, state: acFree}
 		s.accels = append(s.accels, a)
@@ -363,15 +420,21 @@ func (s *Server) now() sim.Time { return s.sim.Now() }
 // Run serves requests until a shutdown request arrives. It is typically
 // spawned as the ARM rank's process.
 func (s *Server) Run(p *sim.Proc) {
+	s.mainProc = p
 	s.lastChange = s.now()
 	if s.healthOn {
 		// Treat startup as one fresh beat from everyone: daemons get a
 		// full silence budget before the detector may suspect them.
-		s.lastBeat = make(map[int]sim.Time)
+		if s.lastBeat == nil {
+			s.lastBeat = make(map[int]sim.Time)
+		}
 		for _, a := range s.accels {
 			s.lastBeat[a.rank] = s.now()
 		}
 		s.scheduleTick()
+	}
+	if s.sharded || s.replicated {
+		s.scheduleShardTick()
 	}
 	for {
 		data, st := s.comm.Recv(p, minimpi.AnySource, TagRequest)
@@ -387,28 +450,64 @@ func (s *Server) handle(src int, data []byte) bool {
 	r := wire.NewReader(data)
 	op := r.U8()
 	reqID := r.U64()
+	forwarded := false
+	if op == opForward {
+		// A peer relayed a client's request to us, the owner: unwrap it
+		// and execute on the original client's behalf. The reply goes
+		// straight back to that client (its sharded reply Irecv matches
+		// any source), so a forward costs one extra hop, not two.
+		src = r.Int()
+		op = r.U8()
+		reqID = r.U64()
+		forwarded = true
+	}
+	switch op {
+	case opLoad:
+		s.handleLoad(r)
+		return true
+	case opRecall:
+		s.handleRecall(src, reqID, r)
+		return true
+	}
 	// Any request from a lease holder proves the client alive: renew its
 	// leases implicitly (the front-end's piggybacked renewal).
 	if op != opHeartbeat {
 		s.touchClient(src)
+		if cached := s.cachedReply(src, reqID); cached != nil {
+			// Failover replay of a request we already answered: resend
+			// the recorded reply instead of executing twice.
+			s.resendReply(src, reqID, cached)
+			s.ship()
+			return true
+		}
 	}
+	res := s.dispatch(src, reqID, op, forwarded, r)
+	s.ship()
+	return res
+}
+
+// dispatch executes one unwrapped request; it reports false on shutdown.
+func (s *Server) dispatch(src int, reqID uint64, op uint8, forwarded bool, r *wire.Reader) bool {
 	switch op {
-	case opAcquire:
+	case opAcquire, opAcquireShared:
 		n := r.Int()
 		blocking := r.U8() == 1
+		replay := r.Remaining() > 0 && r.U8() == 1 // absent in legacy requests
 		if r.Err() != nil || n <= 0 {
 			s.reply(src, reqID, statusBadRequest, nil)
 			return true
 		}
-		s.acquire(&pendingAcquire{src: src, reqID: reqID, n: n, enqueued: s.now()}, blocking)
-	case opAcquireShared:
-		n := r.Int()
-		blocking := r.U8() == 1
-		if r.Err() != nil || n <= 0 {
-			s.reply(src, reqID, statusBadRequest, nil)
+		req := &pendingAcquire{
+			src: src, reqID: reqID, n: n,
+			shared: op == opAcquireShared, enqueued: s.now(), forwarded: forwarded,
+		}
+		if replay && s.sharded && !forwarded {
+			// The original attempt may have been forwarded and granted by
+			// a peer before this shard's leader died: ask the peers first.
+			s.recallThenAcquire(req, blocking)
 			return true
 		}
-		s.acquire(&pendingAcquire{src: src, reqID: reqID, n: n, shared: true, enqueued: s.now()}, blocking)
+		s.acquire(req, blocking && !forwarded)
 	case opRelease:
 		count := r.Int()
 		ids := make([]int, 0, count)
@@ -419,15 +518,35 @@ func (s *Server) handle(src int, data []byte) bool {
 			s.reply(src, reqID, statusBadRequest, nil)
 			return true
 		}
+		if owner, ok := s.foreignOwner(ids, forwarded); ok {
+			s.forwardOp(owner, src, reqID, op, func(w *wire.Writer) {
+				w.Int(len(ids))
+				for _, id := range ids {
+					w.Int(id)
+				}
+			})
+			return true
+		}
 		s.release(src, reqID, ids)
 	case opStats:
 		s.reply(src, reqID, statusOK, s.encodeStats(s.now()))
 	case opStatsEx:
 		s.reply(src, reqID, statusOK, s.encodeStatsEx(s.now()))
-	case opFail:
-		s.setState(r.Int(), acFailed, src, reqID)
-	case opRepair:
-		s.setState(r.Int(), acFree, src, reqID)
+	case opFail, opRepair:
+		id := r.Int()
+		if r.Err() != nil {
+			s.reply(src, reqID, statusBadRequest, nil)
+			return true
+		}
+		if owner, ok := s.foreignOwnerOne(id, forwarded); ok {
+			s.forwardOp(owner, src, reqID, op, func(w *wire.Writer) { w.Int(id) })
+			return true
+		}
+		if op == opFail {
+			s.setState(id, acFailed, src, reqID)
+		} else {
+			s.setState(id, acFree, src, reqID)
+		}
 	case opReplace:
 		rank := r.Int()
 		if r.Err() != nil {
@@ -456,14 +575,38 @@ func (s *Server) handle(src int, data []byte) bool {
 			return true
 		}
 		s.migrate(src, reqID, rank)
-	case opDrain:
+	case opDrain, opRetire:
 		id := r.Int()
 		deadline := sim.Duration(r.I64())
 		if r.Err() != nil {
 			s.reply(src, reqID, statusBadRequest, nil)
 			return true
 		}
-		s.drain(src, reqID, id, deadline)
+		if owner, ok := s.foreignOwnerOne(id, forwarded); ok {
+			s.forwardOp(owner, src, reqID, op, func(w *wire.Writer) {
+				w.Int(id).I64(int64(deadline))
+			})
+			return true
+		}
+		if op == opRetire {
+			s.retireRemove(src, reqID, id, deadline)
+		} else {
+			s.drain(src, reqID, id, deadline)
+		}
+	case opRegister:
+		id := r.Int()
+		rank := r.Int()
+		if r.Err() != nil {
+			s.reply(src, reqID, statusBadRequest, nil)
+			return true
+		}
+		if owner, ok := s.foreignOwnerOne(id, forwarded); ok {
+			s.forwardOp(owner, src, reqID, op, func(w *wire.Writer) {
+				w.Int(id).Int(rank)
+			})
+			return true
+		}
+		s.register(src, reqID, id, rank)
 	case opShutdown:
 		s.reply(src, reqID, statusOK, nil)
 		return false
@@ -481,7 +624,17 @@ func (s *Server) reply(dst int, reqID uint64, status uint8, body []byte) {
 	} else {
 		w.Blob(nil)
 	}
-	s.comm.Isend(dst, tagReplyBase+minimpi.Tag(reqID), w.Bytes())
+	msg := w.Bytes()
+	if s.dir != nil {
+		// Sharded/replicated operation records every reply so a failover
+		// replay of the same (client, reqID) resends instead of
+		// re-executing, and ships it to the follower for the same reason.
+		s.rememberReply(dst, reqID, msg)
+		if s.replicated {
+			s.repReplies = append(s.repReplies, repReply{dst: dst, reqID: reqID, msg: msg})
+		}
+	}
+	s.comm.Isend(dst, tagReplyBase+minimpi.Tag(reqID), msg)
 }
 
 // operational counts accelerators that can (eventually) serve: everything
@@ -578,11 +731,32 @@ func (s *Server) acquire(req *pendingAcquire, blocking bool) {
 		}
 	}
 	if req.n > ceiling {
+		if req.forwarded {
+			// Partial view: the forwarder saw a healthier cluster than
+			// this shard's pool. Unavailable lets the client retry rather
+			// than aborting on a wrongly-global "impossible".
+			s.reply(req.src, req.reqID, statusUnavailable, nil)
+			return
+		}
+		if s.sharded {
+			// The local ceiling is one shard's, not the cluster's: try
+			// the least-loaded peer before judging the request.
+			if s.forwardAcquire(req) {
+				return
+			}
+			if !s.gossipComplete() || req.n <= s.clusterOperational() {
+				s.reply(req.src, req.reqID, statusUnavailable, nil)
+				return
+			}
+		}
 		s.reply(req.src, req.reqID, statusImpossible, nil)
 		return
 	}
 	if s.canGrant(req) && (s.policy == Backfill || len(s.queue) == 0) {
 		s.grant(req)
+		return
+	}
+	if s.sharded && !req.forwarded && s.forwardAcquire(req) {
 		return
 	}
 	if !blocking {

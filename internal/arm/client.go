@@ -246,6 +246,35 @@ func (c *Client) Drain(p *sim.Proc, id int, deadline sim.Duration) error {
 	return statusErr(status)
 }
 
+// Register admits a new accelerator — pool id plus its daemon's world
+// rank — into the ARM's live inventory (elastic grow). The daemon should
+// already be running and heartbeating; it gets a full silence budget
+// from the moment of registration. ErrBadRequest means the id is already
+// in the inventory.
+func (c *Client) Register(p *sim.Proc, id, rank int) error {
+	status, _, err := c.call(p, opRegister, func(w *wire.Writer) { w.Int(id).Int(rank) })
+	if err != nil {
+		return err
+	}
+	return statusErr(status)
+}
+
+// Retire drains accelerator id and then removes it from the inventory
+// entirely (elastic shrink) — unlike Drain, which parks it in the
+// retired state. Deadline semantics match Drain: the call blocks until
+// the accelerator is out of service, and a positive deadline bounds the
+// wait by revoking stragglers. After Retire returns, the pool holds no
+// record of the accelerator and therefore no stranded lease on it.
+func (c *Client) Retire(p *sim.Proc, id int, deadline sim.Duration) error {
+	status, _, err := c.call(p, opRetire, func(w *wire.Writer) {
+		w.Int(id).I64(int64(deadline))
+	})
+	if err != nil {
+		return err
+	}
+	return statusErr(status)
+}
+
 // Migrate trades the accelerator this client holds on oldRank for a
 // spare. The old assignment is surrendered (its daemon sanitizes it back
 // into the pool on its next heartbeat) and the returned handle points at

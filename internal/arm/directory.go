@@ -1,0 +1,94 @@
+package arm
+
+// directory.go is the shard directory: the small piece of shared
+// metadata that maps an accelerator id to the MPI rank currently serving
+// its shard. Servers use it to forward requests to the owning peer;
+// clients use it to pick a home shard and to re-resolve after a shard
+// leader dies and its follower is promoted. In the simulator the
+// directory is a single in-memory object shared by every participant
+// (the moral equivalent of the paper's cluster frontend), so a promotion
+// becomes visible to all clients at their next lookup — there is no
+// directory replication protocol to model.
+
+// Directory tracks, per shard, the leader rank, the optional follower
+// rank, and which of the two is currently serving.
+type Directory struct {
+	ring      *Ring
+	leaders   []int
+	followers []int // -1 when the shard has no replica
+	serving   []int // leaders[i] until Promote(i)
+	promoted  []bool
+}
+
+// NewDirectory builds a directory over ring with the given leader ranks.
+// followers may be nil (no replication) or must match len(leaders); a
+// follower rank of -1 marks an unreplicated shard.
+func NewDirectory(ring *Ring, leaders, followers []int) *Directory {
+	if len(leaders) != ring.Shards() {
+		panic("arm: directory leader count does not match ring shards")
+	}
+	if followers != nil && len(followers) != len(leaders) {
+		panic("arm: directory follower count does not match leaders")
+	}
+	d := &Directory{
+		ring:      ring,
+		leaders:   leaders,
+		followers: followers,
+		serving:   make([]int, len(leaders)),
+		promoted:  make([]bool, len(leaders)),
+	}
+	if d.followers == nil {
+		d.followers = make([]int, len(leaders))
+		for i := range d.followers {
+			d.followers[i] = -1
+		}
+	}
+	copy(d.serving, leaders)
+	return d
+}
+
+// Shards returns the shard count.
+func (d *Directory) Shards() int { return len(d.leaders) }
+
+// Ring returns the ownership ring.
+func (d *Directory) Ring() *Ring { return d.ring }
+
+// OwnerOf returns the shard index owning accelerator id. Allocation-free.
+func (d *Directory) OwnerOf(id int) int { return d.ring.Owner(id) }
+
+// RankFor returns the rank currently serving accelerator id's shard.
+// Allocation-free: this is the client-side routing hot path.
+func (d *Directory) RankFor(id int) int { return d.serving[d.ring.Owner(id)] }
+
+// Leader returns shard's leader rank.
+func (d *Directory) Leader(shard int) int { return d.leaders[shard] }
+
+// Follower returns shard's follower rank, or -1.
+func (d *Directory) Follower(shard int) int { return d.followers[shard] }
+
+// Serving returns the rank currently serving shard.
+func (d *Directory) Serving(shard int) int { return d.serving[shard] }
+
+// Promoted reports whether shard has failed over to its follower.
+func (d *Directory) Promoted(shard int) bool { return d.promoted[shard] }
+
+// Promote switches shard's serving rank to its follower. Idempotent;
+// returns false if the shard has no follower to promote.
+func (d *Directory) Promote(shard int) bool {
+	if d.followers[shard] < 0 {
+		return false
+	}
+	d.serving[shard] = d.followers[shard]
+	d.promoted[shard] = true
+	return true
+}
+
+// ShardOf returns the shard index whose serving rank is rank, or -1.
+func (d *Directory) ShardOf(rank int) int {
+	for i, r := range d.serving {
+		if r == rank {
+			return i
+		}
+	}
+	return -1
+}

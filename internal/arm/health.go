@@ -218,6 +218,7 @@ func (s *Server) checkHealth() {
 		}
 	}
 	s.drainQueue()
+	s.ship()
 }
 
 // markSuspect moves a silent node's accelerator out of circulation: a
@@ -342,7 +343,7 @@ func (s *Server) reclaimShared(a *accel, client int) {
 	s.reclaimedCount++
 	if s.reaper != nil {
 		rank := a.rank
-		s.sim.Spawn(fmt.Sprintf("arm-reap-ac%d-cn%d", a.id, client), func(p *sim.Proc) {
+		s.spawnTracked(fmt.Sprintf("arm-reap-ac%d-cn%d", a.id, client), func(p *sim.Proc) {
 			// Best effort: the daemon may be dead too, in which case the
 			// detector handles the accelerator itself.
 			_ = s.reaper(p, rank, client)
@@ -375,9 +376,9 @@ func (s *Server) sanitizeOrSettle(a *accel) {
 // completion is dropped.
 func (s *Server) startSanitize(a *accel) {
 	a.state = acReclaiming
-	s.sim.Spawn(fmt.Sprintf("arm-sanitize-ac%d", a.id), func(p *sim.Proc) {
+	s.spawnTracked(fmt.Sprintf("arm-sanitize-ac%d", a.id), func(p *sim.Proc) {
 		err := s.sanitizer(p, a.rank)
-		if a.state != acReclaiming {
+		if s.closed || a.state != acReclaiming {
 			return
 		}
 		if err == nil {
@@ -385,6 +386,7 @@ func (s *Server) startSanitize(a *accel) {
 		}
 		s.settle(a, err == nil)
 		s.drainQueue()
+		s.ship()
 	})
 }
 
@@ -412,14 +414,18 @@ func (s *Server) retire(a *accel) {
 
 // settleDrainer answers a pending drain once its accelerator reaches an
 // out-of-service state (retired, or failed along the way — either way it
-// no longer serves).
+// no longer serves). An accelerator being retired out of the inventory
+// (opRetire) leaves it here, once the drain semantics have run their
+// course.
 func (s *Server) settleDrainer(a *accel) {
 	a.draining = false
-	if a.drainer == nil {
-		return
+	if a.drainer != nil {
+		s.reply(a.drainer.src, a.drainer.reqID, statusOK, nil)
+		a.drainer = nil
 	}
-	s.reply(a.drainer.src, a.drainer.reqID, statusOK, nil)
-	a.drainer = nil
+	if a.removing {
+		s.removeAccel(a)
+	}
 }
 
 // drain handles opDrain: stop granting the accelerator, wait (bounded by
@@ -461,9 +467,10 @@ func (s *Server) drain(src int, reqID uint64, id int, deadline sim.Duration) {
 // attached: the lease(s) are revoked and the accelerator sanitized into
 // retirement.
 func (s *Server) forceDrain(a *accel) {
-	if (a.state != acAssigned && a.state != acShared) || !a.draining {
+	if s.closed || (a.state != acAssigned && a.state != acShared) || !a.draining {
 		return
 	}
+	defer s.ship()
 	s.accrue(s.now())
 	if a.state == acShared {
 		for _, rank := range sortedSharerRanks(a) {

@@ -1,0 +1,243 @@
+package arm
+
+// replica.go replicates a shard leader's lease/ownership/session table
+// to a follower by log shipping over the existing wire protocol
+// (TagReplicate), so an ARM crash no longer strands leases. The stream
+// is simple effect-record shipping rather than an operation log: after
+// every handled request and every detector tick the leader sends its
+// full per-accelerator state (id, rank, lifecycle state, owner, sharer
+// ranks, drain/remove flags) plus the replies issued since the last
+// shipment. At the simulated fleet's scale a shard owns a handful of
+// accelerators, so a full snapshot costs less than the bookkeeping a
+// diff protocol would need, and it is trivially idempotent.
+//
+// The follower applies the stream silently. Silence on the stream for
+// PromoteAfter (the PR 2 failure detector threshold, DeadAfter by
+// default) means the leader is dead: the follower flips the shared
+// Directory to itself, re-arms every replicated lease with a fresh TTL
+// (grace for holders to re-resolve and renew), grants every daemon a
+// fresh heartbeat budget, and enters the normal Server loop. Clients
+// re-resolve via the directory and replay in-flight requests with their
+// original reqIDs; the shipped reply records let the promoted follower
+// answer already-executed requests from cache instead of executing them
+// twice.
+//
+// What is deliberately NOT replicated (documented in DESIGN.md §11):
+// queued blocking acquires (clients replay them), lease expiry times
+// (re-armed fresh on promotion), and the utilization counters
+// (BusySeconds and friends restart from zero after a failover).
+
+import (
+	"fmt"
+
+	"dynacc/internal/minimpi"
+	"dynacc/internal/sim"
+	"dynacc/internal/wire"
+)
+
+// ship sends the current state snapshot and pending reply records to the
+// follower. A no-op unless replication is configured; called after every
+// request, detector tick, and helper-process completion that can mutate
+// state, and once per shard tick as a liveness beat even when idle.
+func (s *Server) ship() {
+	if !s.replicated || s.closed {
+		return
+	}
+	w := s.repW.Reset()
+	s.repSeq++
+	w.U64(s.repSeq)
+	w.Int(len(s.accels))
+	for _, a := range s.accels {
+		w.Int(a.id).Int(a.rank).U8(uint8(a.state)).Int(a.owner)
+		var fl uint8
+		if a.draining {
+			fl |= 1
+		}
+		if a.removing {
+			fl |= 2
+		}
+		if a.dirty {
+			fl |= 4
+		}
+		w.U8(fl)
+		if len(a.sharers) == 0 {
+			w.Int(0)
+		} else {
+			w.Ints(sortedSharerRanks(a))
+		}
+	}
+	w.Int(len(s.repReplies))
+	for _, rr := range s.repReplies {
+		w.Int(rr.dst).U64(rr.reqID).Blob(rr.msg)
+	}
+	s.repReplies = s.repReplies[:0]
+	s.comm.Isend(s.followerRank, TagReplicate, w.CopyBytes())
+}
+
+// Replica is a shard follower: it applies the leader's replication
+// stream and promotes itself into a serving Server when the stream goes
+// silent.
+type Replica struct {
+	srv          *Server
+	dir          *Directory
+	shard        int
+	promoteAfter sim.Duration
+	promoted     bool
+	onPromote    func(s *Server)
+}
+
+// ReplicaFor builds the follower replica for the given shard. The
+// embedded server is constructed exactly as the leader's (same
+// inventory, options, and directory) but stays passive until promotion.
+// promoteAfter is the stream-silence threshold; <= 0 uses the health
+// config's DeadAfter, falling back to the default health config's.
+func ReplicaFor(comm *minimpi.Comm, dir *Directory, shard int, inventory []Handle, opts Options, promoteAfter sim.Duration) (*Replica, error) {
+	opts.Directory = dir
+	opts.Shard = shard
+	opts.Shards = dir.Shards()
+	if dir.Follower(shard) != comm.Rank() {
+		return nil, fmt.Errorf("arm: replica rank %d is not shard %d's follower %d",
+			comm.Rank(), shard, dir.Follower(shard))
+	}
+	srv, err := NewServerOpts(comm, inventory, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Replica{srv: srv, dir: dir, shard: shard, promoteAfter: promoteAfter}, nil
+}
+
+// Server exposes the embedded server so the cluster can configure health,
+// sanitizers, and reapers on it before promotion ever happens.
+func (rp *Replica) Server() *Server { return rp.srv }
+
+// Promoted reports whether the replica has taken over its shard.
+func (rp *Replica) Promoted() bool { return rp.promoted }
+
+// OnPromote installs a hook run at promotion, before the replica starts
+// serving (the cluster uses it to flip monitoring to the new rank).
+func (rp *Replica) OnPromote(fn func(s *Server)) { rp.onPromote = fn }
+
+// silenceThreshold resolves the promotion timeout.
+func (rp *Replica) silenceThreshold() sim.Duration {
+	if rp.promoteAfter > 0 {
+		return rp.promoteAfter
+	}
+	if rp.srv.healthOn && rp.srv.health.DeadAfter > 0 {
+		return rp.srv.health.DeadAfter
+	}
+	return DefaultHealthConfig().DeadAfter
+}
+
+// Run applies the replication stream until the leader goes silent, then
+// promotes and serves. Spawn it as the follower rank's process; at
+// simulation teardown an un-promoted replica must be killed (the cluster
+// does this), exactly like the standby process it models.
+func (rp *Replica) Run(p *sim.Proc) {
+	s := rp.srv
+	s.mainProc = p
+	leader := rp.dir.Leader(rp.shard)
+	threshold := rp.silenceThreshold()
+	for {
+		req := s.comm.Irecv(leader, TagReplicate)
+		data, _, ok := req.WaitTimeout(p, threshold)
+		if !ok {
+			req.Cancel()
+			break // leader silent past the detector threshold: take over
+		}
+		rp.apply(data)
+	}
+	rp.promoted = true
+	rp.dir.Promote(rp.shard)
+	if rp.onPromote != nil {
+		rp.onPromote(s) // wire sanitizer/reaper before any reclaim runs
+	}
+	rp.rearm()
+	s.Run(p)
+}
+
+// apply replays one shipped snapshot into the passive server state.
+func (rp *Replica) apply(data []byte) {
+	s := rp.srv
+	r := wire.NewReader(data)
+	r.U64() // seq: the stream is ordered and complete in-sim; kept for debugging
+	n := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	seen := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		id := r.Int()
+		rank := r.Int()
+		state := acState(r.U8())
+		owner := r.Int()
+		fl := r.U8()
+		sharers := r.Ints()
+		if r.Err() != nil {
+			return
+		}
+		seen[id] = true
+		a := s.byID[id]
+		if a == nil {
+			// Elastic grow on the leader: mirror the registration.
+			a = &accel{id: id, rank: rank}
+			s.accels = append(s.accels, a)
+			s.byID[id] = a
+		}
+		a.rank = rank
+		a.state = state
+		a.owner = owner
+		a.draining = fl&1 != 0
+		a.removing = fl&2 != 0
+		a.dirty = fl&4 != 0
+		if len(sharers) == 0 {
+			a.sharers = nil
+		} else {
+			a.sharers = make(map[int]sim.Time, len(sharers))
+			for _, rk := range sharers {
+				a.sharers[rk] = 0 // leases re-arm at promotion
+			}
+		}
+	}
+	// Elastic shrink on the leader: drop accelerators it no longer has.
+	for _, a := range append([]*accel(nil), s.accels...) {
+		if !seen[a.id] {
+			s.removeAccel(a)
+		}
+	}
+	nr := r.Int()
+	for i := 0; i < nr; i++ {
+		dst := r.Int()
+		reqID := r.U64()
+		msg := r.Blob()
+		if r.Err() != nil {
+			return
+		}
+		// The blob aliases the message buffer; copy so the cache owns it.
+		s.rememberReply(dst, reqID, append([]byte(nil), msg...))
+	}
+}
+
+// rearm gives the replicated leases a fresh TTL so surviving holders get
+// a full budget to re-resolve and renew after the failover.
+func (rp *Replica) rearm() {
+	s := rp.srv
+	now := s.now()
+	var lease sim.Time
+	if s.healthOn && s.health.LeaseTTL > 0 {
+		lease = now.Add(s.health.LeaseTTL)
+	}
+	for _, a := range s.accels {
+		if a.state == acAssigned {
+			a.lease = lease
+		}
+		for rk := range a.sharers {
+			a.sharers[rk] = lease
+		}
+		// A sanitize that was in flight on the dead leader is lost with
+		// it; restart the reclaim from scratch.
+		if a.state == acReclaiming {
+			a.dirty = true
+			s.sanitizeOrSettle(a)
+		}
+	}
+}

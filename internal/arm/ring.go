@@ -1,0 +1,134 @@
+package arm
+
+// ring.go implements the consistent-hash ring that partitions accelerator
+// ownership across ARM shards. Each shard projects a fixed number of
+// virtual points onto a 64-bit circle; an accelerator id is owned by the
+// shard whose point follows the id's hash. Because a ring with k shards
+// contains exactly the points of the (k+1)-shard ring minus shard k's
+// points, growing or shrinking the shard count only moves the keys that
+// land on the added/removed shard — every other id keeps its owner. That
+// property is what lets a cluster restripe with ~1/N of the leases
+// instead of all of them, and the property tests in ring_test.go pin it.
+
+// ringVnodes is the number of virtual points per shard. 64 keeps the
+// per-shard load imbalance within a few percent for the shard counts the
+// simulator runs (≤ 16) while the whole ring still fits in one cache
+// page per shard.
+const ringVnodes = 64
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// Ring maps accelerator ids onto shard indices [0, Shards).
+type Ring struct {
+	shards int
+	points []ringPoint // sorted by (hash, shard)
+}
+
+// NewRing builds the ring for the given shard count (clamped to >= 1).
+func NewRing(shards int) *Ring {
+	if shards < 1 {
+		shards = 1
+	}
+	r := &Ring{shards: shards, points: make([]ringPoint, 0, shards*ringVnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(s, v), shard: s})
+		}
+	}
+	// Insertion sort domains this small lose to the stdlib, but sorting
+	// happens once per ring; ties break on shard index so ownership is
+	// deterministic and stable under grow/shrink.
+	sortRingPoints(r.points)
+	return r
+}
+
+// Shards returns the shard count the ring was built for.
+func (r *Ring) Shards() int { return r.shards }
+
+// Owner returns the shard that owns accelerator id. The lookup is a
+// branch-free-ish binary search over the point array and performs no
+// allocation: it sits on the request-routing hot path of every sharded
+// acquire, release, and heartbeat.
+func (r *Ring) Owner(id int) int {
+	h := keyHash(id)
+	// First point with hash > h, wrapping to 0 past the end.
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid].hash <= h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.points) {
+		lo = 0
+	}
+	return r.points[lo].shard
+}
+
+// pointHash positions virtual point v of shard s on the circle. The
+// shard/vnode coordinates are packed into disjoint bit ranges before
+// mixing so distinct points never collide pre-mix.
+func pointHash(s, v int) uint64 {
+	return mix64(1<<63 | uint64(s)<<24 | uint64(v))
+}
+
+// keyHash positions accelerator id on the circle, in a domain disjoint
+// from the points'.
+func keyHash(id int) uint64 {
+	return mix64(uint64(id))
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// mixer with no allocations and no table lookups.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// sortRingPoints orders points by hash, breaking ties by shard. A hand
+// written heapsort keeps the package free of sort.Slice's closure
+// allocation without pulling in generics churn; rings are tiny and built
+// once, so asymptotics are irrelevant.
+func sortRingPoints(ps []ringPoint) {
+	n := len(ps)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftRingPoint(ps, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		ps[0], ps[i] = ps[i], ps[0]
+		siftRingPoint(ps, 0, i)
+	}
+}
+
+func siftRingPoint(ps []ringPoint, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && ringPointLess(ps[child], ps[child+1]) {
+			child++
+		}
+		if !ringPointLess(ps[root], ps[child]) {
+			return
+		}
+		ps[root], ps[child] = ps[child], ps[root]
+		root = child
+	}
+}
+
+func ringPointLess(a, b ringPoint) bool {
+	if a.hash != b.hash {
+		return a.hash < b.hash
+	}
+	return a.shard < b.shard
+}

@@ -1,0 +1,129 @@
+package arm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property tests for the consistent-hash ring (ISSUE 6 satellite): for
+// any shard count, ownership is total and unique, and growing or
+// shrinking the ring by one shard remaps only the keys that touch the
+// added/removed shard — close to the ideal 1/N fraction, never more
+// than a loose multiple of it.
+
+const ringTestKeys = 4096
+
+// clampShards folds an arbitrary quick-generated value into a sane
+// shard count.
+func clampShards(raw uint8) int {
+	return 1 + int(raw)%15 // 1..15, the range the simulator runs
+}
+
+// TestPropertyRingTotalUnique: every key has exactly one owner and the
+// owner is a valid shard index, for any shard count.
+func TestPropertyRingTotalUnique(t *testing.T) {
+	prop := func(raw uint8, seed int64) bool {
+		shards := clampShards(raw)
+		r := NewRing(shards)
+		base := int(seed % 1e6)
+		if base < 0 {
+			base = -base
+		}
+		for k := 0; k < ringTestKeys; k++ {
+			id := base + k
+			s := r.Owner(id)
+			if s < 0 || s >= shards {
+				t.Logf("shards=%d id=%d owner=%d out of range", shards, id, s)
+				return false
+			}
+			// Determinism doubles as uniqueness: the same key cannot map
+			// to two shards if repeated lookups agree.
+			if r.Owner(id) != s {
+				t.Logf("shards=%d id=%d owner not deterministic", shards, id)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRingMinimalRemap: going from n to n+1 shards, a key either
+// keeps its owner or moves to the new shard n — never between old
+// shards — and the moved fraction stays near 1/(n+1).
+func TestPropertyRingMinimalRemap(t *testing.T) {
+	prop := func(raw uint8) bool {
+		n := clampShards(raw)
+		old := NewRing(n)
+		grown := NewRing(n + 1)
+		moved := 0
+		for id := 0; id < ringTestKeys; id++ {
+			a, b := old.Owner(id), grown.Owner(id)
+			if a != b {
+				if b != n {
+					t.Logf("n=%d id=%d moved %d->%d, not to the new shard", n, id, a, b)
+					return false
+				}
+				moved++
+			}
+		}
+		// Expected moved fraction is 1/(n+1); with 64 vnodes per shard the
+		// spread is modest, so 3x is a safe ceiling that still catches a
+		// broken ring (which remaps nearly everything).
+		limit := 3 * ringTestKeys / (n + 1)
+		if moved > limit {
+			t.Logf("n=%d: %d of %d keys moved, limit %d", n, moved, ringTestKeys, limit)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRingShrinkOnlyOrphans: going from n+1 to n shards, only
+// keys owned by the removed shard n change owner; everything else is
+// untouched.
+func TestPropertyRingShrinkOnlyOrphans(t *testing.T) {
+	prop := func(raw uint8) bool {
+		n := clampShards(raw)
+		big := NewRing(n + 1)
+		small := NewRing(n)
+		for id := 0; id < ringTestKeys; id++ {
+			a, b := big.Owner(id), small.Owner(id)
+			if a != n && a != b {
+				t.Logf("n=%d id=%d owner changed %d->%d though shard %d was removed", n, id, a, b, n)
+				return false
+			}
+			if a == n && (b < 0 || b >= n) {
+				t.Logf("n=%d id=%d orphaned to invalid shard %d", n, id, b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRingBalance is a deterministic sanity check that 64 vnodes keep
+// shard load within a reasonable band (not a property test: balance is a
+// statistical claim about the fixed hash, not an invariant).
+func TestRingBalance(t *testing.T) {
+	const shards = 8
+	r := NewRing(shards)
+	counts := make([]int, shards)
+	for id := 0; id < ringTestKeys; id++ {
+		counts[r.Owner(id)]++
+	}
+	ideal := ringTestKeys / shards
+	for s, c := range counts {
+		if c < ideal/3 || c > ideal*3 {
+			t.Errorf("shard %d owns %d of %d keys (ideal %d)", s, c, ringTestKeys, ideal)
+		}
+	}
+}

@@ -1,0 +1,410 @@
+package arm
+
+// shard.go is the server side of the sharded ARM (ISSUE 6 tentpole):
+// accelerator ownership is partitioned across N shard leaders by the
+// consistent-hash ring in the shared Directory. A request that lands on
+// the wrong shard is forwarded to the owner in one extra hop — the owner
+// replies straight to the client, whose sharded reply Irecv matches any
+// source, so there is no relay on the return path and a forwarder's
+// crash can never swallow a reply. Acquires the local pool cannot
+// satisfy fall back to the least-loaded peer, chosen from opLoad gossip
+// (per-shard free/operational counts exchanged every tick).
+//
+// Failure handling rides on the reply-dedup cache: every reply is
+// recorded per (client, reqID), so a client replaying an in-flight
+// request after a leader death (see replica.go for promotion) gets the
+// recorded answer instead of a second execution. A replayed acquire on a
+// freshly promoted follower additionally recalls the peers (opRecall)
+// before executing, closing the window where the dead leader had
+// forwarded the original to a peer that granted it.
+//
+// All of this is dormant when Options.Directory is nil: the classic
+// single manager sends and receives exactly the bytes it did before
+// sharding existed.
+
+import (
+	"fmt"
+
+	"dynacc/internal/minimpi"
+	"dynacc/internal/sim"
+	"dynacc/internal/wire"
+)
+
+// shardTickInterval is the gossip/replication beat cadence when the
+// health subsystem (whose HeartbeatInterval otherwise sets the pace) is
+// off.
+const shardTickInterval = sim.Millisecond
+
+// dedupKeep bounds the per-client reply cache. Client reqIDs increase
+// monotonically, so evicting the smallest keeps the most recent replies —
+// the only ones a failover replay can ask for.
+const dedupKeep = 64
+
+// repReply is one recorded reply awaiting shipment to the follower.
+type repReply struct {
+	dst   int
+	reqID uint64
+	msg   []byte
+}
+
+// configureShard wires the sharding options into a new server.
+func (s *Server) configureShard(opts Options) error {
+	if opts.Directory == nil {
+		if opts.Shards > 1 {
+			return fmt.Errorf("arm: %d shards need a Directory", opts.Shards)
+		}
+		return nil
+	}
+	shards := opts.Directory.Shards()
+	if opts.Shards != 0 && opts.Shards != shards {
+		return fmt.Errorf("arm: Options.Shards %d does not match directory's %d", opts.Shards, shards)
+	}
+	if opts.Shard < 0 || opts.Shard >= shards {
+		return fmt.Errorf("arm: shard index %d out of range [0,%d)", opts.Shard, shards)
+	}
+	s.dir = opts.Directory
+	s.shard = opts.Shard
+	s.sharded = shards > 1
+	s.followerRank = s.dir.Follower(s.shard)
+	// A server whose own rank is the shard's follower is the replica
+	// itself (post-promotion); it has nobody to ship to.
+	s.replicated = s.followerRank >= 0 && s.followerRank != s.comm.Rank()
+	s.peerFree = make([]int, shards)
+	s.peerOper = make([]int, shards)
+	s.peerSeen = make([]bool, shards)
+	s.fwdSeq = 1 << 32 // disjoint from client reqID sequences
+	s.fwdW = wire.NewWriter(64)
+	s.replies = make(map[int]map[uint64][]byte)
+	if s.replicated {
+		s.repW = wire.NewWriter(256)
+	}
+	return nil
+}
+
+// spawnTracked spawns a helper process that is killed along with the
+// server by Kill, so a simulated crash takes down the whole rank — main
+// loop, sanitizers, reapers, recalls — exactly as a real process death
+// would.
+func (s *Server) spawnTracked(name string, fn func(p *sim.Proc)) {
+	s.spawned = append(s.spawned, s.sim.Spawn(name, fn))
+}
+
+// Kill simulates a crash of this ARM rank: the server stops processing,
+// its detector and gossip ticks go silent (which is what the follower's
+// promotion timer and the clients' failover timeouts key on), and every
+// helper process dies with it. Used by chaos tests via the cluster's
+// KillARMShard.
+func (s *Server) Kill() {
+	s.closed = true
+	for _, p := range s.spawned {
+		if !p.Terminated() {
+			p.Kill()
+		}
+	}
+	if s.mainProc != nil && !s.mainProc.Terminated() {
+		s.mainProc.Kill()
+	}
+}
+
+// Closed reports whether the server has shut down or been killed.
+func (s *Server) Closed() bool { return s.closed }
+
+// tickInterval is the shard gossip/beat cadence.
+func (s *Server) tickInterval() sim.Duration {
+	if s.healthOn && s.health.HeartbeatInterval > 0 {
+		return s.health.HeartbeatInterval
+	}
+	return shardTickInterval
+}
+
+// scheduleShardTick re-arms the gossip/replication beat until shutdown.
+func (s *Server) scheduleShardTick() {
+	s.sim.After(s.tickInterval(), func() {
+		if s.closed {
+			return
+		}
+		s.gossip()
+		s.ship()
+		s.scheduleShardTick()
+	})
+}
+
+// gossip broadcasts this shard's load to its peers (fire and forget).
+func (s *Server) gossip() {
+	if !s.sharded {
+		return
+	}
+	free, oper := s.freeCount(), s.operational()
+	for sh := 0; sh < s.dir.Shards(); sh++ {
+		if sh == s.shard {
+			continue
+		}
+		w := s.fwdW.Reset()
+		w.U8(opLoad).U64(0).Int(s.shard).Int(free).Int(oper)
+		s.comm.Isend(s.dir.Serving(sh), TagRequest, w.CopyBytes())
+	}
+}
+
+// handleLoad records one peer's gossiped load.
+func (s *Server) handleLoad(r *wire.Reader) {
+	sh := r.Int()
+	free := r.Int()
+	oper := r.Int()
+	if r.Err() != nil || sh < 0 || sh >= len(s.peerFree) || sh == s.shard {
+		return
+	}
+	s.peerFree[sh] = free
+	s.peerOper[sh] = oper
+	s.peerSeen[sh] = true
+}
+
+// gossipComplete reports whether every peer has gossiped at least once —
+// the precondition for trusting a cluster-wide "impossible" verdict.
+func (s *Server) gossipComplete() bool {
+	for sh, seen := range s.peerSeen {
+		if sh != s.shard && !seen {
+			return false
+		}
+	}
+	return true
+}
+
+// clusterOperational estimates the cluster-wide operational count from
+// the local pool plus the last gossip.
+func (s *Server) clusterOperational() int {
+	n := s.operational()
+	for sh, oper := range s.peerOper {
+		if sh != s.shard {
+			n += oper
+		}
+	}
+	return n
+}
+
+// foreignOwner decides whether a request naming these accelerator ids
+// must be forwarded: true with the owning shard when every id belongs to
+// the same non-local shard. Mixed-shard batches are left to local
+// validation (the sharded client splits batches per shard, so a mixed
+// batch here is already a malformed request and fails on the unknown
+// ids).
+func (s *Server) foreignOwner(ids []int, forwarded bool) (int, bool) {
+	if !s.sharded || forwarded || len(ids) == 0 {
+		return 0, false
+	}
+	owner := s.dir.OwnerOf(ids[0])
+	for _, id := range ids[1:] {
+		if s.dir.OwnerOf(id) != owner {
+			return 0, false
+		}
+	}
+	if owner == s.shard {
+		return 0, false
+	}
+	return owner, true
+}
+
+// foreignOwnerOne is foreignOwner for single-id requests.
+func (s *Server) foreignOwnerOne(id int, forwarded bool) (int, bool) {
+	if !s.sharded || forwarded {
+		return 0, false
+	}
+	if owner := s.dir.OwnerOf(id); owner != s.shard {
+		return owner, true
+	}
+	return 0, false
+}
+
+// forwardOp relays a client's request to the owning shard. The owner
+// executes it as if the client had sent it there (same client rank, same
+// reqID) and replies straight to the client.
+func (s *Server) forwardOp(owner int, src int, reqID uint64, op uint8, args func(w *wire.Writer)) {
+	w := s.fwdW.Reset()
+	w.U8(opForward).U64(0).Int(src).U8(op).U64(reqID)
+	if args != nil {
+		args(w)
+	}
+	s.comm.Isend(s.dir.Serving(owner), TagRequest, w.CopyBytes())
+}
+
+// forwardAcquire tries to hand an acquire the local pool cannot satisfy
+// to the least-loaded peer (most gossiped free accelerators). Reports
+// whether a forward was issued; the peer replies directly to the client.
+func (s *Server) forwardAcquire(req *pendingAcquire) bool {
+	best, bestFree := -1, 0
+	for sh := 0; sh < s.dir.Shards(); sh++ {
+		if sh == s.shard {
+			continue
+		}
+		if s.peerFree[sh] > bestFree {
+			best, bestFree = sh, s.peerFree[sh]
+		}
+	}
+	if best < 0 || bestFree < req.n {
+		return false
+	}
+	// Optimistically decay the gossiped count so a burst of local misses
+	// spreads across peers instead of dogpiling the same one until the
+	// next gossip tick corrects it.
+	s.peerFree[best] -= req.n
+	op := opAcquire
+	if req.shared {
+		op = opAcquireShared
+	}
+	s.forwardOp(best, req.src, req.reqID, op, func(w *wire.Writer) {
+		w.Int(req.n).U8(0) // non-blocking at the peer
+	})
+	return true
+}
+
+// cachedReply returns the recorded reply for (src, reqID), or nil.
+func (s *Server) cachedReply(src int, reqID uint64) []byte {
+	if s.dir == nil {
+		return nil
+	}
+	return s.replies[src][reqID]
+}
+
+// rememberReply records a sent reply for failover replays, bounding the
+// per-client cache by evicting the oldest (smallest) reqID.
+func (s *Server) rememberReply(dst int, reqID uint64, msg []byte) {
+	if reqID == 0 {
+		return
+	}
+	m := s.replies[dst]
+	if m == nil {
+		m = make(map[uint64][]byte, 8)
+		s.replies[dst] = m
+	}
+	m[reqID] = msg
+	if len(m) > dedupKeep {
+		oldest := ^uint64(0)
+		for id := range m {
+			if id < oldest {
+				oldest = id
+			}
+		}
+		delete(m, oldest)
+	}
+}
+
+// resendReply re-sends a recorded reply verbatim.
+func (s *Server) resendReply(dst int, reqID uint64, msg []byte) {
+	s.comm.Isend(dst, tagReplyBase+minimpi.Tag(reqID), msg)
+}
+
+// handleRecall answers a peer's dedup query: did this shard already
+// answer (client, origReqID)? The cached reply travels back verbatim so
+// the asking shard can relay it unchanged.
+func (s *Server) handleRecall(src int, reqID uint64, r *wire.Reader) {
+	client := r.Int()
+	origReqID := r.U64()
+	if r.Err() != nil {
+		s.reply(src, reqID, statusBadRequest, nil)
+		return
+	}
+	if cached := s.cachedReply(client, origReqID); cached != nil {
+		s.reply(src, reqID, statusOK, cached)
+		return
+	}
+	s.reply(src, reqID, statusUnavailable, nil)
+}
+
+// recallThenAcquire serves a replayed acquire on a freshly promoted
+// shard: the dead leader may have forwarded the original request to a
+// peer that granted it, so ask every peer for a cached answer before
+// executing. Without this, a replay could be granted twice (once by the
+// peer, once here), stranding a lease the client never learns about.
+// Runs in its own process — peers answer in bounded time, and the main
+// loop keeps serving meanwhile.
+func (s *Server) recallThenAcquire(req *pendingAcquire, blocking bool) {
+	s.spawnTracked(fmt.Sprintf("arm-recall-cn%d-req%d", req.src, req.reqID), func(p *sim.Proc) {
+		timeout := 4 * s.tickInterval()
+		for sh := 0; sh < s.dir.Shards(); sh++ {
+			if sh == s.shard {
+				continue
+			}
+			s.fwdSeq++
+			id := s.fwdSeq
+			peer := s.dir.Serving(sh)
+			resp := s.comm.Irecv(peer, tagReplyBase+minimpi.Tag(id))
+			w := wire.NewWriter(32)
+			w.U8(opRecall).U64(id).Int(req.src).U64(req.reqID)
+			s.comm.Isend(peer, TagRequest, w.Bytes())
+			data, _, ok := resp.WaitTimeout(p, timeout)
+			if !ok {
+				resp.Cancel()
+				continue // peer silent; it cannot have granted recently
+			}
+			r := wire.NewReader(data)
+			status := r.U8()
+			cached := r.Blob()
+			if r.Err() == nil && status == statusOK && len(cached) > 0 {
+				// A peer already answered this request: relay its reply
+				// verbatim and record it here for any further replays.
+				s.rememberReply(req.src, req.reqID, cached)
+				s.resendReply(req.src, req.reqID, cached)
+				s.ship()
+				return
+			}
+		}
+		if s.closed {
+			return
+		}
+		// Nobody answered it before: execute fresh.
+		s.acquire(req, blocking)
+		s.ship()
+	})
+}
+
+// register admits a new accelerator into the live inventory (elastic
+// grow). The daemon is granted a full heartbeat silence budget from now.
+func (s *Server) register(src int, reqID uint64, id, rank int) {
+	if _, dup := s.byID[id]; dup {
+		s.reply(src, reqID, statusBadRequest, nil)
+		return
+	}
+	a := &accel{id: id, rank: rank, state: acFree}
+	s.accels = append(s.accels, a)
+	s.byID[id] = a
+	if s.lastBeat != nil {
+		s.lastBeat[rank] = s.now()
+	}
+	s.reply(src, reqID, statusOK, nil)
+	s.drainQueue()
+}
+
+// retireRemove drains an accelerator and removes it from the inventory
+// (elastic shrink). The reply semantics are opDrain's — delayed until the
+// accelerator is out of service — and the removal happens at that same
+// moment, so a completed Retire guarantees zero stranded leases on the
+// departed accelerator.
+func (s *Server) retireRemove(src int, reqID uint64, id int, deadline sim.Duration) {
+	a, ok := s.byID[id]
+	if !ok || a.drainer != nil {
+		s.reply(src, reqID, statusBadRequest, nil)
+		return
+	}
+	a.removing = true
+	s.drain(src, reqID, id, deadline)
+	if a.state == acRetired {
+		// Drain settled immediately (the accelerator was already idle or
+		// out of service); the deferred paths remove via settleDrainer.
+		s.removeAccel(a)
+	}
+}
+
+// removeAccel drops an accelerator from the inventory. Copy-on-write:
+// detector passes may be mid-iteration over the old slice, which stays
+// valid (the removed accelerator is retired, so every lifecycle check
+// treats it as a no-op).
+func (s *Server) removeAccel(a *accel) {
+	a.removing = false
+	delete(s.byID, a.id)
+	out := make([]*accel, 0, len(s.accels))
+	for _, b := range s.accels {
+		if b != a {
+			out = append(out, b)
+		}
+	}
+	s.accels = out
+}

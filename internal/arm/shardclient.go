@@ -1,0 +1,486 @@
+package arm
+
+// shardclient.go is the client side of the sharded ARM: a drop-in
+// replacement for Client that routes every operation to the owning shard
+// via the shared Directory. Replies are received with an any-source
+// Irecv, because the shard that answers is not always the shard that was
+// asked (peer forwarding and least-loaded fallback reply directly from
+// the executing shard). When shards have follower replicas, calls use a
+// failover timeout: on silence past the promotion threshold the client
+// re-resolves the shard's serving rank from the directory and replays
+// the request with its original reqID — the server-side dedup cache
+// turns an already-answered replay into a resend, never a re-execution.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dynacc/internal/minimpi"
+	"dynacc/internal/sim"
+	"dynacc/internal/wire"
+)
+
+// API is the resource-management surface shared by the single-manager
+// Client and the ShardedClient, so cluster plumbing and tests can treat
+// either uniformly.
+type API interface {
+	Acquire(p *sim.Proc, n int, blocking bool) ([]Handle, error)
+	AcquireShared(p *sim.Proc, n int, blocking bool) ([]Handle, error)
+	AcquireRetry(p *sim.Proc, n, attempts int, b Backoff, rng *rand.Rand) ([]Handle, error)
+	Release(p *sim.Proc, handles []Handle) error
+	Replace(p *sim.Proc, failedRank int) (Handle, error)
+	Stats(p *sim.Proc) (PoolStats, error)
+	StatsEx(p *sim.Proc) (PoolStats, error)
+	Fail(p *sim.Proc, id int) error
+	Repair(p *sim.Proc, id int) error
+	Renew(p *sim.Proc) error
+	Drain(p *sim.Proc, id int, deadline sim.Duration) error
+	Migrate(p *sim.Proc, oldRank int) (Handle, error)
+	Register(p *sim.Proc, id, rank int) error
+	Retire(p *sim.Proc, id int, deadline sim.Duration) error
+	Shutdown(p *sim.Proc) error
+	RecvNotice(p *sim.Proc) (Notice, error)
+}
+
+var (
+	_ API = (*Client)(nil)
+	_ API = (*ShardedClient)(nil)
+)
+
+// ShardedClient talks to a fleet of ARM shards through the shared
+// directory. Like Client, it is bound to one communicator rank and must
+// not be shared between concurrently blocking processes.
+type ShardedClient struct {
+	comm    *minimpi.Comm
+	dir     *Directory
+	nextReq uint64
+	rng     *rand.Rand
+	backoff Backoff
+
+	// failTimeout > 0 arms failover: a call silent for this long
+	// re-checks the directory and replays to a promoted follower. Zero
+	// (set when no shard has a replica) waits indefinitely, like Client.
+	failTimeout sim.Duration
+	maxSilence  int // give up after this many consecutive timeouts
+
+	groups [][]int // per-shard id scratch for Release routing (reused)
+}
+
+// NewShardedClient builds a client over the directory. Failover timeouts
+// arm automatically when at least one shard has a follower replica.
+func NewShardedClient(comm *minimpi.Comm, dir *Directory) *ShardedClient {
+	sc := &ShardedClient{
+		comm:    comm,
+		dir:     dir,
+		rng:     rand.New(rand.NewSource(int64(comm.Rank())*7919 + 1)),
+		backoff: DefaultBackoff(),
+		groups:  make([][]int, dir.Shards()),
+	}
+	for sh := 0; sh < dir.Shards(); sh++ {
+		if dir.Follower(sh) >= 0 {
+			sc.failTimeout = 2 * DefaultHealthConfig().DeadAfter
+			sc.maxSilence = 64
+			break
+		}
+	}
+	return sc
+}
+
+// SetFailover overrides the failover silence threshold (0 disables) and
+// the consecutive-timeout budget before a call errors out.
+func (sc *ShardedClient) SetFailover(timeout sim.Duration, maxSilence int) {
+	sc.failTimeout = timeout
+	sc.maxSilence = maxSilence
+}
+
+// homeShard spreads clients across shards for operations with no natural
+// owner (acquires, renews with one target).
+func (sc *ShardedClient) homeShard() int {
+	return int(mix64(uint64(sc.comm.Rank())) % uint64(sc.dir.Shards()))
+}
+
+func acquireOp(op uint8) bool { return op == opAcquire || op == opAcquireShared }
+
+// callShard performs one request/reply round trip against a shard, with
+// directory-driven failover replay when armed.
+func (sc *ShardedClient) callShard(p *sim.Proc, shard int, op uint8, args func(w *wire.Writer)) (uint8, []byte, error) {
+	sc.nextReq++
+	reqID := sc.nextReq
+	build := func(replay bool) []byte {
+		w := wire.NewWriter(48)
+		w.U8(op).U64(reqID)
+		if args != nil {
+			args(w)
+		}
+		if acquireOp(op) {
+			// Trailing replay marker (absent in legacy traffic): tells a
+			// promoted follower to recall its peers before executing.
+			if replay {
+				w.U8(1)
+			} else {
+				w.U8(0)
+			}
+		}
+		return w.Bytes()
+	}
+	// Any shard may answer (forwarding replies directly), so match any
+	// source on the reply tag; reqIDs are unique per client, so the tag
+	// cannot collide.
+	resp := sc.comm.Irecv(minimpi.AnySource, tagReplyBase+minimpi.Tag(reqID))
+	served := sc.dir.Serving(shard)
+	sc.comm.Isend(served, TagRequest, build(false))
+	var data []byte
+	if sc.failTimeout <= 0 {
+		data, _ = resp.Wait(p)
+	} else {
+		silent := 0
+		for {
+			d, _, ok := resp.WaitTimeout(p, sc.failTimeout)
+			if ok {
+				data = d
+				break
+			}
+			silent++
+			if silent > sc.maxSilence {
+				resp.Cancel()
+				return 0, nil, fmt.Errorf("arm: shard %d unresponsive after %d timeouts", shard, silent)
+			}
+			if cur := sc.dir.Serving(shard); cur != served {
+				// The shard failed over: replay at the promoted follower
+				// with the same reqID (dedup makes this safe).
+				served = cur
+				sc.comm.Isend(served, TagRequest, build(true))
+			}
+			// Still the same serving rank: the shard is slow (a delayed
+			// drain reply, say), not dead — keep waiting.
+		}
+	}
+	r := wire.NewReader(data)
+	status := r.U8()
+	payload := r.Blob()
+	if err := r.Err(); err != nil {
+		return 0, nil, fmt.Errorf("arm: malformed reply: %w", err)
+	}
+	return status, payload, nil
+}
+
+func decodeHandles(payload []byte, shared bool) ([]Handle, error) {
+	r := wire.NewReader(payload)
+	count := r.Int()
+	handles := make([]Handle, 0, count)
+	for i := 0; i < count; i++ {
+		handles = append(handles, Handle{ID: r.Int(), Rank: r.Int(), Shared: shared})
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("arm: malformed acquire reply: %w", err)
+	}
+	return handles, nil
+}
+
+// acquireOnce issues one non-blocking acquire at the given shard (which
+// forwards to the least-loaded peer itself when its pool can't satisfy).
+func (sc *ShardedClient) acquireOnce(p *sim.Proc, shard, n int, shared bool) ([]Handle, error) {
+	op := opAcquire
+	if shared {
+		op = opAcquireShared
+	}
+	status, payload, err := sc.callShard(p, shard, op, func(w *wire.Writer) {
+		w.Int(n).U8(0)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(status); err != nil {
+		return nil, err
+	}
+	return decodeHandles(payload, shared)
+}
+
+// acquireAny implements blocking and non-blocking acquires over the
+// fleet. Sharded blocking is client-paced: the server queues only
+// single-shard blocking requests, so here "blocking" means retrying with
+// jittered backoff, rotating the target shard, until granted. FIFO
+// fairness is therefore per-shard, not global (DESIGN.md §11).
+func (sc *ShardedClient) acquireAny(p *sim.Proc, n int, shared, blocking bool) ([]Handle, error) {
+	const blockingAttempts = 4096 // virtual-seconds of backoff before giving up
+	home := sc.homeShard()
+	attempts := 1
+	if blocking {
+		attempts = blockingAttempts
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			p.Wait(sc.backoff.Delay(i-1, sc.rng))
+		}
+		var hs []Handle
+		hs, err = sc.acquireOnce(p, (home+i)%sc.dir.Shards(), n, shared)
+		if err == nil || err != ErrUnavailable {
+			return hs, err
+		}
+	}
+	return nil, err
+}
+
+// Acquire requests n exclusive accelerators (see Client.Acquire).
+func (sc *ShardedClient) Acquire(p *sim.Proc, n int, blocking bool) ([]Handle, error) {
+	return sc.acquireAny(p, n, false, blocking)
+}
+
+// AcquireShared requests shared leases on n distinct accelerators (see
+// Client.AcquireShared).
+func (sc *ShardedClient) AcquireShared(p *sim.Proc, n int, blocking bool) ([]Handle, error) {
+	return sc.acquireAny(p, n, true, blocking)
+}
+
+// AcquireRetry mirrors Client.AcquireRetry over the fleet.
+func (sc *ShardedClient) AcquireRetry(p *sim.Proc, n, attempts int, b Backoff, rng *rand.Rand) ([]Handle, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	home := sc.homeShard()
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			p.Wait(b.Delay(i-1, rng))
+		}
+		var hs []Handle
+		hs, err = sc.acquireOnce(p, (home+i)%sc.dir.Shards(), n, false)
+		if err == nil || err != ErrUnavailable {
+			return hs, err
+		}
+	}
+	return nil, err
+}
+
+// routeIDs groups handle ids by owning shard into reused scratch slices
+// (the routing hot path pinned by the alloc regression test).
+func (sc *ShardedClient) routeIDs(handles []Handle) [][]int {
+	for sh := range sc.groups {
+		sc.groups[sh] = sc.groups[sh][:0]
+	}
+	for _, h := range handles {
+		sh := sc.dir.OwnerOf(h.ID)
+		sc.groups[sh] = append(sc.groups[sh], h.ID)
+	}
+	return sc.groups
+}
+
+// Release returns accelerators to their owning shards, splitting the
+// batch per shard. On a partial failure the first error is returned;
+// releases to other shards still go through.
+func (sc *ShardedClient) Release(p *sim.Proc, handles []Handle) error {
+	var firstErr error
+	for sh, ids := range sc.routeIDs(handles) {
+		if len(ids) == 0 {
+			continue
+		}
+		status, _, err := sc.callShard(p, sh, opRelease, func(w *wire.Writer) {
+			w.Int(len(ids))
+			for _, id := range ids {
+				w.Int(id)
+			}
+		})
+		if err == nil {
+			err = statusErr(status)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// rankKeyedCall tries each shard in turn for operations addressed by
+// daemon rank (Replace, Migrate), which the ring cannot route: only the
+// holding shard accepts; the others answer ErrBadRequest.
+func (sc *ShardedClient) rankKeyedCall(p *sim.Proc, op uint8, rank int) (Handle, error) {
+	shards := sc.dir.Shards()
+	home := sc.homeShard()
+	err := ErrBadRequest
+	for i := 0; i < shards; i++ {
+		sh := (home + i) % shards
+		status, payload, callErr := sc.callShard(p, sh, op, func(w *wire.Writer) { w.Int(rank) })
+		if callErr != nil {
+			return Handle{}, callErr
+		}
+		if statusErr(status) == ErrBadRequest {
+			err = ErrBadRequest
+			continue // not held on this shard
+		}
+		if err = statusErr(status); err != nil {
+			return Handle{}, err
+		}
+		r := wire.NewReader(payload)
+		if count := r.Int(); count != 1 {
+			return Handle{}, fmt.Errorf("arm: replace reply has %d handles", count)
+		}
+		h := Handle{ID: r.Int(), Rank: r.Int()}
+		if decodeErr := r.Err(); decodeErr != nil {
+			return Handle{}, fmt.Errorf("arm: malformed replace reply: %w", decodeErr)
+		}
+		return h, nil
+	}
+	return Handle{}, err
+}
+
+// Replace reports a dead daemon and asks for a substitute (see
+// Client.Replace). The replacement may come from any shard's pool.
+func (sc *ShardedClient) Replace(p *sim.Proc, failedRank int) (Handle, error) {
+	return sc.rankKeyedCall(p, opReplace, failedRank)
+}
+
+// Migrate trades a suspect assignment for a spare (see Client.Migrate).
+func (sc *ShardedClient) Migrate(p *sim.Proc, oldRank int) (Handle, error) {
+	return sc.rankKeyedCall(p, opMigrate, oldRank)
+}
+
+// idCall routes a single-id administrative op to the owning shard.
+func (sc *ShardedClient) idCall(p *sim.Proc, op uint8, args func(w *wire.Writer), id int) error {
+	status, _, err := sc.callShard(p, sc.dir.OwnerOf(id), op, args)
+	if err != nil {
+		return err
+	}
+	return statusErr(status)
+}
+
+// Fail marks an accelerator broken (see Client.Fail).
+func (sc *ShardedClient) Fail(p *sim.Proc, id int) error {
+	return sc.idCall(p, opFail, func(w *wire.Writer) { w.Int(id) }, id)
+}
+
+// Repair returns a failed accelerator to the pool (see Client.Repair).
+func (sc *ShardedClient) Repair(p *sim.Proc, id int) error {
+	return sc.idCall(p, opRepair, func(w *wire.Writer) { w.Int(id) }, id)
+}
+
+// Drain takes an accelerator out of service (see Client.Drain).
+func (sc *ShardedClient) Drain(p *sim.Proc, id int, deadline sim.Duration) error {
+	return sc.idCall(p, opDrain, func(w *wire.Writer) { w.Int(id).I64(int64(deadline)) }, id)
+}
+
+// Register admits a new accelerator into the owning shard's inventory
+// (see Client.Register).
+func (sc *ShardedClient) Register(p *sim.Proc, id, rank int) error {
+	return sc.idCall(p, opRegister, func(w *wire.Writer) { w.Int(id).Int(rank) }, id)
+}
+
+// Retire drains an accelerator and removes it from the inventory (see
+// Client.Retire).
+func (sc *ShardedClient) Retire(p *sim.Proc, id int, deadline sim.Duration) error {
+	return sc.idCall(p, opRetire, func(w *wire.Writer) { w.Int(id).I64(int64(deadline)) }, id)
+}
+
+// Renew renews this client's leases on every shard.
+func (sc *ShardedClient) Renew(p *sim.Proc) error {
+	for sh := 0; sh < sc.dir.Shards(); sh++ {
+		status, _, err := sc.callShard(p, sh, opRenew, nil)
+		if err == nil {
+			err = statusErr(status)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// statsFrom fetches one shard's snapshot.
+func (sc *ShardedClient) statsFrom(p *sim.Proc, sh int, extended bool) (PoolStats, error) {
+	op := opStats
+	if extended {
+		op = opStatsEx
+	}
+	status, payload, err := sc.callShard(p, sh, op, nil)
+	if err != nil {
+		return PoolStats{}, err
+	}
+	if err := statusErr(status); err != nil {
+		return PoolStats{}, err
+	}
+	if extended {
+		return decodeStatsEx(payload)
+	}
+	return decodeStats(payload)
+}
+
+// mergeStats folds one shard's snapshot into the aggregate.
+func mergeStats(agg *PoolStats, st PoolStats) {
+	agg.Total += st.Total
+	agg.Free += st.Free
+	agg.Assigned += st.Assigned
+	agg.Failed += st.Failed
+	agg.Suspect += st.Suspect
+	agg.Retired += st.Retired
+	agg.Queued += st.Queued
+	agg.Acquires += st.Acquires
+	agg.Releases += st.Releases
+	agg.Reclaimed += st.Reclaimed
+	agg.Migrations += st.Migrations
+	agg.BusySeconds += st.BusySeconds
+	agg.WaitSeconds += st.WaitSeconds
+	agg.Shared += st.Shared
+	agg.Sessions += st.Sessions
+	agg.PerAccel = append(agg.PerAccel, st.PerAccel...)
+}
+
+// Stats aggregates the pool snapshot across every shard.
+func (sc *ShardedClient) Stats(p *sim.Proc) (PoolStats, error) {
+	var agg PoolStats
+	for sh := 0; sh < sc.dir.Shards(); sh++ {
+		st, err := sc.statsFrom(p, sh, false)
+		if err != nil {
+			return PoolStats{}, err
+		}
+		mergeStats(&agg, st)
+	}
+	return agg, nil
+}
+
+// StatsEx aggregates the extended snapshot across every shard; PerAccel
+// is the concatenation of the shards' tables, sorted by accelerator id.
+func (sc *ShardedClient) StatsEx(p *sim.Proc) (PoolStats, error) {
+	var agg PoolStats
+	for sh := 0; sh < sc.dir.Shards(); sh++ {
+		st, err := sc.statsFrom(p, sh, true)
+		if err != nil {
+			return PoolStats{}, err
+		}
+		mergeStats(&agg, st)
+	}
+	sort.Slice(agg.PerAccel, func(i, j int) bool { return agg.PerAccel[i].ID < agg.PerAccel[j].ID })
+	return agg, nil
+}
+
+// ShutdownShard stops one shard's serving rank (teardown helper: the
+// cluster skips shards already crash-killed by fault injection).
+func (sc *ShardedClient) ShutdownShard(p *sim.Proc, shard int) error {
+	status, _, err := sc.callShard(p, shard, opShutdown, nil)
+	if err != nil {
+		return err
+	}
+	return statusErr(status)
+}
+
+// Shutdown stops every distinct serving rank (teardown helper).
+func (sc *ShardedClient) Shutdown(p *sim.Proc) error {
+	done := make(map[int]bool, sc.dir.Shards())
+	for sh := 0; sh < sc.dir.Shards(); sh++ {
+		rank := sc.dir.Serving(sh)
+		if done[rank] {
+			continue
+		}
+		done[rank] = true
+		if err := sc.ShutdownShard(p, sh); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecvNotice blocks until any shard sends this rank a health notice.
+func (sc *ShardedClient) RecvNotice(p *sim.Proc) (Notice, error) {
+	data, _ := sc.comm.Recv(p, minimpi.AnySource, TagNotify)
+	return DecodeNotice(data)
+}

@@ -38,6 +38,12 @@ type FleetConfig struct {
 	// moved with the paper's pipelined protocols (model mode: sized
 	// messages, no real bytes).
 	CopyBytes int
+	// Shards partitions the ARM into this many shards (<2 runs the
+	// legacy single server); Replicas adds a log-shipping follower per
+	// shard. Both add the shard fleet's own ranks and traffic to the
+	// measured engine cost.
+	Shards   int
+	Replicas bool
 }
 
 // DefaultFleetConfig returns the CI configuration: a 32-daemon rack
@@ -50,6 +56,7 @@ func DefaultFleetConfig() FleetConfig {
 type FleetResult struct {
 	Daemons int `json:"daemons"`
 	Tenants int `json:"tenants"`
+	Shards  int `json:"shards"`
 	// Ops counts completed operations (alloc/copy/launch/free/session
 	// calls) across all tenants; BytesMoved is the total payload.
 	Ops        int   `json:"ops"`
@@ -113,11 +120,17 @@ func MeasureFleet(cfg FleetConfig) (FleetResult, error) {
 		Accelerators:  cfg.Daemons,
 		Registry:      reg,
 		ShareCapacity: share,
+		ARMShards:     cfg.Shards,
+		ARMReplicas:   cfg.Replicas,
 	})
 	if err != nil {
 		return FleetResult{}, err
 	}
-	res := FleetResult{Daemons: cfg.Daemons, Tenants: cfg.Tenants}
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	res := FleetResult{Daemons: cfg.Daemons, Tenants: cfg.Tenants, Shards: shards}
 	ops := 0
 	cl.SpawnAll(func(p *sim.Proc, node *cluster.Node) {
 		handles, err := node.ARM.AcquireShared(p, 1, true)

@@ -46,6 +46,7 @@ type SharingReport struct {
 	Tenants       int          `json:"tenants"`
 	OpsPerTenant  int          `json:"ops_per_tenant"`
 	ShareCapacity int          `json:"share_capacity"`
+	Shards        int          `json:"shards"`
 	VirtualSecs   float64      `json:"virtual_seconds"`
 	SharedAccels  int          `json:"shared_accels"`
 	Sessions      int          `json:"sessions"`
@@ -57,7 +58,10 @@ type SharingReport struct {
 // with ShareCapacity = tenants, each issuing `ops` small kernels through
 // its own session, and samples the ARM's per-accelerator stats at the
 // moment the last tenant finishes (before any lease is released).
-func MeasureSharing(tenants, ops int) (SharingReport, error) {
+// shards > 1 runs the ARM as a shard fleet (the single accelerator then
+// also exercises cross-shard acquire forwarding, since most shards own
+// no inventory).
+func MeasureSharing(tenants, ops, shards int) (SharingReport, error) {
 	reg := gpu.NewRegistry()
 	reg.Register(gpu.FuncKernel{
 		KernelName: "share.small",
@@ -68,14 +72,19 @@ func MeasureSharing(tenants, ops int) (SharingReport, error) {
 		Accelerators:  1,
 		Registry:      reg,
 		ShareCapacity: tenants,
+		ARMShards:     shards,
 	})
 	if err != nil {
 		return SharingReport{}, err
+	}
+	if shards < 1 {
+		shards = 1
 	}
 	rep := SharingReport{
 		Tenants:       tenants,
 		OpsPerTenant:  ops,
 		ShareCapacity: tenants,
+		Shards:        shards,
 		PerTenant:     make([]TenantShare, tenants),
 	}
 	finished := 0
@@ -148,8 +157,8 @@ func MeasureSharing(tenants, ops int) (SharingReport, error) {
 
 // WriteARMJSON runs MeasureSharing and writes the report to path (the CI
 // artifact BENCH_arm.json).
-func WriteARMJSON(path string, tenants, ops int) (SharingReport, error) {
-	r, err := MeasureSharing(tenants, ops)
+func WriteARMJSON(path string, tenants, ops, shards int) (SharingReport, error) {
+	r, err := MeasureSharing(tenants, ops, shards)
 	if err != nil {
 		return r, err
 	}

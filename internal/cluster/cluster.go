@@ -84,6 +84,30 @@ type Config struct {
 
 	// FailoverBackoff tunes those retries; defaults to arm.DefaultBackoff.
 	FailoverBackoff *arm.Backoff
+
+	// ARMShards > 1 splits resource management across that many ARM
+	// shards: accelerator ownership is partitioned by consistent hashing
+	// over accelerator ids, and nodes talk to the fleet through a
+	// shard-routing client (arm.ShardedClient). 0 or 1 keeps the single
+	// manager, byte-identical to the classic wire traffic.
+	ARMShards int
+
+	// ARMReplicas gives every shard a follower replica that applies the
+	// leader's replication stream and takes over (promoting itself in the
+	// shared directory) when the leader goes silent. Implies the sharded
+	// client even with one shard.
+	ARMReplicas bool
+
+	// ARMPromoteAfter is the replication-stream silence threshold for
+	// follower promotion; <= 0 derives it from the health config's
+	// DeadAfter (or the default one's).
+	ARMPromoteAfter sim.Duration
+
+	// SpareAccelerators provisions this many extra accelerator nodes
+	// (device + daemon, ranks just after the regular daemons) that start
+	// OUTSIDE every ARM inventory. RegisterSpare admits them into the
+	// live cluster — the elastic-growth path.
+	SpareAccelerators int
 }
 
 // Node is the per-compute-node context handed to node main functions.
@@ -114,9 +138,11 @@ type Node struct {
 }
 
 // NodeARM wraps the resource-management client with acquisition
-// bookkeeping so the cluster can enforce end-of-job release.
+// bookkeeping so the cluster can enforce end-of-job release. The
+// embedded API is arm.Client against a single manager and
+// arm.ShardedClient when the cluster runs ARM shards or replicas.
 type NodeARM struct {
-	*arm.Client
+	arm.API
 	held    map[int]arm.Handle
 	retries int
 	backoff arm.Backoff
@@ -126,7 +152,7 @@ type NodeARM struct {
 // Acquire requests n exclusive accelerators (see arm.Client.Acquire) and
 // records them for end-of-job cleanup.
 func (na *NodeARM) Acquire(p *sim.Proc, n int, blocking bool) ([]arm.Handle, error) {
-	handles, err := na.Client.Acquire(p, n, blocking)
+	handles, err := na.API.Acquire(p, n, blocking)
 	for _, h := range handles {
 		na.held[h.ID] = h
 	}
@@ -136,7 +162,7 @@ func (na *NodeARM) Acquire(p *sim.Proc, n int, blocking bool) ([]arm.Handle, err
 // AcquireShared requests shared leases on n accelerators (see
 // arm.Client.AcquireShared) and records them for end-of-job cleanup.
 func (na *NodeARM) AcquireShared(p *sim.Proc, n int, blocking bool) ([]arm.Handle, error) {
-	handles, err := na.Client.AcquireShared(p, n, blocking)
+	handles, err := na.API.AcquireShared(p, n, blocking)
 	for _, h := range handles {
 		na.held[h.ID] = h
 	}
@@ -145,7 +171,7 @@ func (na *NodeARM) AcquireShared(p *sim.Proc, n int, blocking bool) ([]arm.Handl
 
 // Release returns accelerators to the pool (see arm.Client.Release).
 func (na *NodeARM) Release(p *sim.Proc, handles []arm.Handle) error {
-	err := na.Client.Release(p, handles)
+	err := na.API.Release(p, handles)
 	if err == nil {
 		for _, h := range handles {
 			delete(na.held, h.ID)
@@ -161,10 +187,10 @@ func (na *NodeARM) Release(p *sim.Proc, handles []arm.Handle) error {
 // with FailoverRetries, the grant is retried with jittered exponential
 // backoff — the failure report from the first attempt sticks either way.
 func (na *NodeARM) Replace(p *sim.Proc, failedRank int) (int, error) {
-	h, err := na.Client.Replace(p, failedRank)
+	h, err := na.API.Replace(p, failedRank)
 	if err == arm.ErrUnavailable && na.retries > 0 {
 		var hs []arm.Handle
-		hs, err = na.Client.AcquireRetry(p, 1, na.retries, na.backoff, na.rng)
+		hs, err = na.API.AcquireRetry(p, 1, na.retries, na.backoff, na.rng)
 		if err == nil {
 			h = hs[0]
 		}
@@ -184,7 +210,7 @@ func (na *NodeARM) Replace(p *sim.Proc, failedRank int) (int, error) {
 // Migrate trades the handle this node holds on oldRank for a spare (see
 // arm.Client.Migrate) and swaps the bookkeeping entry.
 func (na *NodeARM) Migrate(p *sim.Proc, oldRank int) (arm.Handle, error) {
-	h, err := na.Client.Migrate(p, oldRank)
+	h, err := na.API.Migrate(p, oldRank)
 	if err != nil {
 		return arm.Handle{}, err
 	}
@@ -262,7 +288,39 @@ type Cluster struct {
 	nodeMains [][]*sim.Proc
 	watchers  []*sim.Proc
 	srv       *arm.Server
+
+	// Sharded-ARM state (nil/empty for the classic single manager).
+	sdir      *arm.Directory
+	shardSrvs []*arm.Server
+	shardReps []*arm.Replica
+	repProcs  []*sim.Proc
 }
+
+// Sharded reports whether resource management runs on the sharded plane.
+func (cl *Cluster) Sharded() bool { return cl.sdir != nil }
+
+// Directory returns the shard directory (nil for a single manager).
+func (cl *Cluster) Directory() *arm.Directory { return cl.sdir }
+
+// ARMShardServer returns shard i's leader server (for fault injection
+// and inspection in tests).
+func (cl *Cluster) ARMShardServer(i int) *arm.Server { return cl.shardSrvs[i] }
+
+// ARMShardReplica returns shard i's follower replica, or nil when the
+// cluster was built without ARMReplicas.
+func (cl *Cluster) ARMShardReplica(i int) *arm.Replica {
+	if len(cl.shardReps) == 0 {
+		return nil
+	}
+	return cl.shardReps[i]
+}
+
+// KillARMShard crash-kills shard i's leader: its serving process and
+// helper processes stop at their next scheduling point, exactly like a
+// manager-node panic. With ARMReplicas the shard's follower notices the
+// silent replication stream and promotes itself; clients re-resolve
+// through the directory and replay in-flight requests.
+func (cl *Cluster) KillARMShard(i int) { cl.shardSrvs[i].Kill() }
 
 // ARMRank returns the world rank the ARM listens on.
 func (cl *Cluster) ARMRank() int { return cl.armRank }
@@ -299,14 +357,45 @@ func New(cfg Config) (*Cluster, error) {
 		dcfg = *cfg.Daemon
 	}
 
+	shards := cfg.ARMShards
+	if shards < 1 {
+		shards = 1
+	}
+	sharded := shards > 1 || cfg.ARMReplicas
+
 	s := sim.New()
-	nRanks := cfg.ComputeNodes + cfg.Accelerators + 1
+	daemonRanks := cfg.Accelerators + cfg.SpareAccelerators
+	armBase := cfg.ComputeNodes + daemonRanks
+	armRanks := 1
+	if sharded {
+		armRanks = shards
+		if cfg.ARMReplicas {
+			armRanks *= 2
+		}
+	}
+	nRanks := armBase + armRanks
 	w, err := minimpi.NewWorld(s, nRanks, net)
 	if err != nil {
 		return nil, err
 	}
-	cl := &Cluster{Sim: s, World: w, cfg: cfg, dcfg: dcfg, armRank: nRanks - 1,
+	cl := &Cluster{Sim: s, World: w, cfg: cfg, dcfg: dcfg, armRank: armBase,
 		nodeMains: make([][]*sim.Proc, cfg.ComputeNodes)}
+	if sharded {
+		// The shard directory must exist before the daemons: their
+		// heartbeat sinks resolve the serving rank through it.
+		leaders := make([]int, shards)
+		var followers []int
+		for sh := 0; sh < shards; sh++ {
+			leaders[sh] = armBase + sh
+		}
+		if cfg.ARMReplicas {
+			followers = make([]int, shards)
+			for sh := 0; sh < shards; sh++ {
+				followers[sh] = armBase + shards + sh
+			}
+		}
+		cl.sdir = arm.NewDirectory(arm.NewRing(shards), leaders, followers)
+	}
 
 	cnRanks := make([]int, cfg.ComputeNodes)
 	for i := range cnRanks {
@@ -317,9 +406,10 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 
-	// Accelerator nodes: device + daemon per rank.
+	// Accelerator nodes: device + daemon per rank. Spares get the same
+	// hardware but start outside every ARM inventory.
 	var inventory []arm.Handle
-	for i := 0; i < cfg.Accelerators; i++ {
+	for i := 0; i < daemonRanks; i++ {
 		rank := cfg.ComputeNodes + i
 		dev, err := gpu.NewDevice(s, gpu.Config{
 			Name:     fmt.Sprintf("ac%d", i),
@@ -333,52 +423,64 @@ func New(cfg Config) (*Cluster, error) {
 		d := core.NewDaemon(w.Comm(rank), dev, cl.daemonConfig(rank))
 		cl.Daemons = append(cl.Daemons, d)
 		s.Spawn(fmt.Sprintf("daemon-ac%d", i), d.Run)
-		inventory = append(inventory, arm.Handle{ID: i, Rank: rank})
+		if i < cfg.Accelerators {
+			inventory = append(inventory, arm.Handle{ID: i, Rank: rank})
+		}
 	}
 
-	// The ARM.
-	srv, err := arm.NewServerOpts(w.Comm(cl.armRank), inventory,
-		arm.Options{Policy: cfg.Policy, ShareCapacity: cfg.ShareCapacity})
-	if err != nil {
-		return nil, err
-	}
-	cl.srv = srv
-	if cfg.Health != nil {
-		if err := srv.ConfigureHealth(*cfg.Health); err != nil {
-			return nil, err
-		}
-		// The sanitizer: a computation-API client on the ARM's own rank
-		// that device-resets a reclaimed accelerator before it re-enters
-		// the pool. Bounded timeout — the daemon being sanitized may be
-		// the one that just went silent.
-		sanOpts := opts
-		if sanOpts.Timeout <= 0 {
-			switch {
-			case cfg.Health.SuspectAfter > 0:
-				sanOpts.Timeout = cfg.Health.SuspectAfter
-			case cfg.Health.HeartbeatInterval > 0:
-				sanOpts.Timeout = 4 * cfg.Health.HeartbeatInterval
-			default:
-				sanOpts.Timeout = 10 * sim.Millisecond
-			}
-		}
-		sanFE, err := core.NewClient(w.Comm(cl.armRank), sanOpts)
+	if !sharded {
+		// The ARM.
+		srv, err := arm.NewServerOpts(w.Comm(cl.armRank), inventory,
+			arm.Options{Policy: cfg.Policy, ShareCapacity: cfg.ShareCapacity})
 		if err != nil {
 			return nil, err
 		}
-		srv.SetSanitizer(func(p *sim.Proc, rank int) error {
-			return sanFE.Attach(rank).Reset(p)
-		})
-		if cfg.ShareCapacity > 0 {
-			// Expired sharer leases must not device-reset the accelerator
-			// under the surviving tenants: reap only the dead client's
-			// sessions instead.
-			srv.SetSessionReaper(func(p *sim.Proc, rank, client int) error {
-				return sanFE.Attach(rank).ReapSessions(p, client)
-			})
+		cl.srv = srv
+		if err := cl.armHealthSetup(srv, cl.armRank, opts); err != nil {
+			return nil, err
+		}
+		s.Spawn("arm", srv.Run)
+	} else {
+		// The ARM shards: ownership partitioned by the consistent-hash
+		// ring, one leader (and optionally one follower) per shard.
+		perShard := make([][]arm.Handle, shards)
+		for _, h := range inventory {
+			sh := cl.sdir.OwnerOf(h.ID)
+			perShard[sh] = append(perShard[sh], h)
+		}
+		for sh := 0; sh < shards; sh++ {
+			srvOpts := arm.Options{
+				Policy:        cfg.Policy,
+				ShareCapacity: cfg.ShareCapacity,
+				Shards:        shards,
+				Shard:         sh,
+				Directory:     cl.sdir,
+			}
+			srv, err := arm.NewServerOpts(w.Comm(cl.sdir.Leader(sh)), perShard[sh], srvOpts)
+			if err != nil {
+				return nil, err
+			}
+			if err := cl.armHealthSetup(srv, cl.sdir.Leader(sh), opts); err != nil {
+				return nil, err
+			}
+			cl.shardSrvs = append(cl.shardSrvs, srv)
+			s.Spawn(fmt.Sprintf("arm-s%d", sh), srv.Run)
+			if cfg.ARMReplicas {
+				rp, err := arm.ReplicaFor(w.Comm(cl.sdir.Follower(sh)), cl.sdir, sh,
+					perShard[sh], srvOpts, cfg.ARMPromoteAfter)
+				if err != nil {
+					return nil, err
+				}
+				// The follower gets its own sanitizer front-end (on its own
+				// rank) now, so a promotion needs no extra wiring.
+				if err := cl.armHealthSetup(rp.Server(), cl.sdir.Follower(sh), opts); err != nil {
+					return nil, err
+				}
+				cl.shardReps = append(cl.shardReps, rp)
+				cl.repProcs = append(cl.repProcs, s.Spawn(fmt.Sprintf("arm-s%d-replica", sh), rp.Run))
+			}
 		}
 	}
-	s.Spawn("arm", srv.Run)
 
 	// Compute nodes.
 	for i := 0; i < cfg.ComputeNodes; i++ {
@@ -391,12 +493,25 @@ func New(cfg Config) (*Cluster, error) {
 		if cfg.FailoverBackoff != nil {
 			backoff = *cfg.FailoverBackoff
 		}
+		var api arm.API
+		if sharded {
+			sc := arm.NewShardedClient(worldComm, cl.sdir)
+			if cfg.ARMReplicas {
+				// Give calls twice the promotion threshold of silence
+				// before replaying, so a live-but-slow leader is never
+				// raced by its own client.
+				sc.SetFailover(2*cl.promoteThreshold(), 64)
+			}
+			api = sc
+		} else {
+			api = arm.NewClient(worldComm, cl.armRank)
+		}
 		node := &Node{
 			Rank:  i,
 			World: worldComm,
 			App:   cl.appGroup.Comm(i),
 			ARM: &NodeARM{
-				Client:  arm.NewClient(worldComm, cl.armRank),
+				API:     api,
 				held:    make(map[int]arm.Handle),
 				retries: cfg.FailoverRetries,
 				backoff: backoff,
@@ -443,16 +558,70 @@ func New(cfg Config) (*Cluster, error) {
 	return cl, nil
 }
 
+// armHealthSetup configures the health subsystem on an ARM server (a
+// single manager, a shard leader, or a shard follower) with a sanitizer
+// front-end living on the server's own rank.
+func (cl *Cluster) armHealthSetup(srv *arm.Server, rank int, opts core.Options) error {
+	cfg := cl.cfg
+	if cfg.Health == nil {
+		return nil
+	}
+	if err := srv.ConfigureHealth(*cfg.Health); err != nil {
+		return err
+	}
+	// The sanitizer: a computation-API client on the ARM's own rank
+	// that device-resets a reclaimed accelerator before it re-enters
+	// the pool. Bounded timeout — the daemon being sanitized may be
+	// the one that just went silent.
+	sanOpts := opts
+	if sanOpts.Timeout <= 0 {
+		switch {
+		case cfg.Health.SuspectAfter > 0:
+			sanOpts.Timeout = cfg.Health.SuspectAfter
+		case cfg.Health.HeartbeatInterval > 0:
+			sanOpts.Timeout = 4 * cfg.Health.HeartbeatInterval
+		default:
+			sanOpts.Timeout = 10 * sim.Millisecond
+		}
+	}
+	sanFE, err := core.NewClient(cl.World.Comm(rank), sanOpts)
+	if err != nil {
+		return err
+	}
+	srv.SetSanitizer(func(p *sim.Proc, rank int) error {
+		return sanFE.Attach(rank).Reset(p)
+	})
+	if cfg.ShareCapacity > 0 {
+		// Expired sharer leases must not device-reset the accelerator
+		// under the surviving tenants: reap only the dead client's
+		// sessions instead.
+		srv.SetSessionReaper(func(p *sim.Proc, rank, client int) error {
+			return sanFE.Attach(rank).ReapSessions(p, client)
+		})
+	}
+	return nil
+}
+
 // daemonConfig returns the daemon configuration for the given world
-// rank, wiring the heartbeat sink to the ARM when health is on.
+// rank, wiring the heartbeat sink to the ARM when health is on. On the
+// sharded plane the sink re-resolves the owning shard's serving rank on
+// every beat, so heartbeats follow a failover to the promoted follower.
 func (cl *Cluster) daemonConfig(rank int) core.DaemonConfig {
 	dc := cl.dcfg
 	if cl.cfg.Health != nil && cl.cfg.Health.HeartbeatInterval > 0 {
 		comm := cl.World.Comm(rank)
-		armRank := cl.armRank
 		dc.HeartbeatInterval = cl.cfg.Health.HeartbeatInterval
-		dc.Heartbeat = func(active []int) {
-			comm.Isend(armRank, arm.TagRequest, arm.EncodeHeartbeat(active))
+		if cl.sdir != nil {
+			dir := cl.sdir
+			id := rank - cl.cfg.ComputeNodes
+			dc.Heartbeat = func(active []int) {
+				comm.Isend(dir.RankFor(id), arm.TagRequest, arm.EncodeHeartbeat(active))
+			}
+		} else {
+			armRank := cl.armRank
+			dc.Heartbeat = func(active []int) {
+				comm.Isend(armRank, arm.TagRequest, arm.EncodeHeartbeat(active))
+			}
 		}
 	}
 	return dc
@@ -552,8 +721,31 @@ func (cl *Cluster) Run() (sim.Time, error) {
 				panic(fmt.Sprintf("cluster: daemon shutdown: %v", err))
 			}
 		}
-		if err := node.ARM.Shutdown(p); err != nil {
-			panic(fmt.Sprintf("cluster: arm shutdown: %v", err))
+		if cl.sdir == nil {
+			if err := node.ARM.Shutdown(p); err != nil {
+				panic(fmt.Sprintf("cluster: arm shutdown: %v", err))
+			}
+		} else {
+			// Standby followers first: once the leaders stop beating, a
+			// surviving follower would promote itself into an empty cluster
+			// and tick forever.
+			for sh, rp := range cl.shardReps {
+				if rp != nil && !rp.Promoted() {
+					cl.repProcs[sh].Kill()
+				}
+			}
+			sc := node.ARM.API.(*arm.ShardedClient)
+			for sh, srv := range cl.shardSrvs {
+				if rp := cl.ARMShardReplica(sh); rp != nil && rp.Promoted() {
+					srv = rp.Server()
+				}
+				if srv.Closed() {
+					continue // crash-killed by the test; nothing to stop
+				}
+				if err := sc.ShutdownShard(p, sh); err != nil {
+					panic(fmt.Sprintf("cluster: arm shard %d shutdown: %v", sh, err))
+				}
+			}
 		}
 	})
 	err := cl.Sim.Run()
@@ -600,6 +792,49 @@ func (cl *Cluster) KillClient(i int) {
 // itself is shut down through the regular protocol.
 func (cl *Cluster) DrainDaemon(p *sim.Proc, n *Node, i int, deadline sim.Duration) error {
 	if err := n.ARM.Drain(p, i, deadline); err != nil {
+		return err
+	}
+	if d := cl.Daemons[i]; d.Alive() {
+		return n.FE.Attach(d.Rank()).Shutdown(p)
+	}
+	return nil
+}
+
+// promoteThreshold resolves the follower-promotion silence threshold the
+// replicas were built with (mirrors arm.Replica's own resolution).
+func (cl *Cluster) promoteThreshold() sim.Duration {
+	if cl.cfg.ARMPromoteAfter > 0 {
+		return cl.cfg.ARMPromoteAfter
+	}
+	if cl.cfg.Health != nil && cl.cfg.Health.DeadAfter > 0 {
+		return cl.cfg.Health.DeadAfter
+	}
+	return arm.DefaultHealthConfig().DeadAfter
+}
+
+// RegisterSpare admits spare accelerator node i (provisioned via
+// Config.SpareAccelerators, already running its daemon) into the live
+// cluster through node n's ARM client, and returns its handle. The
+// accelerator id continues the regular numbering, so id == Daemons index
+// still holds everywhere.
+func (cl *Cluster) RegisterSpare(p *sim.Proc, n *Node, i int) (arm.Handle, error) {
+	if i < 0 || i >= cl.cfg.SpareAccelerators {
+		return arm.Handle{}, fmt.Errorf("cluster: no spare accelerator %d", i)
+	}
+	id := cl.cfg.Accelerators + i
+	h := arm.Handle{ID: id, Rank: cl.cfg.ComputeNodes + id}
+	if err := n.ARM.Register(p, h.ID, h.Rank); err != nil {
+		return arm.Handle{}, err
+	}
+	return h, nil
+}
+
+// RetireDaemon elastically shrinks the cluster: the ARM drains
+// accelerator i (bounded by deadline, when positive), removes it from
+// the inventory for good, and the daemon itself is then shut down
+// through the regular protocol. The inverse of RegisterSpare.
+func (cl *Cluster) RetireDaemon(p *sim.Proc, n *Node, i int, deadline sim.Duration) error {
+	if err := n.ARM.Retire(p, i, deadline); err != nil {
 		return err
 	}
 	if d := cl.Daemons[i]; d.Alive() {

@@ -115,6 +115,16 @@ func (pl *Plan) KillClient(at sim.Duration, cn int) *Plan {
 	})
 }
 
+// KillARMShard crash-kills ARM shard sh's leader at time at (see
+// cluster.KillARMShard): with replicas, the shard's follower promotes
+// itself after the replication stream goes silent and clients replay
+// in-flight requests against it.
+func (pl *Plan) KillARMShard(at sim.Duration, sh int) *Plan {
+	return pl.add(at, fmt.Sprintf("kill ARM shard %d leader", sh), func(p *sim.Proc, cl *cluster.Cluster) {
+		cl.KillARMShard(sh)
+	})
+}
+
 // PartitionARM severs accelerator daemon ac's link to the ARM at time at
 // — heartbeats stop arriving while the daemon keeps serving clients, the
 // classic partial partition that makes a node *suspect*. Undo with

@@ -92,6 +92,33 @@ func (d *Dist) Free(p *sim.Proc) {
 	d.ptrs = nil
 }
 
+// Redistribute moves the matrix onto a new device set, staging it
+// through the host: the current layout is gathered, the old device
+// storage freed, and the matrix re-uploaded block-cyclically over devs.
+// In model mode the same transfers are issued with nil payloads, so the
+// redistribution cost still lands in virtual time. The caller must have
+// quiesced all in-flight operations first. On error the Dist may be
+// left without device storage and must not be used further.
+func (d *Dist) Redistribute(p *sim.Proc, devs []Device) error {
+	if len(devs) == 0 {
+		return fmt.Errorf("magma: no devices")
+	}
+	var host []float64
+	if d.exec {
+		host = make([]float64, d.M*d.N)
+	}
+	if err := d.Download(p, host); err != nil {
+		return err
+	}
+	d.Free(p)
+	nd, err := NewDist(p, devs, d.M, d.N, d.NB, d.exec)
+	if err != nil {
+		return err
+	}
+	d.Devs, d.ptrs, d.widths = nd.Devs, nd.ptrs, nd.widths
+	return d.Upload(p, host)
+}
+
 // Blocks returns the number of column blocks.
 func (d *Dist) Blocks() int { return (d.N + d.NB - 1) / d.NB }
 

@@ -68,6 +68,44 @@ func Dgeqrf(p *sim.Proc, d *Dist, tau []float64, cfg Config) error {
 	}
 
 	for pj := 0; pj < npanels; pj++ {
+		// Malleability: between panels the distribution may be rebalanced
+		// onto a different device set (grown onto freshly registered
+		// accelerators, or shrunk off retiring ones). Everything in flight
+		// is drained first; the current host panel survives unchanged —
+		// the devices hold the same bytes before and after the move.
+		if cfg.Rebalance != nil {
+			if devs := cfg.Rebalance(p, pj); devs != nil && !sameDevs(devs, d.Devs) {
+				for _, dev := range d.Devs {
+					if err := dev.Sync(p); err != nil {
+						return err
+					}
+				}
+				if err := waitAllPending(p, issued); err != nil {
+					return err
+				}
+				issued = issued[:0]
+				for g, dev := range d.Devs {
+					_ = dev.MemFree(p, dV[g])
+					_ = dev.MemFree(p, dT[g])
+				}
+				if err := d.Redistribute(p, devs); err != nil {
+					return err
+				}
+				G = len(d.Devs)
+				dV = make([]gpu.Ptr, G)
+				dT = make([]gpu.Ptr, G)
+				for g, dev := range d.Devs {
+					var err error
+					if dV[g], err = dev.MemAlloc(p, 8*m*nb); err != nil {
+						return err
+					}
+					if dT[g], err = dev.MemAlloc(p, 8*nb*nb); err != nil {
+						return err
+					}
+				}
+			}
+		}
+
 		j := pj * nb
 		jb := d.blockWidth(pj)
 		mj := m - j
@@ -170,6 +208,19 @@ func Dgeqrf(p *sim.Proc, d *Dist, tau []float64, cfg Config) error {
 		}
 	}
 	return waitAllPending(p, issued)
+}
+
+// sameDevs reports whether two device lists are elementwise identical.
+func sameDevs(a, b []Device) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // firstOwnedBlock returns the smallest block index >= from owned by GPU g

@@ -3,6 +3,8 @@ package magma
 import (
 	"encoding/binary"
 	"math"
+
+	"dynacc/internal/sim"
 )
 
 func putF64(b []byte, v float64) {
@@ -41,6 +43,15 @@ type Config struct {
 	// of staging it through the compute node. Falls back to the host
 	// route for devices without the capability (e.g. node-local GPUs).
 	D2DBroadcast bool
+	// Rebalance, when set, is consulted by Dgeqrf between panel steps
+	// with the number of panels already factored. Returning a non-nil
+	// device list that differs from the distribution's current one
+	// quiesces the GPUs and redistributes the matrix onto the new set
+	// (see Dist.Redistribute) before the next panel — the malleability
+	// hook that lets a running job expand onto accelerators registered
+	// with the ARM mid-factorization, or vacate ones being retired.
+	// Returning nil (or the same list) continues unchanged.
+	Rebalance func(p *sim.Proc, panelsDone int) []Device
 }
 
 // DefaultConfig returns the MAGMA 1.1 style defaults on the paper's

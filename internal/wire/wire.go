@@ -84,6 +84,23 @@ func (w *Writer) Blob(b []byte) *Writer {
 	return w
 }
 
+// Raw appends bytes verbatim, with no length prefix. Forwarding wrappers
+// use it to splice an already-encoded request tail into a new envelope.
+func (w *Writer) Raw(b []byte) *Writer {
+	w.buf = append(w.buf, b...)
+	return w
+}
+
+// Ints appends a count-prefixed int slice (each as int64). The shard
+// replication and forwarding ops move id lists with it.
+func (w *Writer) Ints(vs []int) *Writer {
+	w.Int(len(vs))
+	for _, v := range vs {
+		w.Int(v)
+	}
+	return w
+}
+
 // Reader consumes values from a buffer. The first decoding error sticks;
 // subsequent reads return zero values.
 type Reader struct {
@@ -167,4 +184,29 @@ func (r *Reader) Str() string {
 func (r *Reader) Blob() []byte {
 	n := r.U32()
 	return r.take(int(n))
+}
+
+// Rest returns every undecoded byte (aliasing the input buffer) and
+// consumes them. The counterpart of Writer.Raw.
+func (r *Reader) Rest() []byte {
+	return r.take(r.Remaining())
+}
+
+// Ints reads a count-prefixed int slice. A count that cannot fit in the
+// remaining bytes fails like any other truncation (bounding allocation
+// before it happens).
+func (r *Reader) Ints() []int {
+	n := r.Int()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n < 0 || n > r.Remaining()/8 {
+		r.err = fmt.Errorf("wire: invalid int-slice count %d with %d bytes left", n, r.Remaining())
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Int()
+	}
+	return out
 }
