@@ -37,13 +37,18 @@ import (
 
 // Handle is an assignment of one accelerator: its pool id and the world
 // rank its back-end daemon listens on. Shared marks a shared lease
-// (AcquireShared) as opposed to an exclusive assignment; it is client-side
-// bookkeeping, not part of the wire format.
+// (AcquireShared) as opposed to an exclusive assignment; Epoch is the
+// shard leadership epoch the lease was granted under (zero from the
+// unsharded manager), which the cluster stamps into the computation
+// API as a fencing token. Both are client-side bookkeeping: Shared is
+// not part of the wire format, and Epoch rides in the reply trailer,
+// not the handle list.
 type Handle struct {
 	ID   int
 	Rank int
 
 	Shared bool
+	Epoch  uint64
 }
 
 // Control-plane tags. TagRequest carries client→ARM requests; replies use
@@ -82,6 +87,8 @@ const (
 	opForward  // peer→peer: a client request relayed to the owning shard
 	opLoad     // peer→peer: free/operational gossip for fallback placement
 	opRecall   // peer→peer: dedup-cache query while serving a replay
+	// Split-brain-safe failover (PR 7).
+	opEpoched // client→server envelope carrying the sender's epoch view
 )
 
 // Reply status codes.
@@ -90,6 +97,11 @@ const (
 	statusUnavailable
 	statusImpossible
 	statusBadRequest
+	// statusFenced: the answering server has abdicated — a higher
+	// leadership epoch exists for its shard. The client must re-resolve
+	// the serving rank from the directory and replay (same reqID, so
+	// the dedup cache absorbs double execution).
+	statusFenced
 )
 
 // Errors returned by the client API.
@@ -103,7 +115,32 @@ var (
 	// ErrBadRequest: malformed or inconsistent request (e.g. releasing a
 	// handle the caller does not own).
 	ErrBadRequest = errors.New("arm: bad request")
+	// ErrFenced: the operation carried (or was served under) a stale
+	// leadership epoch. For a client this means the shard failed over
+	// and even replaying at the new serving rank did not help; for the
+	// ARM's own daemon-side reclaim calls it means a newer leader has
+	// fenced the daemon and this server must step down.
+	ErrFenced = errors.New("arm: fenced: leadership epoch is stale")
+	// ErrAcquireTimeout: a blocking sharded acquire exhausted its retry
+	// budget without a grant. Returned as *AcquireTimeoutError, which
+	// reports the attempt count and elapsed virtual time.
+	ErrAcquireTimeout = errors.New("arm: blocking acquire timed out")
 )
+
+// AcquireTimeoutError reports a blocking acquire that gave up: how many
+// jittered attempts were made and how much virtual time they spanned.
+// It matches ErrAcquireTimeout under errors.Is.
+type AcquireTimeoutError struct {
+	Attempts int
+	Elapsed  sim.Duration
+}
+
+func (e *AcquireTimeoutError) Error() string {
+	return fmt.Sprintf("arm: blocking acquire timed out after %d attempts over %v", e.Attempts, e.Elapsed)
+}
+
+// Is makes errors.Is(err, ErrAcquireTimeout) true for this type.
+func (e *AcquireTimeoutError) Is(target error) bool { return target == ErrAcquireTimeout }
 
 // Policy selects how queued (blocking) acquires are granted.
 type Policy int
@@ -369,6 +406,28 @@ type Server struct {
 	mainProc     *sim.Proc
 	spawned      []*sim.Proc // helper procs that die with the server (Kill)
 
+	// Epoch fencing (PR 7, DESIGN.md §12). myEpoch is the leadership
+	// epoch this server believes it serves under (directory epoch at
+	// construction, re-read at promotion); seenEpoch is the highest
+	// epoch observed in traffic. Observing seenEpoch > myEpoch means a
+	// newer leader exists for this shard: the server abdicates — it
+	// answers ownership ops with statusFenced, stops granting,
+	// gossiping, shipping, and reclaiming, and only dedup-cache resends
+	// and read-only ops keep working.
+	myEpoch   uint64
+	seenEpoch uint64
+	abdicated bool
+	// fencer pushes this server's epoch to one daemon as a fencing
+	// token (the cluster wires a tokened no-op through the computation
+	// API). Run at promotion for every daemon of the shard so stale
+	// lease holders and the deposed leader's reclaims are rejected
+	// before the new leader re-grants anything.
+	fencer func(p *sim.Proc, rank int, epoch uint64) error
+	// ledger records every grant and hold-end with its epoch and
+	// virtual time; the split-brain checker replays merged ledgers
+	// after chaos runs (ledger.go). Only populated when dir != nil.
+	ledger []GrantEvent
+
 	// accounting
 	lastChange     sim.Time
 	busySeconds    float64
@@ -450,12 +509,24 @@ func (s *Server) handle(src int, data []byte) bool {
 	r := wire.NewReader(data)
 	op := r.U8()
 	reqID := r.U64()
+	if op == opEpoched {
+		// Sharded clients wrap requests in an epoch envelope: the id
+		// slot carries their directory view of this shard's epoch, the
+		// real header follows. A claim above myEpoch means a newer
+		// leader exists and this server must step down.
+		s.observeEpoch(reqID)
+		op = r.U8()
+		reqID = r.U64()
+	}
 	forwarded := false
 	if op == opForward {
 		// A peer relayed a client's request to us, the owner: unwrap it
 		// and execute on the original client's behalf. The reply goes
 		// straight back to that client (its sharded reply Irecv matches
-		// any source), so a forward costs one extra hop, not two.
+		// any source), so a forward costs one extra hop, not two. The
+		// envelope's id slot carries the forwarder's view of this
+		// shard's epoch (it was 0 before fencing existed).
+		s.observeEpoch(reqID)
 		src = r.Int()
 		op = r.U8()
 		reqID = r.U64()
@@ -463,7 +534,10 @@ func (s *Server) handle(src int, data []byte) bool {
 	}
 	switch op {
 	case opLoad:
-		s.handleLoad(r)
+		// The id slot of gossip carries the sender's view of this
+		// shard's epoch — the step-down channel for a deposed leader.
+		s.observeEpoch(reqID)
+		s.handleLoad(src, r)
 		return true
 	case opRecall:
 		s.handleRecall(src, reqID, r)
@@ -488,6 +562,28 @@ func (s *Server) handle(src int, data []byte) bool {
 
 // dispatch executes one unwrapped request; it reports false on shutdown.
 func (s *Server) dispatch(src int, reqID uint64, op uint8, forwarded bool, r *wire.Reader) bool {
+	if s.abdicated {
+		// A deposed leader serves nothing that touches ownership: the
+		// client re-resolves the directory and replays at the real
+		// leader. Read-only stats stay up for postmortems, shutdown
+		// still works, and heartbeats are dropped on the floor.
+		switch op {
+		case opShutdown:
+			s.reply(src, reqID, statusOK, nil)
+			return false
+		case opHeartbeat:
+			return true
+		case opStats:
+			s.reply(src, reqID, statusOK, s.encodeStats(s.now()))
+			return true
+		case opStatsEx:
+			s.reply(src, reqID, statusOK, s.encodeStatsEx(s.now()))
+			return true
+		default:
+			s.reply(src, reqID, statusFenced, nil)
+			return true
+		}
+	}
 	switch op {
 	case opAcquire, opAcquireShared:
 		n := r.Int()
@@ -617,18 +713,29 @@ func (s *Server) dispatch(src int, reqID uint64, op uint8, forwarded bool, r *wi
 }
 
 func (s *Server) reply(dst int, reqID uint64, status uint8, body []byte) {
-	w := wire.NewWriter(1 + len(body))
+	w := wire.NewWriter(16 + len(body))
 	w.U8(status)
 	if body != nil {
 		w.Blob(body)
 	} else {
 		w.Blob(nil)
 	}
-	msg := w.Bytes()
 	if s.dir != nil {
+		// Epoch trailer: every sharded reply advertises the epoch it
+		// was served under, so clients can stamp grants with their
+		// fencing token. An abdicated server advertises the higher
+		// epoch it observed, steering the client to refresh. Absent in
+		// unsharded replies, which stay byte-identical to the legacy
+		// wire format.
+		w.U64(s.epochHint())
+	}
+	msg := w.Bytes()
+	if s.dir != nil && status != statusFenced {
 		// Sharded/replicated operation records every reply so a failover
 		// replay of the same (client, reqID) resends instead of
 		// re-executing, and ships it to the follower for the same reason.
+		// Fenced refusals are deliberately not recorded: the replay must
+		// re-execute at whichever server is actually serving.
 		s.rememberReply(dst, reqID, msg)
 		if s.replicated {
 			s.repReplies = append(s.repReplies, repReply{dst: dst, reqID: reqID, msg: msg})
@@ -636,6 +743,67 @@ func (s *Server) reply(dst int, reqID uint64, status uint8, body []byte) {
 	}
 	s.comm.Isend(dst, tagReplyBase+minimpi.Tag(reqID), msg)
 }
+
+// epochHint is the epoch a reply trailer advertises: the highest this
+// server has proof of (its own, or the newer one that deposed it).
+func (s *Server) epochHint() uint64 {
+	if s.seenEpoch > s.myEpoch {
+		return s.seenEpoch
+	}
+	return s.myEpoch
+}
+
+// observeEpoch processes an epoch claim for this server's shard carried
+// by incoming traffic. A claim above myEpoch is proof of a newer
+// leader: step down.
+func (s *Server) observeEpoch(claim uint64) {
+	if s.dir == nil || claim <= s.myEpoch {
+		return
+	}
+	s.stepDown(claim)
+}
+
+// stepDown moves the server into the abdicated state: queued acquires
+// are refused with statusFenced (their clients re-resolve and replay at
+// the real leader), and dispatch fences everything ownership-touching
+// from here on. Detector, gossip, and replication ticks stop re-arming.
+func (s *Server) stepDown(observed uint64) {
+	if s.dir == nil || s.abdicated {
+		if observed > s.seenEpoch {
+			s.seenEpoch = observed
+		}
+		return
+	}
+	s.abdicated = true
+	if observed > s.seenEpoch {
+		s.seenEpoch = observed
+	}
+	for _, req := range s.queue {
+		s.reply(req.src, req.reqID, statusFenced, nil)
+	}
+	s.queue = nil
+}
+
+// Epoch returns the leadership epoch this server serves under (0 for
+// the unsharded manager).
+func (s *Server) Epoch() uint64 { return s.myEpoch }
+
+// Abdicated reports whether the server has stepped down after observing
+// a higher leadership epoch for its shard.
+func (s *Server) Abdicated() bool { return s.abdicated }
+
+// StepDown forces the server into the abdicated state, as if it had
+// observed the given epoch in traffic. The cluster uses it when a
+// daemon fences one of this server's reclaim calls; tests use it
+// directly.
+func (s *Server) StepDown(observed uint64) { s.stepDown(observed) }
+
+// SetFencer installs the function the ARM uses at promotion to push its
+// new epoch to one daemon as a fencing token (the cluster wires a
+// tokened no-op through the computation API). It runs in its own
+// process per daemon; an ErrFenced result means an even newer epoch
+// exists and this server steps down too.
+func (s *Server) SetFencer(fn func(p *sim.Proc, rank int, epoch uint64) error) { s.fencer = fn }
 
 // operational counts accelerators that can (eventually) serve: everything
 // but failed and retired ones. Suspect accelerators count — they may
@@ -810,6 +978,7 @@ func (s *Server) grant(req *pendingAcquire) {
 			a.grants++
 			a.waitSeconds += wait
 			w.Int(a.id).Int(a.rank)
+			s.logGrant(a, req.src, true)
 			granted++
 		}
 	} else {
@@ -827,6 +996,7 @@ func (s *Server) grant(req *pendingAcquire) {
 			a.grants++
 			a.waitSeconds += wait
 			w.Int(a.id).Int(a.rank)
+			s.logGrant(a, req.src, false)
 			granted++
 		}
 	}
@@ -860,6 +1030,7 @@ func (s *Server) release(src int, reqID uint64, ids []int) {
 	s.accrue(s.now())
 	for _, id := range ids {
 		a := s.byID[id]
+		s.logEnd(a, src)
 		switch a.state {
 		case acAssigned:
 			a.owner = 0
@@ -956,11 +1127,14 @@ func (s *Server) replace(src int, reqID uint64, rank int) {
 		// The daemon is down for every tenant on it: tell the other
 		// sharers so they can fail over too.
 		for _, r := range sortedSharerRanks(failed) {
+			s.logEnd(failed, r)
 			if r != src {
 				s.notify(r, NoticeDead, failed)
 			}
 		}
 		failed.sharers = nil
+	} else {
+		s.logEnd(failed, failed.owner)
 	}
 	failed.state = acFailed
 	failed.owner = 0
@@ -986,6 +1160,12 @@ func (s *Server) setState(id int, state acState, src int, reqID uint64) {
 	if state == acFree {
 		// Administrative repair returns any out-of-service accelerator
 		// (failed, suspect, retired) to the pool, presumed clean.
+		if a.owner != 0 {
+			s.logEnd(a, a.owner)
+		}
+		for _, rk := range sortedSharerRanks(a) {
+			s.logEnd(a, rk)
+		}
 		a.owner = 0
 		a.sharers = nil
 		a.dirty = false

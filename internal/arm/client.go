@@ -54,6 +54,8 @@ func statusErr(status uint8) error {
 		return ErrUnavailable
 	case statusImpossible:
 		return ErrImpossible
+	case statusFenced:
+		return ErrFenced
 	default:
 		return ErrBadRequest
 	}

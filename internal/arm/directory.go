@@ -11,13 +11,19 @@ package arm
 // directory replication protocol to model.
 
 // Directory tracks, per shard, the leader rank, the optional follower
-// rank, and which of the two is currently serving.
+// rank, which of the two is currently serving, and the shard's
+// leadership epoch. Epochs start at 1 and are bumped on every
+// promotion; they are the fencing tokens the rest of the system carries
+// (DESIGN.md §12): a server that observes an epoch above its own for
+// its shard knows it has been deposed, and a daemon that observes an
+// epoch above a request's token knows the requester's lease is stale.
 type Directory struct {
 	ring      *Ring
 	leaders   []int
 	followers []int // -1 when the shard has no replica
 	serving   []int // leaders[i] until Promote(i)
 	promoted  []bool
+	epochs    []uint64 // leadership epoch per shard, starts at 1
 }
 
 // NewDirectory builds a directory over ring with the given leader ranks.
@@ -36,6 +42,10 @@ func NewDirectory(ring *Ring, leaders, followers []int) *Directory {
 		followers: followers,
 		serving:   make([]int, len(leaders)),
 		promoted:  make([]bool, len(leaders)),
+		epochs:    make([]uint64, len(leaders)),
+	}
+	for i := range d.epochs {
+		d.epochs[i] = 1
 	}
 	if d.followers == nil {
 		d.followers = make([]int, len(leaders))
@@ -72,14 +82,22 @@ func (d *Directory) Serving(shard int) int { return d.serving[shard] }
 // Promoted reports whether shard has failed over to its follower.
 func (d *Directory) Promoted(shard int) bool { return d.promoted[shard] }
 
-// Promote switches shard's serving rank to its follower. Idempotent;
-// returns false if the shard has no follower to promote.
+// Epoch returns shard's current leadership epoch (1 until the first
+// promotion, strictly increasing after).
+func (d *Directory) Epoch(shard int) uint64 { return d.epochs[shard] }
+
+// Promote switches shard's serving rank to its follower and mints the
+// next leadership epoch. Idempotent in who serves but not in the epoch:
+// every successful call bumps it, keeping the sequence strictly
+// monotonic no matter how promotions interleave with partitions.
+// Returns false if the shard has no follower to promote.
 func (d *Directory) Promote(shard int) bool {
 	if d.followers[shard] < 0 {
 		return false
 	}
 	d.serving[shard] = d.followers[shard]
 	d.promoted[shard] = true
+	d.epochs[shard]++
 	return true
 }
 

@@ -21,6 +21,7 @@ package arm
 //	free        silence ≥ DeadAfter from any live state ──▶ dead(failed)
 
 import (
+	"errors"
 	"fmt"
 
 	"dynacc/internal/sim"
@@ -174,10 +175,12 @@ func (s *Server) notify(owner int, kind NoticeKind, a *accel) {
 	s.comm.Isend(owner, TagNotify, encodeNotice(Notice{Kind: kind, ID: a.id, Rank: a.rank}))
 }
 
-// scheduleTick re-arms the detector until the server shuts down.
+// scheduleTick re-arms the detector until the server shuts down or
+// steps down (an abdicated server must not reclaim anything: its leases
+// are the new leader's to manage).
 func (s *Server) scheduleTick() {
 	s.sim.After(s.health.HeartbeatInterval, func() {
-		if s.closed {
+		if s.closed || s.abdicated {
 			return
 		}
 		s.checkHealth()
@@ -252,6 +255,7 @@ func (s *Server) markDead(a *accel) {
 	case acAssigned:
 		s.accrue(s.now())
 		s.notify(a.owner, NoticeDead, a)
+		s.logEnd(a, a.owner)
 		a.owner = 0
 		a.state = acFailed
 		s.settleDrainer(a)
@@ -259,6 +263,7 @@ func (s *Server) markDead(a *accel) {
 		s.accrue(s.now())
 		for _, rank := range sortedSharerRanks(a) {
 			s.notify(rank, NoticeDead, a)
+			s.logEnd(a, rank)
 		}
 		a.sharers = nil
 		a.state = acFailed
@@ -325,6 +330,7 @@ func (s *Server) touchClient(src int) {
 func (s *Server) reclaim(a *accel) {
 	s.accrue(s.now())
 	s.notify(a.owner, NoticeRevoked, a)
+	s.logEnd(a, a.owner)
 	a.owner = 0
 	a.dirty = true
 	s.reclaimedCount++
@@ -339,14 +345,19 @@ func (s *Server) reclaim(a *accel) {
 func (s *Server) reclaimShared(a *accel, client int) {
 	s.accrue(s.now())
 	s.notify(client, NoticeRevoked, a)
+	s.logEnd(a, client)
 	delete(a.sharers, client)
 	s.reclaimedCount++
 	if s.reaper != nil {
 		rank := a.rank
 		s.spawnTracked(fmt.Sprintf("arm-reap-ac%d-cn%d", a.id, client), func(p *sim.Proc) {
 			// Best effort: the daemon may be dead too, in which case the
-			// detector handles the accelerator itself.
-			_ = s.reaper(p, rank, client)
+			// detector handles the accelerator itself. A fenced rejection
+			// is different — the daemon is alive and answers to a higher
+			// epoch, meaning this server was deposed: step down.
+			if err := s.reaper(p, rank, client); err != nil && errors.Is(err, ErrFenced) {
+				s.stepDown(s.myEpoch + 1)
+			}
 		})
 	}
 	if len(a.sharers) == 0 {
@@ -378,7 +389,13 @@ func (s *Server) startSanitize(a *accel) {
 	a.state = acReclaiming
 	s.spawnTracked(fmt.Sprintf("arm-sanitize-ac%d", a.id), func(p *sim.Proc) {
 		err := s.sanitizer(p, a.rank)
-		if s.closed || a.state != acReclaiming {
+		if err != nil && errors.Is(err, ErrFenced) {
+			// The daemon holds a fencing token newer than our epoch: a
+			// promoted successor is live and this server is the deposed
+			// half of a partition. Step down instead of fighting it.
+			s.stepDown(s.myEpoch + 1)
+		}
+		if s.closed || s.abdicated || a.state != acReclaiming {
 			return
 		}
 		if err == nil {
@@ -475,11 +492,13 @@ func (s *Server) forceDrain(a *accel) {
 	if a.state == acShared {
 		for _, rank := range sortedSharerRanks(a) {
 			s.notify(rank, NoticeRevoked, a)
+			s.logEnd(a, rank)
 			s.reclaimedCount++
 		}
 		a.sharers = nil
 	} else {
 		s.notify(a.owner, NoticeRevoked, a)
+		s.logEnd(a, a.owner)
 		a.owner = 0
 		s.reclaimedCount++
 	}
@@ -516,6 +535,7 @@ func (s *Server) migrate(src int, reqID uint64, rank int) {
 		return
 	}
 	s.accrue(s.now())
+	s.logEnd(old, old.owner)
 	old.owner = 0
 	old.state = acSuspect
 	old.dirty = true

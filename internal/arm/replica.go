@@ -40,7 +40,7 @@ import (
 // request, detector tick, and helper-process completion that can mutate
 // state, and once per shard tick as a liveness beat even when idle.
 func (s *Server) ship() {
-	if !s.replicated || s.closed {
+	if !s.replicated || s.closed || s.abdicated {
 		return
 	}
 	w := s.repW.Reset()
@@ -83,6 +83,7 @@ type Replica struct {
 	shard        int
 	promoteAfter sim.Duration
 	promoted     bool
+	stopped      bool
 	onPromote    func(s *Server)
 }
 
@@ -112,6 +113,19 @@ func (rp *Replica) Server() *Server { return rp.srv }
 
 // Promoted reports whether the replica has taken over its shard.
 func (rp *Replica) Promoted() bool { return rp.promoted }
+
+// Stop shuts down an un-promoted standby cleanly at teardown: it kills
+// the embedded server's processes (including the Run loop blocked on the
+// replication stream) and marks the replica so a racing stream timeout
+// cannot promote it afterwards. A no-op once the replica has promoted —
+// a serving server is shut down through the normal Shutdown op instead.
+func (rp *Replica) Stop() {
+	if rp.stopped || rp.promoted {
+		return
+	}
+	rp.stopped = true
+	rp.srv.Kill()
+}
 
 // OnPromote installs a hook run at promotion, before the replica starts
 // serving (the cluster uses it to flip monitoring to the new rank).
@@ -146,10 +160,16 @@ func (rp *Replica) Run(p *sim.Proc) {
 		}
 		rp.apply(data)
 	}
+	if rp.stopped || s.closed {
+		return // teardown Stop raced the silence timeout: do not promote
+	}
 	rp.promoted = true
 	rp.dir.Promote(rp.shard)
+	// Serve under the epoch the promotion just minted: every grant,
+	// gossip message, and fencer RPC from here on carries it.
+	s.myEpoch = rp.dir.Epoch(rp.shard)
 	if rp.onPromote != nil {
-		rp.onPromote(s) // wire sanitizer/reaper before any reclaim runs
+		rp.onPromote(s) // wire sanitizer/reaper/fencer before any reclaim runs
 	}
 	rp.rearm()
 	s.Run(p)
@@ -218,7 +238,24 @@ func (rp *Replica) apply(data []byte) {
 }
 
 // rearm gives the replicated leases a fresh TTL so surviving holders get
-// a full budget to re-resolve and renew after the failover.
+// a full budget to re-resolve and renew after the failover, and fences
+// the shard's daemons under the new epoch (DESIGN.md §12).
+//
+// Fencing happens on two paths, both before the promoted leader can
+// grant anything from the free pool:
+//   - every daemon rank the shard knows gets a fencer RPC carrying the
+//     new epoch, so tokens minted by the deposed leader are rejected
+//     from the moment the RPC lands;
+//   - every free accelerator is marked dirty and routed through
+//     sanitize-before-reuse, so it re-enters the pool only after a
+//     fence-tokened device reset completes. A grant therefore cannot
+//     precede the fence on its own daemon even if the broadcast RPC to
+//     that rank is still in flight.
+//
+// Carried-over assigned/shared holds are re-opened in the grant ledger
+// under the new epoch: the holder kept the device across the failover,
+// and the checker must see the continuation rather than an unexplained
+// live hold from a dead epoch.
 func (rp *Replica) rearm() {
 	s := rp.srv
 	now := s.now()
@@ -226,16 +263,37 @@ func (rp *Replica) rearm() {
 	if s.healthOn && s.health.LeaseTTL > 0 {
 		lease = now.Add(s.health.LeaseTTL)
 	}
+	fenced := make(map[int]bool)
 	for _, a := range s.accels {
+		if s.fencer != nil && !fenced[a.rank] {
+			fenced[a.rank] = true
+			rank, epoch := a.rank, s.myEpoch
+			s.spawnTracked(fmt.Sprintf("arm-fence-d%d", rank), func(p *sim.Proc) {
+				if err := s.fencer(p, rank, epoch); err != nil {
+					// Only a yet-higher epoch refuses a fence: we were
+					// deposed in turn while fencing our predecessor's.
+					s.stepDown(epoch + 1)
+				}
+			})
+		}
 		if a.state == acAssigned {
 			a.lease = lease
+			s.logGrant(a, a.owner, false)
 		}
-		for rk := range a.sharers {
+		for _, rk := range sortedSharerRanks(a) {
 			a.sharers[rk] = lease
+			s.logGrant(a, rk, true)
 		}
 		// A sanitize that was in flight on the dead leader is lost with
 		// it; restart the reclaim from scratch.
 		if a.state == acReclaiming {
+			a.dirty = true
+			s.sanitizeOrSettle(a)
+		}
+		// Quarantine the free pool behind a fence-tokened reset when
+		// sanitize-before-reuse is available; settle() returns each one
+		// to service once its daemon provably rejects stale tokens.
+		if a.state == acFree && s.healthOn && s.sanitizer != nil {
 			a.dirty = true
 			s.sanitizeOrSettle(a)
 		}

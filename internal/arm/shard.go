@@ -65,6 +65,7 @@ func (s *Server) configureShard(opts Options) error {
 	s.dir = opts.Directory
 	s.shard = opts.Shard
 	s.sharded = shards > 1
+	s.myEpoch = s.dir.Epoch(s.shard)
 	s.followerRank = s.dir.Follower(s.shard)
 	// A server whose own rank is the shard's follower is the replica
 	// itself (post-promotion); it has nobody to ship to.
@@ -117,16 +118,27 @@ func (s *Server) tickInterval() sim.Duration {
 	return shardTickInterval
 }
 
-// scheduleShardTick re-arms the gossip/replication beat until shutdown.
+// scheduleShardTick re-arms the gossip/replication beat until shutdown
+// or step-down (an abdicated server neither gossips nor ships).
 func (s *Server) scheduleShardTick() {
 	s.sim.After(s.tickInterval(), func() {
-		if s.closed {
+		if s.closed || s.abdicated {
 			return
 		}
 		s.gossip()
 		s.ship()
 		s.scheduleShardTick()
 	})
+}
+
+// encodeLoad builds one gossip message. The id slot carries the
+// sender's directory view of the *receiver's* shard epoch (the receiver
+// steps down if it is serving under a lower one), and the trailer
+// carries the epoch the sender claims for its own shard (so the
+// receiver can rebuff a deposed sender).
+func encodeLoad(w *wire.Writer, targetEpoch uint64, shard, free, oper int, senderEpoch uint64) []byte {
+	w.U8(opLoad).U64(targetEpoch).Int(shard).Int(free).Int(oper).U64(senderEpoch)
+	return w.CopyBytes()
 }
 
 // gossip broadcasts this shard's load to its peers (fire and forget).
@@ -139,23 +151,35 @@ func (s *Server) gossip() {
 		if sh == s.shard {
 			continue
 		}
-		w := s.fwdW.Reset()
-		w.U8(opLoad).U64(0).Int(s.shard).Int(free).Int(oper)
-		s.comm.Isend(s.dir.Serving(sh), TagRequest, w.CopyBytes())
+		msg := encodeLoad(s.fwdW.Reset(), s.dir.Epoch(sh), s.shard, free, oper, s.myEpoch)
+		s.comm.Isend(s.dir.Serving(sh), TagRequest, msg)
 	}
 }
 
-// handleLoad records one peer's gossiped load.
-func (s *Server) handleLoad(r *wire.Reader) {
+// handleLoad records one peer's gossiped load. A sender claiming an
+// epoch below its shard's current one is a deposed leader that has not
+// heard about its own succession (the partition healed, but nothing
+// routes traffic to it anymore): rebuff it with one gossip message sent
+// straight back at its rank, carrying the epoch it is missing in the id
+// slot so it steps down.
+func (s *Server) handleLoad(src int, r *wire.Reader) {
 	sh := r.Int()
 	free := r.Int()
 	oper := r.Int()
+	var senderEpoch uint64
+	if r.Remaining() >= 8 {
+		senderEpoch = r.U64()
+	}
 	if r.Err() != nil || sh < 0 || sh >= len(s.peerFree) || sh == s.shard {
 		return
 	}
 	s.peerFree[sh] = free
 	s.peerOper[sh] = oper
 	s.peerSeen[sh] = true
+	if !s.abdicated && senderEpoch > 0 && senderEpoch < s.dir.Epoch(sh) {
+		msg := encodeLoad(s.fwdW.Reset(), s.dir.Epoch(sh), s.shard, s.freeCount(), s.operational(), s.myEpoch)
+		s.comm.Isend(src, TagRequest, msg)
+	}
 }
 
 // gossipComplete reports whether every peer has gossiped at least once —
@@ -216,10 +240,12 @@ func (s *Server) foreignOwnerOne(id int, forwarded bool) (int, bool) {
 
 // forwardOp relays a client's request to the owning shard. The owner
 // executes it as if the client had sent it there (same client rank, same
-// reqID) and replies straight to the client.
+// reqID) and replies straight to the client. The envelope's id slot
+// carries the forwarder's directory view of the owner's epoch: a
+// deposed owner that somehow still receives the forward steps down.
 func (s *Server) forwardOp(owner int, src int, reqID uint64, op uint8, args func(w *wire.Writer)) {
 	w := s.fwdW.Reset()
-	w.U8(opForward).U64(0).Int(src).U8(op).U64(reqID)
+	w.U8(opForward).U64(s.dir.Epoch(owner)).Int(src).U8(op).U64(reqID)
 	if args != nil {
 		args(w)
 	}
@@ -298,6 +324,10 @@ func (s *Server) resendReply(dst int, reqID uint64, msg []byte) {
 func (s *Server) handleRecall(src int, reqID uint64, r *wire.Reader) {
 	client := r.Int()
 	origReqID := r.U64()
+	if r.Remaining() >= 8 {
+		// Trailing epoch claim for this shard (absent pre-fencing).
+		s.observeEpoch(r.U64())
+	}
 	if r.Err() != nil {
 		s.reply(src, reqID, statusBadRequest, nil)
 		return
@@ -327,8 +357,8 @@ func (s *Server) recallThenAcquire(req *pendingAcquire, blocking bool) {
 			id := s.fwdSeq
 			peer := s.dir.Serving(sh)
 			resp := s.comm.Irecv(peer, tagReplyBase+minimpi.Tag(id))
-			w := wire.NewWriter(32)
-			w.U8(opRecall).U64(id).Int(req.src).U64(req.reqID)
+			w := wire.NewWriter(40)
+			w.U8(opRecall).U64(id).Int(req.src).U64(req.reqID).U64(s.dir.Epoch(sh))
 			s.comm.Isend(peer, TagRequest, w.Bytes())
 			data, _, ok := resp.WaitTimeout(p, timeout)
 			if !ok {

@@ -22,11 +22,10 @@ type shardPool struct {
 	s        *sim.Simulation
 	w        *minimpi.World
 	dir      *Directory
-	srvs     []*Server
-	reps     []*Replica
-	repProcs []*sim.Proc
-	clients  []*ShardedClient
-	nCN      int
+	srvs    []*Server
+	reps    []*Replica
+	clients []*ShardedClient
+	nCN     int
 }
 
 func newShardPool(t *testing.T, nAC, nCN, shards int, replicas bool) *shardPool {
@@ -72,7 +71,7 @@ func newShardPool(t *testing.T, nAC, nCN, shards int, replicas bool) *shardPool 
 				t.Fatal(err)
 			}
 			sp.reps = append(sp.reps, rp)
-			sp.repProcs = append(sp.repProcs, s.Spawn(fmt.Sprintf("arm-s%d-replica", sh), rp.Run))
+			s.Spawn(fmt.Sprintf("arm-s%d-replica", sh), rp.Run)
 		}
 	}
 	// One client instance per rank, shared with the closer: a rank's
@@ -84,7 +83,7 @@ func newShardPool(t *testing.T, nAC, nCN, shards int, replicas bool) *shardPool 
 }
 
 // run spawns each client function, then tears the shard fleet down:
-// standby followers are killed first (they would otherwise promote into
+// standby followers are stopped first (they would otherwise promote into
 // the silence left by leader shutdown), then every live serving shard is
 // stopped.
 func (sp *shardPool) run(client func(p *sim.Proc, c *ShardedClient, rank int)) {
@@ -100,10 +99,8 @@ func (sp *shardPool) run(client func(p *sim.Proc, c *ShardedClient, rank int)) {
 		for _, cp := range procs {
 			cp.Done().Await(p)
 		}
-		for sh, rp := range sp.reps {
-			if !rp.Promoted() {
-				sp.repProcs[sh].Kill()
-			}
+		for _, rp := range sp.reps {
+			rp.Stop() // no-op on a promoted replica
 		}
 		for sh, srv := range sp.srvs {
 			if len(sp.reps) > 0 && sp.reps[sh].Promoted() {

@@ -103,12 +103,23 @@ func (sc *ShardedClient) homeShard() int {
 func acquireOp(op uint8) bool { return op == opAcquire || op == opAcquireShared }
 
 // callShard performs one request/reply round trip against a shard, with
-// directory-driven failover replay when armed.
-func (sc *ShardedClient) callShard(p *sim.Proc, shard int, op uint8, args func(w *wire.Writer)) (uint8, []byte, error) {
+// directory-driven failover replay when armed and fencing-driven replay
+// always: every request travels in an opEpoched envelope carrying the
+// client's directory view of the shard's epoch, and a statusFenced
+// reply (the server we reached has been deposed) re-resolves the
+// serving rank and replays with the original reqID — the dedup cache
+// makes the replay a resend when the successor already executed it.
+// The returned epoch is the answering server's epoch hint from the
+// reply trailer, stamped into Handles as the fencing token.
+func (sc *ShardedClient) callShard(p *sim.Proc, shard int, op uint8, args func(w *wire.Writer)) (uint8, []byte, uint64, error) {
 	sc.nextReq++
 	reqID := sc.nextReq
 	build := func(replay bool) []byte {
-		w := wire.NewWriter(48)
+		w := wire.NewWriter(64)
+		// Epoched envelope: the id slot carries the epoch the client
+		// believes the shard is serving under (re-read at every send, so
+		// a fenced replay carries the successor's epoch).
+		w.U8(opEpoched).U64(sc.dir.Epoch(shard))
 		w.U8(op).U64(reqID)
 		if args != nil {
 			args(w)
@@ -124,53 +135,70 @@ func (sc *ShardedClient) callShard(p *sim.Proc, shard int, op uint8, args func(w
 		}
 		return w.Bytes()
 	}
-	// Any shard may answer (forwarding replies directly), so match any
-	// source on the reply tag; reqIDs are unique per client, so the tag
-	// cannot collide.
-	resp := sc.comm.Irecv(minimpi.AnySource, tagReplyBase+minimpi.Tag(reqID))
-	served := sc.dir.Serving(shard)
-	sc.comm.Isend(served, TagRequest, build(false))
-	var data []byte
-	if sc.failTimeout <= 0 {
-		data, _ = resp.Wait(p)
-	} else {
-		silent := 0
-		for {
-			d, _, ok := resp.WaitTimeout(p, sc.failTimeout)
-			if ok {
-				data = d
-				break
+	const maxFenceReplays = 4
+	for fenceReplays := 0; ; fenceReplays++ {
+		// Any shard may answer (forwarding replies directly), so match any
+		// source on the reply tag; reqIDs are unique per client, so the tag
+		// cannot collide.
+		resp := sc.comm.Irecv(minimpi.AnySource, tagReplyBase+minimpi.Tag(reqID))
+		served := sc.dir.Serving(shard)
+		sc.comm.Isend(served, TagRequest, build(fenceReplays > 0))
+		var data []byte
+		if sc.failTimeout <= 0 {
+			data, _ = resp.Wait(p)
+		} else {
+			silent := 0
+			for {
+				d, _, ok := resp.WaitTimeout(p, sc.failTimeout)
+				if ok {
+					data = d
+					break
+				}
+				silent++
+				if silent > sc.maxSilence {
+					resp.Cancel()
+					return 0, nil, 0, fmt.Errorf("arm: shard %d unresponsive after %d timeouts", shard, silent)
+				}
+				if cur := sc.dir.Serving(shard); cur != served {
+					// The shard failed over: replay at the promoted follower
+					// with the same reqID (dedup makes this safe).
+					served = cur
+					sc.comm.Isend(served, TagRequest, build(true))
+				}
+				// Still the same serving rank: the shard is slow (a delayed
+				// drain reply, say), not dead — keep waiting.
 			}
-			silent++
-			if silent > sc.maxSilence {
-				resp.Cancel()
-				return 0, nil, fmt.Errorf("arm: shard %d unresponsive after %d timeouts", shard, silent)
-			}
-			if cur := sc.dir.Serving(shard); cur != served {
-				// The shard failed over: replay at the promoted follower
-				// with the same reqID (dedup makes this safe).
-				served = cur
-				sc.comm.Isend(served, TagRequest, build(true))
-			}
-			// Still the same serving rank: the shard is slow (a delayed
-			// drain reply, say), not dead — keep waiting.
 		}
+		r := wire.NewReader(data)
+		status := r.U8()
+		payload := r.Blob()
+		var epoch uint64
+		if r.Remaining() >= 8 {
+			epoch = r.U64() // epoch hint trailer (sharded servers only)
+		}
+		if err := r.Err(); err != nil {
+			return 0, nil, 0, fmt.Errorf("arm: malformed reply: %w", err)
+		}
+		if status == statusFenced {
+			if fenceReplays >= maxFenceReplays {
+				return 0, nil, 0, fmt.Errorf("arm: shard %d request fenced %d times: %w",
+					shard, fenceReplays+1, ErrFenced)
+			}
+			// A deposed server answered. The directory already names the
+			// successor (promotion flips it before anything can fence);
+			// replay there under the fresh epoch.
+			continue
+		}
+		return status, payload, epoch, nil
 	}
-	r := wire.NewReader(data)
-	status := r.U8()
-	payload := r.Blob()
-	if err := r.Err(); err != nil {
-		return 0, nil, fmt.Errorf("arm: malformed reply: %w", err)
-	}
-	return status, payload, nil
 }
 
-func decodeHandles(payload []byte, shared bool) ([]Handle, error) {
+func decodeHandles(payload []byte, shared bool, epoch uint64) ([]Handle, error) {
 	r := wire.NewReader(payload)
 	count := r.Int()
 	handles := make([]Handle, 0, count)
 	for i := 0; i < count; i++ {
-		handles = append(handles, Handle{ID: r.Int(), Rank: r.Int(), Shared: shared})
+		handles = append(handles, Handle{ID: r.Int(), Rank: r.Int(), Shared: shared, Epoch: epoch})
 	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("arm: malformed acquire reply: %w", err)
@@ -185,7 +213,7 @@ func (sc *ShardedClient) acquireOnce(p *sim.Proc, shard, n int, shared bool) ([]
 	if shared {
 		op = opAcquireShared
 	}
-	status, payload, err := sc.callShard(p, shard, op, func(w *wire.Writer) {
+	status, payload, epoch, err := sc.callShard(p, shard, op, func(w *wire.Writer) {
 		w.Int(n).U8(0)
 	})
 	if err != nil {
@@ -194,7 +222,7 @@ func (sc *ShardedClient) acquireOnce(p *sim.Proc, shard, n int, shared bool) ([]
 	if err := statusErr(status); err != nil {
 		return nil, err
 	}
-	return decodeHandles(payload, shared)
+	return decodeHandles(payload, shared, epoch)
 }
 
 // acquireAny implements blocking and non-blocking acquires over the
@@ -209,6 +237,7 @@ func (sc *ShardedClient) acquireAny(p *sim.Proc, n int, shared, blocking bool) (
 	if blocking {
 		attempts = blockingAttempts
 	}
+	start := sc.comm.World().Sim().Now()
 	var err error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
@@ -218,6 +247,15 @@ func (sc *ShardedClient) acquireAny(p *sim.Proc, n int, shared, blocking bool) (
 		hs, err = sc.acquireOnce(p, (home+i)%sc.dir.Shards(), n, shared)
 		if err == nil || err != ErrUnavailable {
 			return hs, err
+		}
+	}
+	if blocking && err == ErrUnavailable {
+		// A blocking acquire that exhausted its retry budget is a
+		// timeout, not a capacity answer: surface it as one instead of
+		// silently giving up with the last ErrUnavailable.
+		return nil, &AcquireTimeoutError{
+			Attempts: attempts,
+			Elapsed:  sc.comm.World().Sim().Now().Sub(start),
 		}
 	}
 	return nil, err
@@ -276,7 +314,7 @@ func (sc *ShardedClient) Release(p *sim.Proc, handles []Handle) error {
 		if len(ids) == 0 {
 			continue
 		}
-		status, _, err := sc.callShard(p, sh, opRelease, func(w *wire.Writer) {
+		status, _, _, err := sc.callShard(p, sh, opRelease, func(w *wire.Writer) {
 			w.Int(len(ids))
 			for _, id := range ids {
 				w.Int(id)
@@ -301,7 +339,7 @@ func (sc *ShardedClient) rankKeyedCall(p *sim.Proc, op uint8, rank int) (Handle,
 	err := ErrBadRequest
 	for i := 0; i < shards; i++ {
 		sh := (home + i) % shards
-		status, payload, callErr := sc.callShard(p, sh, op, func(w *wire.Writer) { w.Int(rank) })
+		status, payload, epoch, callErr := sc.callShard(p, sh, op, func(w *wire.Writer) { w.Int(rank) })
 		if callErr != nil {
 			return Handle{}, callErr
 		}
@@ -316,7 +354,7 @@ func (sc *ShardedClient) rankKeyedCall(p *sim.Proc, op uint8, rank int) (Handle,
 		if count := r.Int(); count != 1 {
 			return Handle{}, fmt.Errorf("arm: replace reply has %d handles", count)
 		}
-		h := Handle{ID: r.Int(), Rank: r.Int()}
+		h := Handle{ID: r.Int(), Rank: r.Int(), Epoch: epoch}
 		if decodeErr := r.Err(); decodeErr != nil {
 			return Handle{}, fmt.Errorf("arm: malformed replace reply: %w", decodeErr)
 		}
@@ -338,7 +376,7 @@ func (sc *ShardedClient) Migrate(p *sim.Proc, oldRank int) (Handle, error) {
 
 // idCall routes a single-id administrative op to the owning shard.
 func (sc *ShardedClient) idCall(p *sim.Proc, op uint8, args func(w *wire.Writer), id int) error {
-	status, _, err := sc.callShard(p, sc.dir.OwnerOf(id), op, args)
+	status, _, _, err := sc.callShard(p, sc.dir.OwnerOf(id), op, args)
 	if err != nil {
 		return err
 	}
@@ -375,7 +413,7 @@ func (sc *ShardedClient) Retire(p *sim.Proc, id int, deadline sim.Duration) erro
 // Renew renews this client's leases on every shard.
 func (sc *ShardedClient) Renew(p *sim.Proc) error {
 	for sh := 0; sh < sc.dir.Shards(); sh++ {
-		status, _, err := sc.callShard(p, sh, opRenew, nil)
+		status, _, _, err := sc.callShard(p, sh, opRenew, nil)
 		if err == nil {
 			err = statusErr(status)
 		}
@@ -392,7 +430,7 @@ func (sc *ShardedClient) statsFrom(p *sim.Proc, sh int, extended bool) (PoolStat
 	if extended {
 		op = opStatsEx
 	}
-	status, payload, err := sc.callShard(p, sh, op, nil)
+	status, payload, _, err := sc.callShard(p, sh, op, nil)
 	if err != nil {
 		return PoolStats{}, err
 	}
@@ -456,7 +494,7 @@ func (sc *ShardedClient) StatsEx(p *sim.Proc) (PoolStats, error) {
 // ShutdownShard stops one shard's serving rank (teardown helper: the
 // cluster skips shards already crash-killed by fault injection).
 func (sc *ShardedClient) ShutdownShard(p *sim.Proc, shard int) error {
-	status, _, err := sc.callShard(p, shard, opShutdown, nil)
+	status, _, _, err := sc.callShard(p, shard, opShutdown, nil)
 	if err != nil {
 		return err
 	}

@@ -237,18 +237,28 @@ func (na *NodeARM) Held() []arm.Handle {
 	return out
 }
 
-// Attach wraps an ARM handle with this node's front-end.
-func (n *Node) Attach(h arm.Handle) *core.Accel { return n.FE.Attach(h.Rank) }
+// Attach wraps an ARM handle with this node's front-end. The handle's
+// grant epoch becomes the attachment's fencing token, so requests minted
+// under a lease from a deposed ARM leader are rejected by daemons a
+// promoted successor has already fenced (DESIGN.md §12).
+func (n *Node) Attach(h arm.Handle) *core.Accel {
+	ac := n.FE.Attach(h.Rank)
+	ac.SetFence(h.Epoch)
+	return ac
+}
 
 // AttachSession wraps an ARM handle with a session-scoped attachment:
 // the daemon namespaces this node's device pointers, charges its
 // allocations against core.Options.SessionQuota, and sanitizes only this
 // session's state when it closes. Required for handles acquired with
 // AcquireShared; also usable on exclusive ones. The session is closed
-// automatically at teardown if still open.
+// automatically at teardown if still open. The fencing token is stamped
+// before the session opens, so the open itself is fence-checked: a stale
+// grant cannot admit a new tenant onto a daemon its successor owns.
 func (n *Node) AttachSession(p *sim.Proc, h arm.Handle) (*core.Accel, error) {
-	ac, err := n.FE.AttachSession(p, h.Rank)
-	if err != nil {
+	ac := n.FE.Attach(h.Rank)
+	ac.SetFence(h.Epoch)
+	if err := ac.OpenSession(p); err != nil {
 		return nil, err
 	}
 	n.sessions = append(n.sessions, ac)
@@ -293,7 +303,6 @@ type Cluster struct {
 	sdir      *arm.Directory
 	shardSrvs []*arm.Server
 	shardReps []*arm.Replica
-	repProcs  []*sim.Proc
 }
 
 // Sharded reports whether resource management runs on the sharded plane.
@@ -477,7 +486,7 @@ func New(cfg Config) (*Cluster, error) {
 					return nil, err
 				}
 				cl.shardReps = append(cl.shardReps, rp)
-				cl.repProcs = append(cl.repProcs, s.Spawn(fmt.Sprintf("arm-s%d-replica", sh), rp.Run))
+				s.Spawn(fmt.Sprintf("arm-s%d-replica", sh), rp.Run)
 			}
 		}
 	}
@@ -588,18 +597,47 @@ func (cl *Cluster) armHealthSetup(srv *arm.Server, rank int, opts core.Options) 
 	if err != nil {
 		return err
 	}
+	// Every control-plane RPC below carries the server's current epoch as
+	// its fencing token (read at call time — promotions change it), and
+	// translates the daemon's fenced rejection into arm.ErrFenced so the
+	// server's health machinery recognizes its own deposition.
 	srv.SetSanitizer(func(p *sim.Proc, rank int) error {
-		return sanFE.Attach(rank).Reset(p)
+		ac := sanFE.Attach(rank)
+		ac.SetFence(srv.Epoch())
+		return fenceErr("sanitize", rank, ac.Reset(p))
 	})
 	if cfg.ShareCapacity > 0 {
 		// Expired sharer leases must not device-reset the accelerator
 		// under the surviving tenants: reap only the dead client's
 		// sessions instead.
 		srv.SetSessionReaper(func(p *sim.Proc, rank, client int) error {
-			return sanFE.Attach(rank).ReapSessions(p, client)
+			ac := sanFE.Attach(rank)
+			ac.SetFence(srv.Epoch())
+			return fenceErr("reap", rank, ac.ReapSessions(p, client))
 		})
 	}
+	// The fencer pushes a just-minted epoch to one daemon at promotion
+	// time, before the promoted leader grants anything. Session reap of
+	// the ARM's own rank is the vehicle: it is a no-op on the device (the
+	// ARM never opens tenant sessions), but it is fence-checked, so the
+	// daemon both records the new high-water mark and tells a fencer
+	// whose epoch is already stale that it, too, has been deposed.
+	serverRank := rank
+	srv.SetFencer(func(p *sim.Proc, rank int, epoch uint64) error {
+		ac := sanFE.Attach(rank)
+		ac.SetFence(epoch)
+		return fenceErr("fence", rank, ac.ReapSessions(p, serverRank))
+	})
 	return nil
+}
+
+// fenceErr maps a daemon's fenced rejection onto the ARM's sentinel,
+// passing every other outcome through untouched.
+func fenceErr(what string, rank int, err error) error {
+	if err != nil && errors.Is(err, core.ErrFenced) {
+		return fmt.Errorf("cluster: %s rank %d: %w", what, rank, arm.ErrFenced)
+	}
+	return err
 }
 
 // daemonConfig returns the daemon configuration for the given world
@@ -729,9 +767,18 @@ func (cl *Cluster) Run() (sim.Time, error) {
 			// Standby followers first: once the leaders stop beating, a
 			// surviving follower would promote itself into an empty cluster
 			// and tick forever.
-			for sh, rp := range cl.shardReps {
-				if rp != nil && !rp.Promoted() {
-					cl.repProcs[sh].Kill()
+			for _, rp := range cl.shardReps {
+				if rp != nil {
+					rp.Stop() // no-op on promoted replicas
+				}
+			}
+			// Deposed leaders next: a leader that lost its shard to a
+			// promotion but was never crash-killed (a partition, not a
+			// crash) receives no shutdown — nothing routes to it — so it
+			// must be stopped like the stale process it is.
+			for sh, srv := range cl.shardSrvs {
+				if cl.sdir.Serving(sh) != cl.sdir.Leader(sh) && !srv.Closed() {
+					srv.Kill()
 				}
 			}
 			sc := node.ARM.API.(*arm.ShardedClient)

@@ -209,12 +209,24 @@ func (c *Client) AttachSession(p *sim.Proc, daemonRank int) (*Accel, error) {
 	return a, nil
 }
 
+// OpenSession establishes a tenant session on an already-attached
+// handle. Equivalent to AttachSession, but usable when the handle needs
+// configuration (e.g. a fencing token) before the open travels.
+func (a *Accel) OpenSession(p *sim.Proc) error { return a.openSession(p) }
+
 // openSession establishes a fresh session id on the handle's current
 // rank. Failover/Migrate reuse it to re-home a sessioned handle.
 func (a *Accel) openSession(p *sim.Proc) error {
 	a.c.nextSess++
 	a.session = a.c.nextSess
-	return a.newCall(&request{op: OpSessionOpen, quota: a.c.opts.SessionQuota}, true).statusOnly(p)
+	err := a.newCall(&request{op: OpSessionOpen, quota: a.c.opts.SessionQuota}, true).statusOnly(p)
+	if err != nil {
+		// A refused open (table full, fenced token) must not leave the
+		// handle claiming a session the daemon never admitted — later
+		// requests would all fail with ErrNoSession.
+		a.session = 0
+	}
+	return err
 }
 
 // Session returns the handle's session id; zero means the exclusive
@@ -285,7 +297,22 @@ type Accel struct {
 	// carries (AttachSession); zero is the exclusive session-less mode,
 	// whose wire traffic is identical to the pre-session protocol.
 	session uint64
+
+	// fence is the fencing token every request of this handle carries:
+	// the ARM leadership epoch the underlying lease was granted under
+	// (DESIGN.md §12). Zero (the default) omits the token entirely,
+	// keeping the wire traffic identical to the pre-fencing protocol.
+	fence uint64
 }
+
+// SetFence stamps the handle with a fencing token; every subsequent
+// request carries it. The cluster sets this from the grant's epoch so a
+// lease minted by a deposed ARM leader cannot reset or re-admit state on
+// a daemon a promoted successor already fenced.
+func (a *Accel) SetFence(epoch uint64) { a.fence = epoch }
+
+// Fence returns the handle's fencing token (0 = token-less).
+func (a *Accel) Fence() uint64 { return a.fence }
 
 // Rank returns the communicator rank of the accelerator's daemon.
 func (a *Accel) Rank() int { return a.rank }
@@ -381,6 +408,7 @@ func (a *Accel) newCallPadded(q *request, retry bool, pad int) *call {
 	a.c.nextReq++
 	q.reqID = a.c.nextReq
 	q.session = a.session
+	q.fence = a.fence
 	a.translateReq(q)
 	cl := &call{a: a, q: q, enc: encodeRequestTo(a.c.encw, q), retry: retry, pad: pad}
 	cl.resp = a.c.comm.Irecv(a.rank, respTag(q.reqID))

@@ -62,6 +62,18 @@ type DaemonStats struct {
 	// SessionsOpened counts tenant sessions ever opened (multi-tenant
 	// sharing; zero in exclusive mode).
 	SessionsOpened int64
+	// Fenced counts destructive requests rejected because their fencing
+	// token was below the daemon's high-water epoch (split-brain safety,
+	// DESIGN.md §12).
+	Fenced int64
+}
+
+// FenceMark records the daemon's fencing high-water mark advancing: from
+// Time on, destructive requests with tokens below Epoch are rejected.
+// The ARM-side split-brain checker consumes these after chaos runs.
+type FenceMark struct {
+	Epoch uint64
+	Time  sim.Time
 }
 
 // dedupKey identifies a request for idempotency: the sender's rank plus
@@ -129,6 +141,15 @@ type Daemon struct {
 	sessions  map[sessKey]*session
 	sessOrder []sessKey
 	sessRR    int
+
+	// Fencing (split-brain safety). fenceHigh is the highest fencing
+	// token ever seen; any tokened request advances it, and destructive
+	// ownership ops (reset, session open, session reap) below it are
+	// rejected with ErrFenced. fenceLog records each advance for the
+	// post-run consistency checker. Both stay zero-valued under
+	// token-less (legacy) traffic.
+	fenceHigh uint64
+	fenceLog  []FenceMark
 }
 
 // NewDaemon creates a daemon serving the device on the given communicator
@@ -149,6 +170,29 @@ func NewDaemon(comm *minimpi.Comm, dev *gpu.Device, cfg DaemonConfig) *Daemon {
 
 // OpenSessions returns the number of tenant sessions currently open.
 func (d *Daemon) OpenSessions() int { return len(d.sessions) }
+
+// FenceEpoch returns the daemon's fencing high-water mark (0 when no
+// tokened request was ever seen).
+func (d *Daemon) FenceEpoch() uint64 { return d.fenceHigh }
+
+// FenceMarks returns a copy of the fencing-advance log.
+func (d *Daemon) FenceMarks() []FenceMark {
+	return append([]FenceMark(nil), d.fenceLog...)
+}
+
+// fenceChecked reports whether an op is rejected under a stale fencing
+// token. Only destructive ownership ops are: a reset or session
+// open/reap from a deposed leader's epoch would wipe or admit state the
+// successor now manages. Data-path ops and session close stay exempt —
+// a surviving holder re-armed under the new epoch still legitimately
+// runs (and eventually tears down) work it started under the old one.
+func fenceChecked(op uint8) bool {
+	switch op {
+	case OpReset, OpSessionOpen, OpSessionReap:
+		return true
+	}
+	return false
+}
 
 // Stats returns cumulative counters.
 func (d *Daemon) Stats() DaemonStats { return d.stats }
@@ -266,6 +310,16 @@ func (d *Daemon) Run(p *sim.Proc) {
 		}
 		d.admit(key)
 		d.stats.Requests++
+		if q.fence != 0 {
+			if q.fence > d.fenceHigh {
+				d.fenceHigh = q.fence
+				d.fenceLog = append(d.fenceLog, FenceMark{Epoch: q.fence, Time: d.sim.Now()})
+			} else if q.fence < d.fenceHigh && fenceChecked(q.op) {
+				d.stats.Fenced++
+				d.respond(st.Source, q.reqID, ErrFenced, 0)
+				continue
+			}
+		}
 		switch {
 		case q.op == OpShutdown:
 			g := d.barrier(true)

@@ -1,0 +1,179 @@
+package core
+
+// fence_test.go covers the daemon side of lease fencing (DESIGN.md
+// §12): the OpFencePrefix wire marker, the fencing high-water mark any
+// tokened request advances, and the stale-token rejection that is
+// limited to destructive ownership ops (reset, session open, session
+// reap) — data-path traffic from surviving holders is never fenced, and
+// token-less legacy traffic encodes and behaves bit-for-bit as before.
+
+import (
+	"encoding/hex"
+	"errors"
+	"strings"
+	"testing"
+
+	"dynacc/internal/sim"
+)
+
+func fenceHex(v uint64) string {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return hex.EncodeToString(b)
+}
+
+// TestFencePrefixGolden pins the fence-prefixed request encoding: the
+// fence marker is OUTERMOST (before any session prefix), and a token-
+// less request stays byte-identical to the legacy layout.
+func TestFencePrefixGolden(t *testing.T) {
+	q := &request{op: OpSync, reqID: 9, fence: 3, session: 5}
+	// OpFencePrefix | token | OpSessionPrefix | session | OpSync | reqID | stream
+	want := "13" + fenceHex(3) + "12" + fenceHex(5) + "06" + fenceHex(9) + "00"
+	if got := hex.EncodeToString(encodeRequest(q)); got != want {
+		t.Fatalf("fence-prefixed encoding drifted:\n got  %s\n want %s", got, want)
+	}
+	// Fence without session.
+	q = &request{op: OpReset, reqID: 4, fence: 2}
+	want = "13" + fenceHex(2) + "0b" + fenceHex(4) + "00"
+	if got := hex.EncodeToString(encodeRequest(q)); got != want {
+		t.Fatalf("fence-only encoding drifted:\n got  %s\n want %s", got, want)
+	}
+	// No fence: legacy bytes, no prefix.
+	q = &request{op: OpReset, reqID: 4}
+	want = "0b" + fenceHex(4) + "00"
+	if got := hex.EncodeToString(encodeRequest(q)); got != want {
+		t.Fatalf("legacy encoding drifted:\n got  %s\n want %s", got, want)
+	}
+}
+
+func TestFencePrefixRoundTrip(t *testing.T) {
+	for _, q := range []*request{
+		{op: OpSync, reqID: 9, fence: 3, session: 5},
+		{op: OpReset, reqID: 1, fence: 1},
+		{op: OpSessionReap, reqID: 2, fence: 7, peer: 3},
+	} {
+		got, err := decodeRequest(encodeRequest(q))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", q, err)
+		}
+		if got.op != q.op || got.reqID != q.reqID || got.fence != q.fence || got.session != q.session {
+			t.Errorf("round trip %+v → %+v", q, got)
+		}
+		id, ok := peekReqID(encodeRequest(q))
+		if !ok || id != q.reqID {
+			t.Errorf("peekReqID(%+v) = %d, %v", q, id, ok)
+		}
+	}
+}
+
+func TestFencePrefixMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"nested fence", append(append([]byte{OpFencePrefix}, make([]byte, 8)...), OpFencePrefix), "nested fence"},
+		{"zero token", append(append([]byte{OpFencePrefix}, make([]byte, 8)...), OpSync), "zero fencing token"},
+		{"fence after session", func() []byte {
+			b := []byte{OpSessionPrefix}
+			b = append(b, 5, 0, 0, 0, 0, 0, 0, 0)
+			return append(b, OpFencePrefix)
+		}(), "misplaced prefix"},
+	}
+	for _, c := range cases {
+		_, err := decodeRequest(c.data)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", c.name, err, c.want)
+		}
+	}
+	// A valid token in the nested-fence case: set token bytes non-zero.
+	b := []byte{OpFencePrefix, 1, 0, 0, 0, 0, 0, 0, 0, OpFencePrefix}
+	if _, err := decodeRequest(b); err == nil {
+		t.Error("nested fence prefix with non-zero token accepted")
+	}
+}
+
+// TestDaemonFencing drives a live daemon through the fencing state
+// machine: any tokened request advances the high-water mark, only
+// destructive ownership ops are rejected when stale, data-path and
+// token-less traffic always passes, and the mark's advance log is
+// strictly monotonic.
+func TestDaemonFencing(t *testing.T) {
+	runTestbed(t, 1, false, fastNet(), DefaultOptions(), func(p *sim.Proc, tb *testbed) {
+		a := tb.accels[0]
+		d := tb.daemons[0]
+
+		// Epoch 1 arrives on a data-path op: advances the mark.
+		a.SetFence(1)
+		if _, err := a.MemAlloc(p, 4096); err != nil {
+			t.Fatalf("tokened alloc: %v", err)
+		}
+		if d.FenceEpoch() != 1 {
+			t.Fatalf("fence mark = %d after epoch-1 request, want 1", d.FenceEpoch())
+		}
+
+		// Epoch 2 on a fence-checked op: advances and succeeds.
+		a.SetFence(2)
+		if err := a.Reset(p); err != nil {
+			t.Fatalf("epoch-2 reset: %v", err)
+		}
+		if d.FenceEpoch() != 2 {
+			t.Fatalf("fence mark = %d, want 2", d.FenceEpoch())
+		}
+
+		// Stale token on destructive ops: rejected with ErrFenced.
+		a.SetFence(1)
+		if err := a.Reset(p); !errors.Is(err, ErrFenced) {
+			t.Errorf("stale reset err = %v, want ErrFenced", err)
+		}
+		if err := a.OpenSession(p); !errors.Is(err, ErrFenced) {
+			t.Errorf("stale session open err = %v, want ErrFenced", err)
+		}
+		if err := a.ReapSessions(p, 0); !errors.Is(err, ErrFenced) {
+			t.Errorf("stale reap err = %v, want ErrFenced", err)
+		}
+		if got := d.Stats().Fenced; got != 3 {
+			t.Errorf("fenced counter = %d, want 3", got)
+		}
+
+		// Stale token on the data path: allowed. A surviving holder must
+		// be able to finish its work and clean up.
+		if _, err := a.MemAlloc(p, 4096); err != nil {
+			t.Errorf("stale alloc rejected: %v", err)
+		}
+		if err := a.Sync(p); err != nil {
+			t.Errorf("stale sync rejected: %v", err)
+		}
+		a.SetFence(3)
+		if err := a.OpenSession(p); err != nil {
+			t.Fatalf("epoch-3 session open: %v", err)
+		}
+		a.SetFence(1) // fence yanked mid-session
+		if err := a.CloseSession(p); err != nil {
+			t.Errorf("stale session close rejected: %v", err)
+		}
+
+		// Token-less traffic is never fence-checked, whatever the mark
+		// (a closed-session handle is dead, so use a fresh attach).
+		fresh := tb.client.Attach(1)
+		if err := fresh.Reset(p); err != nil {
+			t.Errorf("token-less reset rejected: %v", err)
+		}
+
+		// The advance log is strictly monotonic in epoch and time.
+		marks := d.FenceMarks()
+		if len(marks) != 3 {
+			t.Fatalf("fence log has %d marks, want 3: %+v", len(marks), marks)
+		}
+		for i, m := range marks {
+			if m.Epoch != uint64(i+1) {
+				t.Errorf("mark %d epoch = %d, want %d", i, m.Epoch, i+1)
+			}
+			if i > 0 && marks[i-1].Time.Sub(m.Time) > 0 {
+				t.Errorf("mark %d time regressed: %+v", i, marks)
+			}
+		}
+	})
+}

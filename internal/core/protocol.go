@@ -90,6 +90,15 @@ const (
 	// default, exclusive mode) omit it entirely, keeping their encoding
 	// bit-for-bit identical to the pre-session protocol.
 	OpSessionPrefix
+	// OpFencePrefix is likewise not an op: it is the outermost wire
+	// marker carrying the requester's fencing token — the ARM leadership
+	// epoch its lease was granted under (DESIGN.md §12). Any tokened
+	// request advances the daemon's fencing high-water mark; destructive
+	// ownership ops (reset, session open, session reap) carrying a token
+	// below that mark are rejected with ErrFenced. Token-less requests
+	// (the default) omit the prefix entirely and are never fence-checked,
+	// keeping legacy traffic bit-for-bit identical.
+	OpFencePrefix
 )
 
 // maxBatchOps bounds the command count one OpBatch may claim; anything
@@ -118,6 +127,7 @@ const (
 	statusNotOwner  // ErrNotOwner: pointer not owned by the requesting session
 	statusQuota     // ErrQuotaExceeded: allocation would exceed the session quota
 	statusNoSession // ErrNoSession: request named an unknown or closed session
+	statusFenced    // ErrFenced: fencing token below the daemon's high-water mark
 )
 
 // Typed errors of the session layer.
@@ -131,6 +141,12 @@ var (
 	// ErrNoSession is returned when a request carries a session id the
 	// daemon does not know (never opened, already closed, or reaped).
 	ErrNoSession = errors.New("core: unknown or closed session")
+	// ErrFenced is returned when a destructive request's fencing token is
+	// below the daemon's high-water epoch: the lease it was minted under
+	// has been superseded by an ARM failover, and honoring it could undo
+	// the successor's work (the split-brain write the fence exists to
+	// stop).
+	ErrFenced = errors.New("core: fencing token is stale")
 )
 
 // statusForErr maps a daemon-side error to its wire status code.
@@ -144,6 +160,8 @@ func statusForErr(err error) uint8 {
 		return statusQuota
 	case errors.Is(err, ErrNoSession):
 		return statusNoSession
+	case errors.Is(err, ErrFenced):
+		return statusFenced
 	}
 	return statusError
 }
@@ -158,6 +176,8 @@ func sentinelFor(status uint8) error {
 		return ErrQuotaExceeded
 	case statusNoSession:
 		return ErrNoSession
+	case statusFenced:
+		return ErrFenced
 	}
 	return nil
 }
@@ -298,6 +318,12 @@ type request struct {
 	// 0 = unlimited).
 	quota int64
 
+	// fence is the requester's fencing token: the ARM leadership epoch
+	// its lease was granted under. 0 means token-less (legacy traffic,
+	// never fence-checked); non-zero tokens travel as an OpFencePrefix
+	// ahead of everything else in the header.
+	fence uint64
+
 	// memory ops; size is the total payload in bytes. A copy is a strided
 	// window of cols columns of size/cols bytes each, pitch bytes apart on
 	// the device (cols == 1 means contiguous).
@@ -341,6 +367,9 @@ func encodeRequest(q *request) []byte {
 // one writer for every request it ever sends.
 func encodeRequestTo(w *wire.Writer, q *request) []byte {
 	w.Reset()
+	if q.fence != 0 {
+		w.U8(OpFencePrefix).U64(q.fence)
+	}
 	if q.session != 0 {
 		w.U8(OpSessionPrefix).U64(q.session)
 	}
@@ -403,18 +432,29 @@ func encodeBody(w *wire.Writer, q *request) {
 func decodeRequest(data []byte) (*request, error) {
 	r := wire.NewReader(data)
 	op := r.U8()
+	var fence uint64
+	if op == OpFencePrefix {
+		fence = r.U64()
+		op = r.U8()
+		if op == OpFencePrefix {
+			return nil, fmt.Errorf("core: malformed request: nested fence prefix")
+		}
+		if fence == 0 && r.Err() == nil {
+			return nil, fmt.Errorf("core: malformed request: zero fencing token")
+		}
+	}
 	var session uint64
 	if op == OpSessionPrefix {
 		session = r.U64()
 		op = r.U8()
-		if op == OpSessionPrefix {
-			return nil, fmt.Errorf("core: malformed request: nested session prefix")
+		if op == OpSessionPrefix || op == OpFencePrefix {
+			return nil, fmt.Errorf("core: malformed request: misplaced prefix")
 		}
 		if session == 0 && r.Err() == nil {
 			return nil, fmt.Errorf("core: malformed request: zero session id")
 		}
 	}
-	q := &request{op: op, session: session, reqID: r.U64(), stream: r.U8()}
+	q := &request{op: op, fence: fence, session: session, reqID: r.U64(), stream: r.U8()}
 	if q.op == OpBatch {
 		n := int(r.U32())
 		if r.Err() == nil && (n < 1 || n > maxBatchOps) {
@@ -607,7 +647,12 @@ func (q *request) modelPad() int {
 // of leaving the caller waiting for a response that will never come.
 func peekReqID(data []byte) (uint64, bool) {
 	r := wire.NewReader(data)
-	if r.U8() == OpSessionPrefix {
+	op := r.U8()
+	if op == OpFencePrefix {
+		r.U64() // fencing token
+		op = r.U8()
+	}
+	if op == OpSessionPrefix {
 		r.U64() // session id
 		r.U8()  // real op
 	}

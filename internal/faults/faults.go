@@ -41,18 +41,21 @@ func mkPair(a, b int) pair {
 }
 
 // linkState is the mutable interconnect-fault table the installed
-// LinkFilter consults on every message.
+// LinkFilter consults on every message. severed cuts both directions;
+// severedDir cuts a single direction (keyed by ordered (src, dst)), the
+// asymmetric partition where a can still reach b but not vice versa.
 type linkState struct {
-	severed map[pair]bool
-	delay   map[pair]sim.Duration
-	drop    map[pair]float64
-	rng     *rand.Rand
+	severed    map[pair]bool
+	severedDir map[pair]bool
+	delay      map[pair]sim.Duration
+	drop       map[pair]float64
+	rng        *rand.Rand
 }
 
 func (ls *linkState) filter(src, dst int, _ minimpi.Tag, _ int) minimpi.LinkVerdict {
 	k := mkPair(src, dst)
 	v := minimpi.LinkVerdict{}
-	if ls.severed[k] {
+	if ls.severed[k] || ls.severedDir[pair{src, dst}] {
 		v.Drop = true
 		return v
 	}
@@ -78,10 +81,11 @@ type Plan struct {
 // (DropLink); plans without them are seed-independent.
 func NewPlan(seed int64) *Plan {
 	return &Plan{links: &linkState{
-		severed: make(map[pair]bool),
-		delay:   make(map[pair]sim.Duration),
-		drop:    make(map[pair]float64),
-		rng:     rand.New(rand.NewSource(seed)),
+		severed:    make(map[pair]bool),
+		severedDir: make(map[pair]bool),
+		delay:      make(map[pair]sim.Duration),
+		drop:       make(map[pair]float64),
+		rng:        rand.New(rand.NewSource(seed)),
 	}}
 }
 
@@ -175,6 +179,62 @@ func (pl *Plan) SeverLink(at sim.Duration, a, b int) *Plan {
 func (pl *Plan) HealLink(at sim.Duration, a, b int) *Plan {
 	return pl.add(at, fmt.Sprintf("heal link %d<->%d", a, b), func(p *sim.Proc, cl *cluster.Cluster) {
 		delete(pl.links.severed, mkPair(a, b))
+	})
+}
+
+// SeverLinkOneWay cuts only the src→dst direction of a link at time at:
+// messages from src to dst are dropped while dst's messages still reach
+// src — the asymmetric partition (a broken transmit path, a one-sided
+// firewall) that symmetric severing cannot express. Undo with
+// HealLinkOneWay.
+func (pl *Plan) SeverLinkOneWay(at sim.Duration, src, dst int) *Plan {
+	return pl.add(at, fmt.Sprintf("sever link %d->%d", src, dst), func(p *sim.Proc, cl *cluster.Cluster) {
+		pl.links.severedDir[pair{src, dst}] = true
+	})
+}
+
+// HealLinkOneWay restores the src→dst direction at time at.
+func (pl *Plan) HealLinkOneWay(at sim.Duration, src, dst int) *Plan {
+	return pl.add(at, fmt.Sprintf("heal link %d->%d", src, dst), func(p *sim.Proc, cl *cluster.Cluster) {
+		delete(pl.links.severedDir, pair{src, dst})
+	})
+}
+
+// PartitionLeaderFollower severs ARM shard sh's replication link — the
+// leader's stream to its follower — at time at, without touching either
+// side's client traffic: the classic split-brain opening where the
+// follower promotes itself while the old leader keeps serving whoever
+// can still reach it. Undo with HealLeaderFollower.
+func (pl *Plan) PartitionLeaderFollower(at sim.Duration, sh int) *Plan {
+	return pl.add(at, fmt.Sprintf("partition ARM shard %d leader<->follower", sh), func(p *sim.Proc, cl *cluster.Cluster) {
+		dir := cl.Directory()
+		pl.links.severed[mkPair(dir.Leader(sh), dir.Follower(sh))] = true
+	})
+}
+
+// HealLeaderFollower restores shard sh's leader↔follower link at time at.
+func (pl *Plan) HealLeaderFollower(at sim.Duration, sh int) *Plan {
+	return pl.add(at, fmt.Sprintf("heal ARM shard %d leader<->follower", sh), func(p *sim.Proc, cl *cluster.Cluster) {
+		dir := cl.Directory()
+		delete(pl.links.severed, mkPair(dir.Leader(sh), dir.Follower(sh)))
+	})
+}
+
+// PartitionLeaderClient severs the link between ARM shard sh's leader
+// and compute node cn at time at: the client's requests to the old
+// leader vanish (and so do its replies), forcing directory-driven
+// failover while the leader may still be healthy. Undo with
+// HealLeaderClient.
+func (pl *Plan) PartitionLeaderClient(at sim.Duration, sh, cn int) *Plan {
+	return pl.add(at, fmt.Sprintf("partition ARM shard %d leader<->cn%d", sh, cn), func(p *sim.Proc, cl *cluster.Cluster) {
+		pl.links.severed[mkPair(cl.Directory().Leader(sh), cn)] = true
+	})
+}
+
+// HealLeaderClient restores the shard-sh-leader↔cn link at time at.
+func (pl *Plan) HealLeaderClient(at sim.Duration, sh, cn int) *Plan {
+	return pl.add(at, fmt.Sprintf("heal ARM shard %d leader<->cn%d", sh, cn), func(p *sim.Proc, cl *cluster.Cluster) {
+		delete(pl.links.severed, mkPair(cl.Directory().Leader(sh), cn))
 	})
 }
 
