@@ -290,14 +290,16 @@ type Cluster struct {
 	Daemons []*core.Daemon
 	cfg     Config
 	dcfg    core.DaemonConfig
+	env     buildEnv
 
-	appGroup  *minimpi.Group
-	armRank   int
-	nodes     []*Node
-	mains     []*sim.Proc
-	nodeMains [][]*sim.Proc
-	watchers  []*sim.Proc
-	srv       *arm.Server
+	appGroup   *minimpi.Group
+	armRank    int
+	nodes      []*Node
+	mains      []*sim.Proc
+	nodeMains  [][]*sim.Proc
+	watchers   []*sim.Proc
+	infraProcs []*sim.Proc
+	srv        *arm.Server
 
 	// Sharded-ARM state (nil/empty for the classic single manager).
 	sdir      *arm.Directory
@@ -337,35 +339,54 @@ func (cl *Cluster) ARMRank() int { return cl.armRank }
 // DaemonRank returns the world rank accelerator daemon i listens on.
 func (cl *Cluster) DaemonRank(i int) int { return cl.cfg.ComputeNodes + i }
 
-// New builds (but does not run) a cluster.
-func New(cfg Config) (*Cluster, error) {
+// buildEnv holds the resolved construction defaults shared by every
+// component builder (New for the all-in-sim cluster, StartProcess for one
+// process of a socket-mode deployment).
+type buildEnv struct {
+	net   netmodel.Params
+	model gpu.Model
+	reg   *gpu.Registry
+	opts  core.Options
+}
+
+// resolveBuild validates a Config and resolves its defaults.
+func resolveBuild(cfg Config) (buildEnv, core.DaemonConfig, error) {
+	var env buildEnv
 	if cfg.ComputeNodes <= 0 {
-		return nil, fmt.Errorf("cluster: need at least one compute node, got %d", cfg.ComputeNodes)
+		return env, core.DaemonConfig{}, fmt.Errorf("cluster: need at least one compute node, got %d", cfg.ComputeNodes)
 	}
 	if cfg.Accelerators < 0 {
-		return nil, fmt.Errorf("cluster: negative accelerator count")
+		return env, core.DaemonConfig{}, fmt.Errorf("cluster: negative accelerator count")
 	}
-	net := netmodel.QDRInfiniBand()
+	env.net = netmodel.QDRInfiniBand()
 	if cfg.Net != nil {
-		net = *cfg.Net
+		env.net = *cfg.Net
 	}
-	model := gpu.TeslaC1060()
+	env.model = gpu.TeslaC1060()
 	if cfg.GPUModel != nil {
-		model = *cfg.GPUModel
+		env.model = *cfg.GPUModel
 	}
-	reg := cfg.Registry
-	if reg == nil {
-		reg = gpu.NewRegistry()
+	env.reg = cfg.Registry
+	if env.reg == nil {
+		env.reg = gpu.NewRegistry()
 	}
-	opts := core.DefaultOptions()
+	env.opts = core.DefaultOptions()
 	if cfg.Options != nil {
-		opts = *cfg.Options
+		env.opts = *cfg.Options
 	}
 	dcfg := core.DefaultDaemonConfig()
 	if cfg.Daemon != nil {
 		dcfg = *cfg.Daemon
 	}
+	return env, dcfg, nil
+}
 
+// New builds (but does not run) a cluster.
+func New(cfg Config) (*Cluster, error) {
+	env, dcfg, err := resolveBuild(cfg)
+	if err != nil {
+		return nil, err
+	}
 	shards := cfg.ARMShards
 	if shards < 1 {
 		shards = 1
@@ -383,12 +404,14 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	nRanks := armBase + armRanks
-	w, err := minimpi.NewWorld(s, nRanks, net)
+	w, err := minimpi.NewWorld(s, nRanks, env.net)
 	if err != nil {
 		return nil, err
 	}
-	cl := &Cluster{Sim: s, World: w, cfg: cfg, dcfg: dcfg, armRank: armBase,
-		nodeMains: make([][]*sim.Proc, cfg.ComputeNodes)}
+	cl := &Cluster{Sim: s, World: w, cfg: cfg, dcfg: dcfg, env: env, armRank: armBase,
+		nodeMains: make([][]*sim.Proc, cfg.ComputeNodes),
+		Daemons:   make([]*core.Daemon, daemonRanks),
+		nodes:     make([]*Node, cfg.ComputeNodes)}
 	if sharded {
 		// The shard directory must exist before the daemons: their
 		// heartbeat sinks resolve the serving rank through it.
@@ -419,61 +442,27 @@ func New(cfg Config) (*Cluster, error) {
 	// hardware but start outside every ARM inventory.
 	var inventory []arm.Handle
 	for i := 0; i < daemonRanks; i++ {
-		rank := cfg.ComputeNodes + i
-		dev, err := gpu.NewDevice(s, gpu.Config{
-			Name:     fmt.Sprintf("ac%d", i),
-			Model:    model,
-			Registry: reg,
-			Execute:  cfg.Execute,
-		})
-		if err != nil {
+		if err := cl.addAccelNode(i); err != nil {
 			return nil, err
 		}
-		d := core.NewDaemon(w.Comm(rank), dev, cl.daemonConfig(rank))
-		cl.Daemons = append(cl.Daemons, d)
-		s.Spawn(fmt.Sprintf("daemon-ac%d", i), d.Run)
 		if i < cfg.Accelerators {
-			inventory = append(inventory, arm.Handle{ID: i, Rank: rank})
+			inventory = append(inventory, arm.Handle{ID: i, Rank: cfg.ComputeNodes + i})
 		}
 	}
 
 	if !sharded {
-		// The ARM.
-		srv, err := arm.NewServerOpts(w.Comm(cl.armRank), inventory,
-			arm.Options{Policy: cfg.Policy, ShareCapacity: cfg.ShareCapacity})
-		if err != nil {
+		if err := cl.startARM(inventory); err != nil {
 			return nil, err
 		}
-		cl.srv = srv
-		if err := cl.armHealthSetup(srv, cl.armRank, opts); err != nil {
-			return nil, err
-		}
-		s.Spawn("arm", srv.Run)
 	} else {
 		// The ARM shards: ownership partitioned by the consistent-hash
 		// ring, one leader (and optionally one follower) per shard.
-		perShard := make([][]arm.Handle, shards)
-		for _, h := range inventory {
-			sh := cl.sdir.OwnerOf(h.ID)
-			perShard[sh] = append(perShard[sh], h)
-		}
+		perShard := shardInventory(cl.sdir, shards, inventory)
 		for sh := 0; sh < shards; sh++ {
-			srvOpts := arm.Options{
-				Policy:        cfg.Policy,
-				ShareCapacity: cfg.ShareCapacity,
-				Shards:        shards,
-				Shard:         sh,
-				Directory:     cl.sdir,
-			}
-			srv, err := arm.NewServerOpts(w.Comm(cl.sdir.Leader(sh)), perShard[sh], srvOpts)
+			srvOpts, err := cl.startShardLeader(sh, perShard[sh])
 			if err != nil {
 				return nil, err
 			}
-			if err := cl.armHealthSetup(srv, cl.sdir.Leader(sh), opts); err != nil {
-				return nil, err
-			}
-			cl.shardSrvs = append(cl.shardSrvs, srv)
-			s.Spawn(fmt.Sprintf("arm-s%d", sh), srv.Run)
 			if cfg.ARMReplicas {
 				rp, err := arm.ReplicaFor(w.Comm(cl.sdir.Follower(sh)), cl.sdir, sh,
 					perShard[sh], srvOpts, cfg.ARMPromoteAfter)
@@ -482,7 +471,7 @@ func New(cfg Config) (*Cluster, error) {
 				}
 				// The follower gets its own sanitizer front-end (on its own
 				// rank) now, so a promotion needs no extra wiring.
-				if err := cl.armHealthSetup(rp.Server(), cl.sdir.Follower(sh), opts); err != nil {
+				if err := cl.armHealthSetup(rp.Server(), cl.sdir.Follower(sh), env.opts); err != nil {
 					return nil, err
 				}
 				cl.shardReps = append(cl.shardReps, rp)
@@ -493,78 +482,155 @@ func New(cfg Config) (*Cluster, error) {
 
 	// Compute nodes.
 	for i := 0; i < cfg.ComputeNodes; i++ {
-		worldComm := w.Comm(i)
-		fe, err := core.NewClient(worldComm, opts)
-		if err != nil {
+		if err := cl.addComputeNode(i); err != nil {
 			return nil, err
 		}
-		backoff := arm.DefaultBackoff()
-		if cfg.FailoverBackoff != nil {
-			backoff = *cfg.FailoverBackoff
-		}
-		var api arm.API
-		if sharded {
-			sc := arm.NewShardedClient(worldComm, cl.sdir)
-			if cfg.ARMReplicas {
-				// Give calls twice the promotion threshold of silence
-				// before replaying, so a live-but-slow leader is never
-				// raced by its own client.
-				sc.SetFailover(2*cl.promoteThreshold(), 64)
-			}
-			api = sc
-		} else {
-			api = arm.NewClient(worldComm, cl.armRank)
-		}
-		node := &Node{
-			Rank:  i,
-			World: worldComm,
-			App:   cl.appGroup.Comm(i),
-			ARM: &NodeARM{
-				API:     api,
-				held:    make(map[int]arm.Handle),
-				retries: cfg.FailoverRetries,
-				backoff: backoff,
-				rng:     rand.New(rand.NewSource(0x9E3779B9 + int64(i))),
-			},
-			FE: fe,
-		}
-		fe.SetReplacer(node.ARM)
-		if cfg.AutoMigrate && cfg.Health != nil {
-			// The watcher reacts to the ARM's suspect notices by migrating
-			// this node's handles off the silent daemon — the application
-			// never has to notice, let alone call Failover.
-			n := node
-			wp := s.Spawn(fmt.Sprintf("cn%d-health-watch", i), func(p *sim.Proc) {
-				for {
-					nt, err := n.ARM.RecvNotice(p)
-					if err != nil {
-						return
-					}
-					if nt.Kind != arm.NoticeSuspect {
-						continue
-					}
-					// Best effort: with no spare free (or the handle already
-					// gone) the node limps on and Failover remains the net.
-					_, _ = n.MigrateRank(p, nt.Rank)
-				}
-			})
-			cl.watchers = append(cl.watchers, wp)
-		}
-		for g := 0; g < cfg.LocalGPUs; g++ {
-			dev, err := gpu.NewDevice(s, gpu.Config{
-				Name:     fmt.Sprintf("cn%d-gpu%d", i, g),
-				Model:    model,
-				Registry: reg,
-				Execute:  cfg.Execute,
-			})
-			if err != nil {
-				return nil, err
-			}
-			node.Local = append(node.Local, dev)
-		}
-		cl.nodes = append(cl.nodes, node)
 	}
 	return cl, nil
+}
+
+// addAccelNode builds accelerator node i — device plus daemon on world
+// rank ComputeNodes+i — and starts the daemon.
+func (cl *Cluster) addAccelNode(i int) error {
+	rank := cl.cfg.ComputeNodes + i
+	dev, err := gpu.NewDevice(cl.Sim, gpu.Config{
+		Name:     fmt.Sprintf("ac%d", i),
+		Model:    cl.env.model,
+		Registry: cl.env.reg,
+		Execute:  cl.cfg.Execute,
+	})
+	if err != nil {
+		return err
+	}
+	d := core.NewDaemon(cl.World.Comm(rank), dev, cl.daemonConfig(rank))
+	cl.Daemons[i] = d
+	cl.infraProcs = append(cl.infraProcs, cl.Sim.Spawn(fmt.Sprintf("daemon-ac%d", i), d.Run))
+	return nil
+}
+
+// startARM builds and starts the single resource manager.
+func (cl *Cluster) startARM(inventory []arm.Handle) error {
+	srv, err := arm.NewServerOpts(cl.World.Comm(cl.armRank), inventory,
+		arm.Options{Policy: cl.cfg.Policy, ShareCapacity: cl.cfg.ShareCapacity})
+	if err != nil {
+		return err
+	}
+	cl.srv = srv
+	if err := cl.armHealthSetup(srv, cl.armRank, cl.env.opts); err != nil {
+		return err
+	}
+	cl.infraProcs = append(cl.infraProcs, cl.Sim.Spawn("arm", srv.Run))
+	return nil
+}
+
+// shardInventory partitions the inventory by the directory's hash ring.
+func shardInventory(dir *arm.Directory, shards int, inventory []arm.Handle) [][]arm.Handle {
+	perShard := make([][]arm.Handle, shards)
+	for _, h := range inventory {
+		sh := dir.OwnerOf(h.ID)
+		perShard[sh] = append(perShard[sh], h)
+	}
+	return perShard
+}
+
+// startShardLeader builds and starts shard sh's leader server on the rank
+// the directory assigns it, returning the server options a replica of the
+// same shard must share.
+func (cl *Cluster) startShardLeader(sh int, inv []arm.Handle) (arm.Options, error) {
+	srvOpts := arm.Options{
+		Policy:        cl.cfg.Policy,
+		ShareCapacity: cl.cfg.ShareCapacity,
+		Shards:        cl.sdir.Shards(),
+		Shard:         sh,
+		Directory:     cl.sdir,
+	}
+	srv, err := arm.NewServerOpts(cl.World.Comm(cl.sdir.Leader(sh)), inv, srvOpts)
+	if err != nil {
+		return srvOpts, err
+	}
+	if err := cl.armHealthSetup(srv, cl.sdir.Leader(sh), cl.env.opts); err != nil {
+		return srvOpts, err
+	}
+	cl.shardSrvs = append(cl.shardSrvs, srv)
+	cl.infraProcs = append(cl.infraProcs, cl.Sim.Spawn(fmt.Sprintf("arm-s%d", sh), srv.Run))
+	return srvOpts, nil
+}
+
+// addComputeNode builds compute node i: its computation-API front-end,
+// resource-management client, optional health watcher and local GPUs.
+func (cl *Cluster) addComputeNode(i int) error {
+	cfg := cl.cfg
+	worldComm := cl.World.Comm(i)
+	fe, err := core.NewClient(worldComm, cl.env.opts)
+	if err != nil {
+		return err
+	}
+	backoff := arm.DefaultBackoff()
+	if cfg.FailoverBackoff != nil {
+		backoff = *cfg.FailoverBackoff
+	}
+	var api arm.API
+	if cl.sdir != nil {
+		sc := arm.NewShardedClient(worldComm, cl.sdir)
+		if cfg.ARMReplicas {
+			// Give calls twice the promotion threshold of silence
+			// before replaying, so a live-but-slow leader is never
+			// raced by its own client.
+			sc.SetFailover(2*cl.promoteThreshold(), 64)
+		}
+		api = sc
+	} else {
+		api = arm.NewClient(worldComm, cl.armRank)
+	}
+	node := &Node{
+		Rank:  i,
+		World: worldComm,
+		App:   cl.appGroup.Comm(i),
+		ARM: &NodeARM{
+			API:     api,
+			held:    make(map[int]arm.Handle),
+			retries: cfg.FailoverRetries,
+			backoff: backoff,
+			rng:     rand.New(rand.NewSource(0x9E3779B9 + int64(i))),
+		},
+		FE: fe,
+	}
+	fe.SetReplacer(node.ARM)
+	if cfg.AutoMigrate && cfg.Health != nil {
+		// The watcher reacts to the ARM's suspect notices by migrating
+		// this node's handles off the silent daemon — the application
+		// never has to notice, let alone call Failover.
+		n := node
+		wp := cl.Sim.Spawn(fmt.Sprintf("cn%d-health-watch", i), func(p *sim.Proc) {
+			for {
+				nt, err := n.ARM.RecvNotice(p)
+				if err != nil {
+					return
+				}
+				if nt.Kind != arm.NoticeSuspect {
+					continue
+				}
+				// Best effort: with no spare free (or the handle already
+				// gone) the node limps on and Failover remains the net.
+				_, _ = n.MigrateRank(p, nt.Rank)
+			}
+		})
+		cl.watchers = append(cl.watchers, wp)
+	}
+	for g := 0; g < cfg.LocalGPUs; g++ {
+		dev, err := gpu.NewDevice(cl.Sim, gpu.Config{
+			Name:     fmt.Sprintf("cn%d-gpu%d", i, g),
+			Model:    cl.env.model,
+			Registry: cl.env.reg,
+			Execute:  cfg.Execute,
+		})
+		if err != nil {
+			return err
+		}
+		node.Local = append(node.Local, dev)
+	}
+	cl.nodes[i] = node
+	return nil
 }
 
 // armHealthSetup configures the health subsystem on an ARM server (a

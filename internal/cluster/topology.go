@@ -1,0 +1,452 @@
+// Socket-mode deployment: the same cluster the in-sim builder assembles in
+// one simulation can be spread over several OS processes (or several
+// listeners in one process), each running the ranks a Topology assigns to
+// it and exchanging messages over TCP through internal/nettrans. Every
+// process drives its own simulation with sim.RunRealtime, so the timeout
+// machinery (request timeouts, heartbeats, lease expiry) maps onto real
+// wall-clock deadlines unchanged.
+
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dynacc/internal/arm"
+	"dynacc/internal/core"
+	"dynacc/internal/minimpi"
+	"dynacc/internal/nettrans"
+	"dynacc/internal/sim"
+)
+
+// Layout is the world-rank layout a Config implies: compute nodes first,
+// then accelerator daemons (spares last), then the resource-manager ranks.
+type Layout struct {
+	Compute []int // world ranks of the compute nodes
+	Daemons []int // world ranks of the accelerator daemons, spares included
+	ARM     []int // resource-manager ranks: one, or one per shard (x2 with replicas)
+	Total   int
+}
+
+// RankLayout computes the Layout for a Config, mirroring New.
+func RankLayout(cfg Config) Layout {
+	var l Layout
+	for i := 0; i < cfg.ComputeNodes; i++ {
+		l.Compute = append(l.Compute, i)
+	}
+	daemonRanks := cfg.Accelerators + cfg.SpareAccelerators
+	for i := 0; i < daemonRanks; i++ {
+		l.Daemons = append(l.Daemons, cfg.ComputeNodes+i)
+	}
+	armBase := cfg.ComputeNodes + daemonRanks
+	armRanks := 1
+	if shards := cfg.ARMShards; shards > 1 || cfg.ARMReplicas {
+		if shards < 1 {
+			shards = 1
+		}
+		armRanks = shards
+		if cfg.ARMReplicas {
+			armRanks *= 2
+		}
+	}
+	for i := 0; i < armRanks; i++ {
+		l.ARM = append(l.ARM, armBase+i)
+	}
+	l.Total = armBase + armRanks
+	return l
+}
+
+// Topology assigns every world rank to a process and names where each
+// process listens.
+type Topology struct {
+	// Procs is the shared process table; the rank sets must partition the
+	// world. It must be identical in every process.
+	Procs []nettrans.ProcSpec
+	// Token authenticates connections (see nettrans.Config.Token).
+	Token string
+	// Listeners optionally carries pre-bound listeners parallel to Procs,
+	// for same-OS-process deployments on ":0" addresses. Entries may be
+	// nil; a process without one listens on its Procs address.
+	Listeners []net.Listener
+	// Dir is the shared shard directory, required when cfg.ARMShards > 1.
+	// The directory is plain shared memory, so sharded resource management
+	// only works when all processes of the topology live in one OS process
+	// (the multi-listener deployment); cross-machine topologies must use
+	// the single manager. Build it with NewShardDirectory.
+	Dir *arm.Directory
+}
+
+// NewShardDirectory builds the static shard directory for a socket-mode
+// sharded deployment: leaders on the ARM ranks, no followers (replicas
+// need promotion, which mutates the directory — not safe across the
+// concurrently running per-process simulations).
+func NewShardDirectory(cfg Config) *arm.Directory {
+	shards := cfg.ARMShards
+	if shards < 1 {
+		shards = 1
+	}
+	armBase := cfg.ComputeNodes + cfg.Accelerators + cfg.SpareAccelerators
+	leaders := make([]int, shards)
+	for sh := range leaders {
+		leaders[sh] = armBase + sh
+	}
+	return arm.NewDirectory(arm.NewRing(shards), leaders, nil)
+}
+
+// ThreeTierSplit returns the rank sets of the canonical deployment: one
+// process for all compute nodes, one for all accelerator daemons, one for
+// the resource manager(s).
+func ThreeTierSplit(cfg Config) [][]int {
+	l := RankLayout(cfg)
+	return [][]int{l.Compute, l.Daemons, l.ARM}
+}
+
+// ListenTopology binds one loopback listener per rank set and returns the
+// resulting topology with the listeners attached — the multi-listener
+// deployment used by tests and the soak driver.
+func ListenTopology(token string, rankSets [][]int) (Topology, error) {
+	topo := Topology{Token: token}
+	for i, ranks := range rankSets {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range topo.Listeners {
+				l.Close()
+			}
+			return Topology{}, fmt.Errorf("cluster: listen for proc %d: %w", i, err)
+		}
+		topo.Procs = append(topo.Procs, nettrans.ProcSpec{Addr: ln.Addr().String(), Ranks: ranks})
+		topo.Listeners = append(topo.Listeners, ln)
+	}
+	return topo, nil
+}
+
+// ParseTopology maps a textual process table onto world ranks. The spec is
+// a semicolon-separated list of processes, each "roles@host:port" with
+// comma-separated roles:
+//
+//	cn          all compute nodes        cn2    compute node 2    cn0-3  range
+//	ac          all accelerator daemons  ac1    daemon 1          ac0-1  range
+//	arm         all resource-manager ranks                        arm0   shard 0
+//
+// Example: "cn@10.0.0.1:7000;ac0-1@10.0.0.2:7001;ac2-3@10.0.0.3:7001;arm@10.0.0.4:7002".
+func ParseTopology(cfg Config, spec string) (Topology, error) {
+	l := RankLayout(cfg)
+	var topo Topology
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		roles, addr, ok := strings.Cut(part, "@")
+		if !ok || addr == "" {
+			return Topology{}, fmt.Errorf("cluster: proc spec %q: want roles@host:port", part)
+		}
+		var ranks []int
+		for _, role := range strings.Split(roles, ",") {
+			rs, err := resolveRole(l, strings.TrimSpace(role))
+			if err != nil {
+				return Topology{}, fmt.Errorf("cluster: proc spec %q: %w", part, err)
+			}
+			ranks = append(ranks, rs...)
+		}
+		topo.Procs = append(topo.Procs, nettrans.ProcSpec{Addr: addr, Ranks: ranks})
+	}
+	if len(topo.Procs) == 0 {
+		return Topology{}, fmt.Errorf("cluster: empty topology spec")
+	}
+	return topo, nil
+}
+
+// resolveRole maps one role token onto world ranks.
+func resolveRole(l Layout, role string) ([]int, error) {
+	var pool []int
+	var idx string
+	switch {
+	case strings.HasPrefix(role, "cn"):
+		pool, idx = l.Compute, role[2:]
+	case strings.HasPrefix(role, "ac"):
+		pool, idx = l.Daemons, role[2:]
+	case strings.HasPrefix(role, "arm"):
+		pool, idx = l.ARM, role[3:]
+	default:
+		return nil, fmt.Errorf("unknown role %q", role)
+	}
+	if idx == "" {
+		return pool, nil
+	}
+	lo, hi := idx, idx
+	if a, b, ok := strings.Cut(idx, "-"); ok {
+		lo, hi = a, b
+	}
+	from, err := strconv.Atoi(lo)
+	if err != nil {
+		return nil, fmt.Errorf("bad index in role %q", role)
+	}
+	to, err := strconv.Atoi(hi)
+	if err != nil {
+		return nil, fmt.Errorf("bad index in role %q", role)
+	}
+	if from < 0 || to >= len(pool) || from > to {
+		return nil, fmt.Errorf("role %q out of range [0,%d)", role, len(pool))
+	}
+	return pool[from : to+1], nil
+}
+
+// Member is one process of a socket-mode deployment: the subset of the
+// cluster its topology entry assigns to it, wired to the rest over TCP.
+type Member struct {
+	Cluster *Cluster // local components only; Sim and World always set
+	ProcID  int
+
+	topo     Topology
+	tr       *nettrans.Transport
+	quit     chan struct{}
+	quitOnce sync.Once
+}
+
+// socketTimeout is the default request/payload timeout in socket mode.
+// Blocking forever on a dead TCP peer is never acceptable, so zero
+// ("wait forever") configs are promoted to this bound.
+const socketTimeout = 2 * sim.Second
+
+// StartProcess builds the process topo.Procs[procID] of a socket-mode
+// deployment: a simulation and full-size world of its own, the compute
+// nodes / accelerator daemons / resource manager whose ranks the topology
+// assigns to this process, and a TCP transport joining the other
+// processes. Drive it with Run (processes hosting the application) or
+// Serve (infrastructure-only processes), both of which own the real-time
+// loop.
+//
+// Restrictions against the in-sim builder: ARMReplicas is not supported
+// (follower promotion mutates the shared directory under concurrent
+// simulations), and ARMShards > 1 requires Topology.Dir.
+func StartProcess(cfg Config, topo Topology, procID int) (*Member, error) {
+	if cfg.ARMReplicas {
+		return nil, fmt.Errorf("cluster: ARM replicas are not supported over sockets")
+	}
+	if cfg.ARMShards > 1 && topo.Dir == nil {
+		return nil, fmt.Errorf("cluster: ARMShards > 1 over sockets needs Topology.Dir (see NewShardDirectory)")
+	}
+	if procID < 0 || procID >= len(topo.Procs) {
+		return nil, fmt.Errorf("cluster: proc id %d out of range [0,%d)", procID, len(topo.Procs))
+	}
+	env, dcfg, err := resolveBuild(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if env.opts.Timeout <= 0 {
+		env.opts.Timeout = socketTimeout
+	}
+	if dcfg.PayloadTimeout <= 0 {
+		dcfg.PayloadTimeout = socketTimeout
+	}
+
+	l := RankLayout(cfg)
+	s := sim.New()
+	w, err := minimpi.NewWorld(s, l.Total, env.net)
+	if err != nil {
+		return nil, err
+	}
+	daemonRanks := cfg.Accelerators + cfg.SpareAccelerators
+	cl := &Cluster{Sim: s, World: w, cfg: cfg, dcfg: dcfg, env: env,
+		armRank:   cfg.ComputeNodes + daemonRanks,
+		nodeMains: make([][]*sim.Proc, cfg.ComputeNodes),
+		Daemons:   make([]*core.Daemon, daemonRanks),
+		nodes:     make([]*Node, cfg.ComputeNodes),
+		sdir:      topo.Dir,
+	}
+	cl.appGroup, err = w.NewGroup(l.Compute)
+	if err != nil {
+		return nil, err
+	}
+
+	// The full regular inventory — the ARM rank needs it whether or not
+	// the daemons are local.
+	inventory := make([]arm.Handle, 0, cfg.Accelerators)
+	for i := 0; i < cfg.Accelerators; i++ {
+		inventory = append(inventory, arm.Handle{ID: i, Rank: cfg.ComputeNodes + i})
+	}
+
+	// Build only the locally hosted ranks, in rank order so construction
+	// stays deterministic per process.
+	local := append([]int(nil), topo.Procs[procID].Ranks...)
+	for _, r := range local {
+		switch {
+		case r < 0 || r >= l.Total:
+			return nil, fmt.Errorf("cluster: topology assigns rank %d outside world [0,%d)", r, l.Total)
+		case r < cfg.ComputeNodes:
+			if err := cl.addComputeNode(r); err != nil {
+				return nil, err
+			}
+		case r < cl.armRank:
+			if err := cl.addAccelNode(r - cfg.ComputeNodes); err != nil {
+				return nil, err
+			}
+		default:
+			if cl.sdir == nil {
+				if err := cl.startARM(inventory); err != nil {
+					return nil, err
+				}
+			} else {
+				sh := r - cl.armRank
+				perShard := shardInventory(cl.sdir, cl.sdir.Shards(), inventory)
+				if _, err := cl.startShardLeader(sh, perShard[sh]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	var ln net.Listener
+	if topo.Listeners != nil {
+		ln = topo.Listeners[procID]
+	}
+	tr, err := nettrans.New(nettrans.Config{
+		World:    w,
+		ProcID:   procID,
+		Procs:    topo.Procs,
+		Token:    topo.Token,
+		Listener: ln,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.SetTransport(tr)
+	return &Member{Cluster: cl, ProcID: procID, topo: topo, tr: tr, quit: make(chan struct{})}, nil
+}
+
+// Transport exposes the member's TCP transport (stats, WaitReady).
+func (m *Member) Transport() *nettrans.Transport { return m.tr }
+
+// Node returns the context of compute node i, which must be hosted here.
+func (m *Member) Node(i int) *Node { return m.Cluster.nodes[i] }
+
+// Spawn registers main as compute node i's process; rank i must be hosted
+// by this member. Call before Run.
+func (m *Member) Spawn(i int, main func(p *sim.Proc, n *Node)) error {
+	if i < 0 || i >= len(m.Cluster.nodes) || m.Cluster.nodes[i] == nil {
+		return fmt.Errorf("cluster: compute node %d is not hosted by proc %d", i, m.ProcID)
+	}
+	m.Cluster.Spawn(i, main)
+	return nil
+}
+
+// SpawnAll registers main on every compute node this member hosts.
+func (m *Member) SpawnAll(main func(p *sim.Proc, n *Node)) {
+	for i, n := range m.Cluster.nodes {
+		if n != nil {
+			m.Cluster.Spawn(i, main)
+		}
+	}
+}
+
+// Stop asks a running Run or Serve to wind down.
+func (m *Member) Stop() { m.quitOnce.Do(func() { close(m.quit) }) }
+
+// Run drives a process hosting (part of) the application: the real-time
+// loop runs until every spawned node main finishes, then this member
+// performs the distributed teardown — auto-release of held accelerators,
+// daemon and ARM shutdown — over the wire, tolerating unreachable peers
+// (a dead daemon answers nothing; its timeout is the answer). Exactly one
+// member of the topology should run the teardown: the one hosting compute
+// node 0, by convention.
+func (m *Member) Run() error {
+	cl := m.Cluster
+	done := make(chan struct{})
+	cl.Sim.Spawn("teardown", func(p *sim.Proc) {
+		defer close(done)
+		m.teardown(p)
+	})
+	return m.drive(done)
+}
+
+// Serve drives an infrastructure-only process (accelerator daemons, the
+// ARM): the real-time loop runs until every hosted infrastructure process
+// exits — daemons and managers leave when the application's teardown sends
+// their shutdown over the wire — or Stop is called.
+func (m *Member) Serve() error {
+	cl := m.Cluster
+	done := make(chan struct{})
+	cl.Sim.Spawn("serve-watch", func(p *sim.Proc) {
+		defer close(done)
+		for _, pr := range cl.infraProcs {
+			pr.Done().Await(p)
+		}
+	})
+	return m.drive(done)
+}
+
+// drive runs the real-time loop until done or Stop, then drains and
+// closes the transport.
+func (m *Member) drive(done chan struct{}) error {
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+		case <-m.quit:
+		}
+		close(stop)
+	}()
+	err := m.Cluster.Sim.RunRealtime(stop)
+	m.tr.Flush(2 * time.Second)
+	m.tr.Close()
+	return err
+}
+
+// teardown is the socket-mode analogue of Cluster.Run's epilogue: release
+// what the local nodes still hold and shut the infrastructure down over
+// the wire. Every step is best-effort — an unreachable daemon times out
+// and is skipped, exactly like the in-sim teardown skips killed daemons.
+func (m *Member) teardown(p *sim.Proc) {
+	cl := m.Cluster
+	for _, mn := range cl.mains {
+		mn.Done().Await(p)
+	}
+	for _, wp := range cl.watchers {
+		wp.Kill()
+	}
+	var node *Node
+	for _, n := range cl.nodes {
+		if n == nil {
+			continue
+		}
+		if node == nil {
+			node = n
+		}
+		for _, ac := range n.sessions {
+			_ = ac.CloseSession(p)
+		}
+		leftovers := n.ARM.Held()
+		if len(leftovers) == 0 {
+			continue
+		}
+		for _, h := range leftovers {
+			if h.Shared {
+				continue // sessions above; never device-reset under other tenants
+			}
+			_ = n.FE.Attach(h.Rank).Reset(p)
+		}
+		if err := n.ARM.Release(p, leftovers); err != nil {
+			for _, h := range leftovers {
+				_ = n.ARM.Release(p, []arm.Handle{h})
+			}
+		}
+	}
+	if node == nil {
+		return // nothing hosted here runs the application; no teardown to lead
+	}
+	for r := cl.cfg.ComputeNodes; r < cl.armRank; r++ {
+		_ = node.FE.Attach(r).Shutdown(p)
+	}
+	if sc, ok := node.ARM.API.(*arm.ShardedClient); ok {
+		for sh := 0; sh < cl.sdir.Shards(); sh++ {
+			_ = sc.ShutdownShard(p, sh)
+		}
+	} else {
+		_ = node.ARM.Shutdown(p)
+	}
+}

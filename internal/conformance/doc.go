@@ -1,0 +1,7 @@
+// Package conformance runs one minimpi test battery — point-to-point,
+// wildcards and probes, collectives, extras, owned-buffer handoff — against
+// every Transport backend through a shared harness: the in-sim backend (one
+// world, one simulation) and the socket backend (one single-rank world per
+// process, wired over real loopback TCP). A behavior difference between the
+// backends is a transport bug by definition; the sim path is the oracle.
+package conformance

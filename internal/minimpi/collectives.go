@@ -5,8 +5,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-
-	"dynacc/internal/sim"
 )
 
 // Reserved internal tags for collectives. Collective calls on a
@@ -27,7 +25,7 @@ const (
 // Barrier blocks until every rank of the communicator has entered it.
 // It uses the dissemination algorithm: ceil(log2 n) rounds of paired
 // exchanges.
-func (c *Comm) Barrier(p *sim.Proc) {
+func (c *Comm) Barrier(p Waiter) {
 	n := c.Size()
 	if n == 1 {
 		return
@@ -45,7 +43,7 @@ func (c *Comm) Barrier(p *sim.Proc) {
 // Bcast distributes root's buffer to every rank over a binomial tree and
 // returns the received copy (the root returns data unchanged). Callers on
 // non-root ranks pass nil.
-func (c *Comm) Bcast(p *sim.Proc, root int, data []byte) []byte {
+func (c *Comm) Bcast(p Waiter, root int, data []byte) []byte {
 	c.checkRank(root, "Bcast")
 	n := c.Size()
 	if n == 1 {
@@ -80,7 +78,7 @@ type ReduceOp func(dst, src []byte)
 // Reduce combines every rank's equally-sized contribution at the root
 // using op, over a binomial tree, and returns the result at the root (nil
 // elsewhere). The contribution slice is not modified.
-func (c *Comm) Reduce(p *sim.Proc, root int, contrib []byte, op ReduceOp) []byte {
+func (c *Comm) Reduce(p Waiter, root int, contrib []byte, op ReduceOp) []byte {
 	c.checkRank(root, "Reduce")
 	n := c.Size()
 	acc := append([]byte(nil), contrib...)
@@ -109,7 +107,7 @@ func (c *Comm) Reduce(p *sim.Proc, root int, contrib []byte, op ReduceOp) []byte
 
 // Allreduce is Reduce followed by Bcast; every rank returns the combined
 // value.
-func (c *Comm) Allreduce(p *sim.Proc, contrib []byte, op ReduceOp) []byte {
+func (c *Comm) Allreduce(p Waiter, contrib []byte, op ReduceOp) []byte {
 	res := c.Reduce(p, 0, contrib, op)
 	return c.Bcast(p, 0, res)
 }
@@ -117,7 +115,7 @@ func (c *Comm) Allreduce(p *sim.Proc, contrib []byte, op ReduceOp) []byte {
 // Gather collects every rank's contribution at the root; the root returns
 // the slices indexed by rank, others return nil. Contributions may have
 // different sizes.
-func (c *Comm) Gather(p *sim.Proc, root int, contrib []byte) [][]byte {
+func (c *Comm) Gather(p Waiter, root int, contrib []byte) [][]byte {
 	c.checkRank(root, "Gather")
 	if c.rank != root {
 		c.isendAnyTag(root, tagGather, contrib, len(contrib), false).Wait(p)
@@ -143,7 +141,7 @@ func (c *Comm) Gather(p *sim.Proc, root int, contrib []byte) [][]byte {
 
 // Allgather collects every rank's contribution everywhere: Gather at rank
 // 0 followed by a broadcast of the concatenation.
-func (c *Comm) Allgather(p *sim.Proc, contrib []byte) [][]byte {
+func (c *Comm) Allgather(p Waiter, contrib []byte) [][]byte {
 	parts := c.Gather(p, 0, contrib)
 	var blob []byte
 	if c.rank == 0 {
@@ -155,7 +153,7 @@ func (c *Comm) Allgather(p *sim.Proc, contrib []byte) [][]byte {
 
 // Scatter distributes parts[i] from the root to rank i and returns the
 // local part. Non-root callers pass nil.
-func (c *Comm) Scatter(p *sim.Proc, root int, parts [][]byte) []byte {
+func (c *Comm) Scatter(p Waiter, root int, parts [][]byte) []byte {
 	c.checkRank(root, "Scatter")
 	if c.rank == root {
 		if len(parts) != c.Size() {
@@ -246,7 +244,7 @@ func MaxF64(dst, src []byte) {
 // new communicator, ordered by (key, old rank). Every rank must call
 // Split; the call synchronizes like a collective. A negative color
 // returns nil (the rank opts out), mirroring MPI_UNDEFINED.
-func (c *Comm) Split(p *sim.Proc, color, key int) *Comm {
+func (c *Comm) Split(p Waiter, color, key int) *Comm {
 	// Exchange (color, key) so every rank can compute every group.
 	mine := make([]byte, 12)
 	binary.LittleEndian.PutUint32(mine[0:], uint32(int32(color)))
@@ -300,6 +298,6 @@ func (c *Comm) Split(p *sim.Proc, color, key int) *Comm {
 
 // Dup creates a communicator with the same group but an isolated matching
 // context. Like Split, all ranks must call it.
-func (c *Comm) Dup(p *sim.Proc) *Comm {
+func (c *Comm) Dup(p Waiter) *Comm {
 	return c.Split(p, 0, c.rank)
 }

@@ -60,6 +60,9 @@ type World struct {
 	// pool recycles payload block buffers for the ownership-handoff send
 	// path (IsendOwned / Request.Free).
 	pool bufPool
+	// transport carries every posted send. The default is the in-sim
+	// backend (simTransport); SetTransport swaps in a socket-backed one.
+	transport Transport
 }
 
 type splitKey struct {
@@ -75,7 +78,7 @@ type endpoint struct {
 	world      *World
 	rank       int // world rank
 	tx, rx     *sim.Resource
-	unexpected []*message
+	unexpected []*Message
 	posted     []*Request
 	probers    []*prober
 	traffic    TrafficStats
@@ -95,6 +98,7 @@ func NewWorld(s *sim.Simulation, n int, params netmodel.Params) (*World, error) 
 		nextCtx:  1,
 		splitCtx: make(map[splitKey]int),
 	}
+	w.transport = simTransport{w}
 	for i := 0; i < n; i++ {
 		w.eps = append(w.eps, &endpoint{
 			world: w,

@@ -6,12 +6,16 @@ import (
 	"dynacc/internal/sim"
 )
 
-// message is an in-flight transfer. The envelope (matching metadata)
+// Message is an in-flight transfer. The envelope (matching metadata)
 // travels ahead of the payload; bodyArrived fires when the payload has
 // fully landed at the receiver. The record also carries the send process's
 // state (endpoints, requests, world), so the per-message transfer process
 // and completion callbacks run closure-free: one message, one allocation.
-type message struct {
+//
+// Messages are exported only so Transport implementations outside this
+// package can carry them (see transport.go); all fields stay private and
+// are reached through the small accessor set a transport needs.
+type Message struct {
 	ctx         int
 	srcWorld    int // world rank of sender
 	srcComm     int // communicator rank of sender
@@ -35,7 +39,7 @@ type prober struct {
 	tag   Tag
 	comm  *Comm
 	ev    *sim.Event
-	match *message
+	match *Message
 }
 
 // Request is a handle for a nonblocking operation. Wait (or the Comm
@@ -85,8 +89,8 @@ func (r *Request) Completed() bool { return r.done.Triggered() }
 
 // Wait blocks the calling process until the request completes. For
 // receives it returns the payload (nil for sized sends) and the status.
-func (r *Request) Wait(p *sim.Proc) ([]byte, Status) {
-	r.done.Await(p)
+func (r *Request) Wait(p Waiter) ([]byte, Status) {
+	p.AwaitEvent(r.done)
 	return r.data, r.status
 }
 
@@ -103,8 +107,8 @@ func (r *Request) Result() ([]byte, Status) {
 // boolean reports completion; on timeout the request stays posted (MPI
 // has no portable cancel either — the caller must treat the peer as
 // failed).
-func (r *Request) WaitTimeout(p *sim.Proc, d sim.Duration) ([]byte, Status, bool) {
-	if !r.done.AwaitTimeout(p, d) {
+func (r *Request) WaitTimeout(p Waiter, d sim.Duration) ([]byte, Status, bool) {
+	if !p.AwaitEventTimeout(r.done, d) {
 		return nil, Status{}, false
 	}
 	return r.data, r.status, true
@@ -125,7 +129,7 @@ func (r *Request) Free() {
 
 // matches reports whether an envelope satisfies a posted (src, tag) pair,
 // where src is a communicator rank or AnySource.
-func envelopeMatches(m *message, ctx int, src int, tag Tag) bool {
+func envelopeMatches(m *Message, ctx int, src int, tag Tag) bool {
 	if m.ctx != ctx {
 		return false
 	}
@@ -193,7 +197,7 @@ func (c *Comm) isendAnyTag(dst int, tag Tag, data []byte, size int, owned bool) 
 	req := &Request{isSend: true, status: Status{Source: dst, Tag: tag, Size: size}}
 	req.doneEv.Init(w.sim)
 	req.done = &req.doneEv
-	m := &message{
+	m := &Message{
 		ctx:      c.ctx,
 		srcWorld: srcEp.rank,
 		srcComm:  c.rank,
@@ -208,11 +212,7 @@ func (c *Comm) isendAnyTag(dst int, tag Tag, data []byte, size int, owned bool) 
 	}
 	m.bodyEv.Init(w.sim)
 	m.bodyArrived = &m.bodyEv
-	if w.params.Rendezvous(size) {
-		m.cts = sim.NewEvent(w.sim)
-		req.cancel = sim.NewEvent(w.sim)
-	}
-	w.sim.SpawnArg("mpi-send", runSend, m)
+	w.transport.Deliver(m)
 	return req
 }
 
@@ -221,7 +221,7 @@ func (c *Comm) isendAnyTag(dst int, tag Tag, data []byte, size int, owned bool) 
 // both NICs. Top-level (not a closure) so spawning it allocates nothing
 // beyond the message itself.
 func runSend(p *sim.Proc, v any) {
-	m := v.(*message)
+	m := v.(*Message)
 	w, params := m.w, m.w.params
 	srcEp, dstEp, req := m.srcEp, m.dstEp, m.sreq
 	p.Wait(params.SendOverhead)
@@ -270,13 +270,13 @@ func runSend(p *sim.Proc, v any) {
 }
 
 // Send is the blocking form of Isend.
-func (c *Comm) Send(p *sim.Proc, dst int, tag Tag, data []byte) {
+func (c *Comm) Send(p Waiter, dst int, tag Tag, data []byte) {
 	r := c.Isend(dst, tag, data)
 	r.Wait(p)
 }
 
 // SendSized is the blocking form of IsendSized.
-func (c *Comm) SendSized(p *sim.Proc, dst int, tag Tag, size int) {
+func (c *Comm) SendSized(p Waiter, dst int, tag Tag, size int) {
 	r := c.IsendSized(dst, tag, size)
 	r.Wait(p)
 }
@@ -314,14 +314,14 @@ func (c *Comm) irecvAnyTag(src int, tag Tag) *Request {
 
 // Recv blocks until a matching message arrives and returns its payload
 // (nil for sized sends) and status.
-func (c *Comm) Recv(p *sim.Proc, src int, tag Tag) ([]byte, Status) {
+func (c *Comm) Recv(p Waiter, src int, tag Tag) ([]byte, Status) {
 	return c.Irecv(src, tag).Wait(p)
 }
 
 // completeRecv wires a matched message to its receive request: grant the
 // rendezvous sender clearance, then complete once the payload has landed
 // plus the receive overhead.
-func (c *Comm) completeRecv(req *Request, m *message) {
+func (c *Comm) completeRecv(req *Request, m *Message) {
 	if m.cts != nil {
 		m.cts.Trigger()
 	}
@@ -331,12 +331,12 @@ func (c *Comm) completeRecv(req *Request, m *message) {
 }
 
 func recvBodyArrived(v any) {
-	m := v.(*message)
+	m := v.(*Message)
 	m.w.sim.AfterCall(m.w.params.RecvOverhead, recvComplete, m)
 }
 
 func recvComplete(v any) {
-	m := v.(*message)
+	m := v.(*Message)
 	req := m.rreq
 	req.data = m.data
 	req.owned = m.owned
@@ -347,7 +347,7 @@ func recvComplete(v any) {
 // deliverEnvelope lands an envelope at the endpoint: match a posted
 // receive (oldest matching first), otherwise queue as unexpected. Probers
 // are satisfied either way.
-func (ep *endpoint) deliverEnvelope(m *message) {
+func (ep *endpoint) deliverEnvelope(m *Message) {
 	for i, pr := range ep.posted {
 		if envelopeMatches(m, pr.prCtx, pr.prSrc, pr.prTag) {
 			ep.posted = append(ep.posted[:i], ep.posted[i+1:]...)
@@ -360,7 +360,7 @@ func (ep *endpoint) deliverEnvelope(m *message) {
 	ep.notifyProbers(m)
 }
 
-func (ep *endpoint) notifyProbers(m *message) {
+func (ep *endpoint) notifyProbers(m *Message) {
 	kept := ep.probers[:0]
 	for _, pb := range ep.probers {
 		if pb.match == nil && envelopeMatches(m, pb.ctx, pb.src, pb.tag) {
@@ -375,14 +375,14 @@ func (ep *endpoint) notifyProbers(m *message) {
 
 // Probe blocks until a message matching (src, tag) is available to
 // receive, without consuming it, and returns its status.
-func (c *Comm) Probe(p *sim.Proc, src int, tag Tag) Status {
+func (c *Comm) Probe(p Waiter, src int, tag Tag) Status {
 	if st, ok := c.Iprobe(src, tag); ok {
 		return st
 	}
 	ep := c.ep()
 	pb := &prober{ctx: c.ctx, src: src, tag: tag, comm: c, ev: sim.NewEvent(c.world.sim)}
 	ep.probers = append(ep.probers, pb)
-	pb.ev.Await(p)
+	p.AwaitEvent(pb.ev)
 	return Status{Source: pb.match.srcComm, Tag: pb.match.tag, Size: pb.match.size}
 }
 
@@ -402,18 +402,18 @@ func (c *Comm) Iprobe(src int, tag Tag) (Status, bool) {
 }
 
 // WaitAll blocks until every request has completed.
-func WaitAll(p *sim.Proc, reqs ...*Request) {
+func WaitAll(p Waiter, reqs ...*Request) {
 	for _, r := range reqs {
-		r.done.Await(p)
+		p.AwaitEvent(r.done)
 	}
 }
 
 // WaitAny blocks until at least one request completes and returns the
 // index of a completed one (lowest index if several already are).
-func WaitAny(p *sim.Proc, reqs ...*Request) int {
+func WaitAny(p Waiter, reqs ...*Request) int {
 	events := make([]*sim.Event, len(reqs))
 	for i, r := range reqs {
 		events[i] = r.done
 	}
-	return sim.AwaitAny(p, events...)
+	return p.AwaitAnyEvent(events...)
 }

@@ -1,0 +1,195 @@
+package minimpi
+
+import (
+	"fmt"
+
+	"dynacc/internal/sim"
+)
+
+// Transport is the pluggable message-carrying backend of a World. Every
+// posted send — point-to-point or collective-internal — reaches the wire
+// through exactly one Deliver call, made in scheduler context from
+// isendAnyTag after the request and message records are initialized.
+//
+// Two backends exist: the in-sim transport (default; models the
+// interconnect on the virtual clock and stays the Tier-1 oracle) and
+// nettrans.Transport, which carries frames between OS processes over TCP.
+// A distributed backend routes local-destination messages to the sim
+// backend unchanged and remote-destination messages onto the wire; frames
+// arriving from remote peers re-enter the World through InjectRemote and
+// land in the same matching queues (posted receives, unexpected envelopes,
+// probers) a local send would.
+//
+// Contract for Deliver:
+//   - It runs in scheduler context and must not block.
+//   - It owns the Message from that point on. An owned payload
+//     (IsendOwned) must eventually return to the world pool — either by
+//     the receiver's Request.Free (local delivery) or by the transport
+//     itself once the bytes are copied out (remote delivery).
+//   - The sender's request must eventually complete (FinishLocal or the
+//     sim flight), or be cancellable; "lost forever with no signal" is
+//     reserved for fault injection.
+type Transport interface {
+	// Deliver carries one message toward its destination rank.
+	Deliver(m *Message)
+	// Stats reports cumulative connection-level counters. The sim backend
+	// returns zeroes: it has no connections to account for.
+	Stats() TransportStats
+	// Close releases transport resources (sockets, goroutines). The sim
+	// backend is a no-op.
+	Close() error
+}
+
+// TransportStats counts connection-level activity of a transport backend,
+// complementing the per-Comm WireStats message/byte counters with the
+// things only a real network has: dials, reconnects, handshake failures
+// and resent frames.
+type TransportStats struct {
+	Dials             int64 // connection attempts (including redials)
+	Reconnects        int64 // successful re-establishments after a drop
+	HandshakeFailures int64 // connections rejected during the handshake
+	FramesSent        int64
+	FramesReceived    int64
+	FramesResent      int64 // frames re-queued after a connection drop
+	BytesSent         int64 // framed bytes, headers included
+	BytesReceived     int64
+}
+
+// Waiter is the backend-neutral face of a blocked caller: everything a
+// Comm blocking call needs from "the thing that sleeps". *sim.Proc
+// implements it, so sim-mode call sites are unchanged; a socket-mode
+// process is still a sim.Proc (driven by sim.RunRealtime), so the same
+// implementation serves both backends — under the real-time driver the
+// timeout variant maps to a wall-clock deadline.
+type Waiter interface {
+	// AwaitEvent blocks until the event fires.
+	AwaitEvent(*sim.Event)
+	// AwaitEventTimeout blocks until the event fires or d elapses,
+	// reporting whether it fired.
+	AwaitEventTimeout(*sim.Event, sim.Duration) bool
+	// AwaitAnyEvent blocks until any event fires and returns the index of
+	// one fired event.
+	AwaitAnyEvent(...*sim.Event) int
+}
+
+// simTransport is the in-sim backend: the flight of every message is
+// modelled on the virtual clock by a per-message transfer process. Setup
+// order here is load-bearing: rendezvous event creation followed by the
+// SpawnArg reproduces the pre-Transport scheduler event order exactly, so
+// sim-mode runs stay bit-identical.
+type simTransport struct {
+	w *World
+}
+
+func (t simTransport) Deliver(m *Message) {
+	w := t.w
+	if w.params.Rendezvous(m.size) {
+		m.cts = sim.NewEvent(w.sim)
+		m.sreq.cancel = sim.NewEvent(w.sim)
+	}
+	w.sim.SpawnArg("mpi-send", runSend, m)
+}
+
+func (t simTransport) Stats() TransportStats { return TransportStats{} }
+func (t simTransport) Close() error          { return nil }
+
+// SimTransport returns the world's in-sim backend. A distributed transport
+// wraps it to keep local-destination traffic on the virtual clock.
+func (w *World) SimTransport() Transport { return simTransport{w} }
+
+// SetTransport installs a transport backend. Call during setup, before any
+// traffic flows; the previous backend is not drained.
+func (w *World) SetTransport(t Transport) { w.transport = t }
+
+// TransportStats reports the installed backend's connection counters.
+func (w *World) TransportStats() TransportStats { return w.transport.Stats() }
+
+// Envelope is the matching metadata of one message as it crosses a
+// process boundary: everything a remote World needs to land the payload in
+// its matching queues.
+type Envelope struct {
+	Src     int // world rank of the sender
+	SrcComm int // sender's rank within the sending communicator
+	Dst     int // world rank of the destination
+	Ctx     int // communicator context id
+	Tag     Tag
+	Size    int // wire size; len(payload) for carried payloads, else metadata-only
+}
+
+// Dst returns the destination world rank of the message.
+func (m *Message) Dst() int { return m.dstEp.rank }
+
+// RemoteEnvelope returns the message's matching metadata in
+// process-boundary form.
+func (m *Message) RemoteEnvelope() Envelope {
+	return Envelope{
+		Src:     m.srcWorld,
+		SrcComm: m.srcComm,
+		Dst:     m.dstEp.rank,
+		Ctx:     m.ctx,
+		Tag:     m.tag,
+		Size:    m.size,
+	}
+}
+
+// Payload returns the message payload (nil for sized sends). The slice is
+// only valid until FinishLocal releases an owned buffer — transports copy
+// it out first.
+func (m *Message) Payload() []byte { return m.data }
+
+// FinishLocal completes the send at the sender without modelling a flight:
+// the request fires, the endpoint's send counters advance, and an owned
+// payload returns to the world pool. A remote-bound transport calls it
+// from Deliver once the payload has been copied onto the wire — eager
+// local completion, exactly what the sim backend reports for eager sends.
+func (m *Message) FinishLocal() {
+	m.sreq.done.Trigger()
+	m.srcEp.traffic.MsgsSent++
+	m.srcEp.traffic.BytesSent += int64(m.size)
+	if m.owned && m.data != nil {
+		m.w.PutBuf(m.data)
+		m.data = nil
+		m.owned = false
+	}
+}
+
+// InjectRemote lands a message that arrived from another process in the
+// destination rank's matching queues, exactly as a local send's envelope
+// would, with the payload already present (remote transfers are always
+// eager). It is safe to call from any goroutine: the work is injected into
+// the scheduler loop, so it requires the simulation to be running under
+// sim.RunRealtime.
+//
+// payload must be nil (sized send) or exactly env.Size bytes; the World
+// takes ownership of it.
+func (w *World) InjectRemote(env Envelope, payload []byte) error {
+	if env.Dst < 0 || env.Dst >= len(w.eps) {
+		return fmt.Errorf("minimpi: InjectRemote: rank %d out of range [0,%d)", env.Dst, len(w.eps))
+	}
+	if payload != nil && len(payload) != env.Size {
+		return fmt.Errorf("minimpi: InjectRemote: payload %dB does not match envelope size %dB", len(payload), env.Size)
+	}
+	w.sim.Inject(func() {
+		ep := w.eps[env.Dst]
+		m := &Message{
+			ctx:      env.Ctx,
+			srcWorld: env.Src,
+			srcComm:  env.SrcComm,
+			tag:      env.Tag,
+			size:     env.Size,
+			data:     payload,
+			w:        w,
+			dstEp:    ep,
+		}
+		m.bodyEv.Init(w.sim)
+		m.bodyArrived = &m.bodyEv
+		ep.traffic.MsgsReceived++
+		ep.traffic.BytesReceived += int64(env.Size)
+		ep.deliverEnvelope(m)
+		// The payload is already here: fire bodyArrived immediately. A
+		// receive posted later still completes — OnTriggerCall on a fired
+		// event schedules the completion at registration time.
+		m.bodyArrived.Trigger()
+	})
+	return nil
+}

@@ -1,0 +1,112 @@
+package nettrans
+
+import (
+	"net"
+	"testing"
+
+	"dynacc/internal/minimpi"
+	"dynacc/internal/sim"
+)
+
+// deadAddr returns a loopback address nothing listens on.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestFrameCopyOutlivesEncoderReset pins the copy-on-enqueue contract:
+// Deliver encodes every remote message through one persistent scratch
+// wire.Writer, so a queued frame outlives many Resets of that encoder —
+// and the caller may reuse its own payload buffer the moment the send
+// completes locally. Three sends share a single caller buffer, each
+// overwriting the last; with the peer unreachable all three frames sit in
+// the outbox, where each must still carry its original bytes.
+func TestFrameCopyOutlivesEncoderReset(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	procs := []ProcSpec{
+		{Addr: ln.Addr().String(), Ranks: []int{0}},
+		{Addr: deadAddr(t), Ranks: []int{1}},
+	}
+	a := startNode(t, 2, 0, procs, ln, nil)
+	defer a.halt()
+
+	sizes := []int{48, 7, 160}
+	done := a.run("enqueue", func(p *sim.Proc) {
+		c := a.w.Comm(0)
+		scratch := make([]byte, 160)
+		for i, sz := range sizes {
+			for j := 0; j < sz; j++ {
+				scratch[j] = byte('A' + i)
+			}
+			// Remote sends complete locally at Deliver time, so Wait
+			// returns with no peer — and the next loop iteration is then
+			// free to clobber scratch.
+			c.Isend(1, minimpi.Tag(i+1), scratch[:sz]).Wait(p)
+		}
+	})
+	wait(t, done, "enqueue of aliased sends")
+
+	pr := a.tr.peers[1]
+	pr.mu.Lock()
+	queued := make([][]byte, 0, len(pr.queue)-pr.head)
+	for _, f := range pr.queue[pr.head:] {
+		queued = append(queued, append([]byte(nil), f...))
+	}
+	pr.mu.Unlock()
+
+	if len(queued) != len(sizes) {
+		t.Fatalf("outbox holds %d frames, want %d", len(queued), len(sizes))
+	}
+	for i, frame := range queued {
+		if len(frame) < lenPrefixSize {
+			t.Fatalf("frame %d truncated: %d bytes", i, len(frame))
+		}
+		env, payload, err := decodeMsgBody(frame[lenPrefixSize:])
+		if err != nil {
+			t.Fatalf("frame %d does not decode: %v", i, err)
+		}
+		if env.Tag != minimpi.Tag(i+1) || env.Src != 0 || env.Dst != 1 {
+			t.Errorf("frame %d envelope = %+v", i, env)
+		}
+		if len(payload) != sizes[i] {
+			t.Fatalf("frame %d payload %dB, want %dB", i, len(payload), sizes[i])
+		}
+		for j, bb := range payload {
+			if bb != byte('A'+i) {
+				t.Fatalf("frame %d byte %d = %q: clobbered by a later encoder Reset or caller reuse", i, j, bb)
+			}
+		}
+	}
+}
+
+// TestEncodeEnqueueSteadyStateAllocs bounds the per-frame allocation cost
+// of the socket send path at steady state: encode into the persistent
+// scratch writer, copy into a pooled frame, return the frame. The only
+// unavoidable allocation is the slice-header boxing on the sync.Pool
+// round-trip, so anything beyond two allocations per frame means the
+// scratch writer or the pool stopped being reused.
+func TestEncodeEnqueueSteadyStateAllocs(t *testing.T) {
+	var tr Transport
+	env := minimpi.Envelope{Src: 0, Dst: 1, Ctx: 2, Tag: 42, Size: 4096}
+	payload := make([]byte, 4096)
+	frame := func() {
+		tr.encw.Reset()
+		appendMsgFrame(&tr.encw, env, payload)
+		f := tr.getFrame(tr.encw.Len())
+		copy(f, tr.encw.Bytes())
+		tr.putFrame(f)
+	}
+	frame() // warm the writer and the pool
+	if allocs := testing.AllocsPerRun(100, frame); allocs > 2 {
+		t.Errorf("encode+enqueue allocates %.1f objects per frame, want <= 2", allocs)
+	}
+}

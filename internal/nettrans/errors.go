@@ -1,0 +1,40 @@
+package nettrans
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrHandshake is the class of all connection-handshake refusals: bad
+// token, bad magic, inconsistent rank claim, version mismatch. Concrete
+// errors wrap it, so errors.Is(err, ErrHandshake) catches them all.
+var ErrHandshake = errors.New("nettrans: handshake failed")
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("nettrans: transport closed")
+
+// VersionMismatchError is a handshake refusal caused by incompatible
+// protocol revisions. It wraps ErrHandshake.
+type VersionMismatchError struct {
+	Mine   uint32 // the local protocol version
+	Theirs uint32 // the version the peer announced
+}
+
+func (e *VersionMismatchError) Error() string {
+	return fmt.Sprintf("nettrans: protocol version mismatch: local %d, peer %d", e.Mine, e.Theirs)
+}
+
+func (e *VersionMismatchError) Unwrap() error { return ErrHandshake }
+
+// HandshakeError is a handshake refusal with a reason (bad token, bogus
+// rank claim, malformed hello). It wraps ErrHandshake.
+type HandshakeError struct {
+	Peer   string // remote address or proc label
+	Reason string
+}
+
+func (e *HandshakeError) Error() string {
+	return fmt.Sprintf("nettrans: handshake with %s refused: %s", e.Peer, e.Reason)
+}
+
+func (e *HandshakeError) Unwrap() error { return ErrHandshake }

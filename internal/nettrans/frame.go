@@ -1,0 +1,206 @@
+package nettrans
+
+import (
+	"fmt"
+	"io"
+
+	"dynacc/internal/minimpi"
+	"dynacc/internal/wire"
+)
+
+// Stream format: every frame travels as [u32 length][body], length counting
+// the body only. Bodies start with a one-byte kind and use the wire codec
+// (little-endian, length-prefixed strings) for the rest. Three kinds exist:
+// the connection handshake pair (hello/welcome) and the message frame that
+// carries one minimpi envelope plus payload.
+
+// ProtocolVersion is the wire protocol revision. Connections between
+// mismatched versions are refused during the handshake.
+const ProtocolVersion uint32 = 1
+
+// helloMagic opens every hello body so a stray connection from something
+// that is not a dynacc transport fails fast, before any length prefix is
+// trusted. "DACT" little-endian.
+const helloMagic uint32 = 0x54434144
+
+// Frame kinds.
+const (
+	kindMsg     = 1
+	kindHello   = 2
+	kindWelcome = 3
+)
+
+// DefaultMaxFrame bounds a single frame body. Larger pipelined transfers
+// are already split into blocks well under this by the copy pipelines.
+const DefaultMaxFrame = 64 << 20
+
+// lenPrefixSize is the stream length prefix.
+const lenPrefixSize = 4
+
+// maxHandshakeFrame bounds hello/welcome bodies: a rank-claim list plus a
+// refusal reason fits far under this.
+const maxHandshakeFrame = 1 << 16
+
+// msgHeaderSize is the fixed-size header of a kindMsg body: kind byte,
+// four u32 fields (dst, src, srcComm, ctx), i64 tag, u64 size and the
+// has-payload flag.
+const msgHeaderSize = 1 + 4*4 + 8 + 8 + 1
+
+// appendMsgFrame appends a length-prefixed message frame to buf. The tag
+// is encoded as i64: collective tags are negative and must round-trip.
+func appendMsgFrame(w *wire.Writer, env minimpi.Envelope, payload []byte) {
+	w.U32(uint32(msgHeaderSize + len(payload)))
+	w.U8(kindMsg)
+	w.U32(uint32(env.Dst))
+	w.U32(uint32(env.Src))
+	w.U32(uint32(env.SrcComm))
+	w.U32(uint32(env.Ctx))
+	w.I64(int64(env.Tag))
+	w.U64(uint64(env.Size))
+	if payload != nil {
+		w.U8(1)
+		w.Raw(payload)
+	} else {
+		w.U8(0)
+	}
+}
+
+// decodeMsgBody parses a kindMsg frame body (kind byte already consumed by
+// the caller's peek, but still present in body). The returned payload
+// aliases body; the caller hands the whole buffer over to the World.
+func decodeMsgBody(body []byte) (minimpi.Envelope, []byte, error) {
+	r := wire.NewReader(body)
+	if k := r.U8(); k != kindMsg {
+		return minimpi.Envelope{}, nil, fmt.Errorf("nettrans: frame kind %d, want message", k)
+	}
+	env := minimpi.Envelope{
+		Dst:     int(int32(r.U32())),
+		Src:     int(int32(r.U32())),
+		SrcComm: int(int32(r.U32())),
+		Ctx:     int(int32(r.U32())),
+		Tag:     minimpi.Tag(r.I64()),
+		Size:    int(int64(r.U64())),
+	}
+	hasPayload := r.U8() != 0
+	var payload []byte
+	if hasPayload {
+		payload = r.Rest()
+	} else if r.Remaining() != 0 {
+		return minimpi.Envelope{}, nil, fmt.Errorf("nettrans: %d trailing bytes after sized-send frame", r.Remaining())
+	}
+	if err := r.Err(); err != nil {
+		return minimpi.Envelope{}, nil, err
+	}
+	if env.Size < 0 {
+		return minimpi.Envelope{}, nil, fmt.Errorf("nettrans: negative envelope size %d", env.Size)
+	}
+	if hasPayload && len(payload) != env.Size {
+		return minimpi.Envelope{}, nil, fmt.Errorf("nettrans: payload %dB does not match envelope size %dB", len(payload), env.Size)
+	}
+	return env, payload, nil
+}
+
+// hello is the handshake opener: the dialer claims a proc id and the exact
+// rank set the shared topology assigns to it, and proves membership with
+// the connection token.
+type hello struct {
+	version uint32
+	procID  int
+	ranks   []int
+	token   string
+}
+
+func appendHello(w *wire.Writer, h hello) {
+	body := wire.NewWriter(64)
+	body.U8(kindHello)
+	body.U32(helloMagic)
+	body.U32(h.version)
+	body.U32(uint32(h.procID))
+	body.Ints(h.ranks)
+	body.Str(h.token)
+	w.U32(uint32(body.Len()))
+	w.Raw(body.Bytes())
+}
+
+func decodeHelloBody(body []byte) (hello, error) {
+	r := wire.NewReader(body)
+	if k := r.U8(); k != kindHello {
+		return hello{}, fmt.Errorf("nettrans: frame kind %d, want hello", k)
+	}
+	if m := r.U32(); m != helloMagic {
+		return hello{}, fmt.Errorf("nettrans: bad magic %#x", m)
+	}
+	h := hello{
+		version: r.U32(),
+		procID:  int(int32(r.U32())),
+		ranks:   r.Ints(),
+		token:   r.Str(),
+	}
+	if err := r.Err(); err != nil {
+		return hello{}, err
+	}
+	if r.Remaining() != 0 {
+		return hello{}, fmt.Errorf("nettrans: %d trailing bytes in hello", r.Remaining())
+	}
+	return h, nil
+}
+
+// welcome is the handshake reply. A refusal carries a reason and, for
+// version mismatches, the acceptor's version so the dialer can produce a
+// precise error.
+type welcome struct {
+	ok      bool
+	version uint32
+	reason  string
+}
+
+func appendWelcome(w *wire.Writer, wl welcome) {
+	body := wire.NewWriter(32)
+	body.U8(kindWelcome)
+	if wl.ok {
+		body.U8(1)
+	} else {
+		body.U8(0)
+	}
+	body.U32(wl.version)
+	body.Str(wl.reason)
+	w.U32(uint32(body.Len()))
+	w.Raw(body.Bytes())
+}
+
+func decodeWelcomeBody(body []byte) (welcome, error) {
+	r := wire.NewReader(body)
+	if k := r.U8(); k != kindWelcome {
+		return welcome{}, fmt.Errorf("nettrans: frame kind %d, want welcome", k)
+	}
+	wl := welcome{
+		ok:      r.U8() != 0,
+		version: r.U32(),
+		reason:  r.Str(),
+	}
+	if err := r.Err(); err != nil {
+		return welcome{}, err
+	}
+	return wl, nil
+}
+
+// readFrame reads one length-prefixed frame body from r. The length is
+// validated against maxFrame before any body allocation, so an adversarial
+// or corrupt prefix cannot cause an allocation blowup.
+func readFrame(r io.Reader, scratch *[lenPrefixSize]byte, maxFrame int) ([]byte, error) {
+	if _, err := io.ReadFull(r, scratch[:]); err != nil {
+		return nil, err
+	}
+	n := int(uint32(scratch[0]) | uint32(scratch[1])<<8 | uint32(scratch[2])<<16 | uint32(scratch[3])<<24)
+	if n <= 0 {
+		return nil, fmt.Errorf("nettrans: invalid frame length %d", n)
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("nettrans: frame length %d exceeds limit %d", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

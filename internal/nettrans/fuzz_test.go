@@ -1,0 +1,108 @@
+package nettrans
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"dynacc/internal/minimpi"
+	"dynacc/internal/wire"
+)
+
+// FuzzDecodeMsgBody throws arbitrary bytes at the message-frame decoder:
+// it must never panic, and an accepted frame must satisfy the envelope
+// invariants the reader relies on before injecting into a World.
+func FuzzDecodeMsgBody(f *testing.F) {
+	// Seed with a valid frame (prefix stripped), a sized-send frame, and
+	// mutilations of both.
+	w := wire.NewWriter(64)
+	appendMsgFrame(w, minimpi.Envelope{Src: 1, SrcComm: 0, Dst: 2, Ctx: 3, Tag: -5, Size: 4}, []byte("abcd"))
+	valid := w.Bytes()[lenPrefixSize:]
+	f.Add(append([]byte(nil), valid...))
+	w.Reset()
+	appendMsgFrame(w, minimpi.Envelope{Src: 0, Dst: 1, Tag: 10, Size: 1 << 20}, nil)
+	f.Add(append([]byte(nil), w.Bytes()[lenPrefixSize:]...))
+	f.Add(valid[:len(valid)-2]) // truncated payload
+	f.Add([]byte{kindMsg})      // truncated header
+	f.Add([]byte{})
+	f.Add([]byte{kindHello, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		env, payload, err := decodeMsgBody(body)
+		if err != nil {
+			return
+		}
+		if env.Size < 0 {
+			t.Fatalf("accepted negative size: %+v", env)
+		}
+		if payload != nil && len(payload) != env.Size {
+			t.Fatalf("accepted mismatched payload: %d bytes for size %d", len(payload), env.Size)
+		}
+	})
+}
+
+// FuzzReadFrame exercises the stream framing layer: arbitrary byte streams
+// must produce either a body within the limit or an error, never a panic
+// or an over-limit buffer.
+func FuzzReadFrame(f *testing.F) {
+	w := wire.NewWriter(64)
+	appendMsgFrame(w, minimpi.Envelope{Src: 0, Dst: 1, Tag: 1, Size: 3}, []byte("xyz"))
+	f.Add(append([]byte(nil), w.Bytes()...))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3}) // absurd length prefix
+	f.Add([]byte{0, 0, 0, 0})                      // zero length
+	f.Add([]byte{10, 0, 0, 0, 1, 2})               // truncated body
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const limit = 1 << 16
+		var scratch [lenPrefixSize]byte
+		body, err := readFrame(bytes.NewReader(data), &scratch, limit)
+		if err == nil && len(body) > limit {
+			t.Fatalf("readFrame returned %d bytes past the %d limit", len(body), limit)
+		}
+	})
+}
+
+// FuzzDecodeHandshake covers the hello/welcome decoders.
+func FuzzDecodeHandshake(f *testing.F) {
+	w := wire.NewWriter(64)
+	appendHello(w, hello{version: 1, procID: 2, ranks: []int{3, 4}, token: "tok"})
+	f.Add(append([]byte(nil), w.Bytes()[lenPrefixSize:]...))
+	w.Reset()
+	appendWelcome(w, welcome{ok: false, version: 9, reason: "nope"})
+	f.Add(append([]byte(nil), w.Bytes()[lenPrefixSize:]...))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if h, err := decodeHelloBody(body); err == nil {
+			rt := wire.NewWriter(64)
+			appendHello(rt, h)
+			if h2, err2 := decodeHelloBody(rt.Bytes()[lenPrefixSize:]); err2 != nil || h2.token != h.token || h2.procID != h.procID {
+				t.Fatalf("hello round-trip broke: %+v -> %+v (%v)", h, h2, err2)
+			}
+		}
+		decodeWelcomeBody(body)
+	})
+}
+
+// TestReadFrameOversizedRejectsWithoutAllocating pins the frame-length
+// guard: a corrupt prefix claiming a near-2GiB body must be refused before
+// the body buffer is allocated. Measured in bytes, not alloc counts — the
+// error value itself may allocate a few dozen bytes.
+func TestReadFrameOversizedRejectsWithoutAllocating(t *testing.T) {
+	evil := []byte{0xF0, 0xFF, 0xFF, 0x7F} // claims ~2GiB, no body follows
+	var scratch [lenPrefixSize]byte
+	r := bytes.NewReader(nil)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < 100; i++ {
+		r.Reset(evil)
+		if _, err := readFrame(r, &scratch, DefaultMaxFrame); err == nil {
+			t.Fatal("oversized frame accepted")
+		}
+	}
+	runtime.ReadMemStats(&after)
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 1<<20 {
+		t.Fatalf("100 oversized rejections allocated %d bytes", grew)
+	}
+}

@@ -133,14 +133,21 @@ type Simulation struct {
 	freeWaiters    []*eventWaiter
 	freeBoxWaiters []*boxWaiter
 	freeResWaiters []*resWaiter
+
+	// inj is the cross-goroutine injection queue used by RunRealtime; see
+	// realtime.go. It is the only part of a Simulation other goroutines may
+	// touch, and only via Inject.
+	inj injector
 }
 
 // New creates an empty simulation with the clock at zero.
 func New() *Simulation {
-	return &Simulation{
+	s := &Simulation{
 		yield: make(chan struct{}),
 		procs: make(map[*Proc]struct{}),
 	}
+	s.inj.sig = make(chan struct{}, 1)
+	return s
 }
 
 // Now returns the current virtual time. It may be called from process
