@@ -31,6 +31,7 @@ func main() {
 	batchJSON := flag.String("batching-json", "", "run the command-batching launch storm and write the report to this file")
 	armJSON := flag.String("arm-json", "", "run the multi-tenant sharing workload and write the ARM's per-accelerator stats to this file")
 	fleetJSON := flag.String("fleet-json", "", "run the 32-daemon/96-tenant fleet benchmark and write the engine-cost report to this file")
+	heteroJSON := flag.String("hetero-json", "", "run the mixed-fleet QR comparison and write the per-class utilization report to this file")
 	shards := flag.Int("shards", 1, "ARM shard count for -arm-json and -fleet-json workloads (<2 = single legacy ARM)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
@@ -80,6 +81,21 @@ func main() {
 		for _, hp := range r.HotPaths {
 			fmt.Printf("  %s: %.0f ms wall (%.2fx vs seed), %d allocs (%.2fx fewer than seed)\n",
 				hp.Name, float64(hp.WallNS)/1e6, hp.WallSpeedup, hp.Allocs, hp.AllocRatio)
+		}
+		return
+	}
+
+	if *heteroJSON != "" {
+		r, err := bench.WriteHeteroJSON(*heteroJSON, 4032, 128)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("hetero QR (%s, N=%d, NB=%d): classic %.1f ms, split-panel %.1f ms (%.2fx), panel on %s\n",
+			r.Fleet, r.N, r.NB, 1e3*r.ClassicSecs, 1e3*r.HeteroSecs, r.Speedup, r.PanelClass)
+		for _, c := range r.PerClass {
+			fmt.Printf("  class %-6s: %d device(s), %d grant(s), busy %.3fs (%.1f%% of interval)\n",
+				c.Class, c.Devices, c.Grants, c.BusySeconds, 100*c.Utilization)
 		}
 		return
 	}

@@ -49,6 +49,11 @@ type Handle struct {
 
 	Shared bool
 	Epoch  uint64
+
+	// Cap is the accelerator's capability descriptor. Zero for legacy
+	// (untagged) inventory; populated in capability-constrained acquire
+	// replies so the holder knows what class of device it was granted.
+	Cap Capability
 }
 
 // Control-plane tags. TagRequest carries client→ARM requests; replies use
@@ -89,6 +94,8 @@ const (
 	opRecall   // peer→peer: dedup-cache query while serving a replay
 	// Split-brain-safe failover (PR 7).
 	opEpoched // client→server envelope carrying the sender's epoch view
+	// Heterogeneous fleets (PR 9).
+	opAcquireCapable // opAcquire with a capability constraint and described reply
 )
 
 // Reply status codes.
@@ -102,6 +109,11 @@ const (
 	// the serving rank from the directory and replay (same reqID, so
 	// the dedup cache absorbs double execution).
 	statusFenced
+	// statusNoCapable: a capability-constrained acquire that no device in
+	// the live inventory can ever satisfy — distinct from
+	// statusImpossible so clients can tell "wrong fleet" from "pool too
+	// small" and stop retrying immediately.
+	statusNoCapable
 )
 
 // Errors returned by the client API.
@@ -125,6 +137,11 @@ var (
 	// budget without a grant. Returned as *AcquireTimeoutError, which
 	// reports the attempt count and elapsed virtual time.
 	ErrAcquireTimeout = errors.New("arm: blocking acquire timed out")
+	// ErrNoCapableDevice: a capability-constrained acquire names a
+	// class or kernel no live accelerator can serve; waiting would
+	// block forever, so both blocking and non-blocking acquires fail
+	// immediately with this error.
+	ErrNoCapableDevice = errors.New("arm: no capable device for constraint")
 )
 
 // AcquireTimeoutError reports a blocking acquire that gave up: how many
@@ -211,6 +228,9 @@ type AccelStats struct {
 	// State is the accelerator's lifecycle state ("free", "assigned",
 	// "shared", "failed", "suspect", "reclaiming", "retired").
 	State string
+	// Class is the accelerator's device class ("c1060", "fermi", "fpga");
+	// empty on an untagged (homogeneous legacy) fleet.
+	Class string
 	// Sessions counts current holders: the sharer count of a shared
 	// accelerator, 1 when exclusively assigned, 0 otherwise.
 	Sessions int
@@ -298,6 +318,10 @@ type accel struct {
 	notified bool       // owner has been sent a suspect notice
 	drainer  *drainWait // pending opDrain reply
 
+	// cap is the capability descriptor the accelerator registered with;
+	// zero for legacy untagged inventory.
+	cap Capability
+
 	// Per-accelerator accounting (see AccelStats).
 	busySeconds float64
 	waitSeconds float64
@@ -338,6 +362,11 @@ type pendingAcquire struct {
 	// non-blocking, never re-forwards (no routing loops), and the reply
 	// goes straight to the original client at src.
 	forwarded bool
+	// constraint restricts the grant to matching devices (zero = any);
+	// capable marks an opAcquireCapable request, whose reply carries
+	// each handle's capability descriptor.
+	constraint Constraint
+	capable    bool
 }
 
 // Options configures an ARM server beyond the queueing policy.
@@ -397,6 +426,14 @@ type Server struct {
 	peerFree     []int  // per-shard free counts from opLoad gossip
 	peerOper     []int  // per-shard operational counts
 	peerSeen     []bool // which peers have gossiped at least once
+	// Per-class gossip (capability.go): shard → class → counts. Only
+	// populated between classed peers; nil maps otherwise.
+	peerClassFree []map[string]int
+	peerClassOper []map[string]int
+	// classed is true while any inventory entry carries a capability
+	// descriptor; it gates every new wire section so untagged fleets
+	// stay byte-identical to the legacy ARM.
+	classed bool
 	fwdSeq       uint64 // reply-tag sequence for server-to-server calls
 	fwdW         *wire.Writer
 	replies      map[int]map[uint64][]byte // client → reqID → sent reply (dedup)
@@ -467,10 +504,11 @@ func NewServerOpts(comm *minimpi.Comm, inventory []Handle, opts Options) (*Serve
 			return nil, fmt.Errorf("arm: accelerator %d belongs to shard %d, not %d",
 				h.ID, s.dir.OwnerOf(h.ID), s.shard)
 		}
-		a := &accel{id: h.ID, rank: h.Rank, state: acFree}
+		a := &accel{id: h.ID, rank: h.Rank, state: acFree, cap: h.Cap}
 		s.accels = append(s.accels, a)
 		s.byID[h.ID] = a
 	}
+	s.updateClassed()
 	return s, nil
 }
 
@@ -585,9 +623,13 @@ func (s *Server) dispatch(src int, reqID uint64, op uint8, forwarded bool, r *wi
 		}
 	}
 	switch op {
-	case opAcquire, opAcquireShared:
+	case opAcquire, opAcquireShared, opAcquireCapable:
 		n := r.Int()
 		blocking := r.U8() == 1
+		var constraint Constraint
+		if op == opAcquireCapable {
+			constraint = decodeConstraint(r)
+		}
 		replay := r.Remaining() > 0 && r.U8() == 1 // absent in legacy requests
 		if r.Err() != nil || n <= 0 {
 			s.reply(src, reqID, statusBadRequest, nil)
@@ -596,6 +638,7 @@ func (s *Server) dispatch(src int, reqID uint64, op uint8, forwarded bool, r *wi
 		req := &pendingAcquire{
 			src: src, reqID: reqID, n: n,
 			shared: op == opAcquireShared, enqueued: s.now(), forwarded: forwarded,
+			constraint: constraint, capable: op == opAcquireCapable,
 		}
 		if replay && s.sharded && !forwarded {
 			// The original attempt may have been forwarded and granted by
@@ -692,6 +735,10 @@ func (s *Server) dispatch(src int, reqID uint64, op uint8, forwarded bool, r *wi
 	case opRegister:
 		id := r.Int()
 		rank := r.Int()
+		var cap Capability
+		if r.Remaining() > 0 { // optional trailer; absent in legacy requests
+			cap = decodeCapability(r)
+		}
 		if r.Err() != nil {
 			s.reply(src, reqID, statusBadRequest, nil)
 			return true
@@ -699,10 +746,13 @@ func (s *Server) dispatch(src int, reqID uint64, op uint8, forwarded bool, r *wi
 		if owner, ok := s.foreignOwnerOne(id, forwarded); ok {
 			s.forwardOp(owner, src, reqID, op, func(w *wire.Writer) {
 				w.Int(id).Int(rank)
+				if !cap.IsZero() {
+					encodeCapability(w, cap)
+				}
 			})
 			return true
 		}
-		s.register(src, reqID, id, rank)
+		s.register(src, reqID, id, rank, cap)
 	case opShutdown:
 		s.reply(src, reqID, statusOK, nil)
 		return false
@@ -877,9 +927,9 @@ func (s *Server) sharedAvailable(src int) int {
 // grant predicate both kinds are checked against.
 func (s *Server) canGrant(req *pendingAcquire) bool {
 	if req.shared {
-		return s.sharedAvailable(req.src) >= req.n
+		return s.sharedAvailableFor(req.src, req.constraint) >= req.n
 	}
-	return s.freeCount() >= req.n
+	return s.freeCountFor(req.constraint) >= req.n
 }
 
 func (s *Server) acquire(req *pendingAcquire, blocking bool) {
@@ -888,12 +938,13 @@ func (s *Server) acquire(req *pendingAcquire, blocking bool) {
 		s.reply(req.src, req.reqID, statusBadRequest, nil)
 		return
 	}
-	ceiling := s.operational()
+	ceiling := s.operationalFor(req.constraint)
 	if req.shared {
 		// Accelerators this client already shares can never satisfy the
 		// request (one lease per tenant per accelerator).
 		for _, a := range s.accels {
-			if _, held := a.sharers[req.src]; held && a.state != acFailed && a.state != acRetired {
+			if _, held := a.sharers[req.src]; held && a.state != acFailed && a.state != acRetired &&
+				s.eligible(a, req.constraint) {
 				ceiling--
 			}
 		}
@@ -912,12 +963,12 @@ func (s *Server) acquire(req *pendingAcquire, blocking bool) {
 			if s.forwardAcquire(req) {
 				return
 			}
-			if !s.gossipComplete() || req.n <= s.clusterOperational() {
+			if !s.gossipComplete() || req.n <= s.clusterOperationalFor(req.constraint) {
 				s.reply(req.src, req.reqID, statusUnavailable, nil)
 				return
 			}
 		}
-		s.reply(req.src, req.reqID, statusImpossible, nil)
+		s.reply(req.src, req.reqID, exhaustedStatus(req), nil)
 		return
 	}
 	if s.canGrant(req) && (s.policy == Backfill || len(s.queue) == 0) {
@@ -935,12 +986,13 @@ func (s *Server) acquire(req *pendingAcquire, blocking bool) {
 }
 
 // pickShared selects n distinct accelerators for a new sharer:
-// least-loaded first (fewest current sharers) so tenants spread across
-// the pool, pool order breaking ties for determinism.
-func (s *Server) pickShared(src, n int) []*accel {
+// constraint-eligible candidates only, least-loaded first (fewest
+// current sharers) so tenants spread across the pool, pool order
+// breaking ties for determinism.
+func (s *Server) pickShared(src, n int, c Constraint) []*accel {
 	var cand []*accel
 	for _, a := range s.accels {
-		if s.sharedGrantable(a, src) {
+		if s.sharedGrantable(a, src) && s.eligible(a, c) {
 			cand = append(cand, a)
 		}
 	}
@@ -968,7 +1020,7 @@ func (s *Server) grant(req *pendingAcquire) {
 	w.Int(req.n)
 	granted := 0
 	if req.shared {
-		for _, a := range s.pickShared(req.src, req.n) {
+		for _, a := range s.pickShared(req.src, req.n, req.constraint) {
 			a.state = acShared
 			if a.sharers == nil {
 				a.sharers = make(map[int]sim.Time)
@@ -978,6 +1030,9 @@ func (s *Server) grant(req *pendingAcquire) {
 			a.grants++
 			a.waitSeconds += wait
 			w.Int(a.id).Int(a.rank)
+			if req.capable {
+				encodeCapability(w, a.cap)
+			}
 			s.logGrant(a, req.src, true)
 			granted++
 		}
@@ -986,7 +1041,7 @@ func (s *Server) grant(req *pendingAcquire) {
 			if granted == req.n {
 				break
 			}
-			if a.state != acFree {
+			if a.state != acFree || !s.eligible(a, req.constraint) {
 				continue
 			}
 			a.state = acAssigned
@@ -996,6 +1051,9 @@ func (s *Server) grant(req *pendingAcquire) {
 			a.grants++
 			a.waitSeconds += wait
 			w.Int(a.id).Int(a.rank)
+			if req.capable {
+				encodeCapability(w, a.cap)
+			}
 			s.logGrant(a, req.src, false)
 			granted++
 		}
@@ -1069,8 +1127,8 @@ func (s *Server) drainQueue() {
 		kept := s.queue[:0]
 		for i, req := range s.queue {
 			switch {
-			case req.n > s.operational():
-				s.reply(req.src, req.reqID, statusImpossible, nil)
+			case req.n > s.operationalFor(req.constraint):
+				s.reply(req.src, req.reqID, exhaustedStatus(req), nil)
 				progressed = true
 			case s.canGrant(req):
 				s.grant(req)
@@ -1142,6 +1200,19 @@ func (s *Server) replace(src int, reqID uint64, rank int) {
 	// The shrunken pool may make queued requests impossible; settle them
 	// before queueing the replacement acquire.
 	s.drainQueue()
+	if s.classed && !shared {
+		// A heterogeneous pool must not hand back just any device: the
+		// replacement is the job's failed device by another name, so pick
+		// a same-class spare first, then a capability-compatible one.
+		if s.policy == Backfill || len(s.queue) == 0 {
+			if t := s.migrationTarget(failed); t != nil {
+				s.grantOne(t, src, reqID)
+				return
+			}
+		}
+		s.reply(src, reqID, statusUnavailable, nil)
+		return
+	}
 	s.acquire(&pendingAcquire{src: src, reqID: reqID, n: 1, shared: shared, enqueued: s.now()}, false)
 }
 
@@ -1246,6 +1317,13 @@ func (s *Server) encodeStatsEx(now sim.Time) []byte {
 		w.Int(a.holders()).Int(a.grants)
 		w.F64(a.busySeconds).F64(a.waitSeconds)
 	}
+	if s.classed {
+		// Per-accelerator device classes, one per table row in order — an
+		// appended trailer so untagged fleets keep the legacy bytes.
+		for _, a := range s.accels {
+			w.Str(a.cap.Class)
+		}
+	}
 	return w.Bytes()
 }
 
@@ -1291,6 +1369,11 @@ func decodeStatsEx(body []byte) (PoolStats, error) {
 		as.BusySeconds = r.F64()
 		as.WaitSeconds = r.F64()
 		st.PerAccel = append(st.PerAccel, as)
+	}
+	if r.Remaining() > 0 { // classed trailer: device class per row
+		for i := range st.PerAccel {
+			st.PerAccel[i].Class = r.Str()
+		}
 	}
 	return st, r.Err()
 }

@@ -56,6 +56,8 @@ func statusErr(status uint8) error {
 		return ErrImpossible
 	case statusFenced:
 		return ErrFenced
+	case statusNoCapable:
+		return ErrNoCapableDevice
 	default:
 		return ErrBadRequest
 	}
@@ -85,6 +87,48 @@ func (c *Client) Acquire(p *sim.Proc, n int, blocking bool) ([]Handle, error) {
 	handles := make([]Handle, 0, count)
 	for i := 0; i < count; i++ {
 		handles = append(handles, Handle{ID: r.Int(), Rank: r.Int()})
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("arm: malformed acquire reply: %w", err)
+	}
+	return handles, nil
+}
+
+// AcquireCapable requests n exclusive accelerators satisfying the
+// capability constraint (device class and/or supported kernel class; a
+// zero constraint matches any device). The returned handles carry each
+// grant's Capability descriptor. Blocking semantics match Acquire,
+// except that a constraint no live device can ever satisfy fails
+// immediately with ErrNoCapableDevice in both modes — waiting for a
+// device class the fleet does not have would block forever.
+func (c *Client) AcquireCapable(p *sim.Proc, n int, blocking bool, constraint Constraint) ([]Handle, error) {
+	status, payload, err := c.call(p, opAcquireCapable, func(w *wire.Writer) {
+		b := uint8(0)
+		if blocking {
+			b = 1
+		}
+		w.Int(n).U8(b)
+		encodeConstraint(w, constraint)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(status); err != nil {
+		return nil, err
+	}
+	return decodeCapableHandles(payload)
+}
+
+// decodeCapableHandles parses an opAcquireCapable reply: handle pairs
+// each followed by the granted device's capability descriptor.
+func decodeCapableHandles(payload []byte) ([]Handle, error) {
+	r := wire.NewReader(payload)
+	count := r.Int()
+	handles := make([]Handle, 0, count)
+	for i := 0; i < count; i++ {
+		h := Handle{ID: r.Int(), Rank: r.Int()}
+		h.Cap = decodeCapability(r)
+		handles = append(handles, h)
 	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("arm: malformed acquire reply: %w", err)
@@ -255,6 +299,24 @@ func (c *Client) Drain(p *sim.Proc, id int, deadline sim.Duration) error {
 // in the inventory.
 func (c *Client) Register(p *sim.Proc, id, rank int) error {
 	status, _, err := c.call(p, opRegister, func(w *wire.Writer) { w.Int(id).Int(rank) })
+	if err != nil {
+		return err
+	}
+	return statusErr(status)
+}
+
+// RegisterCapable is Register with a capability descriptor: the
+// accelerator joins the inventory tagged with its device class and
+// supported kernel classes, making it eligible for constrained acquires
+// and class-aware migration. A zero capability is exactly Register
+// (legacy wire bytes included).
+func (c *Client) RegisterCapable(p *sim.Proc, id, rank int, cap Capability) error {
+	status, _, err := c.call(p, opRegister, func(w *wire.Writer) {
+		w.Int(id).Int(rank)
+		if !cap.IsZero() {
+			encodeCapability(w, cap)
+		}
+	})
 	if err != nil {
 		return err
 	}

@@ -534,6 +534,28 @@ func (s *Server) migrate(src int, reqID uint64, rank int) {
 		s.reply(src, reqID, statusUnavailable, nil)
 		return
 	}
+	if s.classed {
+		// Heterogeneous pool: resident device state only moves to a
+		// capability-compatible spare, same-class preferred (a C1060's
+		// state never lands on the FPGA). Picked before surrendering the
+		// old assignment — limping on a suspect device beats trading a
+		// working hold for nothing.
+		target := s.migrationTarget(old)
+		if target == nil {
+			s.reply(src, reqID, statusUnavailable, nil)
+			return
+		}
+		s.accrue(s.now())
+		s.logEnd(old, old.owner)
+		old.owner = 0
+		old.state = acSuspect
+		old.dirty = true
+		old.notified = false
+		s.migrateCount++
+		s.settleDrainer(old)
+		s.grantOne(target, src, reqID)
+		return
+	}
 	s.accrue(s.now())
 	s.logEnd(old, old.owner)
 	old.owner = 0

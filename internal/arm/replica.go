@@ -71,6 +71,16 @@ func (s *Server) ship() {
 		w.Int(rr.dst).U64(rr.reqID).Blob(rr.msg)
 	}
 	s.repReplies = s.repReplies[:0]
+	if s.classed {
+		// Capability descriptors, so a promoted follower can keep making
+		// class-aware placement and migration decisions. Appended after
+		// the legacy sections: untagged fleets ship the legacy bytes.
+		w.Int(len(s.accels))
+		for _, a := range s.accels {
+			w.Int(a.id)
+			encodeCapability(w, a.cap)
+		}
+	}
 	s.comm.Isend(s.followerRank, TagReplicate, w.CopyBytes())
 }
 
@@ -234,6 +244,21 @@ func (rp *Replica) apply(data []byte) {
 		}
 		// The blob aliases the message buffer; copy so the cache owns it.
 		s.rememberReply(dst, reqID, append([]byte(nil), msg...))
+	}
+	if r.Remaining() > 0 {
+		// Classed trailer: capability descriptors per accelerator.
+		nc := r.Int()
+		for i := 0; i < nc; i++ {
+			id := r.Int()
+			cap := decodeCapability(r)
+			if r.Err() != nil {
+				return
+			}
+			if a := s.byID[id]; a != nil {
+				a.cap = cap
+			}
+		}
+		s.updateClassed()
 	}
 }
 

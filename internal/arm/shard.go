@@ -73,6 +73,8 @@ func (s *Server) configureShard(opts Options) error {
 	s.peerFree = make([]int, shards)
 	s.peerOper = make([]int, shards)
 	s.peerSeen = make([]bool, shards)
+	s.peerClassFree = make([]map[string]int, shards)
+	s.peerClassOper = make([]map[string]int, shards)
 	s.fwdSeq = 1 << 32 // disjoint from client reqID sequences
 	s.fwdW = wire.NewWriter(64)
 	s.replies = make(map[int]map[uint64][]byte)
@@ -141,18 +143,33 @@ func encodeLoad(w *wire.Writer, targetEpoch uint64, shard, free, oper int, sende
 	return w.CopyBytes()
 }
 
+// encodeLoadMsg is encodeLoad for this server's own load, extended with
+// the per-class table when the inventory is capability-tagged: sorted
+// class names, each with its free and operational counts. Untagged
+// servers emit exactly the legacy gossip bytes.
+func (s *Server) encodeLoadMsg(targetEpoch uint64) []byte {
+	w := s.fwdW.Reset()
+	w.U8(opLoad).U64(targetEpoch).Int(s.shard).Int(s.freeCount()).Int(s.operational()).U64(s.myEpoch)
+	if s.classed {
+		names, cf, co := s.classLoads()
+		w.Int(len(names))
+		for _, cl := range names {
+			w.Str(cl).Int(cf[cl]).Int(co[cl])
+		}
+	}
+	return w.CopyBytes()
+}
+
 // gossip broadcasts this shard's load to its peers (fire and forget).
 func (s *Server) gossip() {
 	if !s.sharded {
 		return
 	}
-	free, oper := s.freeCount(), s.operational()
 	for sh := 0; sh < s.dir.Shards(); sh++ {
 		if sh == s.shard {
 			continue
 		}
-		msg := encodeLoad(s.fwdW.Reset(), s.dir.Epoch(sh), s.shard, free, oper, s.myEpoch)
-		s.comm.Isend(s.dir.Serving(sh), TagRequest, msg)
+		s.comm.Isend(s.dir.Serving(sh), TagRequest, s.encodeLoadMsg(s.dir.Epoch(sh)))
 	}
 }
 
@@ -176,9 +193,25 @@ func (s *Server) handleLoad(src int, r *wire.Reader) {
 	s.peerFree[sh] = free
 	s.peerOper[sh] = oper
 	s.peerSeen[sh] = true
+	if r.Remaining() > 0 {
+		// Per-class table from a capability-tagged peer.
+		nc := r.Int()
+		if r.Err() == nil && nc >= 0 && nc <= 1<<16 {
+			cf := make(map[string]int, nc)
+			co := make(map[string]int, nc)
+			for i := 0; i < nc; i++ {
+				cl := r.Str()
+				cf[cl] = r.Int()
+				co[cl] = r.Int()
+			}
+			if r.Err() == nil {
+				s.peerClassFree[sh] = cf
+				s.peerClassOper[sh] = co
+			}
+		}
+	}
 	if !s.abdicated && senderEpoch > 0 && senderEpoch < s.dir.Epoch(sh) {
-		msg := encodeLoad(s.fwdW.Reset(), s.dir.Epoch(sh), s.shard, s.freeCount(), s.operational(), s.myEpoch)
-		s.comm.Isend(src, TagRequest, msg)
+		s.comm.Isend(src, TagRequest, s.encodeLoadMsg(s.dir.Epoch(sh)))
 	}
 }
 
@@ -261,8 +294,21 @@ func (s *Server) forwardAcquire(req *pendingAcquire) bool {
 		if sh == s.shard {
 			continue
 		}
-		if s.peerFree[sh] > bestFree {
-			best, bestFree = sh, s.peerFree[sh]
+		free := s.peerFree[sh]
+		if req.constraint.Class != "" {
+			// Class-constrained: judge peers by their gossiped per-class
+			// free counts. A peer that never gossiped a class table has no
+			// matching devices. (A kernel-only constraint cannot be
+			// evaluated remotely — gossip carries classes, not kernel
+			// tables — so it falls through to the total free count and the
+			// peer gives the final verdict.)
+			free = 0
+			if m := s.peerClassFree[sh]; m != nil {
+				free = m[req.constraint.Class]
+			}
+		}
+		if free > bestFree {
+			best, bestFree = sh, free
 		}
 	}
 	if best < 0 || bestFree < req.n {
@@ -272,12 +318,23 @@ func (s *Server) forwardAcquire(req *pendingAcquire) bool {
 	// spreads across peers instead of dogpiling the same one until the
 	// next gossip tick corrects it.
 	s.peerFree[best] -= req.n
+	if req.constraint.Class != "" {
+		if m := s.peerClassFree[best]; m != nil {
+			m[req.constraint.Class] -= req.n
+		}
+	}
 	op := opAcquire
 	if req.shared {
 		op = opAcquireShared
 	}
+	if req.capable {
+		op = opAcquireCapable
+	}
 	s.forwardOp(best, req.src, req.reqID, op, func(w *wire.Writer) {
 		w.Int(req.n).U8(0) // non-blocking at the peer
+		if req.capable {
+			encodeConstraint(w, req.constraint)
+		}
 	})
 	return true
 }
@@ -388,14 +445,17 @@ func (s *Server) recallThenAcquire(req *pendingAcquire, blocking bool) {
 
 // register admits a new accelerator into the live inventory (elastic
 // grow). The daemon is granted a full heartbeat silence budget from now.
-func (s *Server) register(src int, reqID uint64, id, rank int) {
+func (s *Server) register(src int, reqID uint64, id, rank int, cap Capability) {
 	if _, dup := s.byID[id]; dup {
 		s.reply(src, reqID, statusBadRequest, nil)
 		return
 	}
-	a := &accel{id: id, rank: rank, state: acFree}
+	a := &accel{id: id, rank: rank, state: acFree, cap: cap}
 	s.accels = append(s.accels, a)
 	s.byID[id] = a
+	if !cap.IsZero() {
+		s.classed = true
+	}
 	if s.lastBeat != nil {
 		s.lastBeat[rank] = s.now()
 	}
@@ -437,4 +497,5 @@ func (s *Server) removeAccel(a *accel) {
 		}
 	}
 	s.accels = out
+	s.updateClassed()
 }

@@ -26,6 +26,7 @@ import (
 // either uniformly.
 type API interface {
 	Acquire(p *sim.Proc, n int, blocking bool) ([]Handle, error)
+	AcquireCapable(p *sim.Proc, n int, blocking bool, constraint Constraint) ([]Handle, error)
 	AcquireShared(p *sim.Proc, n int, blocking bool) ([]Handle, error)
 	AcquireRetry(p *sim.Proc, n, attempts int, b Backoff, rng *rand.Rand) ([]Handle, error)
 	Release(p *sim.Proc, handles []Handle) error
@@ -38,6 +39,7 @@ type API interface {
 	Drain(p *sim.Proc, id int, deadline sim.Duration) error
 	Migrate(p *sim.Proc, oldRank int) (Handle, error)
 	Register(p *sim.Proc, id, rank int) error
+	RegisterCapable(p *sim.Proc, id, rank int, cap Capability) error
 	Retire(p *sim.Proc, id int, deadline sim.Duration) error
 	Shutdown(p *sim.Proc) error
 	RecvNotice(p *sim.Proc) (Notice, error)
@@ -100,7 +102,9 @@ func (sc *ShardedClient) homeShard() int {
 	return int(mix64(uint64(sc.comm.Rank())) % uint64(sc.dir.Shards()))
 }
 
-func acquireOp(op uint8) bool { return op == opAcquire || op == opAcquireShared }
+func acquireOp(op uint8) bool {
+	return op == opAcquire || op == opAcquireShared || op == opAcquireCapable
+}
 
 // callShard performs one request/reply round trip against a shard, with
 // directory-driven failover replay when armed and fencing-driven replay
@@ -208,19 +212,32 @@ func decodeHandles(payload []byte, shared bool, epoch uint64) ([]Handle, error) 
 
 // acquireOnce issues one non-blocking acquire at the given shard (which
 // forwards to the least-loaded peer itself when its pool can't satisfy).
-func (sc *ShardedClient) acquireOnce(p *sim.Proc, shard, n int, shared bool) ([]Handle, error) {
+func (sc *ShardedClient) acquireOnce(p *sim.Proc, shard, n int, shared, capable bool, constraint Constraint) ([]Handle, error) {
 	op := opAcquire
-	if shared {
+	switch {
+	case shared:
 		op = opAcquireShared
+	case capable:
+		op = opAcquireCapable
 	}
 	status, payload, epoch, err := sc.callShard(p, shard, op, func(w *wire.Writer) {
 		w.Int(n).U8(0)
+		if capable {
+			encodeConstraint(w, constraint)
+		}
 	})
 	if err != nil {
 		return nil, err
 	}
 	if err := statusErr(status); err != nil {
 		return nil, err
+	}
+	if capable {
+		handles, err := decodeCapableHandles(payload)
+		for i := range handles {
+			handles[i].Epoch = epoch
+		}
+		return handles, err
 	}
 	return decodeHandles(payload, shared, epoch)
 }
@@ -230,7 +247,7 @@ func (sc *ShardedClient) acquireOnce(p *sim.Proc, shard, n int, shared bool) ([]
 // single-shard blocking requests, so here "blocking" means retrying with
 // jittered backoff, rotating the target shard, until granted. FIFO
 // fairness is therefore per-shard, not global (DESIGN.md §11).
-func (sc *ShardedClient) acquireAny(p *sim.Proc, n int, shared, blocking bool) ([]Handle, error) {
+func (sc *ShardedClient) acquireAny(p *sim.Proc, n int, shared, blocking, capable bool, constraint Constraint) ([]Handle, error) {
 	const blockingAttempts = 4096 // virtual-seconds of backoff before giving up
 	home := sc.homeShard()
 	attempts := 1
@@ -244,8 +261,10 @@ func (sc *ShardedClient) acquireAny(p *sim.Proc, n int, shared, blocking bool) (
 			p.Wait(sc.backoff.Delay(i-1, sc.rng))
 		}
 		var hs []Handle
-		hs, err = sc.acquireOnce(p, (home+i)%sc.dir.Shards(), n, shared)
+		hs, err = sc.acquireOnce(p, (home+i)%sc.dir.Shards(), n, shared, capable, constraint)
 		if err == nil || err != ErrUnavailable {
+			// Terminal verdicts (grants, ErrNoCapableDevice, ErrImpossible,
+			// fencing failures) end the loop; only unavailability retries.
 			return hs, err
 		}
 	}
@@ -263,13 +282,20 @@ func (sc *ShardedClient) acquireAny(p *sim.Proc, n int, shared, blocking bool) (
 
 // Acquire requests n exclusive accelerators (see Client.Acquire).
 func (sc *ShardedClient) Acquire(p *sim.Proc, n int, blocking bool) ([]Handle, error) {
-	return sc.acquireAny(p, n, false, blocking)
+	return sc.acquireAny(p, n, false, blocking, false, Constraint{})
+}
+
+// AcquireCapable requests n exclusive accelerators satisfying the
+// capability constraint (see Client.AcquireCapable). Class-constrained
+// requests route on the per-class free counts the shards gossip.
+func (sc *ShardedClient) AcquireCapable(p *sim.Proc, n int, blocking bool, constraint Constraint) ([]Handle, error) {
+	return sc.acquireAny(p, n, false, blocking, true, constraint)
 }
 
 // AcquireShared requests shared leases on n distinct accelerators (see
 // Client.AcquireShared).
 func (sc *ShardedClient) AcquireShared(p *sim.Proc, n int, blocking bool) ([]Handle, error) {
-	return sc.acquireAny(p, n, true, blocking)
+	return sc.acquireAny(p, n, true, blocking, false, Constraint{})
 }
 
 // AcquireRetry mirrors Client.AcquireRetry over the fleet.
@@ -284,7 +310,7 @@ func (sc *ShardedClient) AcquireRetry(p *sim.Proc, n, attempts int, b Backoff, r
 			p.Wait(b.Delay(i-1, rng))
 		}
 		var hs []Handle
-		hs, err = sc.acquireOnce(p, (home+i)%sc.dir.Shards(), n, false)
+		hs, err = sc.acquireOnce(p, (home+i)%sc.dir.Shards(), n, false, false, Constraint{})
 		if err == nil || err != ErrUnavailable {
 			return hs, err
 		}
@@ -402,6 +428,17 @@ func (sc *ShardedClient) Drain(p *sim.Proc, id int, deadline sim.Duration) error
 // (see Client.Register).
 func (sc *ShardedClient) Register(p *sim.Proc, id, rank int) error {
 	return sc.idCall(p, opRegister, func(w *wire.Writer) { w.Int(id).Int(rank) }, id)
+}
+
+// RegisterCapable admits a capability-tagged accelerator into the owning
+// shard's inventory (see Client.RegisterCapable).
+func (sc *ShardedClient) RegisterCapable(p *sim.Proc, id, rank int, cap Capability) error {
+	return sc.idCall(p, opRegister, func(w *wire.Writer) {
+		w.Int(id).Int(rank)
+		if !cap.IsZero() {
+			encodeCapability(w, cap)
+		}
+	}, id)
 }
 
 // Retire drains an accelerator and removes it from the inventory (see

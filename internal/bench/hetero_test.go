@@ -1,0 +1,32 @@
+package bench
+
+import "testing"
+
+// TestMeasureHeteroRoutesByClass pins the mixed-fleet benchmark's
+// shape: the panel role lands on the FPGA, both schedules complete, and
+// the opStatsEx report carries every fleet class.
+func TestMeasureHeteroRoutesByClass(t *testing.T) {
+	r, err := MeasureHetero(512, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PanelClass != "fpga" {
+		t.Errorf("panel class %q, want fpga", r.PanelClass)
+	}
+	if r.ClassicSecs <= 0 || r.HeteroSecs <= 0 {
+		t.Errorf("degenerate timings: %+v", r)
+	}
+	wantDevs := map[string]int{"c1060": 2, "fermi": 1, "fpga": 1}
+	for _, c := range r.PerClass {
+		if c.Devices != wantDevs[c.Class] {
+			t.Errorf("class %q has %d devices, want %d", c.Class, c.Devices, wantDevs[c.Class])
+		}
+		if c.Grants < 1 {
+			t.Errorf("class %q saw no grants", c.Class)
+		}
+		delete(wantDevs, c.Class)
+	}
+	if len(wantDevs) != 0 {
+		t.Errorf("classes missing from report: %v", wantDevs)
+	}
+}

@@ -39,6 +39,20 @@ type Config struct {
 	// GPUModel is the accelerator device model; defaults to Tesla C1060.
 	GPUModel *gpu.Model
 
+	// GPUModels assigns a device model per accelerator id (spares
+	// included; length must be Accelerators+SpareAccelerators), making
+	// the fleet heterogeneous: ARM inventory handles are tagged with
+	// each device's capability descriptor and placement becomes
+	// capability-aware. Overrides GPUModel for the accelerator nodes
+	// (compute-node LocalGPUs keep GPUModel).
+	GPUModels []gpu.Model
+
+	// Fleet is the textual form of GPUModels — comma-separated
+	// "model:count" groups resolved in order against the gpu model
+	// registry, e.g. "tesla-c1060:2,tesla-m2050:1,fpga:1". Mutually
+	// exclusive with GPUModels.
+	Fleet string
+
 	// Registry resolves kernel names on every device (local and remote).
 	Registry *gpu.Registry
 
@@ -135,6 +149,10 @@ type Node struct {
 	// AttachSession, so teardown can close them without device-resetting
 	// shared accelerators under other tenants.
 	sessions []*core.Accel
+
+	// caps maps daemon rank → device capability on heterogeneous fleets
+	// (nil otherwise); Attach stamps it onto the front-end handle.
+	caps map[int]gpu.Capability
 }
 
 // NodeARM wraps the resource-management client with acquisition
@@ -163,6 +181,17 @@ func (na *NodeARM) Acquire(p *sim.Proc, n int, blocking bool) ([]arm.Handle, err
 // arm.Client.AcquireShared) and records them for end-of-job cleanup.
 func (na *NodeARM) AcquireShared(p *sim.Proc, n int, blocking bool) ([]arm.Handle, error) {
 	handles, err := na.API.AcquireShared(p, n, blocking)
+	for _, h := range handles {
+		na.held[h.ID] = h
+	}
+	return handles, err
+}
+
+// AcquireCapable requests n exclusive accelerators matching a capability
+// constraint (see arm.Client.AcquireCapable) and records them for
+// end-of-job cleanup.
+func (na *NodeARM) AcquireCapable(p *sim.Proc, n int, blocking bool, c arm.Constraint) ([]arm.Handle, error) {
+	handles, err := na.API.AcquireCapable(p, n, blocking, c)
 	for _, h := range handles {
 		na.held[h.ID] = h
 	}
@@ -244,6 +273,9 @@ func (na *NodeARM) Held() []arm.Handle {
 func (n *Node) Attach(h arm.Handle) *core.Accel {
 	ac := n.FE.Attach(h.Rank)
 	ac.SetFence(h.Epoch)
+	if c, ok := n.caps[h.Rank]; ok {
+		ac.SetCapability(c)
+	}
 	return ac
 }
 
@@ -258,6 +290,9 @@ func (n *Node) Attach(h arm.Handle) *core.Accel {
 func (n *Node) AttachSession(p *sim.Proc, h arm.Handle) (*core.Accel, error) {
 	ac := n.FE.Attach(h.Rank)
 	ac.SetFence(h.Epoch)
+	if c, ok := n.caps[h.Rank]; ok {
+		ac.SetCapability(c)
+	}
 	if err := ac.OpenSession(p); err != nil {
 		return nil, err
 	}
@@ -305,6 +340,10 @@ type Cluster struct {
 	sdir      *arm.Directory
 	shardSrvs []*arm.Server
 	shardReps []*arm.Replica
+
+	// caps maps daemon rank → device capability on heterogeneous fleets
+	// (nil otherwise); Attach stamps it onto client-side handles.
+	caps map[int]gpu.Capability
 }
 
 // Sharded reports whether resource management runs on the sharded plane.
@@ -343,10 +382,11 @@ func (cl *Cluster) DaemonRank(i int) int { return cl.cfg.ComputeNodes + i }
 // component builder (New for the all-in-sim cluster, StartProcess for one
 // process of a socket-mode deployment).
 type buildEnv struct {
-	net   netmodel.Params
-	model gpu.Model
-	reg   *gpu.Registry
-	opts  core.Options
+	net    netmodel.Params
+	model  gpu.Model
+	models []gpu.Model // per-accelerator models (nil = homogeneous)
+	reg    *gpu.Registry
+	opts   core.Options
 }
 
 // resolveBuild validates a Config and resolves its defaults.
@@ -365,6 +405,23 @@ func resolveBuild(cfg Config) (buildEnv, core.DaemonConfig, error) {
 	env.model = gpu.TeslaC1060()
 	if cfg.GPUModel != nil {
 		env.model = *cfg.GPUModel
+	}
+	if len(cfg.GPUModels) > 0 && cfg.Fleet != "" {
+		return env, core.DaemonConfig{}, fmt.Errorf("cluster: set GPUModels or Fleet, not both")
+	}
+	fleetSize := cfg.Accelerators + cfg.SpareAccelerators
+	if cfg.Fleet != "" {
+		models, err := ParseFleet(cfg.Fleet, fleetSize)
+		if err != nil {
+			return env, core.DaemonConfig{}, err
+		}
+		env.models = models
+	} else if len(cfg.GPUModels) > 0 {
+		if len(cfg.GPUModels) != fleetSize {
+			return env, core.DaemonConfig{}, fmt.Errorf("cluster: GPUModels lists %d models, cluster has %d accelerators",
+				len(cfg.GPUModels), fleetSize)
+		}
+		env.models = append([]gpu.Model(nil), cfg.GPUModels...)
 	}
 	env.reg = cfg.Registry
 	if env.reg == nil {
@@ -411,7 +468,8 @@ func New(cfg Config) (*Cluster, error) {
 	cl := &Cluster{Sim: s, World: w, cfg: cfg, dcfg: dcfg, env: env, armRank: armBase,
 		nodeMains: make([][]*sim.Proc, cfg.ComputeNodes),
 		Daemons:   make([]*core.Daemon, daemonRanks),
-		nodes:     make([]*Node, cfg.ComputeNodes)}
+		nodes:     make([]*Node, cfg.ComputeNodes),
+		caps:      env.capsByRank(cfg.ComputeNodes, daemonRanks)}
 	if sharded {
 		// The shard directory must exist before the daemons: their
 		// heartbeat sinks resolve the serving rank through it.
@@ -446,7 +504,7 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		if i < cfg.Accelerators {
-			inventory = append(inventory, arm.Handle{ID: i, Rank: cfg.ComputeNodes + i})
+			inventory = append(inventory, env.inventoryHandle(cfg.ComputeNodes, i))
 		}
 	}
 
@@ -495,7 +553,7 @@ func (cl *Cluster) addAccelNode(i int) error {
 	rank := cl.cfg.ComputeNodes + i
 	dev, err := gpu.NewDevice(cl.Sim, gpu.Config{
 		Name:     fmt.Sprintf("ac%d", i),
-		Model:    cl.env.model,
+		Model:    cl.env.modelFor(i),
 		Registry: cl.env.reg,
 		Execute:  cl.cfg.Execute,
 	})
@@ -593,7 +651,8 @@ func (cl *Cluster) addComputeNode(i int) error {
 			backoff: backoff,
 			rng:     rand.New(rand.NewSource(0x9E3779B9 + int64(i))),
 		},
-		FE: fe,
+		FE:   fe,
+		caps: cl.caps,
 	}
 	fe.SetReplacer(node.ARM)
 	if cfg.AutoMigrate && cfg.Health != nil {
@@ -935,7 +994,13 @@ func (cl *Cluster) RegisterSpare(p *sim.Proc, n *Node, i int) (arm.Handle, error
 		return arm.Handle{}, fmt.Errorf("cluster: no spare accelerator %d", i)
 	}
 	id := cl.cfg.Accelerators + i
-	h := arm.Handle{ID: id, Rank: cl.cfg.ComputeNodes + id}
+	h := cl.env.inventoryHandle(cl.cfg.ComputeNodes, id)
+	if !h.Cap.IsZero() {
+		if err := n.ARM.RegisterCapable(p, h.ID, h.Rank, h.Cap); err != nil {
+			return arm.Handle{}, err
+		}
+		return h, nil
+	}
 	if err := n.ARM.Register(p, h.ID, h.Rank); err != nil {
 		return arm.Handle{}, err
 	}

@@ -258,6 +258,7 @@ func StartProcess(cfg Config, topo Topology, procID int) (*Member, error) {
 		Daemons:   make([]*core.Daemon, daemonRanks),
 		nodes:     make([]*Node, cfg.ComputeNodes),
 		sdir:      topo.Dir,
+		caps:      env.capsByRank(cfg.ComputeNodes, daemonRanks),
 	}
 	cl.appGroup, err = w.NewGroup(l.Compute)
 	if err != nil {
@@ -268,7 +269,7 @@ func StartProcess(cfg Config, topo Topology, procID int) (*Member, error) {
 	// the daemons are local.
 	inventory := make([]arm.Handle, 0, cfg.Accelerators)
 	for i := 0; i < cfg.Accelerators; i++ {
-		inventory = append(inventory, arm.Handle{ID: i, Rank: cfg.ComputeNodes + i})
+		inventory = append(inventory, env.inventoryHandle(cfg.ComputeNodes, i))
 	}
 
 	// Build only the locally hosted ranks, in rank order so construction

@@ -58,6 +58,7 @@ func TestChaosClientCrashLeaseReclaim(t *testing.T) {
 	cl, err := cluster.New(cluster.Config{
 		ComputeNodes: 2,
 		Accelerators: 2,
+		Fleet:        chaosFleet(2),
 		Options:      &opts,
 		Daemon:       &dcfg,
 		Health:       &hc,
@@ -166,6 +167,7 @@ func TestChaosSuspectDaemonLiveMigration(t *testing.T) {
 	cl, err := cluster.New(cluster.Config{
 		ComputeNodes: 1,
 		Accelerators: 2,
+		Fleet:        chaosFleet(2),
 		Registry:     reg,
 		Execute:      true,
 		Options:      &opts,
@@ -252,6 +254,7 @@ func TestChaosGracefulDrain(t *testing.T) {
 	cl, err := cluster.New(cluster.Config{
 		ComputeNodes: 1,
 		Accelerators: 2,
+		Fleet:        chaosFleet(2),
 		Options:      &opts,
 		Health:       &hc,
 	})

@@ -92,6 +92,7 @@ func TestChaosPartitionSplitBrain(t *testing.T) {
 	cl, err := cluster.New(cluster.Config{
 		ComputeNodes:    tenants,
 		Accelerators:    accelerators,
+		Fleet:           chaosFleet(accelerators),
 		Execute:         true,
 		Options:         &opts,
 		Health:          &hc,

@@ -53,6 +53,7 @@ func TestChaosShardLeaderKill(t *testing.T) {
 	cl, err := cluster.New(cluster.Config{
 		ComputeNodes:    tenants,
 		Accelerators:    accelerators,
+		Fleet:           chaosFleet(accelerators),
 		Execute:         true,
 		Options:         &opts,
 		Health:          &hc,
@@ -166,6 +167,7 @@ func TestChaosShardedSharedTenantKill(t *testing.T) {
 	cl, err := cluster.New(cluster.Config{
 		ComputeNodes:  2,
 		Accelerators:  1,
+		Fleet:         chaosFleet(1),
 		Execute:       true,
 		Options:       &opts,
 		Daemon:        &dcfg,

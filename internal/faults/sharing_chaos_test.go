@@ -36,6 +36,7 @@ func TestChaosSharedTenantKill(t *testing.T) {
 	cl, err := cluster.New(cluster.Config{
 		ComputeNodes:  2,
 		Accelerators:  1,
+		Fleet:         chaosFleet(1),
 		Execute:       true,
 		Options:       &opts,
 		Daemon:        &dcfg,

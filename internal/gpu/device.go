@@ -34,6 +34,12 @@ type Device struct {
 
 	execute bool
 
+	// cfgClass is the kernel class the device is currently configured
+	// for. Models with a ReconfigLatency (FPGA-style) charge it on the
+	// first launch of a class different from the resident one; GPUs
+	// (zero latency) ignore it.
+	cfgClass string
+
 	// failure, when non-nil, makes every operation fail (fault injection:
 	// the silicon is gone but the daemon in front of it is still up).
 	failure error
@@ -357,6 +363,10 @@ func (d *Device) launchKernel(p *sim.Proc, name string, l Launch, overhead sim.D
 	if !ok {
 		return fmt.Errorf("gpu: unknown kernel %q", name)
 	}
+	class := KernelClass(name)
+	if !d.model.Capability().Supports(class) {
+		return fmt.Errorf("gpu: %s: kernel class %q not supported by model %q", d.name, class, d.model.Name)
+	}
 	if d.failure != nil {
 		return d.failure
 	}
@@ -366,6 +376,13 @@ func (d *Device) launchKernel(p *sim.Proc, name string, l Launch, overhead sim.D
 		}
 	}()
 	cost := overhead + k.Cost(l, d.model)
+	if d.model.ReconfigLatency > 0 && class != d.cfgClass {
+		// First launch of a new kernel class: load its configuration
+		// (FPGA partial-reconfiguration bitstream). Charged once; later
+		// launches of the same class find the datapath resident.
+		cost += d.model.ReconfigLatency
+		d.cfgClass = class
+	}
 	d.compute.Acquire(p, 1)
 	p.Wait(cost)
 	d.compute.Release(1)

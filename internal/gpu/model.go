@@ -46,7 +46,12 @@ func (c CopyModel) Time(n int) sim.Duration {
 
 // Model describes the performance characteristics of one accelerator.
 type Model struct {
-	Name     string
+	Name string
+
+	// Class names the device family for capability-aware placement
+	// ("c1060", "fermi", "fpga"); see Capability.
+	Class string
+
 	MemBytes int64 // device memory capacity
 
 	// Host↔device copy engines. Pinned transfers are DMA through the copy
@@ -62,8 +67,11 @@ type Model struct {
 	AsyncSetup sim.Duration
 
 	// PeakDP is the double-precision peak in flop/s; kernel cost models
-	// scale from it.
+	// scale from it. PeakSP is the single-precision peak, reported in the
+	// Capability descriptor for placement (no current kernel model uses
+	// it directly).
 	PeakDP float64
+	PeakSP float64
 
 	// MemBandwidth is the device-memory bandwidth in bytes/s, for
 	// bandwidth-bound kernels.
@@ -82,6 +90,22 @@ type Model struct {
 
 	// MallocOverhead is the cost of a device allocation or free.
 	MallocOverhead sim.Duration
+
+	// FixedEff, when positive, pins every kernel cost model to this
+	// fraction of PeakDP instead of the model's size-dependent
+	// efficiency curve: FPGA-style devices run synthesized datapaths at
+	// a deterministic pipelined rate regardless of problem shape.
+	FixedEff float64
+
+	// ReconfigLatency is the one-time cost of loading the configuration
+	// for a new kernel class (an FPGA partial-reconfiguration bitstream
+	// load), charged on the first launch of each class. Zero for GPUs.
+	ReconfigLatency sim.Duration
+
+	// KernelClasses, when non-empty, restricts the device to those
+	// kernel classes (see KernelClass); launches of any other class fail.
+	// Empty means the device runs everything.
+	KernelClasses []string
 }
 
 // Validate reports whether the model is usable.
@@ -97,6 +121,10 @@ func (m Model) Validate() error {
 	case m.SubmitOverhead < 0 || m.SubmitOverhead > m.LaunchOverhead:
 		return fmt.Errorf("gpu model %q: submit overhead %v outside [0, launch overhead %v]",
 			m.Name, m.SubmitOverhead, m.LaunchOverhead)
+	case m.FixedEff < 0 || m.FixedEff > 1:
+		return fmt.Errorf("gpu model %q: fixed efficiency %v outside [0, 1]", m.Name, m.FixedEff)
+	case m.ReconfigLatency < 0:
+		return fmt.Errorf("gpu model %q: negative reconfiguration latency", m.Name)
 	}
 	return nil
 }
@@ -113,6 +141,7 @@ const mib = 1 << 20
 func TeslaC1060() Model {
 	return Model{
 		Name:           "tesla-c1060",
+		Class:          "c1060",
 		MemBytes:       4 * gib,
 		H2DPinned:      CopyModel{Overhead: 9 * sim.Microsecond, Bandwidth: 5760 * mib},
 		H2DPageable:    CopyModel{Overhead: 11 * sim.Microsecond, Bandwidth: 4760 * mib},
@@ -120,6 +149,7 @@ func TeslaC1060() Model {
 		D2HPageable:    CopyModel{Overhead: 11 * sim.Microsecond, Bandwidth: 4640 * mib},
 		AsyncSetup:     3 * sim.Microsecond,
 		PeakDP:         78e9,
+		PeakSP:         624e9,
 		MemBandwidth:   102e9,
 		LaunchOverhead: 7 * sim.Microsecond,
 		SubmitOverhead: 5 * sim.Microsecond,

@@ -1,0 +1,167 @@
+package magma
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dynacc/internal/arm"
+	"dynacc/internal/cluster"
+	"dynacc/internal/gpu"
+	"dynacc/internal/lapack"
+	"dynacc/internal/sim"
+)
+
+// withHeteroCluster runs fn on compute node 0 of a mixed fleet — two
+// C1060s, one Fermi, one FPGA card — with one device of each class
+// acquired by capability: the update set (C1060s + Fermi) and the
+// fast-launch panel device (FPGA).
+func withHeteroCluster(t *testing.T, exec bool, fn func(p *sim.Proc, update []Device, panel Device)) {
+	t.Helper()
+	reg := gpu.NewRegistry()
+	RegisterKernels(reg)
+	cl, err := cluster.New(cluster.Config{
+		ComputeNodes: 1,
+		Accelerators: 4,
+		Fleet:        "tesla-c1060:2,tesla-m2050:1,fpga:1",
+		Registry:     reg,
+		Execute:      exec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Spawn(0, func(p *sim.Proc, n *cluster.Node) {
+		var all []arm.Handle
+		var update []Device
+		for _, want := range []struct {
+			class string
+			count int
+		}{{"c1060", 2}, {"fermi", 1}} {
+			hs, err := n.ARM.AcquireCapable(p, want.count, false, arm.Constraint{Class: want.class})
+			if err != nil {
+				t.Errorf("acquire %s: %v", want.class, err)
+				return
+			}
+			all = append(all, hs...)
+			for _, h := range hs {
+				update = append(update, Remote(n.Attach(h)))
+			}
+		}
+		hs, err := n.ARM.AcquireCapable(p, 1, false, arm.Constraint{Class: "fpga"})
+		if err != nil {
+			t.Errorf("acquire fpga: %v", err)
+			return
+		}
+		all = append(all, hs...)
+		panel := Remote(n.Attach(hs[0]))
+		defer n.ARM.Release(p, all)
+		fn(p, update, panel)
+	})
+	if _, err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDgeqrfHeterogeneousMatchesLAPACK factors with the panel role on
+// the FPGA and the wide update on the GPUs, and checks the factors are
+// bit-compatible with the homogeneous schedule's reference.
+func TestDgeqrfHeterogeneousMatchesLAPACK(t *testing.T) {
+	withHeteroCluster(t, true, func(p *sim.Proc, update []Device, panel Device) {
+		n, nb := 80, 16
+		rng := rand.New(rand.NewSource(77))
+		a := randSquare(rng, n)
+		ref := append([]float64(nil), a...)
+		refTau := make([]float64, n)
+		lapack.Dgeqrf(n, n, ref, n, refTau, nb)
+
+		dist, err := NewDist(p, update, n, n, nb, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dist.Free(p)
+		if err := dist.Upload(p, a); err != nil {
+			t.Fatal(err)
+		}
+		tau := make([]float64, n)
+		cfg := DefaultConfig()
+		cfg.NB = nb
+		cfg.Heterogeneous = true
+		cfg.PanelDevice = panel
+		if err := Dgeqrf(p, dist, tau, cfg); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, n*n)
+		if err := dist.Download(p, got); err != nil {
+			t.Fatal(err)
+		}
+		scale := lapack.Dlange(lapack.MaxAbs, n, n, ref, n)
+		for i := range got {
+			if math.Abs(got[i]-ref[i]) > 1e-10*scale {
+				t.Fatalf("factor differs at %d: %g vs %g", i, got[i], ref[i])
+			}
+		}
+		for i := range tau {
+			if math.Abs(tau[i]-refTau[i]) > 1e-10 {
+				t.Fatalf("tau[%d] = %g vs %g", i, tau[i], refTau[i])
+			}
+		}
+	})
+}
+
+// TestDgeqrfHeterogeneousModelMode runs the split schedule with nil
+// payloads: virtual time must advance and nothing may deadlock.
+func TestDgeqrfHeterogeneousModelMode(t *testing.T) {
+	withHeteroCluster(t, false, func(p *sim.Proc, update []Device, panel Device) {
+		dist, err := NewDist(p, update, 512, 512, 128, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dist.Free(p)
+		if err := dist.Upload(p, nil); err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Heterogeneous = true
+		cfg.PanelDevice = panel
+		start := p.Now()
+		if err := Dgeqrf(p, dist, nil, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if p.Now() <= start {
+			t.Error("no virtual time spent")
+		}
+	})
+}
+
+// TestDgeqrfHeterogeneousRequiresPanelDevice pins the config error.
+func TestDgeqrfHeterogeneousRequiresPanelDevice(t *testing.T) {
+	withHeteroCluster(t, false, func(p *sim.Proc, update []Device, _ Device) {
+		dist, err := NewDist(p, update, 64, 64, 16, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dist.Free(p)
+		cfg := DefaultConfig()
+		cfg.Heterogeneous = true
+		if err := Dgeqrf(p, dist, nil, cfg); err == nil {
+			t.Error("Heterogeneous without PanelDevice accepted")
+		}
+	})
+}
+
+// TestPickPanelDevice prefers the lowest-launch-overhead capable device
+// and reports -1 when no capabilities are stamped.
+func TestPickPanelDevice(t *testing.T) {
+	withHeteroCluster(t, false, func(p *sim.Proc, update []Device, panel Device) {
+		devs := append(append([]Device(nil), update...), panel)
+		if got := PickPanelDevice(devs); got != len(devs)-1 {
+			t.Errorf("PickPanelDevice = %d, want %d (the FPGA)", got, len(devs)-1)
+		}
+	})
+	// Homogeneous attachments carry no capability stamp.
+	withCluster(t, 2, false, 0, func(p *sim.Proc, devs []Device, _ []*gpu.Device) {
+		if got := PickPanelDevice(devs); got != -1 {
+			t.Errorf("PickPanelDevice on unstamped devices = %d, want -1", got)
+		}
+	})
+}

@@ -44,11 +44,14 @@ func gemmEff(m, n, k int) float64 {
 }
 
 // flopTime converts a flop count at the given efficiency into virtual
-// time on the device model.
+// time on the device model. The model may override the size-derived
+// efficiency (gpu.Model.KernelEff): FPGA-style devices run every kernel
+// at their fixed pipelined rate regardless of problem shape.
 func flopTime(flops, eff float64, m gpu.Model) sim.Duration {
 	if flops <= 0 {
 		return 0
 	}
+	eff = m.KernelEff(eff)
 	return sim.Duration(flops / (eff * m.PeakDP) * 1e9)
 }
 

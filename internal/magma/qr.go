@@ -50,6 +50,20 @@ func Dgeqrf(p *sim.Proc, d *Dist, tau []float64, cfg Config) error {
 		}
 	}()
 
+	// Heterogeneous role split: the lookahead panel work moves to a
+	// dedicated fast-launch device (see hetero.go).
+	var po *panelOffload
+	if cfg.Heterogeneous {
+		if cfg.PanelDevice == nil {
+			return fmt.Errorf("magma: Heterogeneous needs Config.PanelDevice")
+		}
+		var err error
+		if po, err = newPanelOffload(p, cfg.PanelDevice, m, nb, d.exec); err != nil {
+			return err
+		}
+		defer po.free(p)
+	}
+
 	var panel, nextPanel, tmat []float64
 	if d.exec {
 		panel = make([]float64, m*nb)
@@ -132,6 +146,9 @@ func Dgeqrf(p *sim.Proc, d *Dist, tau []float64, cfg Config) error {
 			}
 			bcast = append(bcast, dev.CopyH2DAsync(dT[g], 0, tBytes, 8*jb*jb, 0))
 		}
+		if po != nil && pj+1 < npanels {
+			bcast = append(bcast, po.broadcast(panel, tmat, mj, jb)...)
+		}
 		if cfg.AsyncBroadcast {
 			track(bcast...)
 		} else if err := waitAllPending(p, bcast); err != nil {
@@ -150,14 +167,26 @@ func Dgeqrf(p *sim.Proc, d *Dist, tau []float64, cfg Config) error {
 		next := pj + 1
 		var nextPends []Pending
 		if next < npanels {
-			// Lookahead: update just the next panel's block on its owner,
-			// then queue its download behind that update.
 			owner2 := d.Owner(next)
 			jbn := d.blockWidth(next)
-			track(d.Devs[owner2].LaunchAsync(KernelLarfb,
-				vLaunch(owner2, jbn, d.elemOff(next, j, 0)), 0))
-			nextPends = d.downloadCols(p, next, j+jb, m-j-jb, 0, jbn,
-				hostPanel(nextPanel, (m-j-jb)*jbn), 0)
+			if po != nil {
+				// Heterogeneous: the whole panel role — block fetch, update,
+				// download — runs on the fast-launch panel device, keeping
+				// the high-FLOP devices free for the wide update below.
+				var err error
+				nextPends, err = po.lookahead(p, d, next, j, jb, jbn,
+					hostPanel(nextPanel, (m-j-jb)*jbn))
+				if err != nil {
+					return err
+				}
+			} else {
+				// Lookahead: update just the next panel's block on its owner,
+				// then queue its download behind that update.
+				track(d.Devs[owner2].LaunchAsync(KernelLarfb,
+					vLaunch(owner2, jbn, d.elemOff(next, j, 0)), 0))
+				nextPends = d.downloadCols(p, next, j+jb, m-j-jb, 0, jbn,
+					hostPanel(nextPanel, (m-j-jb)*jbn), 0)
+			}
 		}
 
 		// Wide update: each GPU applies the block reflector to its
@@ -197,6 +226,11 @@ func Dgeqrf(p *sim.Proc, d *Dist, tau []float64, cfg Config) error {
 			}
 			if err := waitAllPending(p, nextPends); err != nil {
 				return err
+			}
+			if po != nil {
+				// Push the R rows the panel device produced back into the
+				// block owner's matrix; disjoint from every later write.
+				track(po.writeback(d, next, j)...)
 			}
 			panel, nextPanel = nextPanel, panel
 		}

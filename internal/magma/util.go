@@ -43,6 +43,18 @@ type Config struct {
 	// of staging it through the compute node. Falls back to the host
 	// route for devices without the capability (e.g. node-local GPUs).
 	D2DBroadcast bool
+	// Heterogeneous splits Dgeqrf's device roles across a mixed fleet:
+	// the latency-bound lookahead work (next-panel update and download)
+	// runs on PanelDevice — a fast-launch device outside the matrix
+	// distribution — while the FLOP-bound wide trailing update stays on
+	// the distribution's high-throughput devices. Off by default, which
+	// keeps homogeneous runs byte-identical to the classic schedule.
+	Heterogeneous bool
+	// PanelDevice hosts the panel role in Heterogeneous mode (pick it
+	// with PickPanelDevice, or supply any device with cheap launches).
+	// The panel block moves device-to-device when both ends support
+	// accel.PeerCopier, and stages through the host otherwise.
+	PanelDevice Device
 	// Rebalance, when set, is consulted by Dgeqrf between panel steps
 	// with the number of panels already factored. Returning a non-nil
 	// device list that differs from the distribution's current one
