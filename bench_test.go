@@ -126,6 +126,23 @@ func BenchmarkFleetScale(b *testing.B) {
 	b.ReportMetric(r.OpsPerVirtualSec, "virtops/s")
 }
 
+// BenchmarkFleetScale256 scales the rack to 256 daemons under 512
+// tenants (bench.Fleet256Config): the same mixed workload at 8x the
+// rank count, pinning the engine's per-op cost at the fleet size the
+// elastic-pool work targets.
+func BenchmarkFleetScale256(b *testing.B) {
+	var r bench.FleetResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = bench.MeasureFleet(bench.Fleet256Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.PerOp, "allocs/virtop")
+	b.ReportMetric(r.OpsPerVirtualSec, "virtops/s")
+}
+
 // BenchmarkFleetScaleSharded is the same rack with the ARM split into 3
 // replicated shards: the 96 tenants route through the shard directory,
 // acquires forward across shards, and every mutation is log-shipped to

@@ -32,6 +32,7 @@ func main() {
 	armJSON := flag.String("arm-json", "", "run the multi-tenant sharing workload and write the ARM's per-accelerator stats to this file")
 	fleetJSON := flag.String("fleet-json", "", "run the 32-daemon/96-tenant fleet benchmark and write the engine-cost report to this file")
 	heteroJSON := flag.String("hetero-json", "", "run the mixed-fleet QR comparison and write the per-class utilization report to this file")
+	dataplaneJSON := flag.String("dataplane-json", "", "run the data-plane comparison (tree panel broadcast, direct redistribution) and write the report to this file")
 	shards := flag.Int("shards", 1, "ARM shard count for -arm-json and -fleet-json workloads (<2 = single legacy ARM)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
@@ -96,6 +97,25 @@ func main() {
 		for _, c := range r.PerClass {
 			fmt.Printf("  class %-6s: %d device(s), %d grant(s), busy %.3fs (%.1f%% of interval)\n",
 				c.Class, c.Devices, c.Grants, c.BusySeconds, 100*c.Utilization)
+		}
+		return
+	}
+
+	if *dataplaneJSON != "" {
+		r, err := bench.WriteDataplaneJSON(*dataplaneJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, b := range r.Broadcast {
+			fmt.Printf("panel broadcast (%d GPUs, %.1f MiB): host loop %.2f ms, tree %.2f ms (%.2fx), host NIC %.1f -> %.1f MiB\n",
+				b.GPUs, float64(b.PanelBytes)/(1<<20), 1e3*b.HostSecs, 1e3*b.TreeSecs, b.Speedup,
+				float64(b.HostLoopNICBytes)/(1<<20), float64(b.TreeNICBytes)/(1<<20))
+		}
+		for _, rd := range r.Redist {
+			fmt.Printf("redistribute %s (%d->%d GPUs, %d blocks, %d unchanged): staged %d B, default %d B, direct %d B, unchanged payload %d B\n",
+				rd.Scenario, rd.FromGPUs, rd.ToGPUs, rd.Blocks, rd.Unchanged,
+				rd.StagedWireBytes, rd.DefaultWireBytes, rd.DirectWireBytes, rd.UnchangedPayloadBytes)
 		}
 		return
 	}

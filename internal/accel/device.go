@@ -94,6 +94,26 @@ type PeerCopier interface {
 	CopyToPeer(p *sim.Proc, srcPtr gpu.Ptr, srcOff, colBytes, cols, pitch int, dst Device, dstPtr gpu.Ptr, dstOff int) (bool, error)
 }
 
+// StreamPeerCopier is PeerCopier with explicit daemon streams: the
+// source daemon sends on srcStream and the destination receives on
+// dstStream. Daemon stream workers run concurrently, so a relay device
+// that receives on one stream and forwards on another overlaps the two
+// — the dual-DMA behavior a pipelined broadcast tree needs. Both
+// streams 0 is exactly CopyToPeer.
+type StreamPeerCopier interface {
+	CopyToPeerOn(p *sim.Proc, srcPtr gpu.Ptr, srcOff, colBytes, cols, pitch int, dst Device, dstPtr gpu.Ptr, dstOff int, srcStream, dstStream uint8) (bool, error)
+}
+
+// LocalCopier is an optional Device capability: a contiguous copy
+// between two allocations on the same device, with no payload crossing
+// any wire — a remote attachment resolves it with one header-only
+// request, a local device with one device-internal DMA. The
+// redistribution fast path uses it for blocks whose owning device is
+// unchanged but whose offset shifts with the block-cyclic layout.
+type LocalCopier interface {
+	CopyD2D(p *sim.Proc, dst gpu.Ptr, dstOff int, src gpu.Ptr, srcOff, n int) error
+}
+
 // ---- Remote adapter: network-attached accelerator via the middleware ----
 
 type remoteDevice struct{ a *core.Accel }
@@ -136,6 +156,22 @@ func (r remoteDevice) CopyToPeer(p *sim.Proc, srcPtr gpu.Ptr, srcOff, colBytes, 
 		return false, nil
 	}
 	return true, r.a.Client().DirectCopy2D(p, r.a, srcPtr, srcOff, colBytes, cols, pitch, peer.a, dstPtr, dstOff)
+}
+
+// CopyToPeerOn implements StreamPeerCopier, picking the daemon stream
+// each side runs its half of the transfer on.
+func (r remoteDevice) CopyToPeerOn(p *sim.Proc, srcPtr gpu.Ptr, srcOff, colBytes, cols, pitch int, dst Device, dstPtr gpu.Ptr, dstOff int, srcStream, dstStream uint8) (bool, error) {
+	peer, ok := dst.(remoteDevice)
+	if !ok || peer.a.Client() != r.a.Client() {
+		return false, nil
+	}
+	return true, r.a.Client().DirectCopy2DOn(p, r.a, srcPtr, srcOff, colBytes, cols, pitch, peer.a, dstPtr, dstOff, srcStream, dstStream)
+}
+
+// CopyD2D implements LocalCopier: the daemon performs the copy with one
+// device-internal DMA; only the request header crosses the wire.
+func (r remoteDevice) CopyD2D(p *sim.Proc, dst gpu.Ptr, dstOff int, src gpu.Ptr, srcOff, n int) error {
+	return r.a.MemcpyD2D(p, dst, dstOff, src, srcOff, n)
 }
 
 // ---- Local adapter: node-attached GPU (paper's "CUDA local") ----
@@ -238,6 +274,14 @@ func (l *LocalDevice) CopyD2H2DAsync(dst []byte, src gpu.Ptr, off, colBytes, col
 		}
 		return nil
 	})
+}
+
+// CopyD2D implements LocalCopier as a stream-ordered device-internal
+// copy (cudaMemcpyDeviceToDevice on stream 0).
+func (l *LocalDevice) CopyD2D(p *sim.Proc, dst gpu.Ptr, dstOff int, src gpu.Ptr, srcOff, n int) error {
+	return l.enqueue(0, func(wp *sim.Proc) error {
+		return l.dev.CopyD2D(wp, dst, dstOff, src, srcOff, n)
+	}).Wait(p)
 }
 
 func (l *LocalDevice) LaunchAsync(kernel string, launch gpu.Launch, stream uint8) Pending {

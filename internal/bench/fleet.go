@@ -52,6 +52,14 @@ func DefaultFleetConfig() FleetConfig {
 	return FleetConfig{Daemons: 32, Tenants: 96, Rounds: 4, CopyBytes: 512 * netmodel.KiB}
 }
 
+// Fleet256Config scales the rack to 256 daemons under 512 tenants with
+// a lighter per-tenant workload, keeping one -benchtime=1x iteration
+// tractable in CI while exercising the engine at 8x the default rank
+// count (BenchmarkFleetScale256).
+func Fleet256Config() FleetConfig {
+	return FleetConfig{Daemons: 256, Tenants: 512, Rounds: 2, CopyBytes: 128 * netmodel.KiB}
+}
+
 // FleetResult is one measured fleet run.
 type FleetResult struct {
 	Daemons int `json:"daemons"`

@@ -158,6 +158,11 @@ type Client struct {
 	// attached lists every handle this client created, so rank-wide
 	// operations (MigrateRank) can find the handles pointing at a daemon.
 	attached []*Accel
+
+	// tuner is the per-(peer,direction) link-model table behind
+	// CopyConfig{Kind: Autotune} (autotune.go). Nil until the first
+	// Autotune-planned transfer; never touched on the default path.
+	tuner *tuner
 }
 
 // NewClient creates a front-end on the given communicator.
@@ -401,6 +406,7 @@ func (cl *call) send() {
 // rank's pointer map.
 func (a *Accel) translateReq(q *request) {
 	q.ptr = a.translate(q.ptr)
+	q.ptr2 = a.translate(q.ptr2)
 	for i, arg := range q.launch.Args {
 		if arg.Kind == gpu.KindPtr {
 			q.launch.Args[i] = gpu.PtrArg(a.translate(arg.Ptr))
@@ -850,12 +856,13 @@ func (a *Accel) MemcpyH2D2DAsync(dst gpu.Ptr, off, colBytes, cols, pitch int, sr
 	// A streamed copy is a blocking exchange on its stream: recorded
 	// commands there must reach the daemon first to keep stream order.
 	a.flushStream(stream)
-	block, depth := a.c.opts.H2D.resolve(n)
+	block, depth := a.c.tunePlan(a.c.opts.H2D, a.rank, DirH2D, n)
 	q := &request{op: OpMemcpyH2D, stream: stream, ptr: dst, off: off, size: n,
 		cols: cols, pitch: pitch, block: block, depth: depth}
 	cl := a.newCall(q, false)
 	tag := dataTag(q.reqID)
 	a.sim().Spawn("h2d-sender", func(hp *sim.Proc) {
+		t0 := hp.Now()
 		nb := numBlocks(n, block)
 		sends := make([]*minimpi.Request, 0, nb)
 		for i := 0; i < nb; i++ {
@@ -884,6 +891,7 @@ func (a *Accel) MemcpyH2D2DAsync(dst gpu.Ptr, off, colBytes, cols, pitch int, sr
 		}
 		pd.err = cl.statusOnly(hp)
 		if pd.err == nil {
+			a.c.tuneRecord(a.c.opts.H2D, a.rank, DirH2D, block, n, sim.Duration(hp.Now()-t0))
 			a.noteUpload(dst, off, colBytes, cols, pitch, src)
 		}
 		pd.done.Trigger()
@@ -925,12 +933,13 @@ func (a *Accel) MemcpyD2H2DAsync(dst []byte, src gpu.Ptr, off, colBytes, cols, p
 	}
 	// Downloads read what queued commands wrote: flush the stream first.
 	a.flushStream(stream)
-	block, depth := a.c.opts.D2H.resolve(n)
+	block, depth := a.c.tunePlan(a.c.opts.D2H, a.rank, DirD2H, n)
 	q := &request{op: OpMemcpyD2H, stream: stream, ptr: src, off: off, size: n,
 		cols: cols, pitch: pitch, block: block, depth: depth}
 	cl := a.newCall(q, false)
 	tag := dataTag(q.reqID)
 	a.sim().Spawn("d2h-receiver", func(hp *sim.Proc) {
+		t0 := hp.Now()
 		nb := numBlocks(n, block)
 		for i := 0; i < nb; i++ {
 			req := a.c.comm.Irecv(a.rank, tag)
@@ -948,10 +957,13 @@ func (a *Accel) MemcpyD2H2DAsync(dst []byte, src gpu.Ptr, off, colBytes, cols, p
 			req.Free()
 		}
 		pd.err = cl.statusOnly(hp)
-		if pd.err == nil && dst != nil {
-			// Downloaded contents are host-visible truth: refresh the
-			// shadow so a later failover replays them too.
-			a.noteDownload(src, off, colBytes, cols, pitch, dst)
+		if pd.err == nil {
+			a.c.tuneRecord(a.c.opts.D2H, a.rank, DirD2H, block, n, sim.Duration(hp.Now()-t0))
+			if dst != nil {
+				// Downloaded contents are host-visible truth: refresh the
+				// shadow so a later failover replays them too.
+				a.noteDownload(src, off, colBytes, cols, pitch, dst)
+			}
 		}
 		pd.done.Trigger()
 	})
@@ -1263,8 +1275,22 @@ func (c *Client) DirectCopy(p *sim.Proc, src *Accel, srcPtr gpu.Ptr, srcOff int,
 // the packed bytes contiguously. The payload still flows daemon to
 // daemon only.
 func (c *Client) DirectCopy2D(p *sim.Proc, src *Accel, srcPtr gpu.Ptr, srcOff, colBytes, cols, pitch int, dst *Accel, dstPtr gpu.Ptr, dstOff int) error {
+	return c.DirectCopy2DOn(p, src, srcPtr, srcOff, colBytes, cols, pitch, dst, dstPtr, dstOff, 0, 0)
+}
+
+// DirectCopy2DOn is DirectCopy2D with explicit daemon streams: the
+// source daemon executes its OpD2DSend on srcStream, the destination
+// its OpD2DRecv on dstStream. Stream workers run concurrently, so
+// placing a device's incoming and outgoing transfers on different
+// streams lets it receive and forward at the same time — the dual-DMA
+// overlap a relay node in a broadcast tree needs to pipeline segments.
+// Both streams 0 keeps the classic fully-serialized behavior.
+func (c *Client) DirectCopy2DOn(p *sim.Proc, src *Accel, srcPtr gpu.Ptr, srcOff, colBytes, cols, pitch int, dst *Accel, dstPtr gpu.Ptr, dstOff int, srcStream, dstStream uint8) error {
 	if src.c != c || dst.c != c {
-		return fmt.Errorf("core: DirectCopy: accelerators belong to a different client")
+		// Handles of different clients share no communicator, so no
+		// daemon-to-daemon stream can exist between them: the typed
+		// sentinel lets data-plane callers fall back to host staging.
+		return fmt.Errorf("core: DirectCopy: accelerators belong to a different client: %w", ErrNoPeerPath)
 	}
 	if colBytes < 0 || cols <= 0 || pitch < colBytes {
 		return fmt.Errorf("core: DirectCopy: invalid geometry colBytes=%d cols=%d pitch=%d", colBytes, cols, pitch)
@@ -1274,13 +1300,14 @@ func (c *Client) DirectCopy2D(p *sim.Proc, src *Accel, srcPtr gpu.Ptr, srcOff, c
 	src.flushAll()
 	dst.flushAll()
 	n := colBytes * cols
-	block, depth := c.opts.D2H.resolve(n)
+	block, depth := c.tunePlan(c.opts.D2H, dst.rank, DirD2D, n)
+	t0 := p.Now()
 	c.nextReq++
 	xferID := c.nextReq
 	sendQ := &request{op: OpD2DSend, ptr: srcPtr, off: srcOff, size: n, cols: cols, pitch: pitch,
-		block: block, depth: depth, peer: dst.rank, xferID: xferID}
+		block: block, depth: depth, peer: dst.rank, xferID: xferID, stream: srcStream}
 	recvQ := &request{op: OpD2DRecv, ptr: dstPtr, off: dstOff, size: n, cols: 1, pitch: n,
-		block: block, depth: depth, peer: src.rank, xferID: xferID}
+		block: block, depth: depth, peer: src.rank, xferID: xferID, stream: dstStream}
 	// Post the receiver side first so its daemon is ready for the stream.
 	recvCall := dst.newCall(recvQ, false)
 	sendCall := src.newCall(sendQ, false)
@@ -1289,7 +1316,46 @@ func (c *Client) DirectCopy2D(p *sim.Proc, src *Accel, srcPtr gpu.Ptr, srcOff, c
 	if errSend != nil {
 		return errSend
 	}
+	if errRecv == nil {
+		c.tuneRecord(c.opts.D2H, dst.rank, DirD2D, block, n, sim.Duration(p.Now()-t0))
+	}
 	return errRecv
+}
+
+// MemcpyD2D copies n bytes between two allocations on the same
+// accelerator (dst+dstOff ← src+srcOff) with a single device-internal
+// DMA: the request is header-only, so no payload bytes ever cross the
+// wire. The redistribution fast path uses it for blocks whose owner is
+// unchanged but whose offset shifts with the block-cyclic layout.
+func (a *Accel) MemcpyD2D(p *sim.Proc, dst gpu.Ptr, dstOff int, src gpu.Ptr, srcOff, n int) error {
+	if n < 0 || dstOff < 0 || srcOff < 0 {
+		return fmt.Errorf("core: MemcpyD2D: invalid geometry n=%d dstOff=%d srcOff=%d", n, dstOff, srcOff)
+	}
+	// The copy reads and writes device state touched by queued commands.
+	a.flushAll()
+	q := &request{op: OpMemcpyD2D, ptr: src, off: srcOff, ptr2: dst, off2: dstOff, size: n}
+	err := a.newCall(q, true).statusOnly(p)
+	if err == nil {
+		a.noteLocalCopy(dst, dstOff, src, srcOff, n)
+	}
+	return err
+}
+
+// noteLocalCopy mirrors a device-local copy into the failover ledger:
+// whatever host shadow the source range has becomes the destination
+// range's shadow, so a replayed replacement sees the copied bytes too.
+func (a *Accel) noteLocalCopy(dst gpu.Ptr, dstOff int, src gpu.Ptr, srcOff, n int) {
+	srcRec, dstRec := a.allocs[src], a.allocs[dst]
+	if srcRec == nil || dstRec == nil || srcRec.shadow == nil || n <= 0 {
+		return
+	}
+	if srcOff+n > len(srcRec.shadow) || dstOff+n > dstRec.size {
+		return
+	}
+	if dstRec.shadow == nil {
+		dstRec.shadow = make([]byte, dstRec.size)
+	}
+	copy(dstRec.shadow[dstOff:dstOff+n], srcRec.shadow[srcOff:srcOff+n])
 }
 
 func (a *Accel) sim() *sim.Simulation { return a.c.comm.World().Sim() }

@@ -464,6 +464,8 @@ func (d *Daemon) execute(p *sim.Proc, src int, q *request) {
 		d.respond(src, q.reqID, d.dev.LaunchKernel(p, q.kernel, q.launch), 0)
 	case OpMemset:
 		d.respond(src, q.reqID, d.dev.Memset(p, q.ptr, q.off, q.size, q.value), 0)
+	case OpMemcpyD2D:
+		d.respond(src, q.reqID, d.dev.CopyD2D(p, q.ptr2, q.off2, q.ptr, q.off, q.size), 0)
 	case OpBatch:
 		d.executeBatch(p, src, q, nil)
 	case OpReset:

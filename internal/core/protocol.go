@@ -99,6 +99,12 @@ const (
 	// (the default) omit the prefix entirely and are never fence-checked,
 	// keeping legacy traffic bit-for-bit identical.
 	OpFencePrefix
+	// OpMemcpyD2D is a device-local copy between two allocations on the
+	// same accelerator: a header-only request (no payload ever crosses the
+	// wire) that the daemon resolves with one device-internal DMA. The
+	// redistribution fast path uses it to "move" blocks whose owner did
+	// not change when the block-cyclic layout shifts their offsets.
+	OpMemcpyD2D
 )
 
 // maxBatchOps bounds the command count one OpBatch may claim; anything
@@ -149,6 +155,14 @@ var (
 	ErrFenced = errors.New("core: fencing token is stale")
 )
 
+// ErrNoPeerPath is returned when a direct daemon-to-daemon fast path is
+// requested between accelerators that share no direct link (different
+// front-ends, or a node-local device outside the fabric). It mirrors
+// arm.ErrNoCapableDevice: a typed "this route cannot exist" that callers
+// distinguish from transfer failures, so data-plane code can fall back
+// to host staging instead of aborting.
+var ErrNoPeerPath = errors.New("core: no direct peer path between accelerators")
+
 // statusForErr maps a daemon-side error to its wire status code.
 func statusForErr(err error) uint8 {
 	switch {
@@ -195,6 +209,13 @@ const (
 	Pipeline
 	// Adaptive is Pipeline with a block size chosen from the payload size.
 	Adaptive
+	// Autotune starts from the Adaptive thresholds (the warm start — the
+	// first transfer on a link is never worse than PaperAdaptive) and then
+	// adapts block size and pipeline depth per transfer from achieved
+	// bandwidth, tracked per (peer link, direction) in the client's EWMA
+	// link-model table. Purely client-side: the wire protocol still
+	// carries a concrete (block, depth) per request.
+	Autotune
 )
 
 func (k ProtocolKind) String() string {
@@ -205,6 +226,8 @@ func (k ProtocolKind) String() string {
 		return "pipeline"
 	case Adaptive:
 		return "adaptive"
+	case Autotune:
+		return "autotune"
 	default:
 		return fmt.Sprintf("protocol(%d)", uint8(k))
 	}
@@ -244,6 +267,16 @@ func PaperPipeline(block int) CopyConfig {
 	return CopyConfig{Kind: Pipeline, Block: block}
 }
 
+// PaperAutotune returns the online-autotuned configuration, warm-started
+// from the paper's adaptive thresholds: until the link-model table has a
+// bandwidth sample for a link, transfers resolve exactly as
+// PaperAdaptive would.
+func PaperAutotune() CopyConfig {
+	c := PaperAdaptive()
+	c.Kind = Autotune
+	return c
+}
+
 // PaperNaive returns the naive configuration.
 func PaperNaive() CopyConfig { return CopyConfig{Kind: Naive} }
 
@@ -259,7 +292,7 @@ func (c CopyConfig) Validate() error {
 		if c.Block <= 0 {
 			return fmt.Errorf("core: pipeline block size must be positive, got %d", c.Block)
 		}
-	case Adaptive:
+	case Adaptive, Autotune:
 		if c.SmallBlock <= 0 || c.LargeBlock <= 0 || c.Threshold < 0 {
 			return fmt.Errorf("core: adaptive config %+v invalid", c)
 		}
@@ -279,7 +312,9 @@ func (c CopyConfig) resolve(n int) (block, depth int) {
 	switch c.Kind {
 	case Naive:
 		return n, 1
-	case Adaptive:
+	case Adaptive, Autotune:
+		// Autotune resolves like Adaptive here: this is the warm start the
+		// client's link model refines once bandwidth samples exist.
 		if n < c.Threshold {
 			block = c.SmallBlock
 		} else {
@@ -342,6 +377,10 @@ type request struct {
 	// D2D ops
 	peer   int // world rank of the partner daemon
 	xferID uint64
+
+	// OpMemcpyD2D: destination pointer/offset (ptr/off name the source).
+	ptr2 gpu.Ptr
+	off2 int
 
 	// memset
 	value uint8
@@ -417,6 +456,8 @@ func encodeBody(w *wire.Writer, q *request) {
 		w.Int(q.peer).U64(q.xferID).U64(uint64(q.ptr)).Int(q.off).Int(q.size).Int(q.cols).Int(q.pitch).Int(q.block).Int(q.depth)
 	case OpMemset:
 		w.U64(uint64(q.ptr)).Int(q.off).Int(q.size).U8(q.value)
+	case OpMemcpyD2D:
+		w.U64(uint64(q.ptr)).Int(q.off).U64(uint64(q.ptr2)).Int(q.off2).Int(q.size)
 	case OpWriteInline:
 		w.U64(uint64(q.ptr)).Int(q.off).Int(q.size).Int(q.cols).Int(q.pitch).Blob(q.inline)
 	case OpSessionOpen:
@@ -547,6 +588,12 @@ func decodeBody(r *wire.Reader, q *request) error {
 		q.off = r.Int()
 		q.size = r.Int()
 		q.value = r.U8()
+	case OpMemcpyD2D:
+		q.ptr = gpu.Ptr(r.U64())
+		q.off = r.Int()
+		q.ptr2 = gpu.Ptr(r.U64())
+		q.off2 = r.Int()
+		q.size = r.Int()
 	case OpWriteInline:
 		q.ptr = gpu.Ptr(r.U64())
 		q.off = r.Int()
@@ -597,6 +644,10 @@ func (q *request) validate() error {
 	case OpMemset:
 		if q.size < 0 || q.size > maxPayload || q.off < 0 {
 			return fmt.Errorf("core: malformed request: memset size=%d off=%d", q.size, q.off)
+		}
+	case OpMemcpyD2D:
+		if q.size < 0 || q.size > maxPayload || q.off < 0 || q.off2 < 0 {
+			return fmt.Errorf("core: malformed request: d2d copy size=%d off=%d off2=%d", q.size, q.off, q.off2)
 		}
 	case OpWriteInline:
 		if q.size < 0 || q.size > maxPayload || q.off < 0 || q.cols < 0 || q.pitch < 0 {

@@ -108,6 +108,11 @@ func (sess *session) checkOwned(q *request) error {
 	switch q.op {
 	case OpMemFree, OpMemset, OpMemcpyH2D, OpMemcpyD2H, OpWriteInline, OpD2DSend, OpD2DRecv:
 		return owns(q.ptr)
+	case OpMemcpyD2D:
+		if err := owns(q.ptr); err != nil {
+			return err
+		}
+		return owns(q.ptr2)
 	case OpKernelRun:
 		for _, a := range q.launch.Args {
 			if a.Kind == gpu.KindPtr {
@@ -415,6 +420,12 @@ func (d *Daemon) executeSession(p *sim.Proc, sess *session, src int, q *request)
 			return
 		}
 		d.respond(src, q.reqID, d.dev.Memset(p, q.ptr, q.off, q.size, q.value), 0)
+	case OpMemcpyD2D:
+		if ownErr != nil {
+			d.respond(src, q.reqID, ownErr, 0)
+			return
+		}
+		d.respond(src, q.reqID, d.dev.CopyD2D(p, q.ptr2, q.off2, q.ptr, q.off, q.size), 0)
 	case OpBatch:
 		d.executeBatch(p, src, q, sess)
 	case OpMemcpyH2D:

@@ -45,7 +45,7 @@ func TestChaosClientCrashLeaseReclaim(t *testing.T) {
 		ttl    = 20 * sim.Millisecond
 		killAt = 10 * sim.Millisecond
 	)
-	opts := core.DefaultOptions()
+	opts := chaosOptions()
 	opts.Timeout = 50 * sim.Millisecond
 	opts.Retries = 2
 	dcfg := core.DefaultDaemonConfig()
@@ -155,7 +155,7 @@ func TestChaosSuspectDaemonLiveMigration(t *testing.T) {
 			return dev.WriteFloat64s(l.Arg(0).Ptr, 0, vals)
 		},
 	})
-	opts := core.DefaultOptions()
+	opts := chaosOptions()
 	opts.Timeout = 50 * sim.Millisecond
 	opts.Retries = 2
 	dcfg := core.DefaultDaemonConfig()
@@ -244,7 +244,7 @@ func TestChaosSuspectDaemonLiveMigration(t *testing.T) {
 // shuts down cleanly; a held one is forcibly revoked at the deadline and
 // sanitized into retirement — after which the pool is empty.
 func TestChaosGracefulDrain(t *testing.T) {
-	opts := core.DefaultOptions()
+	opts := chaosOptions()
 	opts.Timeout = 50 * sim.Millisecond
 	opts.Retries = 2
 	hc := arm.HealthConfig{

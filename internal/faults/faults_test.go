@@ -31,7 +31,7 @@ func faultCluster(t *testing.T, nAC int) *cluster.Cluster {
 	t.Helper()
 	reg := gpu.NewRegistry()
 	magma.RegisterKernels(reg)
-	opts := core.DefaultOptions()
+	opts := chaosOptions()
 	opts.Timeout = 100 * sim.Millisecond
 	opts.Retries = 2
 	dcfg := core.DefaultDaemonConfig()

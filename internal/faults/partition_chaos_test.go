@@ -77,7 +77,7 @@ func TestChaosPartitionSplitBrain(t *testing.T) {
 	)
 	shards := armShards(t)
 	mode := chaosPartition(t)
-	opts := core.DefaultOptions()
+	opts := chaosOptions()
 	opts.Timeout = 50 * sim.Millisecond
 	opts.Retries = 2
 	// SuspectAfter/DeadAfter stay zero: the deposed leader must discover

@@ -43,7 +43,7 @@ func TestChaosShardLeaderKill(t *testing.T) {
 		promoteAfter = 10 * sim.Millisecond
 	)
 	shards := armShards(t)
-	opts := core.DefaultOptions()
+	opts := chaosOptions()
 	opts.Timeout = 50 * sim.Millisecond
 	opts.Retries = 2
 	hc := arm.HealthConfig{
@@ -152,7 +152,7 @@ func TestChaosShardedSharedTenantKill(t *testing.T) {
 		killAt = 10 * sim.Millisecond
 	)
 	shards := armShards(t)
-	opts := core.DefaultOptions()
+	opts := chaosOptions()
 	opts.Timeout = 50 * sim.Millisecond
 	opts.Retries = 2
 	dcfg := core.DefaultDaemonConfig()

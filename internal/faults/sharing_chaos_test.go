@@ -23,7 +23,7 @@ func TestChaosSharedTenantKill(t *testing.T) {
 		killAt = 10 * sim.Millisecond
 		survN  = 4096
 	)
-	opts := core.DefaultOptions()
+	opts := chaosOptions()
 	opts.Timeout = 50 * sim.Millisecond
 	opts.Retries = 2
 	dcfg := core.DefaultDaemonConfig()

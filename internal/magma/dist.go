@@ -1,8 +1,11 @@
 package magma
 
 import (
+	"errors"
 	"fmt"
 
+	"dynacc/internal/accel"
+	"dynacc/internal/core"
 	"dynacc/internal/gpu"
 	"dynacc/internal/sim"
 )
@@ -92,17 +95,121 @@ func (d *Dist) Free(p *sim.Proc) {
 	d.ptrs = nil
 }
 
-// Redistribute moves the matrix onto a new device set, staging it
-// through the host: the current layout is gathered, the old device
-// storage freed, and the matrix re-uploaded block-cyclically over devs.
-// In model mode the same transfers are issued with nil payloads, so the
+// Redistribute moves the matrix onto a new device set, block by block:
+// blocks whose owning device is unchanged never leave it (a
+// device-local copy shifts them to their new offset — zero payload
+// bytes on the wire), and only blocks whose owner changed are staged
+// through the host. An identical device list is a no-op. In model mode
+// the same transfers are issued with nil payloads, so the
 // redistribution cost still lands in virtual time. The caller must have
 // quiesced all in-flight operations first. On error the Dist may be
 // left without device storage and must not be used further.
 func (d *Dist) Redistribute(p *sim.Proc, devs []Device) error {
+	return d.redistribute(p, devs, false)
+}
+
+// RedistributeDirect is Redistribute with the daemon-to-daemon fast
+// path on: blocks whose owner changed move directly between the two
+// accelerators (accel.PeerCopier) and fall back to host staging only
+// when no peer path exists (core.ErrNoPeerPath, or a device without
+// the capability).
+func (d *Dist) RedistributeDirect(p *sim.Proc, devs []Device) error {
+	return d.redistribute(p, devs, true)
+}
+
+func (d *Dist) redistribute(p *sim.Proc, devs []Device, direct bool) error {
 	if len(devs) == 0 {
 		return fmt.Errorf("magma: no devices")
 	}
+	if sameDevs(devs, d.Devs) {
+		// Every block's owner and offset are unchanged: nothing moves.
+		return nil
+	}
+	// Build the new layout while the old storage is still live, so
+	// blocks can move storage-to-storage without a full host gather.
+	// When the devices lack headroom for both layouts at once, fall
+	// back to the legacy gather-free-reupload path.
+	nd, err := NewDist(p, devs, d.M, d.N, d.NB, d.exec)
+	if err != nil {
+		return d.RedistributeStaged(p, devs)
+	}
+	old := *d // shallow snapshot of the old layout (Devs/ptrs/widths)
+	fail := func(err error) error {
+		old.Free(p)
+		nd.Free(p)
+		d.Devs, d.ptrs, d.widths = nd.Devs, nil, nil
+		return err
+	}
+	// Blocks that need host staging: downloads all issued first, then
+	// the uploads, so the two waves each overlap across devices.
+	type stagedBlock struct {
+		b   int
+		buf []byte
+	}
+	var stage []stagedBlock
+	var downloads []Pending
+	for b := 0; b < d.Blocks(); b++ {
+		srcDev, srcPtr := old.devPtr(b)
+		dstDev, dstPtr := nd.devPtr(b)
+		nbytes := 8 * old.M * old.blockWidth(b)
+		srcOff := 8 * old.elemOff(b, 0, 0)
+		dstOff := 8 * nd.elemOff(b, 0, 0)
+		if srcDev == dstDev {
+			// Unchanged owner: the block stays on its device. A local
+			// copy shifts it to the new layout's offset with no payload
+			// on the wire; only a device without the capability stages.
+			if lc, ok := srcDev.(accel.LocalCopier); ok {
+				if err := lc.CopyD2D(p, dstPtr, dstOff, srcPtr, srcOff, nbytes); err != nil {
+					return fail(err)
+				}
+				continue
+			}
+		} else if direct {
+			// Changed owner, fast path: daemon-to-daemon, no host staging.
+			if pc, ok := srcDev.(accel.PeerCopier); ok {
+				handled, err := pc.CopyToPeer(p, srcPtr, srcOff, nbytes, 1, nbytes, dstDev, dstPtr, dstOff)
+				if handled && err == nil {
+					continue
+				}
+				if handled && !errors.Is(err, core.ErrNoPeerPath) {
+					return fail(err)
+				}
+				// No peer path: this block stages through the host.
+			}
+		}
+		var buf []byte
+		if d.exec {
+			buf = d.getScratch(nbytes)
+		}
+		downloads = append(downloads, srcDev.CopyD2HAsync(buf, srcPtr, srcOff, nbytes, 0))
+		stage = append(stage, stagedBlock{b: b, buf: buf})
+	}
+	if err := waitAllPending(p, downloads); err != nil {
+		return fail(err)
+	}
+	var uploads []Pending
+	for _, s := range stage {
+		dstDev, dstPtr := nd.devPtr(s.b)
+		nbytes := 8 * old.M * old.blockWidth(s.b)
+		uploads = append(uploads, dstDev.CopyH2DAsync(dstPtr, 8*nd.elemOff(s.b, 0, 0), s.buf, nbytes, 0))
+	}
+	if err := waitAllPending(p, uploads); err != nil {
+		return fail(err)
+	}
+	for _, s := range stage {
+		d.putScratch(s.buf)
+	}
+	old.Free(p)
+	d.Devs, d.ptrs, d.widths = nd.Devs, nd.ptrs, nd.widths
+	return nil
+}
+
+// RedistributeStaged is the legacy full-matrix host round trip: gather
+// everything, free, re-allocate over devs, re-upload. It is the
+// fallback when the devices cannot hold the old and new layouts at once
+// and the measurement baseline the data-plane benchmark compares the
+// block-wise paths against.
+func (d *Dist) RedistributeStaged(p *sim.Proc, devs []Device) error {
 	var host []float64
 	if d.exec {
 		host = make([]float64, d.M*d.N)

@@ -102,7 +102,11 @@ func Dgeqrf(p *sim.Proc, d *Dist, tau []float64, cfg Config) error {
 					_ = dev.MemFree(p, dV[g])
 					_ = dev.MemFree(p, dT[g])
 				}
-				if err := d.Redistribute(p, devs); err != nil {
+				redist := d.Redistribute
+				if cfg.DirectRedistribute {
+					redist = d.RedistributeDirect
+				}
+				if err := redist(p, devs); err != nil {
 					return err
 				}
 				G = len(d.Devs)
@@ -138,13 +142,29 @@ func Dgeqrf(p *sim.Proc, d *Dist, tau []float64, cfg Config) error {
 		// synchronous, so by default the host waits for the broadcast.
 		tBytes := hostBytes(tmat, jb*jb)
 		var bcast []Pending
-		for g, dev := range d.Devs {
-			if g == owner {
-				bcast = append(bcast, d.uploadCols(pj, j, mj, 0, jb, hostPanel(panel, mj*jb), 0)...)
-			} else {
-				bcast = append(bcast, dev.CopyH2DAsync(dV[g], 0, hostBytes(panel, mj*jb), 8*mj*jb, 0))
+		var treePend Pending
+		if cfg.TreeBroadcast && G > 1 {
+			// Data-plane fast path: the host seeds the owner's V
+			// workspace segment by segment, then the panel fans out
+			// accelerator-to-accelerator along the segmented binomial
+			// tree (broadcast.go) — the host NIC carries the panel once
+			// instead of G times. The owner's matrix copy and the small
+			// T uploads stay host-staged as before.
+			panelBytes := hostBytes(panel, mj*jb)
+			bcast = append(bcast, d.uploadCols(pj, j, mj, 0, jb, hostPanel(panel, mj*jb), 0)...)
+			treePend = d.treeBroadcastV(p, owner, 8*mj*jb, dV, panelBytes)
+			for g, dev := range d.Devs {
+				bcast = append(bcast, dev.CopyH2DAsync(dT[g], 0, tBytes, 8*jb*jb, 0))
 			}
-			bcast = append(bcast, dev.CopyH2DAsync(dT[g], 0, tBytes, 8*jb*jb, 0))
+		} else {
+			for g, dev := range d.Devs {
+				if g == owner {
+					bcast = append(bcast, d.uploadCols(pj, j, mj, 0, jb, hostPanel(panel, mj*jb), 0)...)
+				} else {
+					bcast = append(bcast, dev.CopyH2DAsync(dV[g], 0, hostBytes(panel, mj*jb), 8*mj*jb, 0))
+				}
+				bcast = append(bcast, dev.CopyH2DAsync(dT[g], 0, tBytes, 8*jb*jb, 0))
+			}
 		}
 		if po != nil && pj+1 < npanels {
 			bcast = append(bcast, po.broadcast(panel, tmat, mj, jb)...)
@@ -153,6 +173,15 @@ func Dgeqrf(p *sim.Proc, d *Dist, tau []float64, cfg Config) error {
 			track(bcast...)
 		} else if err := waitAllPending(p, bcast); err != nil {
 			return err
+		}
+		if treePend != nil {
+			// The tree fan-out writes dV over dedicated daemon streams, so
+			// stream-0 FIFO order cannot fence the trailing-update launches
+			// behind it: the fan-out must complete before any kernel that
+			// reads dV is issued, even under AsyncBroadcast.
+			if err := treePend.Wait(p); err != nil {
+				return err
+			}
 		}
 
 		vLaunch := func(g int, cols, cOff int) gpu.Launch {

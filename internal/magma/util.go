@@ -43,6 +43,22 @@ type Config struct {
 	// of staging it through the compute node. Falls back to the host
 	// route for devices without the capability (e.g. node-local GPUs).
 	D2DBroadcast bool
+	// TreeBroadcast fans the QR panel out over a binomial tree of direct
+	// accelerator-to-accelerator links (minimpi.BcastTree schedule): the
+	// host uploads the panel once, to the owner, and the G-1 remaining
+	// copies travel daemon-to-daemon — O(log G) link-serialized rounds
+	// instead of G uploads serialized on the compute node's NIC.
+	// Destinations without a peer path degrade to a host upload per
+	// block. Off by default, which keeps the paper's host-staged
+	// broadcast (and its wire traffic) byte-identical.
+	TreeBroadcast bool
+	// DirectRedistribute moves redistributed blocks daemon-to-daemon
+	// (accel.PeerCopier) when the owner changes and with a device-local
+	// copy when it does not, staging through the host only for blocks
+	// with no peer path (see Dist.RedistributeDirect). Off by default:
+	// the classic host-staged path remains, though it now skips
+	// re-uploading blocks whose owning device is unchanged.
+	DirectRedistribute bool
 	// Heterogeneous splits Dgeqrf's device roles across a mixed fleet:
 	// the latency-bound lookahead work (next-panel update and download)
 	// runs on PanelDevice — a fast-launch device outside the matrix
